@@ -1,0 +1,93 @@
+"""A1 (ablation) — where should the index btrees live?
+
+DESIGN.md calls out the object/extent-btree representation for ablation.  The
+OSD can keep its btrees in memory (a warmed metadata cache: the default) or
+persist every page through the buddy allocator onto the device
+(``btree_on_device=True``), and the device page store can absorb repeated
+reads with an LRU page cache of configurable size.
+
+This benchmark writes and reads back a batch of objects under the three
+configurations and reports device I/O and time.  Expected shape: device-
+resident btrees multiply write traffic by the page writes (the durability
+cost the paper's OSD would actually pay), and the page cache wins back most
+of the read-side cost — which is why the default configuration models a
+warmed cache.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.btree import BPlusTree, DevicePageStore
+from repro.core import HFADFileSystem
+from repro.storage import BlockDevice, BuddyAllocator
+
+from conftest import emit_table
+
+OBJECTS = 150
+PAYLOAD = b"object payload " * 64  # ~1 KiB
+
+
+def _run_configuration(btree_on_device: bool):
+    fs = HFADFileSystem(num_blocks=1 << 17, btree_on_device=btree_on_device)
+    oids = []
+    for index in range(OBJECTS):
+        oids.append(fs.create(PAYLOAD + str(index).encode(), index_content=False))
+    write_stats = fs.device.stats.snapshot()
+    for oid in oids:
+        fs.read(oid)
+    read_delta = fs.device.stats.delta(write_stats)
+    fs.close()
+    return write_stats.writes, write_stats.blocks_written, read_delta.reads
+
+
+def test_a1_in_memory_vs_device_resident_btrees():
+    rows = []
+    results = {}
+    for label, on_device in [("in-memory btrees (default)", False), ("device-resident btrees", True)]:
+        writes, blocks_written, reads = _run_configuration(on_device)
+        results[label] = (writes, blocks_written, reads)
+        rows.append((label, writes, blocks_written, reads))
+    memory_writes = results["in-memory btrees (default)"][0]
+    device_writes = results["device-resident btrees"][0]
+    # Persisting every index page costs real extra write traffic...
+    assert device_writes > memory_writes * 2
+    emit_table(
+        f"A1 — ingest+read of {OBJECTS} objects: where the index btrees live",
+        ["configuration", "device writes", "blocks written", "device reads (read-back)"],
+        rows,
+    )
+
+
+def test_a1_page_cache_absorbs_reads():
+    rows = []
+    reads_by_cache = {}
+    for cache_pages in (0, 16, 256):
+        device = BlockDevice(num_blocks=1 << 15)
+        allocator = BuddyAllocator(total_blocks=1 << 15)
+        store = DevicePageStore(device, allocator, page_blocks=4, cache_pages=cache_pages)
+        tree = BPlusTree(store=store, max_keys=32)
+        for index in range(2000):
+            tree.put(f"key{index:06d}".encode(), b"v" * 32)
+        device.reset_stats()
+        for index in range(0, 2000, 7):
+            tree.lookup(f"key{index:06d}".encode())
+        reads_by_cache[cache_pages] = device.stats.reads
+        rows.append((cache_pages, device.stats.reads, store.cache_hits, store.cache_misses))
+    assert reads_by_cache[256] < reads_by_cache[16] <= reads_by_cache[0]
+    emit_table(
+        "A1 — device reads for 286 btree lookups vs page-cache size",
+        ["cache pages", "device reads", "cache hits", "cache misses"],
+        rows,
+    )
+
+
+@pytest.mark.parametrize("on_device", [False, True], ids=["memory-btrees", "device-btrees"])
+def test_a1_ingest_latency(benchmark, on_device):
+    def ingest():
+        fs = HFADFileSystem(num_blocks=1 << 16, btree_on_device=on_device)
+        for index in range(40):
+            fs.create(PAYLOAD + str(index).encode(), index_content=False)
+        fs.close()
+
+    benchmark.pedantic(ingest, rounds=5, iterations=1)

@@ -1,0 +1,118 @@
+"""E4 — Sections 2.1/2.2: search-based vs path-based retrieval; many names.
+
+Users want "a picture ... based on who is in it, when it was taken, where it
+was taken", and "a single piece of data may belong to multiple collections".
+The canonical directory layout can answer at most one of those questions
+cheaply; every other one degenerates to a full scan.
+
+The benchmark answers the same three questions over the photo corpus:
+
+* by person, by place, by (person AND year) — via hFAD tag conjunctions;
+* the same questions against the hierarchical layout (organized by
+  year/event), which requires walking the tree and inspecting every file.
+
+It also shows the "multiple collections" point: the same object reachable
+under several POSIX names and several virtual directories at once.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.semantic import VirtualDirectoryTree
+
+from conftest import emit_table
+
+QUESTIONS = [
+    ("photos of margo", [("PERSON", "margo")]),
+    ("photos taken at the beach", [("PLACE", "beach")]),
+    ("margo's 2009 photos", [("PERSON", "margo"), ("YEAR", "2009")]),
+]
+
+
+def _hfad_answer(fs, pairs):
+    before = fs.device.stats.snapshot()
+    hits = fs.find(("KIND", "photo"), *pairs)
+    return hits, fs.device.stats.delta(before).reads
+
+
+def _ffs_answer(ffs, corpus, predicate):
+    """Answer by walking the tree and checking each file's attributes.
+
+    The hierarchical system has no attribute index, so the canonical
+    year/event layout only helps if the question happens to be "by year";
+    anything else inspects every photo.
+    """
+    before = ffs.device.stats.snapshot()
+    files_inspected = 0
+    hits = []
+    for path in ffs.walk("/photos"):
+        files_inspected += 1
+        ffs.read(path, 0, 256)  # read enough to inspect the sidecar/EXIF data
+        if predicate(path):
+            hits.append(path)
+    return hits, ffs.device.stats.delta(before).reads, files_inspected
+
+
+def test_e4_attribute_search_vs_tree_walk(hfad_with_corpus, ffs_with_corpus, corpus):
+    fs, oid_by_path = hfad_with_corpus
+    photo_items = {item.path: item for item in corpus if dict(item.tags).get("KIND") == "photo"}
+    predicates = {
+        "photos of margo": lambda path: ("PERSON", "margo") in photo_items[path].tags,
+        "photos taken at the beach": lambda path: dict(photo_items[path].tags).get("PLACE") == "beach",
+        "margo's 2009 photos": lambda path: ("PERSON", "margo") in photo_items[path].tags
+        and dict(photo_items[path].tags).get("YEAR") == "2009",
+    }
+    rows = []
+    for question, pairs in QUESTIONS:
+        hfad_hits, hfad_reads = _hfad_answer(fs, pairs)
+        ffs_hits, ffs_reads, inspected = _ffs_answer(
+            ffs_with_corpus, corpus, predicates[question]
+        )
+        # Both systems find the same photos.
+        assert sorted(oid_by_path[path] for path in ffs_hits) == hfad_hits
+        # The tree walk inspects the whole photo library; hFAD touches indexes only.
+        assert inspected == len(photo_items)
+        assert ffs_reads > hfad_reads
+        rows.append(
+            (question, len(hfad_hits), hfad_reads, ffs_reads, inspected)
+        )
+    emit_table(
+        "E4 — attribute questions: hFAD tag conjunction vs hierarchical tree walk",
+        ["question", "hits", "hFAD dev reads", "FFS dev reads", "FFS files inspected"],
+        rows,
+    )
+
+
+def test_e4_multiple_collections_per_object(hfad_with_corpus):
+    fs, oid_by_path = hfad_with_corpus
+    path, oid = next(iter(oid_by_path.items()))
+    # The same object joins several collections without being copied or moved.
+    fs.link_path("/albums/best-of/item.jpg", oid)
+    fs.link_path("/slideshows/2009/item.jpg", oid)
+    tree = VirtualDirectoryTree(fs)
+    tree.define("mine", f"ID/{oid}")
+    assert len(fs.paths_for(oid)) >= 3
+    assert oid in [entry.oid for entry in tree.get("mine").list()]
+    rows = [(name, "POSIX path") for name in fs.paths_for(oid)]
+    rows.append(("/queries/mine", "virtual directory (saved query)"))
+    emit_table(
+        f"E4 — one object (oid {oid}), many simultaneous names",
+        ["name", "kind"],
+        rows,
+    )
+    fs.unlink_path("/albums/best-of/item.jpg")
+    fs.unlink_path("/slideshows/2009/item.jpg")
+
+
+def test_e4_hfad_conjunction_latency(benchmark, hfad_with_corpus):
+    fs, _ = hfad_with_corpus
+    benchmark(lambda: fs.find(("KIND", "photo"), ("PERSON", "margo"), ("YEAR", "2009")))
+
+
+def test_e4_ffs_tree_walk_latency(benchmark, ffs_with_corpus):
+    def walk_and_inspect():
+        for path in ffs_with_corpus.walk("/photos"):
+            ffs_with_corpus.read(path, 0, 256)
+
+    benchmark(walk_and_inspect)

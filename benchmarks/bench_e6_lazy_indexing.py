@@ -1,0 +1,77 @@
+"""E6 — Section 3.4: lazy (background) full-text indexing.
+
+"We use background threads to perform lazy full-text indexing."  The design
+choice trades ingest latency against query visibility: synchronous indexing
+makes every object searchable the moment ``create`` returns but puts the
+indexing work on the ingest path; lazy indexing returns immediately and lets
+background workers catch up.
+
+The benchmark ingests the same document stream both ways and reports ingest
+time, how many documents were already visible to a query issued immediately
+after ingest, and the time for the background indexer to drain.  Expected
+shape: lazy ingest is markedly faster per document, at the cost of a
+visibility lag that a flush closes.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.core import HFADFileSystem
+from repro.workloads import document_corpus
+
+from conftest import emit_table
+
+DOCUMENTS = document_corpus(count=150, seed=33)
+
+
+def _ingest(lazy: bool):
+    fs = HFADFileSystem(num_blocks=1 << 17, lazy_indexing=lazy, index_workers=2)
+    started = time.perf_counter()
+    for item in DOCUMENTS:
+        fs.create(item.content, path=item.path, owner=item.owner, index_content=True)
+    ingest_seconds = time.perf_counter() - started
+    visible_immediately = len(fs.search_text("budget"))
+    flush_started = time.perf_counter()
+    fs.flush_indexing(timeout=30)
+    flush_seconds = time.perf_counter() - flush_started
+    visible_after_flush = len(fs.search_text("budget"))
+    fs.close()
+    return ingest_seconds, visible_immediately, flush_seconds, visible_after_flush
+
+
+def test_e6_lazy_vs_synchronous_indexing():
+    sync_ingest, sync_visible, _sync_flush, sync_total = _ingest(lazy=False)
+    lazy_ingest, lazy_visible, lazy_flush, lazy_total = _ingest(lazy=True)
+    # Both end up with the same searchable corpus once the indexer drains.
+    assert sync_total == lazy_total > 0
+    # Synchronous indexing means full visibility at ingest return...
+    assert sync_visible == sync_total
+    # ...and the lazy path may lag but never exceeds it.
+    assert lazy_visible <= sync_visible
+    rows = [
+        ("synchronous", f"{sync_ingest * 1000:.1f}", sync_visible, sync_total, "0.0"),
+        ("lazy (2 workers)", f"{lazy_ingest * 1000:.1f}", lazy_visible, lazy_total, f"{lazy_flush * 1000:.1f}"),
+    ]
+    emit_table(
+        "E6 — ingest of 150 documents: synchronous vs lazy full-text indexing",
+        ["mode", "ingest time (ms)", "hits visible at ingest return", "hits after flush", "flush time (ms)"],
+        rows,
+    )
+
+
+@pytest.mark.parametrize("mode", ["synchronous", "lazy"])
+def test_e6_ingest_latency(benchmark, mode):
+    documents = DOCUMENTS[:40]
+
+    def ingest():
+        fs = HFADFileSystem(num_blocks=1 << 16, lazy_indexing=(mode == "lazy"), index_workers=2)
+        for item in documents:
+            fs.create(item.content, path=item.path, owner=item.owner, index_content=True)
+        if mode == "lazy":
+            fs.flush_indexing(timeout=30)
+        fs.close()
+
+    benchmark.pedantic(ingest, rounds=5, iterations=1)

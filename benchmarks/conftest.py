@@ -1,0 +1,74 @@
+"""Shared fixtures and reporting helpers for the benchmark harness.
+
+Each ``bench_*.py`` module regenerates one experiment from DESIGN.md /
+EXPERIMENTS.md.  Two kinds of output are produced:
+
+* pytest-benchmark timings (the ``benchmark`` fixture) for the operations the
+  experiment is about, and
+* a printed result table (rows of counters: index traversals, device reads,
+  conflicts, ...) — the "same rows the paper would report" part.  Run with
+  ``-s`` to see the tables inline; they are also appended to
+  ``benchmarks/results.txt`` so a full run leaves a machine-readable record.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Iterable, List, Sequence
+
+import pytest
+
+from repro.core import HFADFileSystem
+from repro.hierarchical import DesktopSearchEngine, FFSFileSystem
+from repro.workloads import load_into_ffs, load_into_hfad, mixed_corpus
+
+RESULTS_PATH = os.path.join(os.path.dirname(__file__), "results.txt")
+
+
+def emit_table(title: str, headers: Sequence[str], rows: Iterable[Sequence[object]]) -> str:
+    """Format, print and persist one experiment's result table."""
+    rows = [list(map(str, row)) for row in rows]
+    widths = [len(header) for header in headers]
+    for row in rows:
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+    lines = [title, "-" * len(title)]
+    lines.append("  ".join(header.ljust(widths[index]) for index, header in enumerate(headers)))
+    for row in rows:
+        lines.append("  ".join(cell.ljust(widths[index]) for index, cell in enumerate(row)))
+    text = "\n" + "\n".join(lines) + "\n"
+    print(text)
+    with open(RESULTS_PATH, "a", encoding="utf-8") as handle:
+        handle.write(text)
+    return text
+
+
+@pytest.fixture(scope="session")
+def corpus():
+    """The shared mixed corpus (photos + mail + documents)."""
+    return mixed_corpus(photos=120, mails=120, documents=60, seed=42)
+
+
+@pytest.fixture(scope="session")
+def hfad_with_corpus(corpus):
+    """An hFAD instance pre-loaded with the shared corpus."""
+    fs = HFADFileSystem(num_blocks=1 << 17)
+    oid_by_path = load_into_hfad(fs, corpus)
+    yield fs, oid_by_path
+    fs.close()
+
+
+@pytest.fixture(scope="session")
+def ffs_with_corpus(corpus):
+    """An FFS baseline instance pre-loaded with the same corpus."""
+    fs = FFSFileSystem(num_blocks=1 << 17)
+    load_into_ffs(fs, corpus)
+    return fs
+
+
+@pytest.fixture(scope="session")
+def desktop_search(ffs_with_corpus):
+    """A desktop-search engine crawled over the FFS corpus."""
+    engine = DesktopSearchEngine(ffs_with_corpus)
+    engine.crawl()
+    return engine

@@ -1,0 +1,66 @@
+#!/usr/bin/env python3
+"""Quickstart: the hFAD native API in five minutes.
+
+Creates a few objects, names them in several ways at once (POSIX path,
+full-text content, user, application, manual annotations), finds them back by
+what they *are* rather than where they *live*, and exercises the two calls a
+hierarchical file system cannot offer: insert into the middle of an object
+and truncate a range out of its middle.
+
+Run with:  python examples/quickstart.py
+"""
+
+from repro.core import HFADFileSystem
+
+
+def main() -> None:
+    with HFADFileSystem() as fs:
+        # -- create and name objects -----------------------------------------
+        report = fs.create(
+            b"Quarterly budget report for the storage group.\n"
+            b"Spending is on track; hardware arrives in August.\n",
+            path="/home/margo/documents/budget-q2.txt",
+            owner="margo",
+            application="word",
+            annotations=["work", "finance"],
+        )
+        photo = fs.create(
+            b"beach sunset with nick and margo (synthetic pixels follow)...",
+            path="/home/margo/photos/2009/beach-042.jpg",
+            owner="margo",
+            application="iphoto",
+            annotations=["vacation", "beach"],
+        )
+        fs.index_image(photo, [8, 2, 0, 0, 0, 0, 0, 1])  # mostly red sunset
+        print(f"created objects: report={report} photo={photo}")
+
+        # -- find data by describing it --------------------------------------
+        print("\nWho has 'budget' content?      ", fs.search_text("budget"))
+        print("margo's vacation items:         ", fs.find(("USER", "margo"), ("UDEF", "vacation")))
+        print("anything by iphoto AND beach:   ", fs.query("APP/iphoto AND UDEF/beach"))
+        print("red-dominant images:            ", fs.find(("IMAGE", "color:red")))
+
+        # A POSIX path is just one more name — and an object can have many.
+        fs.link_path("/albums/best-of-2009/beach-042.jpg", photo)
+        print("\nall names of the photo:")
+        for name in fs.names_for(photo):
+            print("   ", name)
+
+        # -- byte-level access, including the new calls -----------------------
+        handle = fs.open(report)
+        print("\nreport starts with:             ", handle.read(17))
+        # Insert into the *middle* of the object; nothing is rewritten.
+        fs.insert(report, 0, b"[DRAFT] ")
+        # Remove a range from the middle (the two-argument truncate).
+        fs.truncate(report, 8, len("Quarterly "))
+        print("after insert + range-truncate:  ", fs.read(report, 0, 24))
+
+        # -- metadata lives with the object, not with a path ------------------
+        metadata = fs.stat(report)
+        print(f"\nreport metadata: owner={metadata.owner} size={metadata.size} "
+              f"attrs={metadata.attributes}")
+        print("layer statistics:", {k: v for k, v in fs.stats().items() if k == "object_count"})
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,435 @@
+"""A page-oriented B+-tree with insert, delete (with rebalancing) and cursors.
+
+This is the ordered key/value store the rest of hFAD builds on, standing in
+for Berkeley DB btrees (paper Section 3.4):
+
+* the OSD represents every object as one of these trees keyed by byte offset
+  with extent descriptors as values, using the NULL (empty) key for metadata;
+* the OID→metadata map and every string index store are also instances;
+* the hierarchical FFS baseline reuses it for nothing — it has its own
+  directories — which is exactly the point of the comparison.
+
+Keys and values are ``bytes``.  Iteration is in lexicographic key order.
+"""
+
+from __future__ import annotations
+
+import bisect
+import threading
+from typing import Iterator, List, Optional, Tuple
+
+from repro.errors import BTreeError, KeyNotFoundError
+from repro.btree.cursor import Cursor
+from repro.btree.node import NO_PAGE, InnerNode, LeafNode
+from repro.btree.pages import InMemoryPageStore, PageStore
+
+_MISSING = object()
+
+
+class BPlusTree:
+    """An ordered mapping from ``bytes`` keys to ``bytes`` values.
+
+    :param store: page backend; defaults to a fresh in-memory store.
+    :param max_keys: maximum keys per node before it splits.  ``min_keys``
+        (underflow threshold) is ``max_keys // 2``.
+    """
+
+    def __init__(self, store: Optional[PageStore] = None, max_keys: int = 64) -> None:
+        if max_keys < 3:
+            raise ValueError("max_keys must be at least 3")
+        self.store = store if store is not None else InMemoryPageStore()
+        self.max_keys = max_keys
+        self.min_keys = max_keys // 2
+        self._lock = threading.RLock()
+        self._count = 0
+        #: nodes visited by lookups/cursors; the index-traversal experiments
+        #: (E1) read this to report "how many index hops did that search cost".
+        self.node_visits = 0
+        root = LeafNode()
+        self._root_id = self.store.allocate()
+        self.store.write(self._root_id, root)
+
+    # ------------------------------------------------------------------ basic
+
+    def __len__(self) -> int:
+        return self._count
+
+    def __contains__(self, key: bytes) -> bool:
+        return self.get(key, default=None) is not None or self._has_exact(key)
+
+    def _has_exact(self, key: bytes) -> bool:
+        try:
+            self.lookup(key)
+            return True
+        except KeyNotFoundError:
+            return False
+
+    def _check_key(self, key: bytes) -> bytes:
+        if not isinstance(key, (bytes, bytearray)):
+            raise BTreeError(f"keys must be bytes, got {type(key).__name__}")
+        return bytes(key)
+
+    def _check_value(self, value: bytes) -> bytes:
+        if not isinstance(value, (bytes, bytearray)):
+            raise BTreeError(f"values must be bytes, got {type(value).__name__}")
+        return bytes(value)
+
+    # ---------------------------------------------------------------- lookups
+
+    def _find_leaf(self, key: bytes) -> Tuple[int, LeafNode]:
+        """Descend to the leaf that would hold ``key``."""
+        page_id = self._root_id
+        node = self.store.read(page_id)
+        self.node_visits += 1
+        while not node.is_leaf:
+            index = bisect.bisect_right(node.keys, key)
+            page_id = node.children[index]
+            node = self.store.read(page_id)
+            self.node_visits += 1
+        return page_id, node
+
+    def lookup(self, key: bytes) -> bytes:
+        """Return the value for ``key`` or raise :class:`KeyNotFoundError`."""
+        key = self._check_key(key)
+        with self._lock:
+            _page_id, leaf = self._find_leaf(key)
+            index = bisect.bisect_left(leaf.keys, key)
+            if index < len(leaf.keys) and leaf.keys[index] == key:
+                return leaf.values[index]
+        raise KeyNotFoundError(key)
+
+    def get(self, key: bytes, default=None):
+        """Return the value for ``key`` or ``default`` if absent."""
+        try:
+            return self.lookup(key)
+        except KeyNotFoundError:
+            return default
+
+    def first(self) -> Tuple[bytes, bytes]:
+        """Return the smallest ``(key, value)`` pair."""
+        with self._lock:
+            page_id = self._root_id
+            node = self.store.read(page_id)
+            self.node_visits += 1
+            while not node.is_leaf:
+                node = self.store.read(node.children[0])
+                self.node_visits += 1
+            if not node.keys:
+                raise KeyNotFoundError("tree is empty")
+            return node.keys[0], node.values[0]
+
+    def last(self) -> Tuple[bytes, bytes]:
+        """Return the largest ``(key, value)`` pair."""
+        with self._lock:
+            node = self.store.read(self._root_id)
+            self.node_visits += 1
+            while not node.is_leaf:
+                node = self.store.read(node.children[-1])
+                self.node_visits += 1
+            if not node.keys:
+                raise KeyNotFoundError("tree is empty")
+            return node.keys[-1], node.values[-1]
+
+    # ---------------------------------------------------------------- insert
+
+    def put(self, key: bytes, value: bytes) -> None:
+        """Insert or replace ``key`` → ``value``."""
+        key = self._check_key(key)
+        value = self._check_value(value)
+        with self._lock:
+            root = self.store.read(self._root_id)
+            split = self._insert(self._root_id, root, key, value)
+            if split is not None:
+                separator, right_id = split
+                new_root = InnerNode(keys=[separator], children=[self._root_id, right_id])
+                new_root_id = self.store.allocate()
+                self.store.write(new_root_id, new_root)
+                self._root_id = new_root_id
+
+    def _insert(self, page_id: int, node, key: bytes, value: bytes):
+        if node.is_leaf:
+            return self._insert_into_leaf(page_id, node, key, value)
+        index = bisect.bisect_right(node.keys, key)
+        child_id = node.children[index]
+        child = self.store.read(child_id)
+        split = self._insert(child_id, child, key, value)
+        if split is None:
+            return None
+        separator, right_id = split
+        node.keys.insert(index, separator)
+        node.children.insert(index + 1, right_id)
+        if len(node.keys) <= self.max_keys:
+            self.store.write(page_id, node)
+            return None
+        return self._split_inner(page_id, node)
+
+    def _insert_into_leaf(self, page_id: int, leaf: LeafNode, key: bytes, value: bytes):
+        index = bisect.bisect_left(leaf.keys, key)
+        if index < len(leaf.keys) and leaf.keys[index] == key:
+            leaf.values[index] = value
+            self.store.write(page_id, leaf)
+            return None
+        leaf.keys.insert(index, key)
+        leaf.values.insert(index, value)
+        self._count += 1
+        if len(leaf.keys) <= self.max_keys:
+            self.store.write(page_id, leaf)
+            return None
+        return self._split_leaf(page_id, leaf)
+
+    def _split_leaf(self, page_id: int, leaf: LeafNode):
+        mid = len(leaf.keys) // 2
+        right = LeafNode(
+            keys=leaf.keys[mid:],
+            values=leaf.values[mid:],
+            next_leaf=leaf.next_leaf,
+        )
+        right_id = self.store.allocate()
+        leaf.keys = leaf.keys[:mid]
+        leaf.values = leaf.values[:mid]
+        leaf.next_leaf = right_id
+        self.store.write(right_id, right)
+        self.store.write(page_id, leaf)
+        return right.keys[0], right_id
+
+    def _split_inner(self, page_id: int, node: InnerNode):
+        mid = len(node.keys) // 2
+        separator = node.keys[mid]
+        right = InnerNode(keys=node.keys[mid + 1:], children=node.children[mid + 1:])
+        right_id = self.store.allocate()
+        node.keys = node.keys[:mid]
+        node.children = node.children[:mid + 1]
+        self.store.write(right_id, right)
+        self.store.write(page_id, node)
+        return separator, right_id
+
+    # ---------------------------------------------------------------- delete
+
+    def delete(self, key: bytes) -> None:
+        """Remove ``key``; raise :class:`KeyNotFoundError` if absent."""
+        key = self._check_key(key)
+        with self._lock:
+            root = self.store.read(self._root_id)
+            self._delete(self._root_id, root, key)
+            root = self.store.read(self._root_id)
+            if not root.is_leaf and len(root.keys) == 0:
+                # The root lost its last separator: promote its only child.
+                old_root_id = self._root_id
+                self._root_id = root.children[0]
+                self.store.free(old_root_id)
+
+    def pop(self, key: bytes, default=_MISSING):
+        """Remove ``key`` and return its value (or ``default`` if absent)."""
+        try:
+            value = self.lookup(key)
+        except KeyNotFoundError:
+            if default is _MISSING:
+                raise
+            return default
+        self.delete(key)
+        return value
+
+    def _delete(self, page_id: int, node, key: bytes) -> None:
+        if node.is_leaf:
+            index = bisect.bisect_left(node.keys, key)
+            if index >= len(node.keys) or node.keys[index] != key:
+                raise KeyNotFoundError(key)
+            node.keys.pop(index)
+            node.values.pop(index)
+            self._count -= 1
+            self.store.write(page_id, node)
+            return
+        index = bisect.bisect_right(node.keys, key)
+        child_id = node.children[index]
+        child = self.store.read(child_id)
+        self._delete(child_id, child, key)
+        if self._underflowing(child):
+            self._rebalance(page_id, node, index)
+
+    def _underflowing(self, node) -> bool:
+        return len(node.keys) < self.min_keys
+
+    def _rebalance(self, parent_id: int, parent: InnerNode, index: int) -> None:
+        """Fix an underflowing child ``parent.children[index]``."""
+        child_id = parent.children[index]
+        child = self.store.read(child_id)
+        left_id = parent.children[index - 1] if index > 0 else None
+        right_id = parent.children[index + 1] if index + 1 < len(parent.children) else None
+        left = self.store.read(left_id) if left_id is not None else None
+        right = self.store.read(right_id) if right_id is not None else None
+
+        if left is not None and len(left.keys) > self.min_keys:
+            self._borrow_from_left(parent, index, left, child)
+            self.store.write(left_id, left)
+            self.store.write(child_id, child)
+            self.store.write(parent_id, parent)
+            return
+        if right is not None and len(right.keys) > self.min_keys:
+            self._borrow_from_right(parent, index, child, right)
+            self.store.write(right_id, right)
+            self.store.write(child_id, child)
+            self.store.write(parent_id, parent)
+            return
+        # Merge: prefer merging child into its left sibling.
+        if left is not None:
+            self._merge(parent, index - 1, left, child)
+            self.store.write(left_id, left)
+            self.store.write(parent_id, parent)
+            self.store.free(child_id)
+        else:
+            self._merge(parent, index, child, right)
+            self.store.write(child_id, child)
+            self.store.write(parent_id, parent)
+            self.store.free(right_id)
+
+    def _borrow_from_left(self, parent: InnerNode, index: int, left, child) -> None:
+        if child.is_leaf:
+            child.keys.insert(0, left.keys.pop())
+            child.values.insert(0, left.values.pop())
+            parent.keys[index - 1] = child.keys[0]
+        else:
+            child.keys.insert(0, parent.keys[index - 1])
+            parent.keys[index - 1] = left.keys.pop()
+            child.children.insert(0, left.children.pop())
+
+    def _borrow_from_right(self, parent: InnerNode, index: int, child, right) -> None:
+        if child.is_leaf:
+            child.keys.append(right.keys.pop(0))
+            child.values.append(right.values.pop(0))
+            parent.keys[index] = right.keys[0]
+        else:
+            child.keys.append(parent.keys[index])
+            parent.keys[index] = right.keys.pop(0)
+            child.children.append(right.children.pop(0))
+
+    def _merge(self, parent: InnerNode, left_index: int, left, right) -> None:
+        """Merge ``right`` into ``left``; ``left_index`` is left's separator slot."""
+        if left.is_leaf:
+            left.keys.extend(right.keys)
+            left.values.extend(right.values)
+            left.next_leaf = right.next_leaf
+        else:
+            left.keys.append(parent.keys[left_index])
+            left.keys.extend(right.keys)
+            left.children.extend(right.children)
+        parent.keys.pop(left_index)
+        parent.children.pop(left_index + 1)
+
+    # ---------------------------------------------------------------- cursors
+
+    def cursor(
+        self,
+        start: Optional[bytes] = None,
+        end: Optional[bytes] = None,
+        prefix: Optional[bytes] = None,
+        reverse: bool = False,
+    ) -> Cursor:
+        """Return a cursor over ``[start, end)`` (or all keys).
+
+        ``prefix`` restricts iteration to keys beginning with those bytes and
+        is mutually exclusive with ``start``/``end``.
+        """
+        if prefix is not None:
+            if start is not None or end is not None:
+                raise BTreeError("prefix cannot be combined with start/end")
+            # Keys sharing a prefix are contiguous, so the cursor starts at the
+            # prefix and stops at the first key that no longer matches it.
+            start = prefix
+        return Cursor(self, start=start, end=end, prefix=prefix, reverse=reverse)
+
+    def items(self) -> Iterator[Tuple[bytes, bytes]]:
+        """Iterate all ``(key, value)`` pairs in key order."""
+        return iter(self.cursor())
+
+    def keys(self) -> Iterator[bytes]:
+        for key, _value in self.items():
+            yield key
+
+    def values(self) -> Iterator[bytes]:
+        for _key, value in self.items():
+            yield value
+
+    def _leaf_items_from(self, start: Optional[bytes]):
+        """Yield ``(key, value)`` pairs starting at the first key >= start."""
+        with self._lock:
+            if start is None:
+                page_id = self._root_id
+                node = self.store.read(page_id)
+                self.node_visits += 1
+                while not node.is_leaf:
+                    page_id = node.children[0]
+                    node = self.store.read(page_id)
+                    self.node_visits += 1
+                leaf = node
+                index = 0
+            else:
+                _page_id, leaf = self._find_leaf(start)
+                index = bisect.bisect_left(leaf.keys, start)
+        while True:
+            while index < len(leaf.keys):
+                yield leaf.keys[index], leaf.values[index]
+                index += 1
+            if leaf.next_leaf == NO_PAGE:
+                return
+            leaf = self.store.read(leaf.next_leaf)
+            self.node_visits += 1
+            index = 0
+
+    # ---------------------------------------------------------------- stats
+
+    def depth(self) -> int:
+        """Height of the tree (1 = a single leaf)."""
+        depth = 1
+        node = self.store.read(self._root_id)
+        while not node.is_leaf:
+            depth += 1
+            node = self.store.read(node.children[0])
+        return depth
+
+    def reset_counters(self) -> None:
+        self.node_visits = 0
+
+    # ----------------------------------------------------------- invariants
+
+    def check_invariants(self) -> None:
+        """Verify structural invariants; raises ``AssertionError`` on failure.
+
+        Checked: key ordering within and across nodes, uniform leaf depth,
+        minimum-occupancy rules (root exempt), child counts on inner nodes,
+        the leaf chain visiting every key in order, and the element count.
+        """
+        leaf_depths: List[int] = []
+        keys_by_walk: List[bytes] = []
+
+        def walk(page_id: int, depth: int, low: Optional[bytes], high: Optional[bytes], is_root: bool):
+            node = self.store.read(page_id)
+            if node.is_leaf:
+                assert node.keys == sorted(node.keys), "leaf keys unsorted"
+                assert len(node.keys) == len(set(node.keys)), "duplicate keys in leaf"
+                assert len(node.keys) == len(node.values), "key/value length mismatch"
+                if not is_root:
+                    assert len(node.keys) >= self.min_keys, "leaf underflow"
+                for key in node.keys:
+                    if low is not None:
+                        assert key >= low, "leaf key below separator"
+                    if high is not None:
+                        assert key < high, "leaf key above separator"
+                leaf_depths.append(depth)
+                keys_by_walk.extend(node.keys)
+                return
+            assert node.keys == sorted(node.keys), "inner keys unsorted"
+            assert len(node.children) == len(node.keys) + 1, "child count mismatch"
+            if not is_root:
+                assert len(node.keys) >= self.min_keys, "inner underflow"
+            else:
+                assert len(node.keys) >= 1, "non-leaf root must have a separator"
+            bounds = [low] + list(node.keys) + [high]
+            for i, child_id in enumerate(node.children):
+                walk(child_id, depth + 1, bounds[i], bounds[i + 1], is_root=False)
+
+        walk(self._root_id, 1, None, None, is_root=True)
+        assert len(set(leaf_depths)) == 1, "leaves at different depths"
+        assert keys_by_walk == sorted(keys_by_walk), "global key order violated"
+        assert len(keys_by_walk) == self._count, "count does not match contents"
+        chain = [key for key, _ in self._leaf_items_from(None)]
+        assert chain == keys_by_walk, "leaf chain disagrees with tree walk"

@@ -1,0 +1,64 @@
+"""Cursors: ordered iteration over a B+-tree range.
+
+Cursors power directory-style listings in the POSIX veneer, range scans in
+the string index stores, and the extent-map walks in the OSD.  A cursor is a
+lightweight iterator; it does not pin pages, so mutating the tree while a
+cursor is open gives undefined (but memory-safe) results, mirroring Berkeley
+DB's unpinned cursor semantics.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Optional, Tuple
+
+
+class Cursor:
+    """Iterate ``(key, value)`` pairs of a tree over ``[start, end)``."""
+
+    def __init__(
+        self,
+        tree,
+        start: Optional[bytes] = None,
+        end: Optional[bytes] = None,
+        prefix: Optional[bytes] = None,
+        reverse: bool = False,
+    ) -> None:
+        self._tree = tree
+        self.start = start
+        self.end = end
+        self.prefix = prefix
+        self.reverse = reverse
+
+    def __iter__(self) -> Iterator[Tuple[bytes, bytes]]:
+        items = self._forward()
+        if self.reverse:
+            # Leaves are singly linked, so reverse iteration materializes the
+            # (already range-restricted) run and walks it backwards.
+            return iter(list(items)[::-1])
+        return items
+
+    def _forward(self) -> Iterator[Tuple[bytes, bytes]]:
+        for key, value in self._tree._leaf_items_from(self.start):
+            if self.end is not None and key >= self.end:
+                return
+            if self.prefix is not None and not key.startswith(self.prefix):
+                return
+            yield key, value
+
+    def keys(self) -> Iterator[bytes]:
+        for key, _value in self:
+            yield key
+
+    def values(self) -> Iterator[bytes]:
+        for _key, value in self:
+            yield value
+
+    def count(self) -> int:
+        """Number of pairs the cursor would yield (consumes nothing lazily)."""
+        return sum(1 for _ in self)
+
+    def first(self) -> Optional[Tuple[bytes, bytes]]:
+        """First pair in the range, or ``None`` if the range is empty."""
+        for item in self:
+            return item
+        return None

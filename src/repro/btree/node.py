@@ -1,0 +1,113 @@
+"""B+-tree node representations and their on-page encoding.
+
+Nodes are either *leaves* (sorted keys with their values plus a next-leaf
+link) or *inner* nodes (sorted separator keys with child page ids).  The
+encoding is a simple length-prefixed layout so nodes can be persisted to a
+block device page by :class:`repro.btree.pages.DevicePageStore`:
+
+``[type:1][count:4] { [klen:4][key][vlen:4][value] } * count [next:8]``
+
+Inner nodes store ``count`` keys followed by ``count + 1`` child page ids.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.errors import BTreeError
+
+_LEAF = 1
+_INNER = 2
+
+_U32 = struct.Struct(">I")
+_U64 = struct.Struct(">Q")
+_HEADER = struct.Struct(">BI")
+
+#: page id meaning "no page" (e.g. no next leaf).
+NO_PAGE = 0xFFFFFFFFFFFFFFFF
+
+
+@dataclass
+class LeafNode:
+    """A leaf page: parallel sorted ``keys``/``values`` plus a next pointer."""
+
+    keys: List[bytes] = field(default_factory=list)
+    values: List[bytes] = field(default_factory=list)
+    next_leaf: int = NO_PAGE
+
+    @property
+    def is_leaf(self) -> bool:
+        return True
+
+    def encode(self) -> bytes:
+        parts = [_HEADER.pack(_LEAF, len(self.keys))]
+        for key, value in zip(self.keys, self.values):
+            parts.append(_U32.pack(len(key)))
+            parts.append(key)
+            parts.append(_U32.pack(len(value)))
+            parts.append(value)
+        parts.append(_U64.pack(self.next_leaf))
+        return b"".join(parts)
+
+
+@dataclass
+class InnerNode:
+    """An internal page: ``len(children) == len(keys) + 1``.
+
+    ``keys[i]`` separates ``children[i]`` (keys < keys[i]) from
+    ``children[i+1]`` (keys >= keys[i]).
+    """
+
+    keys: List[bytes] = field(default_factory=list)
+    children: List[int] = field(default_factory=list)
+
+    @property
+    def is_leaf(self) -> bool:
+        return False
+
+    def encode(self) -> bytes:
+        parts = [_HEADER.pack(_INNER, len(self.keys))]
+        for key in self.keys:
+            parts.append(_U32.pack(len(key)))
+            parts.append(key)
+        for child in self.children:
+            parts.append(_U64.pack(child))
+        return b"".join(parts)
+
+
+def decode_node(data: bytes):
+    """Decode a node previously produced by ``encode``."""
+    if len(data) < _HEADER.size:
+        raise BTreeError("truncated node page")
+    node_type, count = _HEADER.unpack_from(data, 0)
+    offset = _HEADER.size
+    if node_type == _LEAF:
+        keys: List[bytes] = []
+        values: List[bytes] = []
+        for _ in range(count):
+            (klen,) = _U32.unpack_from(data, offset)
+            offset += _U32.size
+            keys.append(bytes(data[offset:offset + klen]))
+            offset += klen
+            (vlen,) = _U32.unpack_from(data, offset)
+            offset += _U32.size
+            values.append(bytes(data[offset:offset + vlen]))
+            offset += vlen
+        (next_leaf,) = _U64.unpack_from(data, offset)
+        return LeafNode(keys=keys, values=values, next_leaf=next_leaf)
+    if node_type == _INNER:
+        keys = []
+        for _ in range(count):
+            (klen,) = _U32.unpack_from(data, offset)
+            offset += _U32.size
+            keys.append(bytes(data[offset:offset + klen]))
+            offset += klen
+        children: List[int] = []
+        for _ in range(count + 1):
+            (child,) = _U64.unpack_from(data, offset)
+            offset += _U64.size
+            children.append(child)
+        return InnerNode(keys=keys, children=children)
+    raise BTreeError(f"unknown node type {node_type}")

@@ -1,0 +1,171 @@
+"""Page stores: where B+-tree nodes live.
+
+The tree itself only speaks in page ids.  Two backends are provided:
+
+* :class:`InMemoryPageStore` — nodes kept as Python objects; used for
+  volatile indexes and for fast unit testing of tree logic.
+* :class:`DevicePageStore` — each page is a fixed-size run of blocks obtained
+  from a :class:`~repro.storage.buddy.BuddyAllocator` on a
+  :class:`~repro.storage.block_device.BlockDevice`.  Nodes are serialized via
+  :mod:`repro.btree.node` and every page read/write turns into device I/O, so
+  experiments that count index traversals (E1) see real block traffic.  A
+  small LRU cache can absorb repeated reads of hot pages, mirroring a buffer
+  cache; set ``cache_pages=0`` to measure the uncached path.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Dict, Optional
+
+from repro.errors import BTreeError
+from repro.storage.block_device import BlockDevice
+from repro.storage.buddy import BuddyAllocator
+from repro.btree.node import InnerNode, LeafNode, decode_node
+
+
+class PageStore:
+    """Interface for node storage backends."""
+
+    #: number of node reads served (cache hits included).
+    reads: int
+    #: number of node writes performed.
+    writes: int
+
+    def allocate(self) -> int:
+        """Reserve a page id for a new node."""
+        raise NotImplementedError
+
+    def read(self, page_id: int):
+        """Return the node stored at ``page_id``."""
+        raise NotImplementedError
+
+    def write(self, page_id: int, node) -> None:
+        """Persist ``node`` at ``page_id``."""
+        raise NotImplementedError
+
+    def free(self, page_id: int) -> None:
+        """Release ``page_id``."""
+        raise NotImplementedError
+
+    def reset_counters(self) -> None:
+        self.reads = 0
+        self.writes = 0
+
+
+class InMemoryPageStore(PageStore):
+    """Node storage in a plain dict; no serialization, no device traffic."""
+
+    def __init__(self) -> None:
+        self._pages: Dict[int, object] = {}
+        self._next_id = 1
+        self.reads = 0
+        self.writes = 0
+
+    def allocate(self) -> int:
+        page_id = self._next_id
+        self._next_id += 1
+        self._pages[page_id] = None
+        return page_id
+
+    def read(self, page_id: int):
+        self.reads += 1
+        try:
+            node = self._pages[page_id]
+        except KeyError:
+            raise BTreeError(f"page {page_id} does not exist")
+        if node is None:
+            raise BTreeError(f"page {page_id} allocated but never written")
+        return node
+
+    def write(self, page_id: int, node) -> None:
+        if page_id not in self._pages:
+            raise BTreeError(f"page {page_id} was never allocated")
+        self.writes += 1
+        self._pages[page_id] = node
+
+    def free(self, page_id: int) -> None:
+        if self._pages.pop(page_id, None) is None and page_id not in self._pages:
+            # Freeing an unknown page is a logic error in the tree.
+            pass
+
+    @property
+    def live_pages(self) -> int:
+        return len(self._pages)
+
+
+class DevicePageStore(PageStore):
+    """Pages persisted to a block device through the buddy allocator.
+
+    :param device: shared block device.
+    :param allocator: buddy allocator managing the region pages come from.
+    :param page_blocks: blocks per page (default 4 → 16 KiB pages with the
+        default 4 KiB block size).
+    :param cache_pages: LRU cache capacity in pages; ``0`` disables caching.
+    """
+
+    def __init__(
+        self,
+        device: BlockDevice,
+        allocator: BuddyAllocator,
+        page_blocks: int = 4,
+        cache_pages: int = 64,
+    ) -> None:
+        if page_blocks <= 0:
+            raise ValueError("page_blocks must be positive")
+        self.device = device
+        self.allocator = allocator
+        self.page_blocks = page_blocks
+        self.page_bytes = page_blocks * device.block_size
+        self.cache_pages = cache_pages
+        self._cache: "OrderedDict[int, object]" = OrderedDict()
+        self.reads = 0
+        self.writes = 0
+        self.cache_hits = 0
+        self.cache_misses = 0
+
+    # Page ids are the absolute device block address of the page's first block.
+
+    def allocate(self) -> int:
+        return self.allocator.allocate(self.page_blocks)
+
+    def read(self, page_id: int):
+        self.reads += 1
+        if self.cache_pages:
+            cached = self._cache.get(page_id)
+            if cached is not None:
+                self._cache.move_to_end(page_id)
+                self.cache_hits += 1
+                return cached
+            self.cache_misses += 1
+        raw = self.device.read_blocks(page_id, self.page_blocks)
+        node = decode_node(raw)
+        self._remember(page_id, node)
+        return node
+
+    def write(self, page_id: int, node) -> None:
+        encoded = node.encode()
+        if len(encoded) > self.page_bytes:
+            raise BTreeError(
+                f"encoded node of {len(encoded)} bytes exceeds page size "
+                f"{self.page_bytes}; lower the tree's max_keys"
+            )
+        self.writes += 1
+        self.device.write_blocks(page_id, encoded, nblocks=self.page_blocks)
+        self._remember(page_id, node)
+
+    def free(self, page_id: int) -> None:
+        self._cache.pop(page_id, None)
+        self.allocator.free(page_id)
+
+    def _remember(self, page_id: int, node) -> None:
+        if not self.cache_pages:
+            return
+        self._cache[page_id] = node
+        self._cache.move_to_end(page_id)
+        while len(self._cache) > self.cache_pages:
+            self._cache.popitem(last=False)
+
+    def drop_cache(self) -> None:
+        """Empty the page cache (used between benchmark phases)."""
+        self._cache.clear()

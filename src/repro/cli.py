@@ -1,0 +1,343 @@
+"""An interactive shell for hFAD.
+
+The paper's second open question imagines the "current directory" as an
+iterative refinement of a search; this module gives that idea a concrete
+user interface: a small shell whose navigation commands (`cd`, `up`, `ls`,
+`pwd`) operate on tag constraints instead of directories, alongside the
+familiar file commands (`put`, `cat`, `mkdir`, `mv`, `rm`, `ln`) served by
+the POSIX veneer and the native naming commands (`tag`, `find`, `query`,
+`search`, `savequery`).
+
+Usage::
+
+    python -m repro.cli             # interactive shell on an empty store
+    python -m repro.cli --demo      # pre-loaded with the synthetic corpus
+    python -m repro.cli -c "put /a.txt hello" -c "search hello"
+
+The shell is deliberately stateless across invocations (the store is
+in-memory); it exists to demonstrate and exercise the API, and is what the
+test-suite drives programmatically through :class:`HFADShell`.
+"""
+
+from __future__ import annotations
+
+import argparse
+import shlex
+import sys
+from typing import Callable, Dict, List, Optional
+
+from repro.core import HFADFileSystem
+from repro.errors import ReproError
+from repro.posix import PosixVFS
+from repro.semantic import RefinementSession, VirtualDirectoryTree
+
+
+class ShellError(ReproError):
+    """Raised for malformed shell commands (bad arity, unknown command)."""
+
+
+class HFADShell:
+    """Programmatic driver behind the interactive shell.
+
+    Every command returns its output as a string (possibly empty) so the REPL
+    and the tests share one code path.
+    """
+
+    def __init__(self, fs: Optional[HFADFileSystem] = None) -> None:
+        self.fs = fs if fs is not None else HFADFileSystem()
+        self.vfs = PosixVFS(self.fs)
+        self.session = RefinementSession(self.fs)
+        self.queries = VirtualDirectoryTree(self.fs)
+        # Tags the user invents on the fly (e.g. "tag /p.jpg PLACE beach") get
+        # routed to one shared key/value store, registered per new tag.
+        self._adhoc_store = None
+        self._commands: Dict[str, Callable[[List[str]], str]] = {
+            "help": self.cmd_help,
+            "put": self.cmd_put,
+            "cat": self.cmd_cat,
+            "mkdir": self.cmd_mkdir,
+            "ls": self.cmd_ls,
+            "rm": self.cmd_rm,
+            "mv": self.cmd_mv,
+            "ln": self.cmd_ln,
+            "stat": self.cmd_stat,
+            "tag": self.cmd_tag,
+            "untag": self.cmd_untag,
+            "names": self.cmd_names,
+            "find": self.cmd_find,
+            "query": self.cmd_query,
+            "search": self.cmd_search,
+            "savequery": self.cmd_savequery,
+            "queries": self.cmd_queries,
+            "cd": self.cmd_cd,
+            "up": self.cmd_up,
+            "pwd": self.cmd_pwd,
+            "suggest": self.cmd_suggest,
+            "insert": self.cmd_insert,
+            "cut": self.cmd_cut,
+        }
+
+    # ------------------------------------------------------------------
+    # dispatch
+    # ------------------------------------------------------------------
+
+    def execute(self, line: str) -> str:
+        """Execute one command line; returns its output."""
+        parts = shlex.split(line)
+        if not parts:
+            return ""
+        command, args = parts[0], parts[1:]
+        handler = self._commands.get(command)
+        if handler is None:
+            raise ShellError(f"unknown command {command!r} (try 'help')")
+        return handler(args)
+
+    def close(self) -> None:
+        self.fs.close()
+
+    # ------------------------------------------------------------------
+    # helpers
+    # ------------------------------------------------------------------
+
+    def _require(self, args: List[str], count: int, usage: str) -> None:
+        if len(args) < count:
+            raise ShellError(f"usage: {usage}")
+
+    def _resolve_target(self, target: str) -> int:
+        """Resolve a path or a numeric object id to an object id."""
+        if target.isdigit():
+            oid = int(target)
+            if not self.fs.exists(oid):
+                raise ShellError(f"no object {oid}")
+            return oid
+        oid = self.fs.lookup_path(target)
+        if oid is None:
+            raise ShellError(f"no object named {target}")
+        return oid
+
+    def _render_oids(self, oids: List[int]) -> str:
+        lines = []
+        for oid in oids:
+            paths = self.fs.paths_for(oid)
+            label = paths[0] if paths else "(no path)"
+            lines.append(f"{oid}\t{label}")
+        return "\n".join(lines) if lines else "(no matches)"
+
+    # ------------------------------------------------------------------
+    # commands: POSIX-flavoured
+    # ------------------------------------------------------------------
+
+    def cmd_help(self, args: List[str]) -> str:
+        return (
+            "file commands:   put PATH TEXT | cat PATH|OID | mkdir PATH | ls [PATH] |\n"
+            "                 rm PATH | mv OLD NEW | ln EXISTING NEW | stat PATH|OID |\n"
+            "                 insert PATH|OID OFFSET TEXT | cut PATH|OID OFFSET LENGTH\n"
+            "naming commands: tag TARGET TAG VALUE | untag TARGET TAG VALUE | names TARGET |\n"
+            "                 find TAG/VALUE... | query EXPR | search TEXT |\n"
+            "                 savequery NAME EXPR | queries\n"
+            "navigation:      cd TAG/VALUE | up | pwd | suggest"
+        )
+
+    def cmd_put(self, args: List[str]) -> str:
+        self._require(args, 2, "put PATH TEXT...")
+        path, text = args[0], " ".join(args[1:])
+        parent = path.rsplit("/", 1)[0] or "/"
+        if parent != "/" and not self.vfs.exists(parent):
+            self.vfs.makedirs(parent)
+        oid = self.vfs.write_file(path, text.encode("utf-8"))
+        return f"wrote {len(text)} bytes to {path} (object {oid})"
+
+    def cmd_cat(self, args: List[str]) -> str:
+        self._require(args, 1, "cat PATH|OID")
+        oid = self._resolve_target(args[0])
+        return self.fs.read(oid).decode("utf-8", errors="replace")
+
+    def cmd_mkdir(self, args: List[str]) -> str:
+        self._require(args, 1, "mkdir PATH")
+        self.vfs.makedirs(args[0])
+        return ""
+
+    def cmd_ls(self, args: List[str]) -> str:
+        path = args[0] if args else "/"
+        if path.startswith("/queries"):
+            entries = self.queries.resolve(path)
+            if isinstance(entries, int):
+                return str(entries)
+            return "\n".join(entry.name for entry in entries)
+        entries = self.vfs.readdir(path)
+        return "\n".join(
+            entry.name + ("/" if entry.is_directory else "") for entry in entries
+        )
+
+    def cmd_rm(self, args: List[str]) -> str:
+        self._require(args, 1, "rm PATH")
+        self.vfs.unlink(args[0])
+        return ""
+
+    def cmd_mv(self, args: List[str]) -> str:
+        self._require(args, 2, "mv OLD NEW")
+        self.vfs.rename(args[0], args[1])
+        return ""
+
+    def cmd_ln(self, args: List[str]) -> str:
+        self._require(args, 2, "ln EXISTING NEW")
+        self.vfs.link(args[0], args[1])
+        return ""
+
+    def cmd_stat(self, args: List[str]) -> str:
+        self._require(args, 1, "stat PATH|OID")
+        oid = self._resolve_target(args[0])
+        metadata = self.fs.stat(oid)
+        paths = self.fs.paths_for(oid)
+        return (
+            f"object {oid}: size={metadata.size} owner={metadata.owner} "
+            f"mode={oct(metadata.mode)} names={len(self.fs.names_for(oid))} "
+            f"paths={paths}"
+        )
+
+    def cmd_insert(self, args: List[str]) -> str:
+        self._require(args, 3, "insert PATH|OID OFFSET TEXT...")
+        oid = self._resolve_target(args[0])
+        offset = int(args[1])
+        text = " ".join(args[2:])
+        self.fs.insert(oid, offset, text.encode("utf-8"))
+        return f"inserted {len(text)} bytes at offset {offset}"
+
+    def cmd_cut(self, args: List[str]) -> str:
+        self._require(args, 3, "cut PATH|OID OFFSET LENGTH")
+        oid = self._resolve_target(args[0])
+        removed = self.fs.truncate(oid, int(args[1]), int(args[2]))
+        return f"removed {removed} bytes"
+
+    # ------------------------------------------------------------------
+    # commands: naming
+    # ------------------------------------------------------------------
+
+    def _ensure_tag_supported(self, tag: str) -> None:
+        if self.fs.registry.supports(tag):
+            return
+        from repro.index.keyvalue_index import KeyValueIndexStore
+
+        if self._adhoc_store is None:
+            self._adhoc_store = KeyValueIndexStore(tags=[tag])
+        self.fs.registry.register(self._adhoc_store, tags=[tag])
+
+    def cmd_tag(self, args: List[str]) -> str:
+        self._require(args, 3, "tag TARGET TAG VALUE")
+        oid = self._resolve_target(args[0])
+        self._ensure_tag_supported(args[1])
+        self.fs.tag(oid, args[1], " ".join(args[2:]))
+        return ""
+
+    def cmd_untag(self, args: List[str]) -> str:
+        self._require(args, 3, "untag TARGET TAG VALUE")
+        oid = self._resolve_target(args[0])
+        removed = self.fs.untag(oid, args[1], " ".join(args[2:]))
+        return "" if removed else "no such name"
+
+    def cmd_names(self, args: List[str]) -> str:
+        self._require(args, 1, "names TARGET")
+        oid = self._resolve_target(args[0])
+        return "\n".join(str(pair) for pair in self.fs.names_for(oid))
+
+    def cmd_find(self, args: List[str]) -> str:
+        self._require(args, 1, "find TAG/VALUE...")
+        return self._render_oids(self.fs.find(*args))
+
+    def cmd_query(self, args: List[str]) -> str:
+        self._require(args, 1, "query EXPR")
+        return self._render_oids(self.fs.query(" ".join(args)))
+
+    def cmd_search(self, args: List[str]) -> str:
+        self._require(args, 1, "search TEXT...")
+        return self._render_oids(self.fs.search_text(" ".join(args)))
+
+    def cmd_savequery(self, args: List[str]) -> str:
+        self._require(args, 2, "savequery NAME EXPR")
+        name, expression = args[0], " ".join(args[1:])
+        self.queries.define(name, expression)
+        return f"saved /queries/{name}"
+
+    def cmd_queries(self, args: List[str]) -> str:
+        return "\n".join(self.queries.names()) or "(none)"
+
+    # ------------------------------------------------------------------
+    # commands: refinement navigation
+    # ------------------------------------------------------------------
+
+    def cmd_cd(self, args: List[str]) -> str:
+        self._require(args, 1, "cd TAG/VALUE")
+        results = self.session.cd(args[0])
+        return f"{self.session.pwd()}  ({len(results)} objects)"
+
+    def cmd_up(self, args: List[str]) -> str:
+        popped = self.session.up()
+        if popped is None:
+            return "/"
+        return f"{self.session.pwd()}  (removed {popped})"
+
+    def cmd_pwd(self, args: List[str]) -> str:
+        return self.session.pwd()
+
+    def cmd_suggest(self, args: List[str]) -> str:
+        suggestions = self.session.suggest(limit_per_tag=4)
+        if not suggestions:
+            return "(no narrowing facets)"
+        lines = []
+        for tag in sorted(suggestions):
+            rendered = ", ".join(f"{value} ({count})" for value, count in suggestions[tag])
+            lines.append(f"{tag}: {rendered}")
+        return "\n".join(lines)
+
+
+# ---------------------------------------------------------------------------
+# command-line entry point
+# ---------------------------------------------------------------------------
+
+
+def build_shell(demo: bool = False) -> HFADShell:
+    """Create a shell, optionally pre-loaded with the synthetic corpus."""
+    fs = HFADFileSystem(num_blocks=1 << 17)
+    if demo:
+        from repro.workloads import load_into_hfad, mixed_corpus
+
+        load_into_hfad(fs, mixed_corpus(photos=60, mails=60, documents=30, seed=1))
+    return HFADShell(fs)
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(prog="hfad", description="Interactive hFAD shell")
+    parser.add_argument("--demo", action="store_true", help="pre-load the synthetic corpus")
+    parser.add_argument(
+        "-c", "--command", action="append", default=[],
+        help="run this command and exit (repeatable)",
+    )
+    options = parser.parse_args(argv)
+    shell = build_shell(demo=options.demo)
+    try:
+        if options.command:
+            for line in options.command:
+                output = shell.execute(line)
+                if output:
+                    print(output)
+            return 0
+        print("hFAD shell — type 'help' for commands, Ctrl-D to exit")
+        while True:
+            try:
+                line = input(f"hfad {shell.session.pwd()}> ")
+            except EOFError:
+                print()
+                return 0
+            try:
+                output = shell.execute(line)
+            except ReproError as error:
+                print(f"error: {error}")
+                continue
+            if output:
+                print(output)
+    finally:
+        shell.close()
+
+
+if __name__ == "__main__":
+    sys.exit(main())

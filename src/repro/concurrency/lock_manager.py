@@ -1,0 +1,122 @@
+"""A reader/writer lock manager with contention accounting.
+
+Resources are identified by strings (paths, object ids, index names).  Locks
+are fair-ish (FIFO wakeups via a condition variable) and the manager records
+how often an acquisition had to wait and on which resource, so integration
+tests can observe where the hotspots are with real threads — the simulated
+(deterministic) counterpart lives in ``repro.hierarchical.locking``.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import defaultdict
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+
+class LockMode:
+    SHARED = "shared"
+    EXCLUSIVE = "exclusive"
+
+
+@dataclass
+class LockStats:
+    """Counters kept per manager."""
+
+    acquisitions: int = 0
+    waits: int = 0
+    wait_resources: Dict[str, int] = field(default_factory=lambda: defaultdict(int))
+
+    def hottest(self, limit: int = 5):
+        ranked = sorted(self.wait_resources.items(), key=lambda item: (-item[1], item[0]))
+        return ranked[:limit]
+
+
+class _ResourceLock:
+    """State of one resource: reader count or a writer."""
+
+    __slots__ = ("readers", "writer")
+
+    def __init__(self) -> None:
+        self.readers = 0
+        self.writer = False
+
+
+class LockManager:
+    """Named reader/writer locks with wait accounting."""
+
+    def __init__(self) -> None:
+        self._condition = threading.Condition()
+        self._resources: Dict[str, _ResourceLock] = {}
+        self.stats = LockStats()
+
+    def _state(self, resource: str) -> _ResourceLock:
+        state = self._resources.get(resource)
+        if state is None:
+            state = _ResourceLock()
+            self._resources[resource] = state
+        return state
+
+    def acquire(self, resource: str, mode: str = LockMode.SHARED, timeout: Optional[float] = None) -> bool:
+        """Acquire ``resource`` in ``mode``; returns False on timeout."""
+        with self._condition:
+            self.stats.acquisitions += 1
+            waited = False
+            while True:
+                state = self._state(resource)
+                if mode == LockMode.SHARED:
+                    if not state.writer:
+                        state.readers += 1
+                        return True
+                else:
+                    if not state.writer and state.readers == 0:
+                        state.writer = True
+                        return True
+                if not waited:
+                    waited = True
+                    self.stats.waits += 1
+                    self.stats.wait_resources[resource] += 1
+                if not self._condition.wait(timeout=timeout):
+                    return False
+
+    def release(self, resource: str, mode: str = LockMode.SHARED) -> None:
+        with self._condition:
+            state = self._resources.get(resource)
+            if state is None:
+                return
+            if mode == LockMode.SHARED:
+                state.readers = max(0, state.readers - 1)
+            else:
+                state.writer = False
+            if state.readers == 0 and not state.writer:
+                # Drop idle entries so the table does not grow without bound.
+                self._resources.pop(resource, None)
+            self._condition.notify_all()
+
+    def locked(self, resource: str) -> bool:
+        with self._condition:
+            state = self._resources.get(resource)
+            return bool(state and (state.readers or state.writer))
+
+    def shared(self, resource: str):
+        """Context manager acquiring a shared lock."""
+        return _Held(self, resource, LockMode.SHARED)
+
+    def exclusive(self, resource: str):
+        """Context manager acquiring an exclusive lock."""
+        return _Held(self, resource, LockMode.EXCLUSIVE)
+
+
+class _Held:
+    def __init__(self, manager: LockManager, resource: str, mode: str) -> None:
+        self._manager = manager
+        self._resource = resource
+        self._mode = mode
+
+    def __enter__(self):
+        self._manager.acquire(self._resource, self._mode)
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self._manager.release(self._resource, self._mode)

@@ -1,0 +1,123 @@
+"""Concurrent operation schedules for the lock-contention experiments.
+
+A schedule is a flat list of ``(resource, mode)`` pairs — for the
+hierarchical side the resource is a path (ancestors get share-locked by the
+lock manager), for the flat/hFAD side it is the object or index entry the
+operation actually touches.  The generators below produce the workloads the
+paper's Section 2.3 example describes, deterministically from a seed.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import List, Sequence, Tuple
+
+from repro.concurrency.lock_manager import LockMode
+
+
+@dataclass
+class OperationSchedule:
+    """A named schedule of (path, mode) operations plus its flat translation."""
+
+    name: str
+    path_operations: List[Tuple[str, str]] = field(default_factory=list)
+
+    def flat_operations(self) -> List[Tuple[str, str]]:
+        """The same operations keyed by their final resource only.
+
+        This is how hFAD sees them: no ancestor directories exist, so the
+        lockable resource is just the object being touched.
+        """
+        return [(path, mode) for path, mode in self.path_operations]
+
+    def __len__(self) -> int:
+        return len(self.path_operations)
+
+    @property
+    def write_fraction(self) -> float:
+        if not self.path_operations:
+            return 0.0
+        writes = sum(1 for _path, mode in self.path_operations if mode == LockMode.EXCLUSIVE)
+        return writes / len(self.path_operations)
+
+
+def home_directory_workload(
+    users: int = 8,
+    operations_per_user: int = 50,
+    write_fraction: float = 0.3,
+    files_per_user: int = 20,
+    seed: int = 0,
+) -> OperationSchedule:
+    """The paper's example: users working in their own, unrelated home trees.
+
+    /home/nick and /home/margo never touch each other's files, yet every
+    operation share-locks ``/`` and ``/home`` in the hierarchical protocol.
+    """
+    rng = random.Random(seed)
+    user_names = [f"user{i:02d}" for i in range(users)]
+    operations: List[Tuple[str, str]] = []
+    per_user_sequences = []
+    for user in user_names:
+        sequence = []
+        for _ in range(operations_per_user):
+            file_name = f"file{rng.randrange(files_per_user):03d}"
+            path = f"/home/{user}/{file_name}"
+            mode = LockMode.EXCLUSIVE if rng.random() < write_fraction else LockMode.SHARED
+            sequence.append((path, mode))
+        per_user_sequences.append(sequence)
+    # Interleave users round-robin, the way concurrent clients arrive.
+    for round_index in range(operations_per_user):
+        for sequence in per_user_sequences:
+            operations.append(sequence[round_index])
+    return OperationSchedule(name="home-directories", path_operations=operations)
+
+
+def shared_project_workload(
+    users: int = 8,
+    operations_per_user: int = 50,
+    shared_files: int = 10,
+    write_fraction: float = 0.5,
+    seed: int = 1,
+) -> OperationSchedule:
+    """Everyone edits the same project directory — contention is *inherent*.
+
+    Used as the control: when the data really is shared, both systems see
+    conflicts, so any difference in E2 must come from the namespace, not the
+    workload.
+    """
+    rng = random.Random(seed)
+    operations: List[Tuple[str, str]] = []
+    for _ in range(users * operations_per_user):
+        file_name = f"shared{rng.randrange(shared_files):02d}.c"
+        path = f"/projects/apollo/src/{file_name}"
+        mode = LockMode.EXCLUSIVE if rng.random() < write_fraction else LockMode.SHARED
+        operations.append((path, mode))
+    return OperationSchedule(name="shared-project", path_operations=operations)
+
+
+def metadata_scan_workload(
+    directories: int = 16,
+    files_per_directory: int = 32,
+    scanners: int = 4,
+    seed: int = 2,
+) -> OperationSchedule:
+    """Concurrent stat-heavy scans (what a desktop-search crawler does)."""
+    rng = random.Random(seed)
+    paths = [
+        f"/library/dir{d:02d}/item{f:03d}"
+        for d in range(directories)
+        for f in range(files_per_directory)
+    ]
+    operations: List[Tuple[str, str]] = []
+    for _ in range(scanners):
+        shuffled = paths[:]
+        rng.shuffle(shuffled)
+        operations.extend((path, LockMode.SHARED) for path in shuffled)
+    # Interleave scanners by slicing round-robin.
+    interleaved: List[Tuple[str, str]] = []
+    total = len(paths)
+    for index in range(total):
+        for scanner in range(scanners):
+            interleaved.append(operations[scanner * total + index])
+    return OperationSchedule(name="metadata-scan", path_operations=interleaved)

@@ -1,0 +1,333 @@
+""":class:`HFADFileSystem` — the assembled hFAD system of Figure 1.
+
+This facade wires together the storage substrate, the OSD, the index stores
+and both halves of the native API, and is the entry point examples, the POSIX
+veneer and the benchmarks use:
+
+* objects are created, read, written, grown from the middle and truncated by
+  range through the access interfaces;
+* objects are *named* — by POSIX paths, full-text content, users,
+  applications, manual annotations, image features — through the naming
+  interfaces;
+* searches are conjunctions of tag/value pairs or full boolean queries,
+  optionally planned by selectivity;
+* content indexing can be synchronous or lazy (background threads), matching
+  the paper's implementation sketch.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence, Union
+
+from repro.core.access import AccessInterface, ObjectHandle
+from repro.core.naming import NamingInterface, PairLike, as_pair
+from repro.core.query import Query, QueryPlanner, parse_query
+from repro.core.transactions import NamespaceTransaction, TransactionManager
+from repro.errors import NoSuchObjectError
+from repro.index import (
+    TAG_APP,
+    TAG_POSIX,
+    TAG_UDEF,
+    TAG_USER,
+    FullTextIndexStore,
+    ImageIndexStore,
+    IndexStoreRegistry,
+    KeyValueIndexStore,
+    PosixPathIndexStore,
+    TagValue,
+)
+from repro.osd.metadata import ObjectMetadata
+from repro.osd.object_store import ObjectStore
+from repro.storage import BlockDevice
+from repro.storage.latency import LatencyModel
+
+
+class HFADFileSystem:
+    """A tagged, search-based file system (the paper's hFAD).
+
+    :param device: block device to build on; a private in-memory device is
+        created when omitted.
+    :param num_blocks: size of the private device (ignored if ``device`` given).
+    :param latency_model: latency model for the private device.
+    :param lazy_indexing: index full-text content with background threads
+        instead of synchronously.
+    :param index_workers: background indexing threads when lazy.
+    :param btree_on_device: persist index/extent btrees on the device too.
+    :param enable_planner: plan conjunctive queries by selectivity.
+    """
+
+    def __init__(
+        self,
+        device: Optional[BlockDevice] = None,
+        num_blocks: int = 1 << 16,
+        latency_model: Optional[LatencyModel] = None,
+        lazy_indexing: bool = False,
+        index_workers: int = 1,
+        btree_on_device: bool = False,
+        enable_planner: bool = True,
+    ) -> None:
+        if device is None:
+            device = BlockDevice(num_blocks=num_blocks, latency_model=latency_model)
+        self.device = device
+        self.objects = ObjectStore(device=device, btree_on_device=btree_on_device)
+        # Index stores (Figure 1: the extensible collection of indices).
+        self.keyvalue_index = KeyValueIndexStore()
+        self.path_index = PosixPathIndexStore()
+        self.fulltext_index = FullTextIndexStore(lazy=lazy_indexing, workers=index_workers)
+        self.image_index = ImageIndexStore()
+        self.registry = IndexStoreRegistry()
+        self.registry.register(self.keyvalue_index)
+        self.registry.register(self.path_index)
+        self.registry.register(self.fulltext_index)
+        self.registry.register(self.image_index)
+        # Native API.
+        self.naming = NamingInterface(self.registry, planner=QueryPlanner(enabled=enable_planner))
+        self.access = AccessInterface(self.objects)
+        self.transactions = TransactionManager()
+        #: objects whose full-text index entry tracks their content.
+        self._content_indexed: set = set()
+
+    # ------------------------------------------------------------------
+    # object lifecycle
+    # ------------------------------------------------------------------
+
+    def create(
+        self,
+        content: bytes = b"",
+        path: Optional[str] = None,
+        owner: str = "root",
+        application: Optional[str] = None,
+        tags: Iterable[PairLike] = (),
+        annotations: Iterable[str] = (),
+        attributes: Optional[Dict[str, str]] = None,
+        index_content: bool = True,
+        txn: Optional[NamespaceTransaction] = None,
+    ) -> int:
+        """Create an object, store ``content`` and give it its initial names.
+
+        Automatic names follow Table 1: the creating user (USER/owner), the
+        producing application (APP/name) when given, any manual annotations
+        (UDEF/...), an optional POSIX path, and — when ``index_content`` is
+        true — the object's full text.
+        """
+        oid = self.objects.create(owner=owner, attributes=attributes)
+        if txn is not None:
+            txn.record_undo(lambda: self._undo_create(oid))
+        if content:
+            self.objects.write(oid, 0, content)
+        self.naming.add_name(oid, TagValue(TAG_USER, owner))
+        if application is not None:
+            self.naming.add_name(oid, TagValue(TAG_APP, application))
+        for annotation in annotations:
+            self.naming.add_name(oid, TagValue(TAG_UDEF, annotation))
+        for pair in tags:
+            self.naming.add_name(oid, pair)
+        if path is not None:
+            self.path_index.link(path, oid)
+        if index_content:
+            # Track the object even when it starts empty so that later writes
+            # through the access interfaces keep its index entry current.
+            self._content_indexed.add(oid)
+            if content:
+                self.fulltext_index.index_content(oid, content)
+        return oid
+
+    def _undo_create(self, oid: int) -> None:
+        if self.objects.exists(oid):
+            self.delete(oid)
+
+    def delete(self, oid: int) -> None:
+        """Destroy the object and scrub every name pointing at it."""
+        if not self.objects.exists(oid):
+            raise NoSuchObjectError(oid)
+        self.naming.remove_all_names(oid)
+        self._content_indexed.discard(oid)
+        self.objects.delete(oid)
+
+    def exists(self, oid: int) -> bool:
+        return self.objects.exists(oid)
+
+    @property
+    def object_count(self) -> int:
+        return self.objects.object_count
+
+    def list_objects(self) -> List[int]:
+        return self.objects.list_objects()
+
+    # ------------------------------------------------------------------
+    # access interfaces (read / write / insert / truncate)
+    # ------------------------------------------------------------------
+
+    def read(self, oid: int, offset: int = 0, length: Optional[int] = None) -> bytes:
+        return self.access.read(oid, offset, length)
+
+    def write(self, oid: int, offset: int, data: bytes) -> int:
+        written = self.access.write(oid, offset, data)
+        self._reindex_if_tracked(oid)
+        return written
+
+    def append(self, oid: int, data: bytes) -> int:
+        offset = self.access.append(oid, data)
+        self._reindex_if_tracked(oid)
+        return offset
+
+    def insert(self, oid: int, offset: int, data: bytes) -> int:
+        inserted = self.access.insert(oid, offset, data)
+        self._reindex_if_tracked(oid)
+        return inserted
+
+    def truncate(self, oid: int, offset: int, length: int) -> int:
+        """The hFAD two-argument truncate (remove ``length`` bytes at ``offset``)."""
+        removed = self.access.truncate(oid, offset, length)
+        self._reindex_if_tracked(oid)
+        return removed
+
+    def open(self, oid: int) -> ObjectHandle:
+        return self.access.open(oid)
+
+    def stat(self, oid: int) -> ObjectMetadata:
+        return self.access.stat(oid)
+
+    def size(self, oid: int) -> int:
+        return self.access.size(oid)
+
+    def set_attributes(self, oid: int, **attributes: str) -> None:
+        self.objects.set_attributes(oid, **attributes)
+
+    def _reindex_if_tracked(self, oid: int) -> None:
+        if oid in self._content_indexed:
+            self.fulltext_index.index_content(oid, self.objects.read(oid))
+
+    def enable_content_indexing(self, oid: int) -> None:
+        """Start tracking (and immediately index) the object's content."""
+        self._content_indexed.add(oid)
+        self.fulltext_index.index_content(oid, self.objects.read(oid))
+
+    def disable_content_indexing(self, oid: int) -> None:
+        """Stop tracking the object's content and drop it from the index."""
+        self._content_indexed.discard(oid)
+        self.fulltext_index.drop_content(oid)
+
+    # ------------------------------------------------------------------
+    # naming interfaces
+    # ------------------------------------------------------------------
+
+    def tag(
+        self,
+        oid: int,
+        tag: str,
+        value: str,
+        txn: Optional[NamespaceTransaction] = None,
+    ) -> None:
+        """Add one tag/value name to an object."""
+        if not self.objects.exists(oid):
+            raise NoSuchObjectError(oid)
+        pair = TagValue(tag, value)
+        self.naming.add_name(oid, pair)
+        if txn is not None:
+            txn.record_undo(lambda: self.naming.remove_name(oid, pair))
+
+    def untag(
+        self,
+        oid: int,
+        tag: str,
+        value: str,
+        txn: Optional[NamespaceTransaction] = None,
+    ) -> bool:
+        """Remove one tag/value name; returns True if it existed."""
+        pair = TagValue(tag, value)
+        removed = self.naming.remove_name(oid, pair)
+        if removed and txn is not None:
+            txn.record_undo(lambda: self.naming.add_name(oid, pair))
+        return removed
+
+    def names_for(self, oid: int) -> List[TagValue]:
+        return self.naming.names_for(oid)
+
+    def find(self, *pairs: PairLike) -> List[int]:
+        """Conjunctive naming operation over tag/value pairs."""
+        return self.naming.resolve(list(pairs))
+
+    def find_one(self, *pairs: PairLike) -> int:
+        """Like :meth:`find` but returns one match (raises if none)."""
+        return self.naming.resolve_one(list(pairs))
+
+    def query(self, query: Union[str, Query]) -> List[int]:
+        """Boolean query, e.g. ``"USER/margo AND NOT APP/quicken"``."""
+        return self.naming.query(query)
+
+    def search_text(self, text: str) -> List[int]:
+        """Full-text conjunction: objects containing every term of ``text``."""
+        terms = self.fulltext_index.index.analyzer.analyze_query(text)
+        if not terms:
+            return []
+        return self.find(*[TagValue("FULLTEXT", term) for term in terms])
+
+    def rank_text(self, text: str, limit: Optional[int] = 10):
+        """BM25-ranked full-text search."""
+        return self.fulltext_index.rank(text, limit=limit)
+
+    # POSIX-path conveniences (the veneer in repro.posix builds on these).
+
+    def link_path(self, path: str, oid: int) -> None:
+        """Give an object (another) POSIX path name."""
+        if not self.objects.exists(oid):
+            raise NoSuchObjectError(oid)
+        self.path_index.link(path, oid)
+
+    def unlink_path(self, path: str) -> Optional[int]:
+        """Remove a POSIX path name; returns the object it named."""
+        return self.path_index.unlink(path)
+
+    def lookup_path(self, path: str) -> Optional[int]:
+        """Resolve a POSIX path to an object id (None if unbound)."""
+        return self.path_index.resolve(path)
+
+    def paths_for(self, oid: int) -> List[str]:
+        return self.path_index.paths_for(oid)
+
+    # Image features (the "arbitrary index type" example).
+
+    def index_image(self, oid: int, histogram: Sequence[float]) -> str:
+        """Index an object's colour histogram; returns its dominant colour."""
+        if not self.objects.exists(oid):
+            raise NoSuchObjectError(oid)
+        return self.image_index.index_histogram(oid, histogram)
+
+    # ------------------------------------------------------------------
+    # transactions / maintenance
+    # ------------------------------------------------------------------
+
+    def begin(self) -> NamespaceTransaction:
+        """Start a namespace transaction (atomic group of naming operations)."""
+        return self.transactions.begin()
+
+    def flush_indexing(self, timeout: Optional[float] = None) -> bool:
+        """Wait for lazy full-text indexing to catch up."""
+        return self.fulltext_index.flush(timeout=timeout)
+
+    def close(self) -> None:
+        """Stop background indexing threads."""
+        self.fulltext_index.close()
+
+    def __enter__(self) -> "HFADFileSystem":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    # introspection
+    # ------------------------------------------------------------------
+
+    def stats(self) -> Dict[str, object]:
+        """A snapshot of work counters across every layer (for benchmarks)."""
+        return {
+            "device": self.device.stats.snapshot(),
+            "objects": self.objects.stats,
+            "naming": self.naming.stats,
+            "registry": self.registry.stats,
+            "fulltext_term_lookups": self.fulltext_index.index.term_lookups,
+            "fulltext_postings_scanned": self.fulltext_index.index.postings_scanned,
+            "object_count": self.object_count,
+        }

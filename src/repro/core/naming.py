@@ -1,0 +1,124 @@
+"""The hFAD naming interfaces.
+
+"The naming interfaces map tagged search-terms to objects. ... An object is
+named by one or more tag/value pairs. ... the result of such an operation is
+the conjunction of the results of an index lookup for each element in the
+vector.  Naming operations can return multiple items (which will be returned
+in an unspecified order).  Moreover, no query need uniquely define a data
+item.  Only the identifier for the data in the OSD layer must be unique."
+(Section 3.1.1)
+
+:class:`NamingInterface` implements exactly that contract over an
+:class:`~repro.index.store.IndexStoreRegistry`, adds the boolean-query entry
+point, and keeps the traversal counters experiment E1 reports.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List, Optional, Sequence, Union
+
+from repro.errors import NamingError, NoMatchError
+from repro.index.store import IndexStoreRegistry
+from repro.index.tags import TagValue
+from repro.core.query import And, Query, QueryPlanner, TagTerm, parse_query
+
+#: things accepted wherever a tag/value pair is expected.
+PairLike = Union[TagValue, "TagTerm", tuple, str]
+
+
+def as_pair(value: PairLike) -> TagValue:
+    """Coerce a pair-like value (TagValue, TagTerm, tuple, "TAG/value") to TagValue."""
+    if isinstance(value, TagValue):
+        return value
+    if isinstance(value, TagTerm):
+        return value.as_pair()
+    if isinstance(value, tuple) and len(value) == 2:
+        return TagValue(tag=value[0], value=value[1])
+    if isinstance(value, str):
+        return TagValue.parse(value)
+    raise NamingError(f"cannot interpret {value!r} as a tag/value pair")
+
+
+@dataclass
+class NamingStats:
+    """Counters surfaced by the naming layer."""
+
+    naming_operations: int = 0
+    queries: int = 0
+    names_added: int = 0
+    names_removed: int = 0
+
+
+class NamingInterface:
+    """Maps vectors of tag/value pairs to sets of object ids."""
+
+    def __init__(self, registry: IndexStoreRegistry, planner: Optional[QueryPlanner] = None) -> None:
+        self.registry = registry
+        self.planner = planner if planner is not None else QueryPlanner()
+        self.stats = NamingStats()
+
+    # ------------------------------------------------------------- naming
+
+    def add_name(self, oid: int, pair: PairLike) -> None:
+        """Name ``oid`` with one tag/value pair."""
+        pair = as_pair(pair)
+        self.registry.insert(pair.tag, pair.value, oid)
+        self.stats.names_added += 1
+
+    def add_names(self, oid: int, pairs: Iterable[PairLike]) -> None:
+        """Name ``oid`` with several pairs at once."""
+        for pair in pairs:
+            self.add_name(oid, pair)
+
+    def remove_name(self, oid: int, pair: PairLike) -> bool:
+        """Remove one name from ``oid``; returns True if it existed."""
+        pair = as_pair(pair)
+        removed = self.registry.remove(pair.tag, pair.value, oid)
+        if removed:
+            self.stats.names_removed += 1
+        return removed
+
+    def remove_all_names(self, oid: int) -> int:
+        """Strip every name from ``oid`` (object deletion path)."""
+        removed = self.registry.remove_object(oid)
+        self.stats.names_removed += removed
+        return removed
+
+    def names_for(self, oid: int) -> List[TagValue]:
+        """Every tag/value pair currently naming ``oid``."""
+        return self.registry.names_for(oid)
+
+    # ------------------------------------------------------------ resolving
+
+    def resolve(self, pairs: Union[PairLike, Sequence[PairLike]]) -> List[int]:
+        """The paper's naming operation: conjunction of each pair's matches."""
+        if isinstance(pairs, (TagValue, TagTerm, str, tuple)):
+            pairs = [pairs]
+        coerced = [as_pair(pair) for pair in pairs]
+        if not coerced:
+            raise NamingError("a naming operation needs at least one tag/value pair")
+        self.stats.naming_operations += 1
+        query = And([TagTerm.from_pair(pair) for pair in coerced])
+        return query.evaluate(self.registry, self.planner)
+
+    def resolve_one(self, pairs: Union[PairLike, Sequence[PairLike]]) -> int:
+        """Resolve and insist on at least one match (returning the first).
+
+        "No query need uniquely define a data item" — so this helper picks the
+        lowest object id when several match; callers needing all matches use
+        :meth:`resolve`.
+        """
+        matches = self.resolve(pairs)
+        if not matches:
+            raise NoMatchError(f"no object named by {pairs!r}")
+        return matches[0]
+
+    def query(self, query: Union[str, Query]) -> List[int]:
+        """Evaluate a boolean query (textual or programmatic)."""
+        if isinstance(query, str):
+            query = parse_query(query)
+        self.stats.queries += 1
+        if isinstance(query, TagTerm):
+            return query.evaluate(self.registry, self.planner)
+        return query.evaluate(self.registry, self.planner)

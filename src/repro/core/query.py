@@ -1,0 +1,283 @@
+"""Boolean queries over tag/value pairs, with a selectivity-based planner.
+
+The paper's naming interface only requires conjunctions of tag/value pairs,
+but its open questions ask whether the index stores should "support arbitrary
+boolean queries" and "include full-fledged query optimizers".  This module
+answers both at the layer above the index stores:
+
+* a tiny query algebra — :class:`TagTerm`, :class:`And`, :class:`Or`,
+  :class:`Not` — evaluated against an
+  :class:`~repro.index.store.IndexStoreRegistry`;
+* :func:`parse_query` for the textual form
+  ``"USER/margo AND (FULLTEXT/vacation OR UDEF/beach) AND NOT APP/quicken"``;
+* :class:`QueryPlanner`, which orders the terms of a conjunction by estimated
+  cardinality (rarest first) so intersections shrink as early as possible —
+  the ablation benchmark E7 compares planned vs. unplanned execution.
+
+``Not`` is only meaningful inside an ``And`` (set difference); a bare ``Not``
+would require enumerating the universe and is rejected.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Set, Tuple
+
+from repro.errors import QueryError
+from repro.index.store import IndexStoreRegistry
+from repro.index.tags import TAG_ID, TagValue, normalize_tag
+
+
+class Query:
+    """Base class of the query algebra."""
+
+    def evaluate(self, registry: IndexStoreRegistry, planner: Optional["QueryPlanner"] = None) -> List[int]:
+        """Return the sorted object ids matching this query."""
+        raise NotImplementedError
+
+    # Convenience combinators so callers can write q1 & q2 | ~q3.
+    def __and__(self, other: "Query") -> "And":
+        return And([self, other])
+
+    def __or__(self, other: "Query") -> "Or":
+        return Or([self, other])
+
+    def __invert__(self) -> "Not":
+        return Not(self)
+
+
+@dataclass(frozen=True)
+class TagTerm(Query):
+    """A single ``tag/value`` lookup."""
+
+    tag: str
+    value: str
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "tag", normalize_tag(self.tag))
+        object.__setattr__(self, "value", str(self.value))
+
+    @classmethod
+    def from_pair(cls, pair: TagValue) -> "TagTerm":
+        return cls(tag=pair.tag, value=pair.value)
+
+    def as_pair(self) -> TagValue:
+        return TagValue(tag=self.tag, value=self.value)
+
+    def evaluate(self, registry: IndexStoreRegistry, planner: Optional["QueryPlanner"] = None) -> List[int]:
+        return registry.lookup(self.tag, self.value)
+
+    def __str__(self) -> str:
+        return f"{self.tag}/{self.value}"
+
+
+@dataclass
+class And(Query):
+    """All children must match; ``Not`` children subtract from the result."""
+
+    children: List[Query] = field(default_factory=list)
+
+    def evaluate(self, registry: IndexStoreRegistry, planner: Optional["QueryPlanner"] = None) -> List[int]:
+        positive = [child for child in self.children if not isinstance(child, Not)]
+        negative = [child for child in self.children if isinstance(child, Not)]
+        if not positive:
+            raise QueryError("a conjunction needs at least one non-negated term")
+        if planner is not None:
+            positive = planner.order_conjuncts(positive, registry)
+        result: Optional[Set[int]] = None
+        for child in positive:
+            matches = set(child.evaluate(registry, planner))
+            result = matches if result is None else (result & matches)
+            if not result:
+                return []
+        assert result is not None
+        for child in negative:
+            result -= set(child.child.evaluate(registry, planner))
+            if not result:
+                return []
+        return sorted(result)
+
+    def __str__(self) -> str:
+        return "(" + " AND ".join(str(child) for child in self.children) + ")"
+
+
+@dataclass
+class Or(Query):
+    """Any child may match."""
+
+    children: List[Query] = field(default_factory=list)
+
+    def evaluate(self, registry: IndexStoreRegistry, planner: Optional["QueryPlanner"] = None) -> List[int]:
+        if not self.children:
+            return []
+        result: Set[int] = set()
+        for child in self.children:
+            if isinstance(child, Not):
+                raise QueryError("NOT is only supported inside AND")
+            result |= set(child.evaluate(registry, planner))
+        return sorted(result)
+
+    def __str__(self) -> str:
+        return "(" + " OR ".join(str(child) for child in self.children) + ")"
+
+
+@dataclass
+class Not(Query):
+    """Negation; only usable as a child of :class:`And`."""
+
+    child: Query
+
+    def evaluate(self, registry: IndexStoreRegistry, planner: Optional["QueryPlanner"] = None) -> List[int]:
+        raise QueryError("NOT cannot be evaluated on its own; use it inside AND")
+
+    def __str__(self) -> str:
+        return f"NOT {self.child}"
+
+
+class QueryPlanner:
+    """Orders conjunctions so the most selective terms run first.
+
+    Index stores may expose a ``cardinality(tag, value)`` estimate; terms
+    whose store does not are assumed expensive and pushed to the end.  ``ID``
+    terms are free and always go first.
+    """
+
+    #: cost assumed for terms whose store offers no estimate.
+    DEFAULT_CARDINALITY = 1 << 30
+
+    def __init__(self, enabled: bool = True) -> None:
+        self.enabled = enabled
+        #: (term, estimate) pairs recorded for the most recent conjunction —
+        #: surfaced by the E7 benchmark to show what the planner decided.
+        self.last_plan: List[Tuple[str, int]] = []
+
+    def estimate(self, term: Query, registry: IndexStoreRegistry) -> int:
+        if isinstance(term, TagTerm):
+            if term.tag == TAG_ID:
+                return 0
+            try:
+                store = registry.store_for(term.tag)
+            except Exception:
+                return self.DEFAULT_CARDINALITY
+            cardinality = getattr(store, "cardinality", None)
+            if cardinality is None:
+                return self.DEFAULT_CARDINALITY
+            try:
+                return int(cardinality(term.tag, term.value))
+            except Exception:
+                return self.DEFAULT_CARDINALITY
+        if isinstance(term, Or):
+            return sum(self.estimate(child, registry) for child in term.children)
+        if isinstance(term, And):
+            estimates = [self.estimate(child, registry) for child in term.children if not isinstance(child, Not)]
+            return min(estimates) if estimates else self.DEFAULT_CARDINALITY
+        return self.DEFAULT_CARDINALITY
+
+    def order_conjuncts(self, terms: Sequence[Query], registry: IndexStoreRegistry) -> List[Query]:
+        if not self.enabled:
+            self.last_plan = [(str(term), -1) for term in terms]
+            return list(terms)
+        scored = [(self.estimate(term, registry), index, term) for index, term in enumerate(terms)]
+        scored.sort(key=lambda item: (item[0], item[1]))
+        self.last_plan = [(str(term), estimate) for estimate, _index, term in scored]
+        return [term for _estimate, _index, term in scored]
+
+
+# ---------------------------------------------------------------------------
+# Parser for the textual query form
+# ---------------------------------------------------------------------------
+
+
+def _tokenize(text: str) -> List[str]:
+    tokens: List[str] = []
+    current = []
+    for char in text:
+        if char in "()":
+            if current:
+                tokens.append("".join(current))
+                current = []
+            tokens.append(char)
+        elif char.isspace():
+            if current:
+                tokens.append("".join(current))
+                current = []
+        else:
+            current.append(char)
+    if current:
+        tokens.append("".join(current))
+    return tokens
+
+
+class _Parser:
+    """Recursive-descent parser: OR-expr := AND-expr (OR AND-expr)* ..."""
+
+    def __init__(self, tokens: List[str]) -> None:
+        self.tokens = tokens
+        self.position = 0
+
+    def peek(self) -> Optional[str]:
+        return self.tokens[self.position] if self.position < len(self.tokens) else None
+
+    def advance(self) -> str:
+        token = self.peek()
+        if token is None:
+            raise QueryError("unexpected end of query")
+        self.position += 1
+        return token
+
+    def parse(self) -> Query:
+        query = self.parse_or()
+        if self.peek() is not None:
+            raise QueryError(f"unexpected token {self.peek()!r}")
+        return query
+
+    def parse_or(self) -> Query:
+        children = [self.parse_and()]
+        while self.peek() is not None and self.peek().upper() == "OR":
+            self.advance()
+            children.append(self.parse_and())
+        return children[0] if len(children) == 1 else Or(children)
+
+    def parse_and(self) -> Query:
+        children = [self.parse_unary()]
+        while self.peek() is not None and self.peek().upper() == "AND":
+            self.advance()
+            children.append(self.parse_unary())
+        return children[0] if len(children) == 1 else And(children)
+
+    def parse_unary(self) -> Query:
+        token = self.peek()
+        if token is None:
+            raise QueryError("unexpected end of query")
+        if token.upper() == "NOT":
+            self.advance()
+            return Not(self.parse_unary())
+        return self.parse_atom()
+
+    def parse_atom(self) -> Query:
+        token = self.advance()
+        if token == "(":
+            inner = self.parse_or()
+            if self.advance() != ")":
+                raise QueryError("missing closing parenthesis")
+            return inner
+        if token == ")":
+            raise QueryError("unexpected ')'")
+        if "/" not in token:
+            raise QueryError(f"expected TAG/value, got {token!r}")
+        tag, value = token.split("/", 1)
+        if not tag or not value:
+            raise QueryError(f"expected TAG/value, got {token!r}")
+        return TagTerm(tag=tag, value=value)
+
+
+def parse_query(text: str) -> Query:
+    """Parse ``"USER/margo AND (FULLTEXT/beach OR UDEF/vacation)"`` syntax.
+
+    Values may not contain spaces in this textual form; use the programmatic
+    algebra for values with whitespace.
+    """
+    tokens = _tokenize(text)
+    if not tokens:
+        raise QueryError("empty query")
+    return _Parser(tokens).parse()

@@ -1,0 +1,102 @@
+"""Namespace transactions: atomic groups of naming operations.
+
+The paper leaves transactionality open ("in hFAD, the OSD may be
+transactional, but this is an implementation decision").  We provide two
+complementary mechanisms:
+
+* block-level durability for the OSD lives in :mod:`repro.storage.journal`;
+* this module adds *namespace* transactions: a group of naming operations
+  (tag additions/removals, object creations) that either all take effect or
+  are all rolled back.  They are implemented as an undo log — operations are
+  applied eagerly and reverted in reverse order on abort — which is enough to
+  keep the index stores consistent when an application assembles a
+  multi-step rename/re-tag and changes its mind halfway.
+
+Transactions are not isolated from concurrent readers (hFAD naming results
+are explicitly unordered sets, so readers may observe intermediate states);
+they provide atomicity of the namespace update only.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional
+
+from repro.errors import TransactionError
+
+UndoAction = Callable[[], None]
+
+
+@dataclass
+class TransactionStats:
+    begun: int = 0
+    committed: int = 0
+    aborted: int = 0
+    undo_actions_run: int = 0
+
+
+class NamespaceTransaction:
+    """An undo-logged group of namespace operations."""
+
+    def __init__(self, manager: "TransactionManager", txid: int) -> None:
+        self._manager = manager
+        self.txid = txid
+        self._undo_log: List[UndoAction] = []
+        self.state = "open"
+
+    def _require_open(self) -> None:
+        if self.state != "open":
+            raise TransactionError(f"transaction {self.txid} is {self.state}")
+
+    def record_undo(self, action: UndoAction) -> None:
+        """Register the inverse of an operation that was just applied."""
+        self._require_open()
+        self._undo_log.append(action)
+
+    def commit(self) -> None:
+        """Keep every applied operation and discard the undo log."""
+        self._require_open()
+        self.state = "committed"
+        self._undo_log.clear()
+        self._manager.stats.committed += 1
+
+    def abort(self) -> None:
+        """Revert every applied operation, newest first."""
+        self._require_open()
+        self.state = "aborted"
+        while self._undo_log:
+            action = self._undo_log.pop()
+            action()
+            self._manager.stats.undo_actions_run += 1
+        self._manager.stats.aborted += 1
+
+    @property
+    def pending_undo_actions(self) -> int:
+        return len(self._undo_log)
+
+    # Context-manager form: commit on success, abort on exception.
+    def __enter__(self) -> "NamespaceTransaction":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        if self.state != "open":
+            return False
+        if exc_type is None:
+            self.commit()
+        else:
+            self.abort()
+        return False
+
+
+class TransactionManager:
+    """Hands out :class:`NamespaceTransaction` objects and tracks statistics."""
+
+    def __init__(self) -> None:
+        self._next_txid = 1
+        self.stats = TransactionStats()
+
+    def begin(self) -> NamespaceTransaction:
+        txn = NamespaceTransaction(self, self._next_txid)
+        self._next_txid += 1
+        self.stats.begun += 1
+        return txn

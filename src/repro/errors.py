@@ -1,0 +1,149 @@
+"""Exception hierarchy shared by every hFAD subsystem.
+
+All errors raised by the library derive from :class:`ReproError` so that
+applications embedding hFAD can catch a single base class.  Subsystems define
+more specific exceptions below; the POSIX compatibility layer additionally
+maps these onto ``errno``-style failures (see ``repro.posix.vfs``).
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every error raised by the repro/hFAD library."""
+
+
+# ---------------------------------------------------------------------------
+# Storage substrate
+# ---------------------------------------------------------------------------
+
+
+class StorageError(ReproError):
+    """Base class for errors raised by the storage substrate."""
+
+
+class OutOfSpaceError(StorageError):
+    """The block device or an allocator has no room for the request."""
+
+
+class DeviceError(StorageError):
+    """A block device rejected an I/O request (bad address, injected fault)."""
+
+
+class AllocationError(StorageError):
+    """An allocator was asked to free or split something it does not own."""
+
+
+class JournalError(StorageError):
+    """The write-ahead journal detected corruption or misuse."""
+
+
+class TransactionError(StorageError):
+    """A transaction was used after commit/abort or nested illegally."""
+
+
+# ---------------------------------------------------------------------------
+# Index structures
+# ---------------------------------------------------------------------------
+
+
+class BTreeError(ReproError):
+    """Base class for B+-tree failures."""
+
+
+class KeyNotFoundError(BTreeError, KeyError):
+    """A lookup or delete referenced a key that is not present."""
+
+
+class FullTextError(ReproError):
+    """Base class for full-text engine failures."""
+
+
+class IndexStoreError(ReproError):
+    """Base class for index-store layer failures."""
+
+
+class UnknownTagError(IndexStoreError):
+    """A naming operation used a tag with no registered index store."""
+
+
+class DuplicateIndexError(IndexStoreError):
+    """Two index stores were registered for the same tag."""
+
+
+# ---------------------------------------------------------------------------
+# OSD / objects
+# ---------------------------------------------------------------------------
+
+
+class ObjectStoreError(ReproError):
+    """Base class for OSD-layer failures."""
+
+
+class NoSuchObjectError(ObjectStoreError, KeyError):
+    """An object ID does not name a live object."""
+
+
+class InvalidRangeError(ObjectStoreError, ValueError):
+    """A byte range (offset/length) is outside the object or negative."""
+
+
+# ---------------------------------------------------------------------------
+# Naming / core API
+# ---------------------------------------------------------------------------
+
+
+class NamingError(ReproError):
+    """Base class for naming-interface failures."""
+
+
+class NoMatchError(NamingError, LookupError):
+    """A naming operation matched no objects."""
+
+
+class QueryError(NamingError):
+    """A query expression was malformed or referenced unknown tags."""
+
+
+# ---------------------------------------------------------------------------
+# POSIX veneer and hierarchical baseline
+# ---------------------------------------------------------------------------
+
+
+class PosixError(ReproError):
+    """Base class for POSIX-veneer failures; carries an errno-like code."""
+
+    #: symbolic errno name, e.g. ``"ENOENT"``; subclasses override.
+    errno_name = "EIO"
+
+
+class FileNotFound(PosixError, FileNotFoundError):
+    errno_name = "ENOENT"
+
+
+class FileExists(PosixError, FileExistsError):
+    errno_name = "EEXIST"
+
+
+class NotADirectory(PosixError, NotADirectoryError):
+    errno_name = "ENOTDIR"
+
+
+class IsADirectory(PosixError, IsADirectoryError):
+    errno_name = "EISDIR"
+
+
+class DirectoryNotEmpty(PosixError, OSError):
+    errno_name = "ENOTEMPTY"
+
+
+class BadFileDescriptor(PosixError, OSError):
+    errno_name = "EBADF"
+
+
+class PermissionDenied(PosixError, PermissionError):
+    errno_name = "EACCES"
+
+
+class InvalidArgument(PosixError, ValueError):
+    errno_name = "EINVAL"

@@ -1,0 +1,215 @@
+"""The inverted index: term → posting list, with BM25 ranking.
+
+This is the FULLTEXT index store's engine.  Documents are identified by an
+integer id (hFAD object ids); their text is analyzed and each resulting term
+gets a posting.  Queries support:
+
+* conjunctive search (``search`` / ``search_all``) — the semantics the paper
+  specifies for a vector of FULLTEXT tag/value pairs ("the conjunction of the
+  results of an index lookup for each element"),
+* disjunctive search (``search_any``),
+* phrase search (``search_phrase``) using stored positions,
+* BM25-ranked retrieval (``rank``) for examples that want ordered results.
+
+The index also keeps simple work counters (postings scanned, terms looked
+up) that experiment E1 reads when comparing the hFAD path with the
+desktop-search-over-hierarchical-FS path.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.errors import FullTextError
+from repro.fulltext.analyzer import Analyzer
+from repro.fulltext.postings import Posting, PostingList, intersect, union
+
+
+@dataclass(frozen=True)
+class SearchHit:
+    """A ranked search result."""
+
+    doc_id: int
+    score: float
+
+
+class InvertedIndex:
+    """An in-memory inverted index over integer document ids."""
+
+    def __init__(self, analyzer: Optional[Analyzer] = None) -> None:
+        self.analyzer = analyzer or Analyzer()
+        self._terms: Dict[str, PostingList] = {}
+        self._doc_lengths: Dict[int, int] = {}
+        self._doc_terms: Dict[int, List[str]] = {}
+        # work counters for the index-traversal experiments
+        self.term_lookups = 0
+        self.postings_scanned = 0
+
+    # ------------------------------------------------------------- mutation
+
+    def add_document(self, doc_id: int, text) -> int:
+        """Index ``text`` under ``doc_id``; returns the number of terms stored.
+
+        Re-adding an existing document replaces its previous contents.
+        """
+        if doc_id in self._doc_lengths:
+            self.remove_document(doc_id)
+        analyzed = self.analyzer.analyze_with_positions(text)
+        occurrences: Dict[str, List[int]] = {}
+        for term, position in analyzed:
+            occurrences.setdefault(term, []).append(position)
+        for term, positions in occurrences.items():
+            posting_list = self._terms.setdefault(term, PostingList())
+            posting_list.add(
+                Posting(doc_id=doc_id, term_frequency=len(positions), positions=tuple(positions))
+            )
+        self._doc_lengths[doc_id] = len(analyzed)
+        self._doc_terms[doc_id] = list(occurrences)
+        return len(occurrences)
+
+    def remove_document(self, doc_id: int) -> bool:
+        """Remove every posting of ``doc_id``; returns True if it was indexed."""
+        terms = self._doc_terms.pop(doc_id, None)
+        if terms is None:
+            return False
+        for term in terms:
+            posting_list = self._terms.get(term)
+            if posting_list is None:
+                continue
+            posting_list.remove(doc_id)
+            if not posting_list:
+                del self._terms[term]
+        del self._doc_lengths[doc_id]
+        return True
+
+    def update_document(self, doc_id: int, text) -> int:
+        """Alias for :meth:`add_document` (which already replaces)."""
+        return self.add_document(doc_id, text)
+
+    # -------------------------------------------------------------- queries
+
+    @property
+    def document_count(self) -> int:
+        return len(self._doc_lengths)
+
+    @property
+    def term_count(self) -> int:
+        return len(self._terms)
+
+    def __contains__(self, doc_id: int) -> bool:
+        return doc_id in self._doc_lengths
+
+    def document_frequency(self, term: str) -> int:
+        """Number of documents containing ``term`` (after analysis)."""
+        analyzed = self.analyzer.analyze_query(term)
+        if not analyzed:
+            return 0
+        posting_list = self._terms.get(analyzed[0])
+        return posting_list.document_frequency if posting_list else 0
+
+    def _posting_lists(self, terms: Sequence[str]) -> List[PostingList]:
+        lists: List[PostingList] = []
+        for term in terms:
+            self.term_lookups += 1
+            posting_list = self._terms.get(term)
+            if posting_list is None:
+                return []  # a missing term empties any conjunction
+            self.postings_scanned += len(posting_list)
+            lists.append(posting_list)
+        return lists
+
+    def search(self, query) -> List[int]:
+        """Conjunctive search: doc ids containing *all* query terms."""
+        terms = self.analyzer.analyze_query(query)
+        if not terms:
+            return []
+        lists = self._posting_lists(terms)
+        if len(lists) != len(terms):
+            return []
+        return intersect(lists)
+
+    # The paper phrases naming as a vector of FULLTEXT/term pairs; expose the
+    # same spelling for callers that already hold a term list.
+    def search_all(self, terms: Iterable[str]) -> List[int]:
+        """Conjunctive search over pre-split terms."""
+        return self.search(" ".join(terms))
+
+    def search_any(self, query) -> List[int]:
+        """Disjunctive search: doc ids containing *any* query term."""
+        terms = self.analyzer.analyze_query(query)
+        lists = []
+        for term in terms:
+            self.term_lookups += 1
+            posting_list = self._terms.get(term)
+            if posting_list is not None:
+                self.postings_scanned += len(posting_list)
+                lists.append(posting_list)
+        return union(lists)
+
+    def search_phrase(self, phrase) -> List[int]:
+        """Documents containing the exact (analyzed) phrase, in order."""
+        analyzed = self.analyzer.analyze_with_positions(phrase)
+        terms = [term for term, _pos in analyzed]
+        if not terms:
+            return []
+        candidates = self.search_all(terms)
+        if len(terms) == 1:
+            return candidates
+        results: List[int] = []
+        for doc_id in candidates:
+            positions: List[set] = []
+            for term in terms:
+                posting = self._terms[term].get(doc_id)
+                positions.append(set(posting.positions if posting else ()))
+            first_positions = positions[0]
+            if any(
+                all((start + offset) in positions[offset] for offset in range(1, len(terms)))
+                for start in first_positions
+            ):
+                results.append(doc_id)
+        return results
+
+    # -------------------------------------------------------------- ranking
+
+    def rank(self, query, limit: Optional[int] = 10, k1: float = 1.5, b: float = 0.75) -> List[SearchHit]:
+        """BM25-ranked disjunctive retrieval."""
+        terms = self.analyzer.analyze_query(query)
+        if not terms or not self._doc_lengths:
+            return []
+        average_length = sum(self._doc_lengths.values()) / len(self._doc_lengths)
+        scores: Dict[int, float] = {}
+        total_docs = self.document_count
+        for term in terms:
+            posting_list = self._terms.get(term)
+            if posting_list is None:
+                continue
+            self.term_lookups += 1
+            df = posting_list.document_frequency
+            idf = math.log(1.0 + (total_docs - df + 0.5) / (df + 0.5))
+            for posting in posting_list:
+                self.postings_scanned += 1
+                doc_length = self._doc_lengths.get(posting.doc_id, 0) or 1
+                tf = posting.term_frequency
+                denominator = tf + k1 * (1 - b + b * doc_length / average_length)
+                scores[posting.doc_id] = scores.get(posting.doc_id, 0.0) + idf * (tf * (k1 + 1)) / denominator
+        hits = [SearchHit(doc_id=doc_id, score=score) for doc_id, score in scores.items()]
+        hits.sort(key=lambda hit: (-hit.score, hit.doc_id))
+        if limit is not None:
+            hits = hits[:limit]
+        return hits
+
+    # ------------------------------------------------------------ inspection
+
+    def terms_for(self, doc_id: int) -> List[str]:
+        """The analyzed terms stored for ``doc_id`` (empty if not indexed)."""
+        return list(self._doc_terms.get(doc_id, []))
+
+    def vocabulary(self) -> List[str]:
+        """All indexed terms, sorted."""
+        return sorted(self._terms)
+
+    def reset_counters(self) -> None:
+        self.term_lookups = 0
+        self.postings_scanned = 0

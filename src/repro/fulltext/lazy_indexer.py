@@ -1,0 +1,191 @@
+"""Lazy (background) full-text indexing.
+
+Paper Section 3.4: "we use background threads to perform lazy full-text
+indexing."  The :class:`LazyIndexer` wraps an :class:`InvertedIndex` with a
+bounded work queue drained by worker threads, so object writes return before
+their content is searchable.  The trade-off — ingest latency versus query
+visibility lag — is what experiment E6 measures.
+
+The indexer can also run in ``synchronous=True`` mode, where enqueue indexes
+inline; the benchmarks use that as the ablation baseline.
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+import time
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.errors import FullTextError
+from repro.fulltext.inverted_index import InvertedIndex
+
+_STOP = object()
+
+
+@dataclass
+class IndexerStats:
+    """Counters exposed for tests and the E6 benchmark."""
+
+    enqueued: int = 0
+    indexed: int = 0
+    removed: int = 0
+    max_queue_depth: int = 0
+
+
+class LazyIndexer:
+    """Queue-and-worker wrapper around an :class:`InvertedIndex`.
+
+    :param index: the inverted index to feed (a fresh one if omitted).
+    :param workers: number of background threads.
+    :param max_queue: bound on outstanding work items; enqueue blocks when full.
+    :param synchronous: index inline instead of in the background.
+    """
+
+    def __init__(
+        self,
+        index: Optional[InvertedIndex] = None,
+        workers: int = 1,
+        max_queue: int = 1024,
+        synchronous: bool = False,
+    ) -> None:
+        if workers < 1:
+            raise ValueError("workers must be at least 1")
+        self.index = index if index is not None else InvertedIndex()
+        self.synchronous = synchronous
+        self.stats = IndexerStats()
+        self._lock = threading.Lock()
+        self._queue: "queue.Queue" = queue.Queue(maxsize=max_queue)
+        self._threads = []
+        self._started = False
+        self._closed = False
+        self._workers = workers
+
+    # ------------------------------------------------------------ lifecycle
+
+    def start(self) -> None:
+        """Start the worker threads (no-op in synchronous mode)."""
+        if self.synchronous or self._started:
+            return
+        self._started = True
+        for number in range(self._workers):
+            thread = threading.Thread(
+                target=self._worker, name=f"hfad-indexer-{number}", daemon=True
+            )
+            thread.start()
+            self._threads.append(thread)
+
+    def close(self, drain: bool = True) -> None:
+        """Stop the workers; by default wait for queued work to finish."""
+        if self.synchronous or not self._started or self._closed:
+            self._closed = True
+            return
+        if drain:
+            self._queue.join()
+        for _ in self._threads:
+            self._queue.put((_STOP, None, None))
+        for thread in self._threads:
+            thread.join(timeout=5)
+        self._closed = True
+
+    def __enter__(self) -> "LazyIndexer":
+        self.start()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # ------------------------------------------------------------ enqueueing
+
+    def submit(self, doc_id: int, text) -> None:
+        """Queue ``text`` for indexing under ``doc_id``."""
+        if self._closed:
+            raise FullTextError("indexer is closed")
+        self.stats.enqueued += 1
+        if self.synchronous:
+            with self._lock:
+                self.index.add_document(doc_id, text)
+            self.stats.indexed += 1
+            return
+        if not self._started:
+            self.start()
+        self._queue.put(("add", doc_id, text))
+        self.stats.max_queue_depth = max(self.stats.max_queue_depth, self._queue.qsize())
+
+    def submit_removal(self, doc_id: int) -> None:
+        """Queue removal of ``doc_id`` from the index."""
+        if self._closed:
+            raise FullTextError("indexer is closed")
+        if self.synchronous:
+            with self._lock:
+                self.index.remove_document(doc_id)
+            self.stats.removed += 1
+            return
+        if not self._started:
+            self.start()
+        self._queue.put(("remove", doc_id, None))
+
+    # ------------------------------------------------------------ visibility
+
+    def flush(self, timeout: Optional[float] = None) -> bool:
+        """Block until every queued document has been indexed.
+
+        Returns ``False`` if ``timeout`` (seconds) elapsed first.
+        """
+        if self.synchronous:
+            return True
+        deadline = None if timeout is None else time.monotonic() + timeout
+        while self.pending > 0:
+            if deadline is not None and time.monotonic() > deadline:
+                return False
+            time.sleep(0.001)
+        return True
+
+    @property
+    def pending(self) -> int:
+        """Number of submitted items not yet visible to queries."""
+        if self.synchronous:
+            return 0
+        return self.stats.enqueued - self.stats.indexed + self._removals_pending()
+
+    def _removals_pending(self) -> int:
+        # Removals are rare; approximating pending work by queue size keeps
+        # the accounting simple while staying conservative.
+        return 0
+
+    def is_visible(self, doc_id: int) -> bool:
+        """True once ``doc_id`` has actually been indexed."""
+        with self._lock:
+            return doc_id in self.index
+
+    # ------------------------------------------------------------ worker loop
+
+    def _worker(self) -> None:
+        while True:
+            operation, doc_id, text = self._queue.get()
+            if operation is _STOP:
+                self._queue.task_done()
+                return
+            try:
+                with self._lock:
+                    if operation == "add":
+                        self.index.add_document(doc_id, text)
+                        self.stats.indexed += 1
+                    elif operation == "remove":
+                        self.index.remove_document(doc_id)
+                        self.stats.removed += 1
+            finally:
+                self._queue.task_done()
+
+    # ------------------------------------------------------------ searching
+
+    def search(self, query):
+        """Conjunctive search against whatever has been indexed so far."""
+        with self._lock:
+            return self.index.search(query)
+
+    def rank(self, query, limit: Optional[int] = 10):
+        """Ranked search against whatever has been indexed so far."""
+        with self._lock:
+            return self.index.rank(query, limit=limit)

@@ -1,0 +1,97 @@
+"""Posting lists: the per-term document lists inside the inverted index."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional, Tuple
+
+
+@dataclass
+class Posting:
+    """One document's entry in a term's posting list.
+
+    :param doc_id: the document (in hFAD: object) identifier.
+    :param term_frequency: occurrences of the term in the document.
+    :param positions: token positions of each occurrence (for phrase queries).
+    """
+
+    doc_id: int
+    term_frequency: int
+    positions: Tuple[int, ...] = ()
+
+
+class PostingList:
+    """Sorted-by-doc-id list of :class:`Posting` for a single term.
+
+    Kept sorted so conjunctive queries can intersect lists with a linear
+    merge, the way real search engines do, and so the benchmark can report
+    "postings scanned" as a proxy for index work.
+    """
+
+    def __init__(self) -> None:
+        self._postings: Dict[int, Posting] = {}
+        self._sorted_ids: Optional[List[int]] = []
+
+    def __len__(self) -> int:
+        return len(self._postings)
+
+    def __contains__(self, doc_id: int) -> bool:
+        return doc_id in self._postings
+
+    def add(self, posting: Posting) -> None:
+        """Insert or replace the posting for ``posting.doc_id``."""
+        if posting.doc_id not in self._postings:
+            self._sorted_ids = None  # re-sort lazily
+        self._postings[posting.doc_id] = posting
+
+    def remove(self, doc_id: int) -> bool:
+        """Drop ``doc_id``; returns True if it was present."""
+        if doc_id in self._postings:
+            del self._postings[doc_id]
+            self._sorted_ids = None
+            return True
+        return False
+
+    def get(self, doc_id: int) -> Optional[Posting]:
+        return self._postings.get(doc_id)
+
+    def doc_ids(self) -> List[int]:
+        """Document ids in ascending order."""
+        if self._sorted_ids is None:
+            self._sorted_ids = sorted(self._postings)
+        return list(self._sorted_ids)
+
+    def __iter__(self) -> Iterator[Posting]:
+        for doc_id in self.doc_ids():
+            yield self._postings[doc_id]
+
+    @property
+    def document_frequency(self) -> int:
+        """Number of documents containing the term."""
+        return len(self._postings)
+
+
+def intersect(lists: List[PostingList]) -> List[int]:
+    """Intersect posting lists, smallest-first, returning sorted doc ids.
+
+    Processing the rarest term first is the classic conjunctive-query
+    optimization; the query planner in :mod:`repro.core.query` relies on the
+    same idea one level up.
+    """
+    if not lists:
+        return []
+    ordered = sorted(lists, key=len)
+    result = set(ordered[0].doc_ids())
+    for posting_list in ordered[1:]:
+        if not result:
+            break
+        result &= set(posting_list.doc_ids())
+    return sorted(result)
+
+
+def union(lists: List[PostingList]) -> List[int]:
+    """Union posting lists, returning sorted doc ids."""
+    result: set = set()
+    for posting_list in lists:
+        result |= set(posting_list.doc_ids())
+    return sorted(result)

@@ -1,0 +1,36 @@
+"""The hierarchical baseline: the file system the paper argues against.
+
+To measure anything, the reproduction needs the other side of the comparison:
+a classic Fast-File-System-style hierarchical file system on the same
+simulated block device.  This package provides it:
+
+* :mod:`repro.hierarchical.allocation` — cylinder-group block and inode
+  allocation (the locality policy §2.2 discusses via McKusick et al. [13]).
+* :mod:`repro.hierarchical.inode` — inodes with direct, single-indirect and
+  double-indirect block pointers.
+* :mod:`repro.hierarchical.directory` — directories stored as data blocks of
+  name→inode entries, so path traversal really reads directory blocks.
+* :mod:`repro.hierarchical.ffs` — :class:`FFSFileSystem`: namei path walks,
+  create/read/write/unlink/mkdir/readdir/rename/stat, with per-operation
+  traversal accounting.
+* :mod:`repro.hierarchical.locking` — hierarchical path locking (every
+  ancestor is share-locked), the concurrency bottleneck of §2.3.
+* :mod:`repro.hierarchical.desktop_search` — a desktop-search engine layered
+  *on top of* the hierarchical file system (the WDS/Spotlight arrangement),
+  used as the baseline for the search-path-length experiment E1.
+"""
+
+from repro.hierarchical.allocation import CylinderGroupAllocator
+from repro.hierarchical.inode import Inode, InodeTable
+from repro.hierarchical.ffs import FFSFileSystem
+from repro.hierarchical.locking import HierarchicalLockManager
+from repro.hierarchical.desktop_search import DesktopSearchEngine
+
+__all__ = [
+    "CylinderGroupAllocator",
+    "Inode",
+    "InodeTable",
+    "FFSFileSystem",
+    "HierarchicalLockManager",
+    "DesktopSearchEngine",
+]

@@ -1,0 +1,332 @@
+"""The FFS-style hierarchical file system (the baseline).
+
+All the classic machinery is here: path resolution (namei) walks the tree one
+component at a time, each component costing a directory read; files are
+inodes with block-pointer trees; data placement prefers the directory's
+cylinder group.  The per-operation counters — directory blocks read, inodes
+touched, path components traversed — are what the benchmarks compare against
+hFAD's flat tag lookups.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.errors import (
+    DirectoryNotEmpty,
+    FileExists,
+    FileNotFound,
+    InvalidArgument,
+    IsADirectory,
+    NotADirectory,
+)
+from repro.hierarchical.allocation import CylinderGroupAllocator
+from repro.hierarchical.directory import DirectoryManager
+from repro.hierarchical.inode import (
+    FILE_TYPE_DIRECTORY,
+    FILE_TYPE_REGULAR,
+    Inode,
+    InodeTable,
+)
+from repro.index.path_index import basename_of, normalize_path, parent_of
+from repro.storage.block_device import BlockDevice
+
+
+@dataclass
+class FFSStats:
+    """Work counters specific to hierarchical operation."""
+
+    namei_calls: int = 0
+    path_components_traversed: int = 0
+    directory_lookups: int = 0
+    files_created: int = 0
+    files_removed: int = 0
+
+
+class FFSFileSystem:
+    """A hierarchical (FFS-like) file system over the simulated device."""
+
+    def __init__(
+        self,
+        device: Optional[BlockDevice] = None,
+        num_blocks: int = 1 << 16,
+        group_count: int = 16,
+    ) -> None:
+        if device is None:
+            device = BlockDevice(num_blocks=num_blocks)
+        self.device = device
+        self.allocator = CylinderGroupAllocator(device.num_blocks, group_count=group_count)
+        self.inodes = InodeTable(device, self.allocator)
+        self.directories = DirectoryManager(self.inodes)
+        self.stats = FFSStats()
+        self._clock = 0
+        # Create the root directory (inode 2, by convention).
+        self.root = self.inodes.allocate_inode(
+            FILE_TYPE_DIRECTORY, preferred_group=0, timestamp=self._tick()
+        )
+
+    def _tick(self) -> int:
+        self._clock += 1
+        return self._clock
+
+    # ------------------------------------------------------------------
+    # path resolution
+    # ------------------------------------------------------------------
+
+    def namei(self, path: str) -> Inode:
+        """Resolve a path to an inode, walking one component at a time."""
+        path = normalize_path(path)
+        self.stats.namei_calls += 1
+        current = self.root
+        if path == "/":
+            return current
+        for component in path.strip("/").split("/"):
+            if not current.is_directory:
+                raise NotADirectory(component)
+            self.stats.path_components_traversed += 1
+            self.stats.directory_lookups += 1
+            number = self.directories.lookup(current, component)
+            if number is None:
+                raise FileNotFound(path)
+            current = self.inodes.get(number)
+        return current
+
+    def _namei_parent(self, path: str) -> Tuple[Inode, str]:
+        """Resolve the parent directory of ``path`` and return (inode, basename)."""
+        path = normalize_path(path)
+        if path == "/":
+            raise InvalidArgument("the root has no parent")
+        parent = self.namei(parent_of(path))
+        if not parent.is_directory:
+            raise NotADirectory(parent_of(path))
+        return parent, basename_of(path)
+
+    def exists(self, path: str) -> bool:
+        try:
+            self.namei(path)
+            return True
+        except (FileNotFound, NotADirectory):
+            return False
+
+    # ------------------------------------------------------------------
+    # files
+    # ------------------------------------------------------------------
+
+    def create(self, path: str, data: bytes = b"", owner: str = "root", mode: int = 0o644) -> Inode:
+        """Create a regular file (optionally with initial contents)."""
+        parent, name = self._namei_parent(path)
+        if self.directories.lookup(parent, name) is not None:
+            raise FileExists(path)
+        # FFS policy: place the file's data in its directory's cylinder group.
+        group = getattr(parent, "preferred_group", 0)
+        inode = self.inodes.allocate_inode(
+            FILE_TYPE_REGULAR, preferred_group=group, owner=owner, mode=mode, timestamp=self._tick()
+        )
+        self.directories.add(parent, name, inode.number)
+        if data:
+            self.inodes.write(inode, 0, data)
+        self.stats.files_created += 1
+        return inode
+
+    def read(self, path: str, offset: int = 0, length: Optional[int] = None) -> bytes:
+        inode = self.namei(path)
+        if inode.is_directory:
+            raise IsADirectory(path)
+        inode.accessed_at = self._tick()
+        return self.inodes.read(inode, offset, length)
+
+    def write(self, path: str, offset: int, data: bytes) -> int:
+        inode = self.namei(path)
+        if inode.is_directory:
+            raise IsADirectory(path)
+        written = self.inodes.write(inode, offset, data)
+        inode.modified_at = self._tick()
+        return written
+
+    def append(self, path: str, data: bytes) -> int:
+        inode = self.namei(path)
+        if inode.is_directory:
+            raise IsADirectory(path)
+        offset = inode.size
+        self.inodes.write(inode, offset, data)
+        inode.modified_at = self._tick()
+        return offset
+
+    def truncate(self, path: str, new_size: int) -> None:
+        """POSIX truncate: cut (or sparsely extend) to ``new_size`` bytes.
+
+        There is no insert-into-the-middle or remove-from-the-middle here;
+        applications that need it must rewrite the tail themselves — see
+        :meth:`insert_via_rewrite` / :meth:`remove_range_via_rewrite`, the
+        baseline side of experiment E3.
+        """
+        inode = self.namei(path)
+        if inode.is_directory:
+            raise IsADirectory(path)
+        self.inodes.truncate(inode, new_size)
+        inode.modified_at = self._tick()
+
+    def insert_via_rewrite(self, path: str, offset: int, data: bytes) -> int:
+        """What a POSIX application must do to insert bytes mid-file.
+
+        Read the tail, write the new bytes, rewrite the tail after them —
+        O(file size - offset) data movement.
+        """
+        inode = self.namei(path)
+        if inode.is_directory:
+            raise IsADirectory(path)
+        if offset < 0 or offset > inode.size:
+            raise InvalidArgument(f"insert offset {offset} outside file of {inode.size} bytes")
+        tail = self.inodes.read(inode, offset, inode.size - offset)
+        self.inodes.write(inode, offset, data)
+        if tail:
+            self.inodes.write(inode, offset + len(data), tail)
+        inode.modified_at = self._tick()
+        return len(data)
+
+    def remove_range_via_rewrite(self, path: str, offset: int, length: int) -> int:
+        """What a POSIX application must do to delete bytes mid-file."""
+        inode = self.namei(path)
+        if inode.is_directory:
+            raise IsADirectory(path)
+        if offset < 0 or length < 0:
+            raise InvalidArgument("offset/length must be non-negative")
+        if offset >= inode.size or length == 0:
+            return 0
+        end = min(offset + length, inode.size)
+        tail = self.inodes.read(inode, end, inode.size - end)
+        if tail:
+            self.inodes.write(inode, offset, tail)
+        self.inodes.truncate(inode, inode.size - (end - offset))
+        inode.modified_at = self._tick()
+        return end - offset
+
+    def unlink(self, path: str) -> None:
+        parent, name = self._namei_parent(path)
+        number = self.directories.lookup(parent, name)
+        if number is None:
+            raise FileNotFound(path)
+        inode = self.inodes.get(number)
+        if inode.is_directory:
+            raise IsADirectory(path)
+        self.directories.remove(parent, name)
+        inode.nlink -= 1
+        if inode.nlink <= 0:
+            self.inodes.free_inode(number)
+        self.stats.files_removed += 1
+
+    def link(self, existing: str, new: str) -> None:
+        """Hard link."""
+        inode = self.namei(existing)
+        if inode.is_directory:
+            raise IsADirectory(existing)
+        parent, name = self._namei_parent(new)
+        if self.directories.lookup(parent, name) is not None:
+            raise FileExists(new)
+        self.directories.add(parent, name, inode.number)
+        inode.nlink += 1
+
+    def rename(self, old: str, new: str) -> None:
+        old = normalize_path(old)
+        new = normalize_path(new)
+        old_parent, old_name = self._namei_parent(old)
+        number = self.directories.lookup(old_parent, old_name)
+        if number is None:
+            raise FileNotFound(old)
+        if self.inodes.get(number).is_directory and new.startswith(old + "/"):
+            raise InvalidArgument(f"cannot move {old} into its own subtree")
+        new_parent, new_name = self._namei_parent(new)
+        existing = self.directories.lookup(new_parent, new_name)
+        if existing == number:
+            # POSIX: if old and new are links to the same file, do nothing.
+            return
+        if existing is not None:
+            target = self.inodes.get(existing)
+            if target.is_directory:
+                if not self.directories.is_empty(target):
+                    raise DirectoryNotEmpty(new)
+                self.directories.remove(new_parent, new_name)
+                self.inodes.free_inode(existing)
+            else:
+                self.directories.remove(new_parent, new_name)
+                target.nlink -= 1
+                if target.nlink <= 0:
+                    self.inodes.free_inode(existing)
+        self.directories.remove(old_parent, old_name)
+        self.directories.add(new_parent, new_name, number)
+
+    # ------------------------------------------------------------------
+    # directories
+    # ------------------------------------------------------------------
+
+    def mkdir(self, path: str, owner: str = "root", mode: int = 0o755) -> Inode:
+        parent, name = self._namei_parent(path)
+        if self.directories.lookup(parent, name) is not None:
+            raise FileExists(path)
+        # FFS spreads directories across cylinder groups to balance space.
+        group = self.inodes.inode_count % self.allocator.group_count
+        inode = self.inodes.allocate_inode(
+            FILE_TYPE_DIRECTORY, preferred_group=group, owner=owner, mode=mode, timestamp=self._tick()
+        )
+        self.directories.add(parent, name, inode.number)
+        return inode
+
+    def makedirs(self, path: str, owner: str = "root") -> None:
+        path = normalize_path(path)
+        current = ""
+        for component in [part for part in path.split("/") if part]:
+            current += "/" + component
+            if not self.exists(current):
+                self.mkdir(current, owner=owner)
+
+    def rmdir(self, path: str) -> None:
+        parent, name = self._namei_parent(path)
+        number = self.directories.lookup(parent, name)
+        if number is None:
+            raise FileNotFound(path)
+        inode = self.inodes.get(number)
+        if not inode.is_directory:
+            raise NotADirectory(path)
+        if not self.directories.is_empty(inode):
+            raise DirectoryNotEmpty(path)
+        self.directories.remove(parent, name)
+        self.inodes.free_inode(number)
+
+    def readdir(self, path: str) -> List[str]:
+        inode = self.namei(path)
+        if not inode.is_directory:
+            raise NotADirectory(path)
+        return sorted(self.directories.entries(inode))
+
+    def walk(self, path: str = "/") -> List[str]:
+        """Every file path under ``path`` (directories excluded), sorted."""
+        inode = self.namei(path)
+        base = normalize_path(path)
+        results: List[str] = []
+
+        def recurse(directory: Inode, prefix: str) -> None:
+            for name, number in sorted(self.directories.entries(directory).items()):
+                child = self.inodes.get(number)
+                child_path = (prefix.rstrip("/") + "/" + name) if prefix != "/" else "/" + name
+                if child.is_directory:
+                    recurse(child, child_path)
+                else:
+                    results.append(child_path)
+
+        if inode.is_directory:
+            recurse(inode, base)
+        else:
+            results.append(base)
+        return results
+
+    # ------------------------------------------------------------------
+    # metadata
+    # ------------------------------------------------------------------
+
+    def stat(self, path: str) -> Inode:
+        """Return the inode for ``path`` (the baseline's stat result)."""
+        return self.namei(path)
+
+    def size(self, path: str) -> int:
+        return self.namei(path).size

@@ -1,0 +1,97 @@
+"""FULLTEXT index store: the inverted index behind the FULLTEXT tag.
+
+"A full text search on search terms S1, S2, ... Sn translates into a naming
+operation on the vector of tag/value pairs of the form FULLTEXT/S1,
+FULLTEXT/S2, etc." (Section 3.1.1).  Each individual pair lookup returns the
+objects containing that term; the conjunction is taken by the registry /
+query planner above, exactly as the paper specifies.
+
+Content enters the index either synchronously or through the lazy background
+indexer (Section 3.4); the file-system facade decides which, and experiment
+E6 measures the difference.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from repro.fulltext import Analyzer, InvertedIndex, LazyIndexer
+from repro.index.store import IndexStore
+from repro.index.tags import TAG_FULLTEXT, TagValue
+
+
+class FullTextIndexStore(IndexStore):
+    """Serves the FULLTEXT tag by delegating to the inverted index."""
+
+    name = "fulltext"
+
+    def __init__(
+        self,
+        analyzer: Optional[Analyzer] = None,
+        lazy: bool = False,
+        workers: int = 1,
+    ) -> None:
+        self.index = InvertedIndex(analyzer=analyzer)
+        self.lazy = lazy
+        self.indexer = LazyIndexer(index=self.index, workers=workers, synchronous=not lazy)
+
+    def tags(self) -> Sequence[str]:
+        return (TAG_FULLTEXT,)
+
+    # ------------------------------------------------------ content intake
+
+    def index_content(self, oid: int, content) -> None:
+        """Submit an object's content for (possibly lazy) indexing."""
+        self.indexer.submit(oid, content)
+
+    def drop_content(self, oid: int) -> None:
+        """Remove an object's content from the index."""
+        self.indexer.submit_removal(oid)
+
+    def flush(self, timeout: Optional[float] = None) -> bool:
+        """Wait for background indexing to catch up (no-op when synchronous)."""
+        return self.indexer.flush(timeout=timeout)
+
+    def close(self) -> None:
+        self.indexer.close()
+
+    # ---------------------------------------------------------- interface
+
+    def insert(self, tag: str, value: str, oid: int) -> None:
+        # Naming an object with FULLTEXT/term directly (rather than via
+        # content indexing) adds just that term — useful for manual keywords.
+        existing = " ".join(self.index.terms_for(oid))
+        self.index.add_document(oid, (existing + " " + str(value)).strip())
+
+    def remove(self, tag: str, value: str, oid: int) -> bool:
+        terms = self.index.analyzer.analyze_query(value)
+        existing = self.index.terms_for(oid)
+        if not existing or not any(term in existing for term in terms):
+            return False
+        remaining = [term for term in existing if term not in terms]
+        if remaining:
+            self.index.add_document(oid, " ".join(remaining))
+        else:
+            self.index.remove_document(oid)
+        return True
+
+    def lookup(self, tag: str, value: str) -> List[int]:
+        return self.index.search(value)
+
+    def remove_object(self, oid: int) -> int:
+        had_terms = len(self.index.terms_for(oid))
+        self.index.remove_document(oid)
+        return 1 if had_terms else 0
+
+    def values_for(self, oid: int) -> List[TagValue]:
+        return [TagValue(tag=TAG_FULLTEXT, value=term) for term in sorted(self.index.terms_for(oid))]
+
+    # -------------------------------------------------------------- extras
+
+    def cardinality(self, tag: str, value: str) -> int:
+        """Document frequency of the (analyzed) term — used by the planner."""
+        return self.index.document_frequency(value)
+
+    def rank(self, query: str, limit: Optional[int] = 10):
+        """BM25-ranked hits; convenience for examples and the semantic layer."""
+        return self.index.rank(query, limit=limit)

@@ -1,0 +1,173 @@
+"""Image index store: an example "arbitrary index type".
+
+Section 3.2: "we want to leave open the possibility of extending hFAD with
+arbitrary index types, such as indices on images, sound, etc."  This store is
+that extension point exercised: it indexes colour-histogram feature vectors
+(the classic cheap image descriptor) and serves the IMAGE tag with two value
+syntaxes:
+
+* ``color:<name>`` — objects whose dominant colour bucket matches ``<name>``;
+* ``similar:<oid>`` — objects whose histogram is within a cosine-similarity
+  threshold of the named object's.
+
+Real deployments would extract features from pixel data; the paper's photos
+are not available, so the workload generators synthesize feature vectors with
+the same statistical shape (see ``repro.workloads.photos``).  The index code
+path — register, insert, route IMAGE lookups, conjoin with other tags — is
+identical either way, which is what the reproduction needs.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.errors import IndexStoreError
+from repro.index.store import IndexStore
+from repro.index.tags import TAG_IMAGE, TagValue
+
+#: the eight colour buckets a histogram is defined over.
+COLOR_NAMES = ("red", "orange", "yellow", "green", "cyan", "blue", "purple", "gray")
+
+
+def _validate_histogram(histogram: Sequence[float]) -> Tuple[float, ...]:
+    if len(histogram) != len(COLOR_NAMES):
+        raise IndexStoreError(
+            f"histogram must have {len(COLOR_NAMES)} buckets, got {len(histogram)}"
+        )
+    values = tuple(float(v) for v in histogram)
+    if any(v < 0 for v in values):
+        raise IndexStoreError("histogram buckets must be non-negative")
+    total = sum(values)
+    if total <= 0:
+        raise IndexStoreError("histogram must not be all zeros")
+    return tuple(v / total for v in values)
+
+
+def cosine_similarity(a: Sequence[float], b: Sequence[float]) -> float:
+    """Cosine similarity of two histograms (0 when either is all zero)."""
+    dot = sum(x * y for x, y in zip(a, b))
+    norm_a = math.sqrt(sum(x * x for x in a))
+    norm_b = math.sqrt(sum(y * y for y in b))
+    if norm_a == 0 or norm_b == 0:
+        return 0.0
+    return dot / (norm_a * norm_b)
+
+
+class ImageIndexStore(IndexStore):
+    """Colour-histogram index serving the IMAGE tag."""
+
+    name = "image"
+
+    def __init__(self, similarity_threshold: float = 0.90) -> None:
+        if not 0.0 < similarity_threshold <= 1.0:
+            raise IndexStoreError("similarity_threshold must be in (0, 1]")
+        self.similarity_threshold = similarity_threshold
+        self._histograms: Dict[int, Tuple[float, ...]] = {}
+        self._by_color: Dict[str, set] = {name: set() for name in COLOR_NAMES}
+
+    def tags(self) -> Sequence[str]:
+        return (TAG_IMAGE,)
+
+    # ----------------------------------------------------- feature intake
+
+    def index_histogram(self, oid: int, histogram: Sequence[float]) -> str:
+        """Index an object's colour histogram; returns its dominant colour."""
+        normalized = _validate_histogram(histogram)
+        self.drop_features(oid)
+        self._histograms[oid] = normalized
+        dominant = COLOR_NAMES[max(range(len(normalized)), key=normalized.__getitem__)]
+        self._by_color[dominant].add(oid)
+        return dominant
+
+    def drop_features(self, oid: int) -> bool:
+        """Remove an object's features; returns True if it was indexed."""
+        if oid not in self._histograms:
+            return False
+        del self._histograms[oid]
+        for members in self._by_color.values():
+            members.discard(oid)
+        return True
+
+    def dominant_color(self, oid: int) -> Optional[str]:
+        for color, members in self._by_color.items():
+            if oid in members:
+                return color
+        return None
+
+    def similar_to(self, oid: int, limit: Optional[int] = None) -> List[Tuple[int, float]]:
+        """Objects ranked by similarity to ``oid`` (excluding itself)."""
+        reference = self._histograms.get(oid)
+        if reference is None:
+            return []
+        scored = [
+            (other, cosine_similarity(reference, histogram))
+            for other, histogram in self._histograms.items()
+            if other != oid
+        ]
+        scored.sort(key=lambda pair: (-pair[1], pair[0]))
+        return scored[:limit] if limit is not None else scored
+
+    # ---------------------------------------------------------- interface
+
+    def insert(self, tag: str, value: str, oid: int) -> None:
+        # Values of the form "color:red" assert a dominant colour directly
+        # (e.g. from an external tagger); histograms use index_histogram.
+        kind, _, detail = str(value).partition(":")
+        if kind != "color" or detail not in COLOR_NAMES:
+            raise IndexStoreError(
+                f"IMAGE insert values must be 'color:<name>', got {value!r}"
+            )
+        self._by_color[detail].add(oid)
+        self._histograms.setdefault(
+            oid,
+            tuple(1.0 if name == detail else 0.0 for name in COLOR_NAMES),
+        )
+
+    def remove(self, tag: str, value: str, oid: int) -> bool:
+        kind, _, detail = str(value).partition(":")
+        if kind != "color" or detail not in COLOR_NAMES:
+            return False
+        if oid in self._by_color[detail]:
+            self._by_color[detail].discard(oid)
+            return True
+        return False
+
+    def lookup(self, tag: str, value: str) -> List[int]:
+        kind, _, detail = str(value).partition(":")
+        if kind == "color":
+            if detail not in COLOR_NAMES:
+                raise IndexStoreError(f"unknown colour {detail!r}")
+            return sorted(self._by_color[detail])
+        if kind == "similar":
+            try:
+                reference_oid = int(detail)
+            except ValueError:
+                raise IndexStoreError(f"similar: expects an object id, got {detail!r}")
+            return sorted(
+                other
+                for other, score in self.similar_to(reference_oid)
+                if score >= self.similarity_threshold
+            )
+        raise IndexStoreError(f"unsupported IMAGE query {value!r}")
+
+    def remove_object(self, oid: int) -> int:
+        return 1 if self.drop_features(oid) else 0
+
+    def values_for(self, oid: int) -> List[TagValue]:
+        color = self.dominant_color(oid)
+        if color is None:
+            return []
+        return [TagValue(tag=TAG_IMAGE, value=f"color:{color}")]
+
+    # -------------------------------------------------------------- extras
+
+    def cardinality(self, tag: str, value: str) -> int:
+        kind, _, detail = str(value).partition(":")
+        if kind == "color" and detail in COLOR_NAMES:
+            return len(self._by_color[detail])
+        return len(self._histograms)
+
+    @property
+    def indexed_count(self) -> int:
+        return len(self._histograms)

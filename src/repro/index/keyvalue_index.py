@@ -1,0 +1,140 @@
+"""Key/value index store for simple attribute tags.
+
+"A key/value store suffices for simple attributes" (Section 3.2).  This store
+serves USER, UDEF, APP and any other attribute-style tag: each ``(tag,
+value)`` pair maps to a set of object ids.  Entries live in a B+-tree so the
+store can be backed by the device like every other index, and so lookups are
+prefix scans rather than hash probes (giving us ``values_for`` and
+``enumerate_values`` for free).
+
+Key layout::
+
+    F \x00 tag \x00 value \x00 oid(8B)   -> b""        (forward entries)
+    R \x00 oid(8B) \x00 tag \x00 value   -> b""        (reverse entries)
+
+The reverse entries make ``remove_object`` and ``values_for`` cheap, which
+matters because every object deletion must scrub its names from every index.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import List, Optional, Sequence
+
+from repro.btree import BPlusTree, PageStore
+from repro.errors import IndexStoreError
+from repro.index.store import IndexStore
+from repro.index.tags import TAG_APP, TAG_UDEF, TAG_USER, TagValue, normalize_tag
+
+_OID = struct.Struct(">Q")
+_SEP = b"\x00"
+_FORWARD = b"F"
+_REVERSE = b"R"
+
+
+def _encode_text(text: str) -> bytes:
+    encoded = text.encode("utf-8")
+    if _SEP in encoded:
+        raise IndexStoreError("tag/value strings may not contain NUL bytes")
+    return encoded
+
+
+class KeyValueIndexStore(IndexStore):
+    """Attribute index: ``(tag, value) → {oid}`` over a B+-tree."""
+
+    name = "keyvalue"
+
+    #: tags served when the caller registers the store without overriding.
+    DEFAULT_TAGS = (TAG_USER, TAG_UDEF, TAG_APP)
+
+    def __init__(
+        self,
+        tags: Optional[Sequence[str]] = None,
+        store: Optional[PageStore] = None,
+        max_keys: int = 64,
+    ) -> None:
+        chosen = self.DEFAULT_TAGS if tags is None else tags
+        self._tags = tuple(normalize_tag(tag) for tag in chosen)
+        self._tree = BPlusTree(store=store, max_keys=max_keys)
+
+    def tags(self) -> Sequence[str]:
+        return self._tags
+
+    # -------------------------------------------------------------- keys
+
+    def _forward_key(self, tag: str, value: str, oid: int) -> bytes:
+        return _FORWARD + _SEP + _encode_text(tag) + _SEP + _encode_text(value) + _SEP + _OID.pack(oid)
+
+    def _forward_prefix(self, tag: str, value: str) -> bytes:
+        return _FORWARD + _SEP + _encode_text(tag) + _SEP + _encode_text(value) + _SEP
+
+    def _reverse_key(self, oid: int, tag: str, value: str) -> bytes:
+        return _REVERSE + _SEP + _OID.pack(oid) + _SEP + _encode_text(tag) + _SEP + _encode_text(value)
+
+    def _reverse_prefix(self, oid: int) -> bytes:
+        return _REVERSE + _SEP + _OID.pack(oid) + _SEP
+
+    # --------------------------------------------------------- interface
+
+    def insert(self, tag: str, value: str, oid: int) -> None:
+        tag = normalize_tag(tag)
+        self._tree.put(self._forward_key(tag, value, oid), b"")
+        self._tree.put(self._reverse_key(oid, tag, value), b"")
+
+    def remove(self, tag: str, value: str, oid: int) -> bool:
+        tag = normalize_tag(tag)
+        forward = self._forward_key(tag, value, oid)
+        if self._tree.get(forward) is None:
+            return False
+        self._tree.delete(forward)
+        self._tree.delete(self._reverse_key(oid, tag, value))
+        return True
+
+    def lookup(self, tag: str, value: str) -> List[int]:
+        tag = normalize_tag(tag)
+        prefix = self._forward_prefix(tag, value)
+        oids = [
+            _OID.unpack(key[len(prefix):])[0]
+            for key, _ in self._tree.cursor(prefix=prefix)
+        ]
+        return sorted(oids)
+
+    def remove_object(self, oid: int) -> int:
+        pairs = self.values_for(oid)
+        for pair in pairs:
+            self.remove(pair.tag, pair.value, oid)
+        return len(pairs)
+
+    def values_for(self, oid: int) -> List[TagValue]:
+        prefix = self._reverse_prefix(oid)
+        result: List[TagValue] = []
+        for key, _ in self._tree.cursor(prefix=prefix):
+            remainder = key[len(prefix):]
+            tag_bytes, value_bytes = remainder.split(_SEP, 1)
+            result.append(TagValue(tag=tag_bytes.decode("utf-8"), value=value_bytes.decode("utf-8")))
+        return result
+
+    # ------------------------------------------------------------ extras
+
+    def enumerate_values(self, tag: str) -> List[str]:
+        """Every distinct value stored under ``tag`` (sorted)."""
+        tag = normalize_tag(tag)
+        prefix = _FORWARD + _SEP + _encode_text(tag) + _SEP
+        values = set()
+        for key, _ in self._tree.cursor(prefix=prefix):
+            remainder = key[len(prefix):]
+            # remainder is "<value> \x00 <oid:8 bytes>"; the oid may itself
+            # contain NUL bytes, so strip a fixed-width suffix instead of
+            # splitting on the separator.
+            value_bytes = remainder[:-(_OID.size + 1)]
+            values.add(value_bytes.decode("utf-8"))
+        return sorted(values)
+
+    def cardinality(self, tag: str, value: str) -> int:
+        """Number of objects named by ``(tag, value)`` — used by the planner."""
+        return len(self.lookup(tag, value))
+
+    @property
+    def entry_count(self) -> int:
+        """Total forward entries (one per naming association)."""
+        return sum(1 for _ in self._tree.cursor(prefix=_FORWARD + _SEP))

@@ -1,0 +1,384 @@
+"""The object store: uniquely-identified, fully byte-accessible containers.
+
+This is the hFAD OSD layer (paper Section 3.3/3.4):
+
+* every object is identified by an integer OID;
+* a master btree maps OIDs to their metadata ("we also use BDB Btrees to map
+  unique object IDs (OID) to the meta-data for an object");
+* each object's contents are described by an :class:`~repro.osd.extent_map.ExtentMap`
+  — a btree keyed by file offset whose values are device extents;
+* besides POSIX-style ``read``/``write``, objects support ``insert`` (grow
+  from the middle) and ``remove_range`` (the paper's two-argument truncate),
+  both implemented as extent-map key manipulation with no data copying.
+
+Data blocks come from a buddy allocator over the shared block device, so every
+byte of object data is backed by simulated device blocks and shows up in the
+device's I/O accounting.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set
+
+from repro.btree import BPlusTree, DevicePageStore, InMemoryPageStore
+from repro.errors import InvalidRangeError, NoSuchObjectError, ObjectStoreError
+from repro.osd.extent_map import ExtentMap, ObjectExtent
+from repro.osd.metadata import ObjectMetadata
+from repro.storage import BlockDevice, BuddyAllocator
+
+_OID = struct.Struct(">Q")
+
+
+@dataclass
+class ObjectStoreStats:
+    """Operation counters the benchmarks report."""
+
+    objects_created: int = 0
+    objects_deleted: int = 0
+    bytes_read: int = 0
+    bytes_written: int = 0
+    bytes_inserted: int = 0
+    bytes_removed: int = 0
+    extents_written: int = 0
+    extents_shifted: int = 0
+
+
+class ObjectStore:
+    """The OSD: create, read, write, insert into and truncate objects.
+
+    :param device: block device for object data; a private device is created
+        when omitted.
+    :param allocator: buddy allocator over ``device``; created when omitted.
+    :param btree_on_device: persist the per-object extent btrees on the device
+        too (pages allocated from the same allocator).  Off by default so the
+        common configuration charges *data* I/O to the device and keeps index
+        pages in memory, mirroring a warmed metadata cache.
+    :param max_extent_blocks: cap on a single extent's size; larger writes are
+        split into several extents.
+    """
+
+    def __init__(
+        self,
+        device: Optional[BlockDevice] = None,
+        allocator: Optional[BuddyAllocator] = None,
+        btree_on_device: bool = False,
+        max_keys: int = 32,
+        max_extent_blocks: int = 1024,
+        data_region_start: int = 0,
+    ) -> None:
+        if device is None:
+            device = BlockDevice(num_blocks=1 << 16)
+        if allocator is None:
+            allocator = BuddyAllocator(
+                total_blocks=device.num_blocks - data_region_start, base=data_region_start
+            )
+        if max_extent_blocks <= 0:
+            raise ValueError("max_extent_blocks must be positive")
+        self.device = device
+        self.allocator = allocator
+        self.btree_on_device = btree_on_device
+        self.max_keys = max_keys
+        self.max_extent_blocks = max_extent_blocks
+        self.stats = ObjectStoreStats()
+        self._master = BPlusTree(store=self._new_page_store(), max_keys=max_keys)
+        self._trees: Dict[int, BPlusTree] = {}
+        self._chunks: Dict[int, Set[int]] = {}
+        self._next_oid = 1
+        self._clock = 0
+
+    # ------------------------------------------------------------ internals
+
+    def _new_page_store(self):
+        if self.btree_on_device:
+            return DevicePageStore(self.device, self.allocator)
+        return InMemoryPageStore()
+
+    def _tick(self) -> int:
+        self._clock += 1
+        return self._clock
+
+    def _metadata_key(self, oid: int) -> bytes:
+        return _OID.pack(oid)
+
+    def _require(self, oid: int) -> ObjectMetadata:
+        raw = self._master.get(self._metadata_key(oid))
+        if raw is None:
+            raise NoSuchObjectError(oid)
+        return ObjectMetadata.from_bytes(raw)
+
+    def _save_metadata(self, oid: int, metadata: ObjectMetadata) -> None:
+        self._master.put(self._metadata_key(oid), metadata.to_bytes())
+
+    def _extent_map(self, oid: int) -> ExtentMap:
+        tree = self._trees.get(oid)
+        if tree is None:
+            raise NoSuchObjectError(oid)
+        return ExtentMap(tree)
+
+    # ------------------------------------------------------------ lifecycle
+
+    def create(
+        self,
+        owner: str = "root",
+        group: str = "root",
+        mode: int = 0o644,
+        attributes: Optional[Dict[str, str]] = None,
+    ) -> int:
+        """Create an empty object and return its OID."""
+        oid = self._next_oid
+        self._next_oid += 1
+        now = self._tick()
+        metadata = ObjectMetadata(
+            size=0,
+            owner=owner,
+            group=group,
+            mode=mode,
+            created_at=now,
+            modified_at=now,
+            accessed_at=now,
+            attributes=dict(attributes or {}),
+        )
+        self._save_metadata(oid, metadata)
+        self._trees[oid] = BPlusTree(store=self._new_page_store(), max_keys=self.max_keys)
+        self._chunks[oid] = set()
+        self.stats.objects_created += 1
+        return oid
+
+    def exists(self, oid: int) -> bool:
+        """True if ``oid`` names a live object."""
+        return self._master.get(self._metadata_key(oid)) is not None
+
+    def delete(self, oid: int) -> None:
+        """Destroy the object and release every data chunk it owns."""
+        self._require(oid)
+        for chunk_block in self._chunks.pop(oid, set()):
+            self.allocator.free(chunk_block)
+        self._trees.pop(oid, None)
+        self._master.delete(self._metadata_key(oid))
+        self.stats.objects_deleted += 1
+
+    def list_objects(self) -> List[int]:
+        """All live OIDs in ascending order."""
+        return [_OID.unpack(key)[0] for key, _value in self._master.items()]
+
+    @property
+    def object_count(self) -> int:
+        return len(self._master)
+
+    # ------------------------------------------------------------ metadata
+
+    def stat(self, oid: int) -> ObjectMetadata:
+        """Return a copy of the object's metadata."""
+        return self._require(oid)
+
+    def size(self, oid: int) -> int:
+        """Current object size in bytes."""
+        return self._require(oid).size
+
+    def set_attributes(self, oid: int, **attributes: str) -> None:
+        """Merge free-form attributes into the object's metadata."""
+        metadata = self._require(oid)
+        metadata.attributes.update({key: str(value) for key, value in attributes.items()})
+        metadata.touch_modified(self._tick())
+        self._save_metadata(oid, metadata)
+
+    def chown(self, oid: int, owner: str, group: Optional[str] = None) -> None:
+        """Change the object's security attributes."""
+        metadata = self._require(oid)
+        metadata.owner = owner
+        if group is not None:
+            metadata.group = group
+        metadata.touch_modified(self._tick())
+        self._save_metadata(oid, metadata)
+
+    def chmod(self, oid: int, mode: int) -> None:
+        """Change the object's permission bits."""
+        metadata = self._require(oid)
+        metadata.mode = mode
+        metadata.touch_modified(self._tick())
+        self._save_metadata(oid, metadata)
+
+    def extent_count(self, oid: int) -> int:
+        """Number of extents currently describing the object."""
+        self._require(oid)
+        return self._extent_map(oid).extent_count()
+
+    # ------------------------------------------------------------ data path
+
+    def _store_data(self, oid: int, extent_map: ExtentMap, offset: int, data: bytes) -> None:
+        """Allocate extents for ``data`` and map them at ``offset``."""
+        block_size = self.device.block_size
+        max_bytes = self.max_extent_blocks * block_size
+        position = 0
+        while position < len(data):
+            chunk = data[position:position + max_bytes]
+            blocks_needed = (len(chunk) + block_size - 1) // block_size
+            chunk_block, chunk_blocks = self.allocator.allocate_extent(blocks_needed)
+            self.device.write_blocks(chunk_block, chunk, nblocks=blocks_needed)
+            extent_map.insert_extent(
+                offset + position,
+                ObjectExtent(block=chunk_block, nblocks=chunk_blocks, skip=0, length=len(chunk)),
+            )
+            self._chunks[oid].add(chunk_block)
+            self.stats.extents_written += 1
+            position += len(chunk)
+
+    def write(self, oid: int, offset: int, data: bytes) -> int:
+        """Overwrite ``len(data)`` bytes at ``offset`` (extending if needed).
+
+        Matches POSIX ``pwrite`` semantics: writing past the current end
+        leaves a hole that reads back as zeros.
+        """
+        if offset < 0:
+            raise InvalidRangeError("offset must be non-negative")
+        metadata = self._require(oid)
+        data = bytes(data)
+        if not data:
+            return 0
+        extent_map = self._extent_map(oid)
+        extent_map.punch(offset, offset + len(data))
+        self._store_data(oid, extent_map, offset, data)
+        metadata.size = max(metadata.size, offset + len(data))
+        metadata.touch_modified(self._tick())
+        self._save_metadata(oid, metadata)
+        self.stats.bytes_written += len(data)
+        return len(data)
+
+    def append(self, oid: int, data: bytes) -> int:
+        """Append ``data`` at the end of the object; returns the write offset."""
+        offset = self.size(oid)
+        self.write(oid, offset, data)
+        return offset
+
+    def read(self, oid: int, offset: int = 0, length: Optional[int] = None) -> bytes:
+        """Read up to ``length`` bytes at ``offset`` (to end-of-object if None)."""
+        if offset < 0:
+            raise InvalidRangeError("offset must be non-negative")
+        metadata = self._require(oid)
+        if offset >= metadata.size:
+            return b""
+        if length is None:
+            length = metadata.size - offset
+        if length < 0:
+            raise InvalidRangeError("length must be non-negative")
+        length = min(length, metadata.size - offset)
+        if length == 0:
+            return b""
+        result = bytearray(length)
+        extent_map = self._extent_map(oid)
+        for extent_offset, extent in extent_map.extents_in_range(offset, offset + length):
+            overlap_start = max(offset, extent_offset)
+            overlap_end = min(offset + length, extent_offset + extent.length)
+            if overlap_end <= overlap_start:
+                continue
+            within_extent = overlap_start - extent_offset
+            chunk = self.device.read_bytes(
+                extent.block, extent.skip + within_extent, overlap_end - overlap_start
+            )
+            result[overlap_start - offset:overlap_end - offset] = chunk
+        metadata.touch_accessed(self._tick())
+        self._save_metadata(oid, metadata)
+        self.stats.bytes_read += length
+        return bytes(result)
+
+    def insert(self, oid: int, offset: int, data: bytes) -> int:
+        """Insert ``data`` at ``offset``, growing the object (paper §3.1.2).
+
+        Bytes previously at ``offset`` and beyond move right by ``len(data)``;
+        no object data is copied — only extent keys are rewritten.
+        """
+        metadata = self._require(oid)
+        if offset < 0 or offset > metadata.size:
+            raise InvalidRangeError(
+                f"insert offset {offset} outside object of size {metadata.size}"
+            )
+        data = bytes(data)
+        if not data:
+            return 0
+        extent_map = self._extent_map(oid)
+        extent_map.split_at(offset)
+        self.stats.extents_shifted += extent_map.shift(offset, len(data))
+        self._store_data(oid, extent_map, offset, data)
+        metadata.size += len(data)
+        metadata.touch_modified(self._tick())
+        self._save_metadata(oid, metadata)
+        self.stats.bytes_inserted += len(data)
+        return len(data)
+
+    def remove_range(self, oid: int, offset: int, length: int) -> int:
+        """Remove ``length`` bytes starting at ``offset`` (paper's truncate).
+
+        "hFAD takes two off_t's, an offset and length, indicating exactly
+        which bytes to remove from the file."  Bytes beyond the removed range
+        move left; returns the number of bytes actually removed.
+        """
+        metadata = self._require(oid)
+        if offset < 0 or length < 0:
+            raise InvalidRangeError("offset/length must be non-negative")
+        if offset >= metadata.size or length == 0:
+            return 0
+        end = min(offset + length, metadata.size)
+        extent_map = self._extent_map(oid)
+        extent_map.split_at(offset)
+        extent_map.split_at(end)
+        extent_map.punch(offset, end)
+        self.stats.extents_shifted += extent_map.shift(end, -(end - offset))
+        removed = end - offset
+        metadata.size -= removed
+        metadata.touch_modified(self._tick())
+        self._save_metadata(oid, metadata)
+        self.stats.bytes_removed += removed
+        return removed
+
+    # POSIX-style truncate-to-length, expressed in terms of remove_range.
+    def truncate(self, oid: int, new_size: int) -> None:
+        """Shrink or (sparsely) grow the object to exactly ``new_size`` bytes."""
+        metadata = self._require(oid)
+        if new_size < 0:
+            raise InvalidRangeError("size must be non-negative")
+        if new_size < metadata.size:
+            self.remove_range(oid, new_size, metadata.size - new_size)
+        elif new_size > metadata.size:
+            metadata = self._require(oid)
+            metadata.size = new_size
+            metadata.touch_modified(self._tick())
+            self._save_metadata(oid, metadata)
+
+    # ------------------------------------------------------------ maintenance
+
+    def compact(self, oid: int) -> int:
+        """Rewrite the object into fresh contiguous extents.
+
+        Punched ranges and power-of-two rounding slack accumulate over time
+        (space is only reclaimed wholesale); compaction rewrites the live
+        bytes and frees every old chunk.  Returns the number of blocks freed.
+        """
+        metadata = self._require(oid)
+        contents = self.read(oid, 0, metadata.size)
+        extent_map = self._extent_map(oid)
+        extent_map.clear()
+        old_chunks = self._chunks[oid]
+        freed = 0
+        for chunk_block in old_chunks:
+            order = self.allocator.allocation_order(chunk_block)
+            freed += (1 << order) if order is not None else 0
+            self.allocator.free(chunk_block)
+        self._chunks[oid] = set()
+        if contents:
+            self._store_data(oid, extent_map, 0, contents)
+        metadata = self._require(oid)
+        metadata.size = len(contents)
+        metadata.touch_modified(self._tick())
+        self._save_metadata(oid, metadata)
+        return freed
+
+    def check_object(self, oid: int) -> None:
+        """Verify the object's extent map invariants (used by property tests)."""
+        self._require(oid)
+        extent_map = self._extent_map(oid)
+        extent_map.check_invariants()
+        assert extent_map.end_offset() <= self._require(oid).size + 0, (
+            "extent map extends past the recorded object size"
+        )

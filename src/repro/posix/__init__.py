@@ -1,0 +1,34 @@
+"""POSIX compatibility veneer.
+
+"Backwards compatibility — with so much of the world currently built on top
+of hierarchical namespaces, a storage system is not useful without some
+support for backwards compatibility in interface if not in disk layout."
+(Section 2) — and Section 3.1.1: "we support POSIX naming as a thin layer
+atop the native API."
+
+The paper's prototype uses Linux/FUSE to splice that layer into the kernel;
+FUSE itself is only a dispatch mechanism, so this package implements the
+handler and an in-process dispatcher:
+
+* :mod:`repro.posix.vfs` — :class:`PosixVFS`: open/create/read/write/lseek/
+  unlink/mkdir/readdir/rename/stat/link/truncate implemented on top of
+  :class:`~repro.core.filesystem.HFADFileSystem`.  A POSIX path is simply the
+  value of a POSIX tag; directories are ordinary objects named by their path.
+* :mod:`repro.posix.fuse_sim` — :class:`FuseDispatcher`: the stand-in for the
+  FUSE kernel interface.  It routes named operations ("open", "read", ...) to
+  the VFS, counts them, and can record/replay syscall traces so benchmarks
+  and examples can drive the veneer the way a mounted file system would be.
+"""
+
+from repro.posix.vfs import DirEntry, FileDescriptor, PosixVFS, StatResult
+from repro.posix.fuse_sim import FuseDispatcher, SyscallRecord, SyscallTrace
+
+__all__ = [
+    "PosixVFS",
+    "FileDescriptor",
+    "DirEntry",
+    "StatResult",
+    "FuseDispatcher",
+    "SyscallRecord",
+    "SyscallTrace",
+]

@@ -1,0 +1,143 @@
+"""FUSE dispatch simulation.
+
+The paper's prototype uses Linux/FUSE to expose hFAD to unmodified
+applications.  FUSE contributes nothing architectural — it forwards syscalls
+from the kernel to a user-space handler — so this module simulates the
+forwarding: a :class:`FuseDispatcher` maps operation names ("open", "read",
+"mkdir", ...) onto a :class:`~repro.posix.vfs.PosixVFS`, translates the
+veneer's exceptions into errno-style results and keeps per-operation
+counters, and a :class:`SyscallTrace` can record and replay operation streams
+so the same "application workload" can be run against both hFAD and the
+hierarchical baseline.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from repro.errors import PosixError
+from repro.posix.vfs import PosixVFS
+
+
+@dataclass
+class SyscallRecord:
+    """One dispatched operation and its outcome."""
+
+    operation: str
+    args: Tuple
+    kwargs: Dict[str, Any]
+    result: Any = None
+    error: Optional[str] = None  # errno-style name, e.g. "ENOENT"
+
+
+@dataclass
+class SyscallTrace:
+    """An ordered record of dispatched operations (recordable, replayable)."""
+
+    records: List[SyscallRecord] = field(default_factory=list)
+
+    def append(self, record: SyscallRecord) -> None:
+        self.records.append(record)
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def operations(self) -> List[str]:
+        return [record.operation for record in self.records]
+
+    def errors(self) -> List[SyscallRecord]:
+        return [record for record in self.records if record.error is not None]
+
+
+class FuseDispatcher:
+    """Routes named POSIX operations to a VFS, FUSE-style.
+
+    :param vfs: the handler (a :class:`PosixVFS`); a fresh one over a private
+        hFAD instance is created when omitted.
+    :param record: capture every dispatched call into :attr:`trace`.
+    """
+
+    #: operations the dispatcher understands → VFS method names.
+    SUPPORTED_OPERATIONS = {
+        "open": "open",
+        "creat": "creat",
+        "close": "close",
+        "read": "read",
+        "write": "write",
+        "pread": "pread",
+        "pwrite": "pwrite",
+        "lseek": "lseek",
+        "truncate": "truncate",
+        "ftruncate": "ftruncate",
+        "unlink": "unlink",
+        "link": "link",
+        "rename": "rename",
+        "mkdir": "mkdir",
+        "rmdir": "rmdir",
+        "readdir": "readdir",
+        "stat": "stat",
+        "fstat": "fstat",
+        "chmod": "chmod",
+        "chown": "chown",
+    }
+
+    def __init__(self, vfs: Optional[PosixVFS] = None, record: bool = False) -> None:
+        self.vfs = vfs if vfs is not None else PosixVFS()
+        self.record = record
+        self.trace = SyscallTrace()
+        self.operation_counts: Dict[str, int] = {}
+        self.error_counts: Dict[str, int] = {}
+
+    def dispatch(self, operation: str, *args, **kwargs):
+        """Invoke ``operation`` on the VFS.
+
+        Returns the VFS result.  VFS errors are re-raised after being counted
+        and recorded, mirroring how a FUSE handler's exception becomes a
+        negative errno for the caller.
+        """
+        method_name = self.SUPPORTED_OPERATIONS.get(operation)
+        if method_name is None:
+            raise ValueError(f"unsupported FUSE operation {operation!r}")
+        handler: Callable = getattr(self.vfs, method_name)
+        self.operation_counts[operation] = self.operation_counts.get(operation, 0) + 1
+        record = SyscallRecord(operation=operation, args=args, kwargs=dict(kwargs))
+        try:
+            result = handler(*args, **kwargs)
+        except PosixError as error:
+            record.error = error.errno_name
+            self.error_counts[error.errno_name] = self.error_counts.get(error.errno_name, 0) + 1
+            if self.record:
+                self.trace.append(record)
+            raise
+        record.result = result
+        if self.record:
+            self.trace.append(record)
+        return result
+
+    # Convenience pass-throughs so the dispatcher can be used like the VFS.
+    def __getattr__(self, name: str):
+        if name in self.SUPPORTED_OPERATIONS:
+            return lambda *args, **kwargs: self.dispatch(name, *args, **kwargs)
+        raise AttributeError(name)
+
+    @property
+    def total_operations(self) -> int:
+        return sum(self.operation_counts.values())
+
+    def replay(self, trace: SyscallTrace, ignore_errors: bool = True) -> int:
+        """Replay a recorded trace against this dispatcher's VFS.
+
+        Returns the number of operations that completed successfully.  File
+        descriptors in traces are positional, so traces that interleave many
+        descriptors should be replayed against an identically-shaped tree.
+        """
+        succeeded = 0
+        for record in trace.records:
+            try:
+                self.dispatch(record.operation, *record.args, **record.kwargs)
+                succeeded += 1
+            except (PosixError, ValueError):
+                if not ignore_errors:
+                    raise
+        return succeeded

@@ -1,0 +1,139 @@
+"""Automatic APP/USER tagging and a derivation graph.
+
+Usage::
+
+    tagger = ProvenanceTagger(fs)
+    with tagger.application("iphoto", user="margo") as app:
+        oid = app.create(photo_bytes, annotations=["vacation"])
+        thumbnail = app.derive(thumb_bytes, sources=[oid])
+
+Every object created through the context carries APP/iphoto and USER/margo
+names (Table 1's "Applications" row), and the derivation edge from the photo
+to its thumbnail is recorded and queryable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Set
+
+from repro.core.filesystem import HFADFileSystem
+from repro.errors import NamingError
+from repro.index.tags import TAG_APP, TAG_USER, TagValue
+
+
+@dataclass
+class ProvenanceRecord:
+    """What is known about an object's origin."""
+
+    oid: int
+    application: Optional[str]
+    user: Optional[str]
+    sources: List[int] = field(default_factory=list)
+
+
+class ProvenanceTagger:
+    """Wraps a file system with application-context tagging and lineage."""
+
+    def __init__(self, fs: HFADFileSystem) -> None:
+        self.fs = fs
+        self._records: Dict[int, ProvenanceRecord] = {}
+        self._derived_from: Dict[int, Set[int]] = {}
+        self._derives: Dict[int, Set[int]] = {}
+
+    # -------------------------------------------------------------- context
+
+    def application(self, name: str, user: str) -> "ApplicationContext":
+        """Open an application context; objects created inside it are tagged."""
+        if not name or not user:
+            raise NamingError("application contexts need both an application name and a user")
+        return ApplicationContext(self, application=name, user=user)
+
+    # -------------------------------------------------------------- records
+
+    def record(self, oid: int, application: Optional[str], user: Optional[str]) -> ProvenanceRecord:
+        record = self._records.get(oid)
+        if record is None:
+            record = ProvenanceRecord(oid=oid, application=application, user=user)
+            self._records[oid] = record
+        return record
+
+    def provenance_of(self, oid: int) -> Optional[ProvenanceRecord]:
+        return self._records.get(oid)
+
+    def add_derivation(self, derived: int, sources: Iterable[int]) -> None:
+        """Record that ``derived`` was produced from ``sources``."""
+        source_set = set(sources)
+        if derived in source_set:
+            raise NamingError("an object cannot derive from itself")
+        self._derived_from.setdefault(derived, set()).update(source_set)
+        for source in source_set:
+            self._derives.setdefault(source, set()).add(derived)
+        record = self._records.get(derived)
+        if record is not None:
+            record.sources = sorted(self._derived_from[derived])
+
+    def ancestors(self, oid: int) -> List[int]:
+        """Every transitive source of ``oid`` (sorted)."""
+        seen: Set[int] = set()
+        frontier = list(self._derived_from.get(oid, ()))
+        while frontier:
+            current = frontier.pop()
+            if current in seen:
+                continue
+            seen.add(current)
+            frontier.extend(self._derived_from.get(current, ()))
+        return sorted(seen)
+
+    def descendants(self, oid: int) -> List[int]:
+        """Every object transitively derived from ``oid`` (sorted)."""
+        seen: Set[int] = set()
+        frontier = list(self._derives.get(oid, ()))
+        while frontier:
+            current = frontier.pop()
+            if current in seen:
+                continue
+            seen.add(current)
+            frontier.extend(self._derives.get(current, ()))
+        return sorted(seen)
+
+    def objects_by_application(self, application: str) -> List[int]:
+        """All objects an application has produced (via its APP names)."""
+        return self.fs.find(TagValue(TAG_APP, application))
+
+
+class ApplicationContext:
+    """Everything created through this context is tagged APP/<name>, USER/<user>."""
+
+    def __init__(self, tagger: ProvenanceTagger, application: str, user: str) -> None:
+        self.tagger = tagger
+        self.application = application
+        self.user = user
+        self.created: List[int] = []
+
+    def __enter__(self) -> "ApplicationContext":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        return None
+
+    def create(self, content: bytes = b"", **kwargs) -> int:
+        """Like :meth:`HFADFileSystem.create` with APP/USER names added."""
+        kwargs.setdefault("owner", self.user)
+        kwargs["application"] = self.application
+        oid = self.tagger.fs.create(content, **kwargs)
+        self.tagger.record(oid, application=self.application, user=self.user)
+        self.created.append(oid)
+        return oid
+
+    def tag_existing(self, oid: int) -> None:
+        """Stamp an already-existing object with this context's APP/USER names."""
+        self.tagger.fs.tag(oid, TAG_APP, self.application)
+        self.tagger.fs.tag(oid, TAG_USER, self.user)
+        self.tagger.record(oid, application=self.application, user=self.user)
+
+    def derive(self, content: bytes, sources: Sequence[int], **kwargs) -> int:
+        """Create an object derived from ``sources`` (records the lineage)."""
+        oid = self.create(content, **kwargs)
+        self.tagger.add_derivation(oid, sources)
+        return oid

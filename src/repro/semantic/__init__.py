@@ -1,0 +1,22 @@
+"""Semantic-file-system extensions.
+
+Second open question of the paper: "Could/should we employ ideas from the
+semantic filesystem work to extend the notion of a 'current directory' to be
+an iterative refinement of a search?"  This package implements both halves of
+that idea (following Gifford et al.'s semantic file system, which the paper
+cites as prior art):
+
+* :mod:`repro.semantic.virtual_dir` — virtual directories: saved queries that
+  present their current result set as directory listings, so ``ls
+  /queries/vacation-photos`` style access works without any canonical
+  hierarchy.
+* :mod:`repro.semantic.refinement` — the "current directory as iterative
+  refinement": a navigation session where ``cd TAG/value`` narrows the result
+  set, ``up`` pops the last constraint, and facet suggestions show which tags
+  would narrow the current view further.
+"""
+
+from repro.semantic.virtual_dir import VirtualDirectory, VirtualDirectoryTree
+from repro.semantic.refinement import RefinementSession
+
+__all__ = ["VirtualDirectory", "VirtualDirectoryTree", "RefinementSession"]

@@ -1,0 +1,115 @@
+"""Virtual directories: saved queries that look like directories.
+
+A virtual directory has a name and a query; "listing" it evaluates the query
+against the file system's naming layer and renders each matching object as a
+directory entry.  Entry names prefer the object's first POSIX path basename
+(so results look familiar) and fall back to ``object-<oid>``.
+
+Virtual directories never canonize anything: the same object can appear in
+any number of them, and they update automatically as objects gain and lose
+tags — they are views, not copies.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Union
+
+from repro.core.filesystem import HFADFileSystem
+from repro.core.query import Query, parse_query
+from repro.errors import NamingError
+
+
+@dataclass
+class VirtualEntry:
+    """One listing entry of a virtual directory."""
+
+    name: str
+    oid: int
+
+
+class VirtualDirectory:
+    """A named, saved query rendered as a directory listing."""
+
+    def __init__(self, fs: HFADFileSystem, name: str, query: Union[str, Query]) -> None:
+        if not name or "/" in name:
+            raise NamingError(f"virtual directory names must be single components, got {name!r}")
+        self.fs = fs
+        self.name = name
+        self.query = parse_query(query) if isinstance(query, str) else query
+
+    def matching_oids(self) -> List[int]:
+        """Object ids currently matching the saved query."""
+        return self.fs.query(self.query)
+
+    def _entry_name(self, oid: int, seen: Dict[str, int]) -> str:
+        paths = self.fs.paths_for(oid)
+        base = paths[0].rsplit("/", 1)[-1] if paths else f"object-{oid}"
+        if base not in seen:
+            seen[base] = 1
+            return base
+        seen[base] += 1
+        return f"{base}~{seen[base]}"
+
+    def list(self) -> List[VirtualEntry]:
+        """The current listing (names deduplicated, oids stable)."""
+        seen: Dict[str, int] = {}
+        return [VirtualEntry(name=self._entry_name(oid, seen), oid=oid) for oid in self.matching_oids()]
+
+    def lookup(self, name: str) -> Optional[int]:
+        """Resolve a listing name back to an object id."""
+        for entry in self.list():
+            if entry.name == name:
+                return entry.oid
+        return None
+
+    def __len__(self) -> int:
+        return len(self.matching_oids())
+
+
+class VirtualDirectoryTree:
+    """A mount table of virtual directories (e.g. everything under /queries)."""
+
+    def __init__(self, fs: HFADFileSystem, mount_point: str = "/queries") -> None:
+        self.fs = fs
+        self.mount_point = mount_point.rstrip("/") or "/queries"
+        self._directories: Dict[str, VirtualDirectory] = {}
+
+    def define(self, name: str, query: Union[str, Query]) -> VirtualDirectory:
+        """Create (or redefine) a virtual directory."""
+        directory = VirtualDirectory(self.fs, name, query)
+        self._directories[name] = directory
+        return directory
+
+    def remove(self, name: str) -> bool:
+        return self._directories.pop(name, None) is not None
+
+    def names(self) -> List[str]:
+        return sorted(self._directories)
+
+    def get(self, name: str) -> VirtualDirectory:
+        if name not in self._directories:
+            raise NamingError(f"no virtual directory named {name!r}")
+        return self._directories[name]
+
+    def resolve(self, path: str) -> Union[List[VirtualEntry], int]:
+        """Resolve a path under the mount point.
+
+        ``/queries`` lists the defined directories, ``/queries/<name>`` lists
+        a directory, ``/queries/<name>/<entry>`` returns the entry's object id.
+        """
+        if not path.startswith(self.mount_point):
+            raise NamingError(f"{path!r} is outside the virtual mount {self.mount_point!r}")
+        remainder = path[len(self.mount_point):].strip("/")
+        if not remainder:
+            return [VirtualEntry(name=name, oid=-1) for name in self.names()]
+        parts = remainder.split("/")
+        directory = self.get(parts[0])
+        if len(parts) == 1:
+            return directory.list()
+        if len(parts) == 2:
+            oid = directory.lookup(parts[1])
+            if oid is None:
+                raise NamingError(f"{parts[1]!r} is not in virtual directory {parts[0]!r}")
+            return oid
+        raise NamingError("virtual directories are flat; nothing exists below an entry")

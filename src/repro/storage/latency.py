@@ -1,0 +1,116 @@
+"""Latency/cost models for the simulated block device.
+
+The paper's Section 2.2 cites Stein's "Stupid File Systems Are Better" to
+argue that layout clustering assumptions break down on modern storage (SANs,
+SSDs).  To reproduce that argument (experiment E5) the block device charges
+each I/O according to a pluggable model:
+
+* :class:`HDDLatencyModel` — seek + rotational + transfer cost, so physically
+  adjacent blocks are much cheaper to read in sequence than scattered blocks.
+* :class:`SSDLatencyModel` — near-uniform access cost regardless of locality.
+* :class:`NullLatencyModel` — zero cost; useful when only operation *counts*
+  matter.
+
+The models return simulated microseconds.  They never sleep — callers
+accumulate the returned cost into :class:`repro.storage.block_device.DeviceStats`
+so experiments are deterministic and fast.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+class LatencyModel:
+    """Interface for per-I/O cost models.
+
+    Implementations are stateful: they remember the last accessed block so
+    that sequential-vs-random behaviour can be modelled.
+    """
+
+    def cost(self, block: int, nblocks: int, write: bool) -> float:
+        """Return the simulated cost (microseconds) of an I/O.
+
+        :param block: first block address of the request.
+        :param nblocks: number of contiguous blocks transferred.
+        :param write: ``True`` for writes, ``False`` for reads.
+        """
+        raise NotImplementedError
+
+    def reset(self) -> None:
+        """Forget positioning state (e.g. between benchmark phases)."""
+
+
+class NullLatencyModel(LatencyModel):
+    """Charges nothing; only I/O counts matter."""
+
+    def cost(self, block: int, nblocks: int, write: bool) -> float:
+        return 0.0
+
+    def reset(self) -> None:  # pragma: no cover - nothing to reset
+        return None
+
+
+@dataclass
+class HDDLatencyModel(LatencyModel):
+    """A simple single-platter disk model.
+
+    Cost = (seek proportional to head movement, capped at ``full_seek_us``)
+         + (average rotational delay when a seek occurred)
+         + (per-block transfer time).
+
+    Sequential access after the previous request's last block incurs only
+    transfer time, which is what makes cylinder-group style clustering pay
+    off on this model — and *only* on this model.
+    """
+
+    #: full-stroke seek in microseconds (a 2009-era 7200rpm disk: ~8-9 ms).
+    full_seek_us: float = 8000.0
+    #: average rotational latency in microseconds (7200 rpm => 4.16 ms).
+    rotational_us: float = 4160.0
+    #: transfer time per block in microseconds (~60 MB/s at 4 KiB blocks).
+    transfer_us_per_block: float = 65.0
+    #: device size used to scale seek distance; set by the device on attach.
+    total_blocks: int = 1 << 20
+
+    def __post_init__(self) -> None:
+        self._head = 0
+        self._sequential_next = 0
+
+    def cost(self, block: int, nblocks: int, write: bool) -> float:
+        cost = nblocks * self.transfer_us_per_block
+        if block != self._sequential_next:
+            distance = abs(block - self._head)
+            fraction = min(1.0, distance / max(1, self.total_blocks))
+            # Seek time grows sub-linearly with distance; sqrt is the usual
+            # first-order approximation for arm acceleration/settle.
+            cost += self.full_seek_us * (fraction ** 0.5)
+            cost += self.rotational_us
+        self._head = block + nblocks - 1
+        self._sequential_next = block + nblocks
+        return cost
+
+    def reset(self) -> None:
+        self._head = 0
+        self._sequential_next = 0
+
+
+@dataclass
+class SSDLatencyModel(LatencyModel):
+    """A flash device: constant per-request overhead plus per-block transfer.
+
+    Writes cost more than reads (program vs read latency); locality does not
+    matter, which is the property Stein's argument (and the paper's §2.2)
+    relies on.
+    """
+
+    read_request_us: float = 60.0
+    write_request_us: float = 200.0
+    transfer_us_per_block: float = 10.0
+
+    def cost(self, block: int, nblocks: int, write: bool) -> float:
+        base = self.write_request_us if write else self.read_request_us
+        return base + nblocks * self.transfer_us_per_block
+
+    def reset(self) -> None:  # pragma: no cover - stateless
+        return None

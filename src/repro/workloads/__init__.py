@@ -1,0 +1,41 @@
+"""Synthetic workload and corpus generators.
+
+The paper motivates hFAD with the "management nightmare" of large personal
+media libraries — "many gigabytes worth of photo, video, and audio libraries
+on a single pc" — whose items want to be found "based on who is in it, when
+it was taken, where it was taken" rather than by pathname.  Those libraries
+are not distributable, so this package synthesizes corpora with the same
+shape (deterministic per seed):
+
+* :func:`photo_corpus` — photos with people/place/year/camera attributes,
+  colour histograms and caption text, plus a canonical directory layout.
+* :func:`mail_corpus` — messages with sender/folder/thread attributes.
+* :func:`document_corpus` — office documents with project/type attributes and
+  realistic amounts of body text.
+* :func:`mixed_corpus` — the union, in proportions resembling a 2009 home
+  directory.
+
+Each item is a :class:`SyntheticFile` that can be loaded into hFAD
+(tags + content) or the FFS baseline (path + content) identically, so the two
+systems always see the same data.
+"""
+
+from repro.workloads.corpus import (
+    SyntheticFile,
+    document_corpus,
+    load_into_ffs,
+    load_into_hfad,
+    mail_corpus,
+    mixed_corpus,
+    photo_corpus,
+)
+
+__all__ = [
+    "SyntheticFile",
+    "photo_corpus",
+    "mail_corpus",
+    "document_corpus",
+    "mixed_corpus",
+    "load_into_hfad",
+    "load_into_ffs",
+]

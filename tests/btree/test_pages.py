@@ -1,0 +1,124 @@
+"""Direct tests for the btree page stores and node encoding."""
+
+import pytest
+
+from repro.btree import DevicePageStore, InMemoryPageStore
+from repro.btree.node import NO_PAGE, InnerNode, LeafNode, decode_node
+from repro.errors import BTreeError
+from repro.storage import BlockDevice, BuddyAllocator
+
+
+class TestNodeEncoding:
+    def test_leaf_roundtrip(self):
+        leaf = LeafNode(keys=[b"a", b"bb"], values=[b"1", b""], next_leaf=42)
+        decoded = decode_node(leaf.encode())
+        assert decoded.keys == [b"a", b"bb"]
+        assert decoded.values == [b"1", b""]
+        assert decoded.next_leaf == 42
+        assert decoded.is_leaf
+
+    def test_inner_roundtrip(self):
+        inner = InnerNode(keys=[b"m"], children=[3, 9])
+        decoded = decode_node(inner.encode())
+        assert decoded.keys == [b"m"]
+        assert decoded.children == [3, 9]
+        assert not decoded.is_leaf
+
+    def test_empty_leaf_roundtrip(self):
+        decoded = decode_node(LeafNode().encode())
+        assert decoded.keys == []
+        assert decoded.next_leaf == NO_PAGE
+
+    def test_truncated_and_garbage_pages_rejected(self):
+        with pytest.raises(BTreeError):
+            decode_node(b"\x01")
+        with pytest.raises(BTreeError):
+            decode_node(b"\x09" + b"\x00" * 64)  # unknown node type
+
+
+class TestInMemoryPageStore:
+    def test_allocate_write_read_free(self):
+        store = InMemoryPageStore()
+        page = store.allocate()
+        store.write(page, LeafNode(keys=[b"k"], values=[b"v"]))
+        assert store.read(page).keys == [b"k"]
+        assert store.live_pages == 1
+        store.free(page)
+        assert store.live_pages == 0
+
+    def test_read_of_unknown_or_unwritten_page(self):
+        store = InMemoryPageStore()
+        with pytest.raises(BTreeError):
+            store.read(999)
+        page = store.allocate()
+        with pytest.raises(BTreeError):
+            store.read(page)
+
+    def test_write_to_unallocated_page_rejected(self):
+        store = InMemoryPageStore()
+        with pytest.raises(BTreeError):
+            store.write(12345, LeafNode())
+
+    def test_counters(self):
+        store = InMemoryPageStore()
+        page = store.allocate()
+        store.write(page, LeafNode())
+        store.read(page)
+        assert (store.reads, store.writes) == (1, 1)
+        store.reset_counters()
+        assert (store.reads, store.writes) == (0, 0)
+
+
+class TestDevicePageStore:
+    def make_store(self, cache_pages=8, page_blocks=2):
+        device = BlockDevice(num_blocks=1 << 12, block_size=512)
+        allocator = BuddyAllocator(total_blocks=1 << 12)
+        return DevicePageStore(device, allocator, page_blocks=page_blocks, cache_pages=cache_pages), device
+
+    def test_roundtrip_through_device_blocks(self):
+        store, device = self.make_store(cache_pages=0)
+        page = store.allocate()
+        store.write(page, LeafNode(keys=[b"disk"], values=[b"yes"]))
+        assert store.read(page).values == [b"yes"]
+        assert device.stats.writes == 1
+        assert device.stats.reads == 1
+
+    def test_cache_hit_and_miss_counters(self):
+        store, device = self.make_store(cache_pages=4)
+        page = store.allocate()
+        store.write(page, LeafNode(keys=[b"k"], values=[b"v"]))
+        store.drop_cache()
+        store.read(page)
+        store.read(page)
+        assert store.cache_misses == 1
+        assert store.cache_hits == 1
+        assert device.stats.reads == 1  # second read served from cache
+
+    def test_cache_eviction_is_bounded(self):
+        store, _ = self.make_store(cache_pages=2)
+        pages = []
+        for index in range(5):
+            page = store.allocate()
+            store.write(page, LeafNode(keys=[bytes([index])], values=[b""]))
+            pages.append(page)
+        assert len(store._cache) <= 2
+
+    def test_oversized_node_rejected(self):
+        store, _ = self.make_store(page_blocks=1)
+        page = store.allocate()
+        with pytest.raises(BTreeError):
+            store.write(page, LeafNode(keys=[b"k"], values=[bytes(4096)]))
+
+    def test_free_returns_blocks_to_allocator(self):
+        store, _ = self.make_store()
+        free_before = store.allocator.free_blocks
+        page = store.allocate()
+        assert store.allocator.free_blocks < free_before
+        store.free(page)
+        assert store.allocator.free_blocks == free_before
+
+    def test_invalid_page_blocks(self):
+        device = BlockDevice(num_blocks=64, block_size=512)
+        allocator = BuddyAllocator(total_blocks=64)
+        with pytest.raises(ValueError):
+            DevicePageStore(device, allocator, page_blocks=0)

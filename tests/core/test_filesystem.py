@@ -1,0 +1,200 @@
+"""Integration-level tests for the HFADFileSystem facade."""
+
+import pytest
+
+from repro.core import HFADFileSystem
+from repro.errors import NoSuchObjectError
+from repro.index import TAG_FULLTEXT, TAG_UDEF, TAG_USER, TagValue
+
+
+@pytest.fixture
+def fs():
+    filesystem = HFADFileSystem()
+    yield filesystem
+    filesystem.close()
+
+
+class TestObjectLifecycle:
+    def test_create_with_content_and_names(self, fs):
+        oid = fs.create(
+            b"Trip report: grand canyon hike with margo",
+            path="/docs/trip.txt",
+            owner="nick",
+            application="textedit",
+            annotations=["vacation"],
+        )
+        assert fs.exists(oid)
+        assert fs.read(oid).startswith(b"Trip report")
+        assert fs.lookup_path("/docs/trip.txt") == oid
+        names = fs.names_for(oid)
+        assert TagValue(TAG_USER, "nick") in names
+        assert TagValue("APP", "textedit") in names
+        assert TagValue(TAG_UDEF, "vacation") in names
+        assert TagValue(TAG_FULLTEXT, "canyon") in names
+
+    def test_delete_scrubs_names(self, fs):
+        oid = fs.create(b"short lived", path="/tmp/x", annotations=["temp"])
+        fs.delete(oid)
+        assert not fs.exists(oid)
+        assert fs.lookup_path("/tmp/x") is None
+        assert fs.find(("UDEF", "temp")) == []
+        with pytest.raises(NoSuchObjectError):
+            fs.delete(oid)
+
+    def test_create_without_content_indexing(self, fs):
+        oid = fs.create(b"secret words here", index_content=False)
+        assert fs.search_text("secret") == []
+        fs.enable_content_indexing(oid)
+        assert fs.search_text("secret") == [oid]
+        fs.disable_content_indexing(oid)
+        assert fs.search_text("secret") == []
+
+    def test_object_count_and_listing(self, fs):
+        oids = [fs.create(b"x") for _ in range(3)]
+        assert fs.object_count == 3
+        assert fs.list_objects() == oids
+
+
+class TestAccessThroughFacade:
+    def test_write_insert_truncate_and_reindex(self, fs):
+        oid = fs.create(b"the quick brown fox")
+        assert fs.search_text("fox") == [oid]
+        fs.write(oid, 4, b"timid")
+        assert fs.read(oid) == b"the timid brown fox"
+        fs.insert(oid, 0, b"see ")
+        assert fs.read(oid).startswith(b"see the")
+        fs.truncate(oid, 0, 4)
+        assert fs.read(oid) == b"the timid brown fox"
+        # Reindexing tracked the edits: "quick" is gone, "timid" is findable.
+        assert fs.search_text("quick") == []
+        assert fs.search_text("timid") == [oid]
+
+    def test_append_and_open_handle(self, fs):
+        oid = fs.create(b"line one\n")
+        fs.append(oid, b"line two\n")
+        with fs.open(oid) as handle:
+            assert handle.read() == b"line one\nline two\n"
+        assert fs.size(oid) == 18
+
+    def test_stat_and_attributes(self, fs):
+        oid = fs.create(b"x", owner="margo", attributes={"type": "note"})
+        fs.set_attributes(oid, project="hfad")
+        metadata = fs.stat(oid)
+        assert metadata.owner == "margo"
+        assert metadata.attributes == {"type": "note", "project": "hfad"}
+
+
+class TestNamingThroughFacade:
+    def test_find_conjunction(self, fs):
+        photo1 = fs.create(b"beach sunset", owner="margo", annotations=["vacation", "beach"])
+        photo2 = fs.create(b"beach volleyball", owner="nick", annotations=["vacation", "beach"])
+        fs.create(b"tax forms", owner="margo")
+        assert fs.find(("UDEF", "beach")) == [photo1, photo2]
+        assert fs.find(("UDEF", "beach"), ("USER", "margo")) == [photo1]
+        assert fs.find_one(("UDEF", "beach"), ("USER", "nick")) == photo2
+
+    def test_boolean_query(self, fs):
+        a = fs.create(b"", owner="margo", annotations=["work"])
+        b = fs.create(b"", owner="margo", annotations=["play"])
+        fs.create(b"", owner="nick", annotations=["play"])
+        assert fs.query("USER/margo AND NOT UDEF/play") == [a]
+        assert fs.query("UDEF/work OR UDEF/play") == [a, b, 3]
+
+    def test_tag_untag(self, fs):
+        oid = fs.create(b"")
+        fs.tag(oid, "UDEF", "starred")
+        assert fs.find(("UDEF", "starred")) == [oid]
+        assert fs.untag(oid, "UDEF", "starred")
+        assert not fs.untag(oid, "UDEF", "starred")
+        with pytest.raises(NoSuchObjectError):
+            fs.tag(999, "UDEF", "x")
+
+    def test_multiple_posix_names(self, fs):
+        oid = fs.create(b"family photo", path="/photos/2009/beach.jpg")
+        fs.link_path("/albums/summer/beach.jpg", oid)
+        assert set(fs.paths_for(oid)) == {
+            "/photos/2009/beach.jpg",
+            "/albums/summer/beach.jpg",
+        }
+        assert fs.unlink_path("/albums/summer/beach.jpg") == oid
+        assert fs.lookup_path("/albums/summer/beach.jpg") is None
+        assert fs.lookup_path("/photos/2009/beach.jpg") == oid
+        with pytest.raises(NoSuchObjectError):
+            fs.link_path("/x", 999)
+
+    def test_full_text_and_ranked_search(self, fs):
+        a = fs.create(b"budget spreadsheet for the grand project")
+        b = fs.create(b"grand canyon photos from the vacation")
+        assert fs.search_text("grand") == [a, b]
+        assert fs.search_text("grand canyon") == [b]
+        assert fs.search_text("") == []
+        hits = fs.rank_text("grand canyon")
+        assert hits[0].doc_id == b
+
+    def test_image_indexing(self, fs):
+        oid = fs.create(b"\x89PNG fake image bytes", index_content=False)
+        color = fs.index_image(oid, [10, 0, 0, 0, 0, 0, 0, 0])
+        assert color == "red"
+        assert fs.find(("IMAGE", "color:red")) == [oid]
+        with pytest.raises(NoSuchObjectError):
+            fs.index_image(999, [1] * 8)
+
+    def test_cross_index_conjunction(self, fs):
+        photo = fs.create(
+            b"sunset over the pacific ocean",
+            owner="margo",
+            annotations=["vacation"],
+            path="/photos/sunset.jpg",
+        )
+        fs.index_image(photo, [8, 2, 0, 0, 0, 0, 0, 0])
+        other = fs.create(b"sunset poem draft", owner="margo")
+        results = fs.find(
+            ("FULLTEXT", "sunset"), ("USER", "margo"), ("IMAGE", "color:red")
+        )
+        assert results == [photo]
+        assert other not in results
+
+
+class TestTransactionsThroughFacade:
+    def test_abort_rolls_back_tags(self, fs):
+        oid = fs.create(b"")
+        txn = fs.begin()
+        fs.tag(oid, "UDEF", "tentative", txn=txn)
+        fs.untag(oid, "USER", "root", txn=txn)
+        txn.abort()
+        assert fs.find(("UDEF", "tentative")) == []
+        assert fs.find(("USER", "root")) == [oid]
+
+    def test_abort_rolls_back_creation(self, fs):
+        txn = fs.begin()
+        oid = fs.create(b"temp", path="/t", txn=txn)
+        txn.abort()
+        assert not fs.exists(oid)
+        assert fs.lookup_path("/t") is None
+
+    def test_commit_keeps_everything(self, fs):
+        with fs.begin() as txn:
+            oid = fs.create(b"durable", txn=txn)
+            fs.tag(oid, "UDEF", "kept", txn=txn)
+        assert fs.exists(oid)
+        assert fs.find(("UDEF", "kept")) == [oid]
+
+
+class TestLazyIndexingMode:
+    def test_lazy_content_search_after_flush(self):
+        with HFADFileSystem(lazy_indexing=True, index_workers=2) as fs:
+            oids = [fs.create(f"lazy document {i} mentioning photos".encode()) for i in range(10)]
+            assert fs.flush_indexing(timeout=10)
+            assert fs.search_text("photos") == oids
+
+
+class TestStats:
+    def test_stats_snapshot(self, fs):
+        oid = fs.create(b"some words", path="/a")
+        fs.read(oid)
+        fs.find(("USER", "root"))
+        stats = fs.stats()
+        assert stats["object_count"] == 1
+        assert stats["objects"].bytes_read > 0
+        assert stats["naming"].naming_operations == 1
+        assert stats["device"].writes >= 1

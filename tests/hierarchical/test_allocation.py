@@ -1,0 +1,95 @@
+"""Tests for the cylinder-group allocator."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import AllocationError, OutOfSpaceError
+from repro.hierarchical import CylinderGroupAllocator
+
+
+class TestCylinderGroups:
+    def test_allocation_prefers_requested_group(self):
+        allocator = CylinderGroupAllocator(total_blocks=1600, group_count=16)
+        block = allocator.allocate(preferred_group=5)
+        assert allocator.group_of(block) == 5
+        assert allocator.locality_fraction() == 1.0
+
+    def test_allocate_near(self):
+        allocator = CylinderGroupAllocator(total_blocks=1600, group_count=16)
+        first = allocator.allocate(preferred_group=3)
+        second = allocator.allocate_near(first)
+        assert allocator.group_of(second) == allocator.group_of(first)
+
+    def test_spill_to_neighbouring_group(self):
+        allocator = CylinderGroupAllocator(total_blocks=160, group_count=16)
+        # Exhaust group 0 (10 blocks per group).
+        for _ in range(10):
+            allocator.allocate(preferred_group=0)
+        spilled = allocator.allocate(preferred_group=0)
+        assert allocator.group_of(spilled) != 0
+        assert allocator.spills == 1
+        assert allocator.locality_fraction() < 1.0
+
+    def test_exhaustion(self):
+        allocator = CylinderGroupAllocator(total_blocks=16, group_count=4)
+        for _ in range(16):
+            allocator.allocate()
+        with pytest.raises(OutOfSpaceError):
+            allocator.allocate()
+
+    def test_free_and_reuse(self):
+        allocator = CylinderGroupAllocator(total_blocks=64, group_count=4)
+        block = allocator.allocate(preferred_group=2)
+        allocator.free(block)
+        assert not allocator.is_allocated(block)
+        assert allocator.allocate(preferred_group=2) == block
+
+    def test_double_free_rejected(self):
+        allocator = CylinderGroupAllocator(total_blocks=64, group_count=4)
+        block = allocator.allocate()
+        allocator.free(block)
+        with pytest.raises(AllocationError):
+            allocator.free(block)
+
+    def test_reserved_region_not_allocated(self):
+        allocator = CylinderGroupAllocator(total_blocks=100, group_count=4, reserved=20)
+        blocks = [allocator.allocate() for _ in range(40)]
+        assert min(blocks) >= 20
+
+    def test_group_of_out_of_range(self):
+        allocator = CylinderGroupAllocator(total_blocks=100, group_count=4, reserved=20)
+        with pytest.raises(AllocationError):
+            allocator.group_of(5)
+        with pytest.raises(AllocationError):
+            allocator.group_of(1000)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            CylinderGroupAllocator(total_blocks=0)
+        with pytest.raises(ValueError):
+            CylinderGroupAllocator(total_blocks=10, group_count=0)
+        with pytest.raises(ValueError):
+            CylinderGroupAllocator(total_blocks=10, group_count=20)
+        with pytest.raises(ValueError):
+            CylinderGroupAllocator(total_blocks=10, reserved=10)
+
+    def test_allocate_many(self):
+        allocator = CylinderGroupAllocator(total_blocks=1600, group_count=16)
+        blocks = allocator.allocate_many(5, preferred_group=7)
+        assert len(set(blocks)) == 5
+        assert all(allocator.group_of(block) == 7 for block in blocks)
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.lists(st.integers(0, 15), min_size=1, max_size=150))
+    def test_no_block_handed_out_twice(self, groups):
+        allocator = CylinderGroupAllocator(total_blocks=160, group_count=16)
+        seen = set()
+        for group in groups:
+            try:
+                block = allocator.allocate(preferred_group=group)
+            except OutOfSpaceError:
+                break
+            assert block not in seen
+            seen.add(block)
+        assert allocator.free_blocks == 160 - len(seen)

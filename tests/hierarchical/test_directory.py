@@ -1,0 +1,94 @@
+"""Direct tests for the FFS directory manager."""
+
+import pytest
+
+from repro.errors import FileExists, FileNotFound, InvalidArgument
+from repro.hierarchical import CylinderGroupAllocator, InodeTable
+from repro.hierarchical.directory import DirectoryManager
+from repro.hierarchical.inode import FILE_TYPE_DIRECTORY
+from repro.storage import BlockDevice
+
+
+@pytest.fixture
+def manager_and_dir():
+    device = BlockDevice(num_blocks=1 << 12, block_size=512)
+    allocator = CylinderGroupAllocator(device.num_blocks, group_count=4)
+    inodes = InodeTable(device, allocator)
+    manager = DirectoryManager(inodes)
+    directory = inodes.allocate_inode(FILE_TYPE_DIRECTORY)
+    return manager, directory, inodes
+
+
+class TestDirectoryManager:
+    def test_add_lookup_remove(self, manager_and_dir):
+        manager, directory, _ = manager_and_dir
+        manager.add(directory, "file.txt", 7)
+        assert manager.lookup(directory, "file.txt") == 7
+        assert manager.lookup(directory, "missing") is None
+        assert manager.remove(directory, "file.txt") == 7
+        assert manager.lookup(directory, "file.txt") is None
+
+    def test_entries_and_counts(self, manager_and_dir):
+        manager, directory, _ = manager_and_dir
+        assert manager.is_empty(directory)
+        for index, name in enumerate(["c", "a", "b"], start=10):
+            manager.add(directory, name, index)
+        assert manager.entry_count(directory) == 3
+        assert manager.entries(directory) == {"c": 10, "a": 11, "b": 12}
+        assert not manager.is_empty(directory)
+
+    def test_duplicate_add_rejected(self, manager_and_dir):
+        manager, directory, _ = manager_and_dir
+        manager.add(directory, "x", 1)
+        with pytest.raises(FileExists):
+            manager.add(directory, "x", 2)
+
+    def test_remove_missing_rejected(self, manager_and_dir):
+        manager, directory, _ = manager_and_dir
+        with pytest.raises(FileNotFound):
+            manager.remove(directory, "ghost")
+
+    def test_rename_entry(self, manager_and_dir):
+        manager, directory, _ = manager_and_dir
+        manager.add(directory, "old", 5)
+        manager.add(directory, "taken", 6)
+        manager.rename_entry(directory, "old", "new")
+        assert manager.lookup(directory, "new") == 5
+        assert manager.lookup(directory, "old") is None
+        with pytest.raises(FileNotFound):
+            manager.rename_entry(directory, "ghost", "x")
+        with pytest.raises(FileExists):
+            manager.rename_entry(directory, "new", "taken")
+
+    def test_invalid_names_rejected(self, manager_and_dir):
+        manager, directory, _ = manager_and_dir
+        for bad in ("", "has/slash", "has\ttab", "has\nnewline"):
+            with pytest.raises(InvalidArgument):
+                manager.add(directory, bad, 1)
+
+    def test_operations_on_non_directory_rejected(self, manager_and_dir):
+        manager, _, inodes = manager_and_dir
+        regular = inodes.allocate_inode()
+        with pytest.raises(InvalidArgument):
+            manager.add(regular, "x", 1)
+        with pytest.raises(InvalidArgument):
+            manager.entries(regular)
+        with pytest.raises(InvalidArgument):
+            manager.lookup(regular, "x")
+
+    def test_entries_survive_directory_growth(self, manager_and_dir):
+        manager, directory, _ = manager_and_dir
+        # Enough entries to push the directory file past one block.
+        for index in range(80):
+            manager.add(directory, f"entry-with-a-long-name-{index:04d}", index)
+        assert manager.entry_count(directory) == 80
+        assert manager.lookup(directory, "entry-with-a-long-name-0079") == 79
+        assert directory.size > 512
+
+    def test_entry_scan_counter(self, manager_and_dir):
+        manager, directory, _ = manager_and_dir
+        for index in range(10):
+            manager.add(directory, f"f{index}", index)
+        before = manager.entry_scans
+        manager.lookup(directory, "f9")
+        assert manager.entry_scans - before == 10  # linear scan to the last entry

@@ -1,0 +1,266 @@
+"""Tests for the FFS-style hierarchical file system and desktop search."""
+
+import pytest
+
+from repro.errors import (
+    DirectoryNotEmpty,
+    FileExists,
+    FileNotFound,
+    InvalidArgument,
+    IsADirectory,
+    NotADirectory,
+)
+from repro.hierarchical import DesktopSearchEngine, FFSFileSystem
+
+
+@pytest.fixture
+def ffs():
+    return FFSFileSystem(num_blocks=1 << 14)
+
+
+class TestPathResolution:
+    def test_root_resolves(self, ffs):
+        assert ffs.namei("/").is_directory
+
+    def test_nested_resolution_counts_components(self, ffs):
+        ffs.makedirs("/home/margo/mail")
+        ffs.create("/home/margo/mail/inbox.mbox", b"mail!")
+        before = ffs.stats.path_components_traversed
+        ffs.namei("/home/margo/mail/inbox.mbox")
+        assert ffs.stats.path_components_traversed - before == 4
+
+    def test_missing_path(self, ffs):
+        with pytest.raises(FileNotFound):
+            ffs.namei("/does/not/exist")
+
+    def test_file_used_as_directory(self, ffs):
+        ffs.create("/file", b"x")
+        with pytest.raises(NotADirectory):
+            ffs.namei("/file/sub")
+
+    def test_exists(self, ffs):
+        ffs.create("/present", b"")
+        assert ffs.exists("/present")
+        assert not ffs.exists("/absent")
+        assert not ffs.exists("/present/below")
+
+
+class TestFileOperations:
+    def test_create_write_read(self, ffs):
+        ffs.create("/notes.txt", b"initial")
+        assert ffs.read("/notes.txt") == b"initial"
+        ffs.write("/notes.txt", 7, b" more")
+        assert ffs.read("/notes.txt") == b"initial more"
+        assert ffs.size("/notes.txt") == 12
+
+    def test_create_duplicate_rejected(self, ffs):
+        ffs.create("/dup", b"")
+        with pytest.raises(FileExists):
+            ffs.create("/dup", b"")
+
+    def test_create_in_missing_directory(self, ffs):
+        with pytest.raises(FileNotFound):
+            ffs.create("/no/dir/file", b"")
+
+    def test_append(self, ffs):
+        ffs.create("/log", b"one\n")
+        assert ffs.append("/log", b"two\n") == 4
+        assert ffs.read("/log") == b"one\ntwo\n"
+
+    def test_read_write_directory_rejected(self, ffs):
+        ffs.mkdir("/d")
+        with pytest.raises(IsADirectory):
+            ffs.read("/d")
+        with pytest.raises(IsADirectory):
+            ffs.write("/d", 0, b"x")
+        with pytest.raises(IsADirectory):
+            ffs.truncate("/d", 0)
+
+    def test_truncate(self, ffs):
+        ffs.create("/t", b"0123456789")
+        ffs.truncate("/t", 4)
+        assert ffs.read("/t") == b"0123"
+
+    def test_unlink(self, ffs):
+        ffs.create("/gone", b"x")
+        ffs.unlink("/gone")
+        assert not ffs.exists("/gone")
+        with pytest.raises(FileNotFound):
+            ffs.unlink("/gone")
+
+    def test_unlink_directory_rejected(self, ffs):
+        ffs.mkdir("/d")
+        with pytest.raises(IsADirectory):
+            ffs.unlink("/d")
+
+    def test_hard_link(self, ffs):
+        ffs.create("/original", b"shared")
+        ffs.link("/original", "/alias")
+        assert ffs.read("/alias") == b"shared"
+        assert ffs.stat("/alias").nlink == 2
+        ffs.unlink("/original")
+        assert ffs.read("/alias") == b"shared"
+        with pytest.raises(FileExists):
+            ffs.create("/alias", b"")
+
+    def test_insert_via_rewrite(self, ffs):
+        ffs.create("/f", b"hello world")
+        ffs.insert_via_rewrite("/f", 5, b" there")
+        assert ffs.read("/f") == b"hello there world"
+        with pytest.raises(InvalidArgument):
+            ffs.insert_via_rewrite("/f", 1000, b"x")
+
+    def test_remove_range_via_rewrite(self, ffs):
+        ffs.create("/f", b"hello cruel world")
+        assert ffs.remove_range_via_rewrite("/f", 5, 6) == 6
+        assert ffs.read("/f") == b"hello world"
+        assert ffs.remove_range_via_rewrite("/f", 100, 5) == 0
+
+    def test_rename_file(self, ffs):
+        ffs.create("/old", b"data")
+        ffs.makedirs("/new-home")
+        ffs.rename("/old", "/new-home/new")
+        assert ffs.read("/new-home/new") == b"data"
+        assert not ffs.exists("/old")
+
+    def test_rename_overwrites_file(self, ffs):
+        ffs.create("/src", b"new")
+        ffs.create("/dst", b"old")
+        ffs.rename("/src", "/dst")
+        assert ffs.read("/dst") == b"new"
+
+    def test_rename_onto_nonempty_directory_rejected(self, ffs):
+        ffs.mkdir("/src")
+        ffs.mkdir("/dst")
+        ffs.create("/dst/occupant", b"x")
+        with pytest.raises(DirectoryNotEmpty):
+            ffs.rename("/src", "/dst")
+
+    def test_rename_missing(self, ffs):
+        with pytest.raises(FileNotFound):
+            ffs.rename("/missing", "/elsewhere")
+
+
+class TestDirectories:
+    def test_mkdir_readdir(self, ffs):
+        ffs.mkdir("/music")
+        ffs.create("/music/song.mp3", b"")
+        ffs.mkdir("/music/albums")
+        assert ffs.readdir("/music") == ["albums", "song.mp3"]
+        assert ffs.readdir("/") == ["music"]
+
+    def test_mkdir_duplicate_and_missing_parent(self, ffs):
+        ffs.mkdir("/d")
+        with pytest.raises(FileExists):
+            ffs.mkdir("/d")
+        with pytest.raises(FileNotFound):
+            ffs.mkdir("/a/b")
+
+    def test_makedirs(self, ffs):
+        ffs.makedirs("/a/b/c")
+        assert ffs.stat("/a/b/c").is_directory
+        ffs.makedirs("/a/b/c")  # idempotent
+
+    def test_rmdir(self, ffs):
+        ffs.mkdir("/empty")
+        ffs.rmdir("/empty")
+        assert not ffs.exists("/empty")
+        ffs.mkdir("/full")
+        ffs.create("/full/f", b"")
+        with pytest.raises(DirectoryNotEmpty):
+            ffs.rmdir("/full")
+        ffs.create("/file", b"")
+        with pytest.raises(NotADirectory):
+            ffs.rmdir("/file")
+        with pytest.raises(FileNotFound):
+            ffs.rmdir("/missing")
+
+    def test_readdir_on_file(self, ffs):
+        ffs.create("/f", b"")
+        with pytest.raises(NotADirectory):
+            ffs.readdir("/f")
+
+    def test_walk(self, ffs):
+        ffs.makedirs("/home/margo")
+        ffs.makedirs("/home/nick")
+        ffs.create("/home/margo/a.txt", b"")
+        ffs.create("/home/nick/b.txt", b"")
+        ffs.create("/top.txt", b"")
+        assert ffs.walk("/") == ["/home/margo/a.txt", "/home/nick/b.txt", "/top.txt"]
+        assert ffs.walk("/home/margo") == ["/home/margo/a.txt"]
+        assert ffs.walk("/top.txt") == ["/top.txt"]
+
+
+class TestStatsAndPlacement:
+    def test_data_placed_in_directory_group(self, ffs):
+        ffs.makedirs("/home/margo")
+        inode = ffs.create("/home/margo/file", b"x" * 3000)
+        group = getattr(ffs.namei("/home/margo"), "preferred_group", 0)
+        data_blocks = [b for b in inode.direct if b is not None]
+        assert data_blocks
+        assert all(ffs.allocator.group_of(block) == group for block in data_blocks)
+
+    def test_operation_counters(self, ffs):
+        ffs.makedirs("/a/b")
+        ffs.create("/a/b/f", b"x")
+        ffs.read("/a/b/f")
+        ffs.unlink("/a/b/f")
+        assert ffs.stats.files_created == 1
+        assert ffs.stats.files_removed == 1
+        assert ffs.stats.namei_calls > 0
+        assert ffs.stats.directory_lookups > 0
+
+
+class TestDesktopSearch:
+    @pytest.fixture
+    def populated(self, ffs):
+        ffs.makedirs("/home/margo/photos")
+        ffs.makedirs("/home/nick/docs")
+        ffs.create("/home/margo/photos/canyon.txt", b"grand canyon vacation photos")
+        ffs.create("/home/margo/photos/beach.txt", b"beach vacation sunset")
+        ffs.create("/home/nick/docs/budget.txt", b"quarterly budget spreadsheet")
+        return ffs
+
+    def test_crawl_and_search(self, populated):
+        engine = DesktopSearchEngine(populated)
+        assert engine.crawl() == 3
+        assert engine.search_paths("vacation") == [
+            "/home/margo/photos/beach.txt",
+            "/home/margo/photos/canyon.txt",
+        ]
+        assert engine.search_paths("budget") == ["/home/nick/docs/budget.txt"]
+        assert engine.search_paths("nothing") == []
+
+    def test_search_and_read(self, populated):
+        engine = DesktopSearchEngine(populated)
+        engine.crawl()
+        results = engine.search_and_read("canyon")
+        assert results == {"/home/margo/photos/canyon.txt": b"grand canyon vacation photos"}
+
+    def test_reindex_and_forget(self, populated):
+        engine = DesktopSearchEngine(populated)
+        engine.crawl()
+        populated.write("/home/nick/docs/budget.txt", 0, b"totally new content here")
+        engine.index_file("/home/nick/docs/budget.txt")
+        assert engine.search_paths("quarterly") == []
+        assert engine.search_paths("totally") == ["/home/nick/docs/budget.txt"]
+        assert engine.forget_file("/home/nick/docs/budget.txt")
+        assert not engine.forget_file("/home/nick/docs/budget.txt")
+        assert engine.search_paths("totally") == []
+
+    def test_measure_search_path_counts_traversals(self, populated):
+        engine = DesktopSearchEngine(populated)
+        engine.crawl()
+        costs = engine.measure_search_path("vacation")
+        assert len(costs) == 2
+        for cost in costs:
+            # search index + 4 path components + physical index >= 4 (paper's minimum)
+            assert cost.index_traversals >= 4
+            assert cost.directory_lookups == 4
+            assert cost.data_block_reads >= 1
+
+    def test_indexed_paths(self, populated):
+        engine = DesktopSearchEngine(populated)
+        engine.crawl()
+        assert len(engine.indexed_paths) == 3
+        assert engine.files_indexed == 3

@@ -1,0 +1,208 @@
+"""Tests for inodes and the block-pointer tree."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import InvalidRangeError
+from repro.hierarchical import CylinderGroupAllocator, InodeTable
+from repro.hierarchical.inode import DIRECT_POINTERS, FILE_TYPE_DIRECTORY
+from repro.storage import BlockDevice
+
+
+def make_table(num_blocks=1 << 14, block_size=512):
+    device = BlockDevice(num_blocks=num_blocks, block_size=block_size)
+    allocator = CylinderGroupAllocator(num_blocks, group_count=8)
+    return InodeTable(device, allocator), device
+
+
+class TestInodeLifecycle:
+    def test_allocate_and_get(self):
+        table, _ = make_table()
+        inode = table.allocate_inode(owner="margo")
+        assert table.get(inode.number) is inode
+        assert table.exists(inode.number)
+        assert not inode.is_directory
+        assert table.inode_count == 1
+
+    def test_directory_inode_defaults(self):
+        table, _ = make_table()
+        inode = table.allocate_inode(FILE_TYPE_DIRECTORY)
+        assert inode.is_directory
+        assert inode.mode == 0o755
+
+    def test_missing_inode(self):
+        table, _ = make_table()
+        with pytest.raises(InvalidRangeError):
+            table.get(999)
+
+    def test_free_inode_releases_blocks(self):
+        table, _ = make_table()
+        inode = table.allocate_inode()
+        table.write(inode, 0, b"x" * 5000)
+        used = table.allocator.free_blocks
+        table.free_inode(inode.number)
+        assert table.allocator.free_blocks > used
+        assert not table.exists(inode.number)
+        table.free_inode(inode.number)  # idempotent
+
+    def test_numbers_start_at_two_and_increase(self):
+        table, _ = make_table()
+        first = table.allocate_inode()
+        second = table.allocate_inode()
+        assert first.number == 2
+        assert second.number == 3
+
+
+class TestReadWrite:
+    def test_small_file_roundtrip(self):
+        table, _ = make_table()
+        inode = table.allocate_inode()
+        table.write(inode, 0, b"hello inode world")
+        assert table.read(inode, 0) == b"hello inode world"
+        assert inode.size == 17
+
+    def test_read_beyond_eof(self):
+        table, _ = make_table()
+        inode = table.allocate_inode()
+        table.write(inode, 0, b"abc")
+        assert table.read(inode, 10, 5) == b""
+        assert table.read(inode, 1, 100) == b"bc"
+
+    def test_sparse_hole_reads_zero(self):
+        table, _ = make_table()
+        inode = table.allocate_inode()
+        table.write(inode, 2000, b"tail")
+        data = table.read(inode, 0)
+        assert data[:2000] == bytes(2000)
+        assert data[2000:] == b"tail"
+
+    def test_overwrite_middle(self):
+        table, _ = make_table()
+        inode = table.allocate_inode()
+        table.write(inode, 0, b"a" * 1500)
+        table.write(inode, 700, b"BBB")
+        data = table.read(inode, 0)
+        assert data[699:704] == b"aBBBa"
+        assert inode.size == 1500
+
+    def test_file_spanning_indirect_blocks(self):
+        table, _ = make_table(block_size=512)
+        inode = table.allocate_inode()
+        # 512-byte blocks, 12 direct => anything over 6 KiB needs indirection.
+        payload = bytes([i % 251 for i in range(40_000)])
+        table.write(inode, 0, payload)
+        assert table.read(inode, 0) == payload
+        assert table.stats.pointer_block_reads > 0
+        assert inode.single_indirect is not None
+
+    def test_file_spanning_double_indirect_blocks(self):
+        table, _ = make_table(num_blocks=1 << 15, block_size=512)
+        inode = table.allocate_inode()
+        # Beyond 12 + 64 blocks (512B blocks, 64 pointers/block) = 38 KiB.
+        payload = bytes([i % 249 for i in range(60_000)])
+        table.write(inode, 0, payload)
+        assert inode.double_indirect is not None
+        assert table.read(inode, 0) == payload
+
+    def test_empty_write(self):
+        table, _ = make_table()
+        inode = table.allocate_inode()
+        assert table.write(inode, 0, b"") == 0
+        assert inode.size == 0
+
+    def test_validation(self):
+        table, _ = make_table()
+        inode = table.allocate_inode()
+        with pytest.raises(InvalidRangeError):
+            table.read(inode, -1)
+        with pytest.raises(InvalidRangeError):
+            table.write(inode, -1, b"x")
+        table.write(inode, 0, b"abc")
+        with pytest.raises(InvalidRangeError):
+            table.read(inode, 0, -1)
+        with pytest.raises(InvalidRangeError):
+            table.truncate(inode, -1)
+
+    def test_max_file_size_enforced(self):
+        table, _ = make_table(block_size=512)
+        inode = table.allocate_inode()
+        with pytest.raises(InvalidRangeError):
+            table.write(inode, table.max_file_blocks * 512, b"x")
+
+
+class TestTruncate:
+    def test_truncate_shrink_frees_blocks(self):
+        table, _ = make_table()
+        inode = table.allocate_inode()
+        table.write(inode, 0, b"z" * 10_000)
+        blocks_before = table.blocks_used(inode)
+        table.truncate(inode, 100)
+        assert inode.size == 100
+        assert table.blocks_used(inode) < blocks_before
+        assert table.read(inode, 0) == b"z" * 100
+
+    def test_truncate_grow_sparse(self):
+        table, _ = make_table()
+        inode = table.allocate_inode()
+        table.write(inode, 0, b"abc")
+        table.truncate(inode, 1000)
+        assert inode.size == 1000
+        assert table.read(inode, 0) == b"abc" + bytes(997)
+
+    def test_truncate_through_indirect_range(self):
+        table, _ = make_table(block_size=512)
+        inode = table.allocate_inode()
+        table.write(inode, 0, b"q" * 50_000)
+        table.truncate(inode, 1000)
+        assert table.read(inode, 0) == b"q" * 1000
+        # Writing again after truncation must still work.
+        table.write(inode, 500, b"R" * 100)
+        assert table.read(inode, 500, 100) == b"R" * 100
+
+    def test_truncate_to_same_size(self):
+        table, _ = make_table()
+        inode = table.allocate_inode()
+        table.write(inode, 0, b"abc")
+        table.truncate(inode, 3)
+        assert table.read(inode, 0) == b"abc"
+
+
+class TestAccounting:
+    def test_data_block_counters(self):
+        table, device = make_table()
+        inode = table.allocate_inode()
+        table.write(inode, 0, b"x" * 2000)
+        table.read(inode, 0)
+        assert table.stats.data_block_writes > 0
+        assert table.stats.data_block_reads > 0
+        assert device.stats.writes > 0
+
+    def test_inode_read_counter(self):
+        table, _ = make_table()
+        inode = table.allocate_inode()
+        before = table.stats.inode_reads
+        table.get(inode.number)
+        assert table.stats.inode_reads == before + 1
+
+
+class TestInodeProperties:
+    @settings(max_examples=20, deadline=None)
+    @given(
+        st.lists(
+            st.tuples(st.integers(0, 30_000), st.binary(min_size=1, max_size=3000)),
+            min_size=1,
+            max_size=10,
+        )
+    )
+    def test_matches_bytearray_model(self, writes):
+        table, _ = make_table(num_blocks=1 << 15, block_size=512)
+        inode = table.allocate_inode()
+        model = bytearray()
+        for offset, data in writes:
+            if offset > len(model):
+                model.extend(bytes(offset - len(model)))
+            model[offset:offset + len(data)] = data
+            table.write(inode, offset, data)
+        assert table.read(inode, 0) == bytes(model)
+        assert inode.size == len(model)

@@ -1,0 +1,143 @@
+"""Tests for the POSIX path index store."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import IndexStoreError
+from repro.index import TAG_POSIX, PosixPathIndexStore, TagValue
+from repro.index.path_index import basename_of, normalize_path, parent_of
+
+
+class TestPathHelpers:
+    @pytest.mark.parametrize(
+        "raw,expected",
+        [
+            ("/", "/"),
+            ("/home/margo", "/home/margo"),
+            ("home/margo", "/home/margo"),
+            ("/home//margo/", "/home/margo"),
+            ("/home/./margo", "/home/margo"),
+            ("/home/nick/../margo", "/home/margo"),
+            ("/../..", "/"),
+        ],
+    )
+    def test_normalize(self, raw, expected):
+        assert normalize_path(raw) == expected
+
+    def test_empty_path_rejected(self):
+        with pytest.raises(IndexStoreError):
+            normalize_path("")
+
+    def test_parent_and_basename(self):
+        assert parent_of("/home/margo/mail") == "/home/margo"
+        assert parent_of("/home") == "/"
+        assert parent_of("/") == "/"
+        assert basename_of("/home/margo/mail") == "mail"
+        assert basename_of("/") == ""
+
+
+class TestPathIndex:
+    def test_link_resolve_unlink(self):
+        index = PosixPathIndexStore()
+        index.link("/home/margo/report.doc", 10)
+        assert index.resolve("/home/margo/report.doc") == 10
+        assert index.exists("/home/margo/report.doc")
+        assert index.unlink("/home/margo/report.doc") == 10
+        assert index.resolve("/home/margo/report.doc") is None
+        assert index.unlink("/home/margo/report.doc") is None
+
+    def test_multiple_names_for_one_object(self):
+        index = PosixPathIndexStore()
+        index.link("/photos/2009/beach.jpg", 5)
+        index.link("/albums/summer/beach.jpg", 5)
+        assert sorted(index.paths_for(5)) == [
+            "/albums/summer/beach.jpg",
+            "/photos/2009/beach.jpg",
+        ]
+        assert index.values_for(5) == [
+            TagValue(TAG_POSIX, "/albums/summer/beach.jpg"),
+            TagValue(TAG_POSIX, "/photos/2009/beach.jpg"),
+        ]
+
+    def test_rebinding_a_path_replaces_owner(self):
+        index = PosixPathIndexStore()
+        index.link("/tmp/file", 1)
+        index.link("/tmp/file", 2)
+        assert index.resolve("/tmp/file") == 2
+        assert index.paths_for(1) == []
+
+    def test_index_store_interface(self):
+        index = PosixPathIndexStore()
+        index.insert(TAG_POSIX, "/a/b", 3)
+        assert index.lookup(TAG_POSIX, "/a/b") == [3]
+        assert index.lookup(TAG_POSIX, "/missing") == []
+        assert index.remove(TAG_POSIX, "/a/b", 3)
+        assert not index.remove(TAG_POSIX, "/a/b", 3)
+
+    def test_remove_object(self):
+        index = PosixPathIndexStore()
+        index.link("/one", 1)
+        index.link("/two", 1)
+        index.link("/other", 2)
+        assert index.remove_object(1) == 2
+        assert index.path_count == 1
+
+    def test_list_directory(self):
+        index = PosixPathIndexStore()
+        index.link("/home/margo/mail/inbox", 1)
+        index.link("/home/margo/mail/sent", 2)
+        index.link("/home/margo/report.doc", 3)
+        index.link("/home/nick/thesis.tex", 4)
+        assert index.list_directory("/home/margo") == ["mail", "report.doc"]
+        assert index.list_directory("/home") == ["margo", "nick"]
+        assert index.list_directory("/") == ["home"]
+        assert index.list_directory("/empty") == []
+
+    def test_list_subtree(self):
+        index = PosixPathIndexStore()
+        index.link("/a", 1)
+        index.link("/a/b", 2)
+        index.link("/a/b/c", 3)
+        index.link("/ax", 4)
+        subtree = index.list_subtree("/a")
+        assert subtree == [("/a", 1), ("/a/b", 2), ("/a/b/c", 3)]
+
+    def test_rename_subtree(self):
+        index = PosixPathIndexStore()
+        index.link("/projects/hfad/paper.tex", 1)
+        index.link("/projects/hfad/figures/arch.pdf", 2)
+        index.link("/projects/other/notes.txt", 3)
+        moved = index.rename_subtree("/projects/hfad", "/archive/hfad-2009")
+        assert moved == 2
+        assert index.resolve("/archive/hfad-2009/paper.tex") == 1
+        assert index.resolve("/archive/hfad-2009/figures/arch.pdf") == 2
+        assert index.resolve("/projects/hfad/paper.tex") is None
+        assert index.resolve("/projects/other/notes.txt") == 3
+
+    def test_rename_into_self_rejected(self):
+        index = PosixPathIndexStore()
+        index.link("/a/b", 1)
+        with pytest.raises(IndexStoreError):
+            index.rename_subtree("/a", "/a/b/c")
+        assert index.rename_subtree("/a", "/a") == 0
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        st.dictionaries(
+            st.lists(st.sampled_from("abcd"), min_size=1, max_size=4).map(
+                lambda parts: "/" + "/".join(parts)
+            ),
+            st.integers(1, 50),
+            min_size=1,
+            max_size=30,
+        )
+    )
+    def test_matches_dict_model(self, bindings):
+        index = PosixPathIndexStore()
+        for path, oid in bindings.items():
+            index.link(path, oid)
+        normalized = {normalize_path(p): oid for p, oid in bindings.items()}
+        for path, oid in normalized.items():
+            assert index.resolve(path) == oid
+        assert index.path_count == len(normalized)

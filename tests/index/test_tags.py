@@ -1,0 +1,54 @@
+"""Tests for the tag vocabulary."""
+
+import pytest
+
+from repro.index import (
+    TAG_APP,
+    TAG_FULLTEXT,
+    TAG_ID,
+    TAG_POSIX,
+    TAG_UDEF,
+    TAG_USER,
+    WELL_KNOWN_TAGS,
+    TagValue,
+)
+from repro.index.tags import normalize_tag
+
+
+class TestTagConstants:
+    def test_table1_tags_present(self):
+        # Every row of Table 1 has its tag defined.
+        for tag in ("POSIX", "FULLTEXT", "USER", "UDEF", "APP", "ID"):
+            assert tag in WELL_KNOWN_TAGS
+
+    def test_normalize(self):
+        assert normalize_tag(" posix ") == "POSIX"
+        assert normalize_tag("FullText") == "FULLTEXT"
+
+
+class TestTagValue:
+    def test_construction_normalizes_tag(self):
+        pair = TagValue(tag="fulltext", value="vacation")
+        assert pair.tag == TAG_FULLTEXT
+        assert pair.value == "vacation"
+
+    def test_value_coerced_to_string(self):
+        assert TagValue(tag=TAG_ID, value=42).value == "42"
+
+    def test_string_form_matches_paper_spelling(self):
+        assert str(TagValue(tag=TAG_POSIX, value="/home/margo/mail")) == "POSIX//home/margo/mail"
+        assert str(TagValue(tag=TAG_FULLTEXT, value="budget")) == "FULLTEXT/budget"
+
+    def test_parse_roundtrip(self):
+        pair = TagValue.parse("USER/margo")
+        assert pair == TagValue(tag=TAG_USER, value="margo")
+        posix = TagValue.parse("POSIX//etc/passwd")
+        assert posix.value == "/etc/passwd"
+
+    def test_parse_rejects_missing_slash(self):
+        with pytest.raises(ValueError):
+            TagValue.parse("NOTAPAIR")
+
+    def test_hashable_and_equal(self):
+        assert TagValue("APP", "quicken") == TagValue("app", "quicken")
+        assert len({TagValue("UDEF", "x"), TagValue("UDEF", "x")}) == 1

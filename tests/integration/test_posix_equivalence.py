@@ -1,0 +1,229 @@
+"""Property-based equivalence of the POSIX veneer and the FFS baseline.
+
+DESIGN.md promises that for the common POSIX subset, hFAD-behind-the-veneer
+and the hierarchical baseline are observationally equivalent: the same
+sequence of operations produces the same directory trees, the same file
+contents and failures at the same steps.  Hypothesis generates operation
+scripts; both systems execute them and every observable result is compared.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import PosixError
+from repro.hierarchical import FFSFileSystem
+from repro.posix import PosixVFS
+
+
+# A small universe of names keeps collisions (and therefore interesting
+# error paths) frequent.
+NAMES = ["a", "b", "c", "dir1", "dir2"]
+
+
+@st.composite
+def posix_scripts(draw):
+    operations = []
+    for _ in range(draw(st.integers(3, 30))):
+        kind = draw(
+            st.sampled_from(
+                ["mkdir", "put", "append", "read", "unlink", "rename", "rmdir", "listdir", "stat_size"]
+            )
+        )
+        depth = draw(st.integers(1, 3))
+        path = "/" + "/".join(draw(st.sampled_from(NAMES)) for _ in range(depth))
+        other = "/" + "/".join(draw(st.sampled_from(NAMES)) for _ in range(draw(st.integers(1, 3))))
+        payload = draw(st.binary(min_size=0, max_size=200))
+        operations.append((kind, path, other, payload))
+    return operations
+
+
+class HFADPosixAdapter:
+    """Drives hFAD through the veneer with a uniform operation vocabulary."""
+
+    def __init__(self):
+        self.vfs = PosixVFS()
+
+    def close(self):
+        self.vfs.fs.close()
+
+    def mkdir(self, path):
+        self.vfs.mkdir(path)
+
+    def put(self, path, data):
+        self.vfs.write_file(path, data)
+
+    def append(self, path, data):
+        from repro.posix.vfs import O_APPEND, O_WRONLY
+
+        fd = self.vfs.open(path, O_WRONLY | O_APPEND)
+        try:
+            self.vfs.write(fd, data)
+        finally:
+            self.vfs.close(fd)
+
+    def read(self, path):
+        return self.vfs.read_file(path)
+
+    def unlink(self, path):
+        self.vfs.unlink(path)
+
+    def rename(self, old, new):
+        self.vfs.rename(old, new)
+
+    def rmdir(self, path):
+        self.vfs.rmdir(path)
+
+    def listdir(self, path):
+        return sorted(entry.name for entry in self.vfs.readdir(path))
+
+    def stat_size(self, path):
+        result = self.vfs.stat(path)
+        # Directory sizes are implementation-defined in POSIX; only the kind
+        # is comparable across systems.
+        return "dir" if result.is_directory else result.size
+
+    def tree(self):
+        return sorted(self.vfs.walk("/"))
+
+
+class FFSAdapter:
+    """Drives the hierarchical baseline with the same vocabulary."""
+
+    def __init__(self):
+        self.fs = FFSFileSystem(num_blocks=1 << 14)
+
+    def close(self):
+        return None
+
+    def mkdir(self, path):
+        self.fs.mkdir(path)
+
+    def put(self, path, data):
+        if self.fs.exists(path):
+            inode = self.fs.namei(path)
+            if inode.is_directory:
+                from repro.errors import IsADirectory
+
+                raise IsADirectory(path)
+            self.fs.truncate(path, 0)
+            if data:
+                self.fs.write(path, 0, data)
+        else:
+            self.fs.create(path, data)
+
+    def append(self, path, data):
+        self.fs.append(path, data)
+
+    def read(self, path):
+        return self.fs.read(path)
+
+    def unlink(self, path):
+        self.fs.unlink(path)
+
+    def rename(self, old, new):
+        self.fs.rename(old, new)
+
+    def rmdir(self, path):
+        self.fs.rmdir(path)
+
+    def listdir(self, path):
+        return sorted(self.fs.readdir(path))
+
+    def stat_size(self, path):
+        inode = self.fs.stat(path)
+        return "dir" if inode.is_directory else inode.size
+
+    def tree(self):
+        result = []
+        for path in self.fs.walk("/"):
+            result.append(path)
+        # Directories too, for structural comparison.
+        stack = ["/"]
+        while stack:
+            current = stack.pop()
+            for name in self.fs.readdir(current):
+                child = (current.rstrip("/") + "/" + name) if current != "/" else "/" + name
+                if self.fs.namei(child).is_directory:
+                    result.append(child + "/")
+                    stack.append(child)
+        return sorted(result)
+
+
+def _apply(system, kind, path, other, payload):
+    """Run one operation; returns ("ok", observable) or ("err", exception name)."""
+    try:
+        if kind == "mkdir":
+            return ("ok", system.mkdir(path))
+        if kind == "put":
+            return ("ok", system.put(path, payload))
+        if kind == "append":
+            return ("ok", system.append(path, payload))
+        if kind == "read":
+            return ("ok", system.read(path))
+        if kind == "unlink":
+            return ("ok", system.unlink(path))
+        if kind == "rename":
+            return ("ok", system.rename(path, other))
+        if kind == "rmdir":
+            return ("ok", system.rmdir(path))
+        if kind == "listdir":
+            return ("ok", system.listdir(path))
+        if kind == "stat_size":
+            return ("ok", system.stat_size(path))
+        raise AssertionError(f"unknown op {kind}")
+    except PosixError as error:
+        return ("err", type(error).__name__)
+
+
+class TestPosixEquivalence:
+    @settings(max_examples=40, deadline=None)
+    @given(posix_scripts())
+    def test_same_script_same_observable_behaviour(self, script):
+        hfad = HFADPosixAdapter()
+        ffs = FFSAdapter()
+        try:
+            for step, (kind, path, other, payload) in enumerate(script):
+                hfad_result = _apply(hfad, kind, path, other, payload)
+                ffs_result = _apply(ffs, kind, path, other, payload)
+                assert hfad_result == ffs_result, (
+                    f"step {step}: {kind} {path} -> hFAD {hfad_result!r} vs FFS {ffs_result!r}"
+                )
+            # Final file trees agree (hFAD's walk lists files; compare those).
+            hfad_files = [p for p in hfad.tree()]
+            ffs_files = [p for p in ffs.tree() if not p.endswith("/")]
+            hfad_real_files = [
+                p for p in hfad_files if not hfad.vfs.stat(p).is_directory
+            ]
+            assert hfad_real_files == ffs_files
+            for path in ffs_files:
+                assert hfad.read(path) == ffs.read(path)
+        finally:
+            hfad.close()
+
+    def test_directed_equivalence_scenario(self):
+        """A hand-written scenario covering the subtler shared behaviours."""
+        hfad = HFADPosixAdapter()
+        ffs = FFSAdapter()
+        try:
+            for system in (hfad, ffs):
+                system.mkdir("/projects")
+                system.mkdir("/projects/hfad")
+                system.put("/projects/hfad/paper.tex", b"\\title{hFAD}")
+                system.append("/projects/hfad/paper.tex", b"\\begin{document}")
+                system.mkdir("/archive")
+                system.rename("/projects/hfad", "/archive/hfad-2009")
+                system.put("/scratch.txt", b"temp")
+                system.unlink("/scratch.txt")
+            assert hfad.read("/archive/hfad-2009/paper.tex") == ffs.read(
+                "/archive/hfad-2009/paper.tex"
+            )
+            assert hfad.listdir("/archive") == ffs.listdir("/archive")
+            assert hfad.listdir("/") == ffs.listdir("/")
+            assert hfad.stat_size("/archive/hfad-2009/paper.tex") == ffs.stat_size(
+                "/archive/hfad-2009/paper.tex"
+            )
+        finally:
+            hfad.close()

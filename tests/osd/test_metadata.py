@@ -1,0 +1,48 @@
+"""Tests for per-object metadata."""
+
+from repro.osd import ObjectMetadata
+
+
+class TestObjectMetadata:
+    def test_roundtrip(self):
+        metadata = ObjectMetadata(
+            size=123,
+            owner="margo",
+            group="faculty",
+            mode=0o600,
+            created_at=1,
+            modified_at=2,
+            accessed_at=3,
+            attributes={"content-type": "image/jpeg"},
+        )
+        decoded = ObjectMetadata.from_bytes(metadata.to_bytes())
+        assert decoded == metadata
+
+    def test_defaults(self):
+        metadata = ObjectMetadata()
+        assert metadata.size == 0
+        assert metadata.mode == 0o644
+        assert metadata.attributes == {}
+
+    def test_touch_modified_updates_both_times(self):
+        metadata = ObjectMetadata()
+        metadata.touch_modified(42)
+        assert metadata.modified_at == 42
+        assert metadata.accessed_at == 42
+
+    def test_touch_accessed_leaves_modified(self):
+        metadata = ObjectMetadata(modified_at=5)
+        metadata.touch_accessed(10)
+        assert metadata.accessed_at == 10
+        assert metadata.modified_at == 5
+
+    def test_copy_is_independent(self):
+        metadata = ObjectMetadata(attributes={"a": "1"})
+        clone = metadata.copy()
+        clone.attributes["a"] = "2"
+        assert metadata.attributes["a"] == "1"
+
+    def test_missing_attributes_key_tolerated(self):
+        raw = ObjectMetadata().to_bytes().replace(b'"attributes":{},', b"")
+        decoded = ObjectMetadata.from_bytes(raw)
+        assert decoded.attributes == {}

@@ -1,0 +1,86 @@
+"""Tests for the FUSE dispatch simulation."""
+
+import pytest
+
+from repro.errors import FileNotFound
+from repro.posix import FuseDispatcher, PosixVFS, SyscallTrace
+from repro.posix.vfs import O_CREAT, O_RDONLY, O_WRONLY
+
+
+class TestDispatch:
+    def test_basic_operation_routing(self):
+        dispatcher = FuseDispatcher()
+        fd = dispatcher.dispatch("open", "/file.txt", O_CREAT | O_WRONLY)
+        dispatcher.dispatch("write", fd, b"dispatched")
+        dispatcher.dispatch("close", fd)
+        fd = dispatcher.dispatch("open", "/file.txt", O_RDONLY)
+        assert dispatcher.dispatch("read", fd) == b"dispatched"
+        dispatcher.dispatch("close", fd)
+        assert dispatcher.operation_counts["open"] == 2
+        assert dispatcher.total_operations == 6
+
+    def test_attribute_style_invocation(self):
+        dispatcher = FuseDispatcher()
+        dispatcher.mkdir("/music")
+        assert dispatcher.stat("/music").is_directory
+        with pytest.raises(AttributeError):
+            dispatcher.not_an_operation
+
+    def test_unsupported_operation_rejected(self):
+        dispatcher = FuseDispatcher()
+        with pytest.raises(ValueError):
+            dispatcher.dispatch("mount", "/dev/sda1")
+
+    def test_errors_are_counted_and_reraised(self):
+        dispatcher = FuseDispatcher()
+        with pytest.raises(FileNotFound):
+            dispatcher.dispatch("stat", "/missing")
+        assert dispatcher.error_counts == {"ENOENT": 1}
+
+    def test_wraps_existing_vfs(self):
+        vfs = PosixVFS()
+        vfs.write_file("/prewritten", b"hello")
+        dispatcher = FuseDispatcher(vfs)
+        assert dispatcher.stat("/prewritten").size == 5
+
+
+class TestTraceRecordReplay:
+    def test_recording(self):
+        dispatcher = FuseDispatcher(record=True)
+        dispatcher.mkdir("/docs")
+        fd = dispatcher.open("/docs/a.txt", O_CREAT | O_WRONLY)
+        dispatcher.write(fd, b"alpha")
+        dispatcher.close(fd)
+        try:
+            dispatcher.stat("/missing")
+        except FileNotFound:
+            pass
+        trace = dispatcher.trace
+        assert trace.operations() == ["mkdir", "open", "write", "close", "stat"]
+        assert len(trace.errors()) == 1
+        assert trace.errors()[0].error == "ENOENT"
+
+    def test_replay_reproduces_tree(self):
+        recorder = FuseDispatcher(record=True)
+        recorder.mkdir("/photos")
+        fd = recorder.open("/photos/beach.jpg", O_CREAT | O_WRONLY)
+        recorder.write(fd, b"jpegdata")
+        recorder.close(fd)
+
+        replayer = FuseDispatcher()
+        succeeded = replayer.replay(recorder.trace)
+        assert succeeded == 4
+        assert replayer.vfs.read_file("/photos/beach.jpg") == b"jpegdata"
+
+    def test_replay_error_handling(self):
+        trace = SyscallTrace()
+        recorder = FuseDispatcher(record=True)
+        try:
+            recorder.stat("/nowhere")
+        except FileNotFound:
+            pass
+        replayer = FuseDispatcher()
+        assert replayer.replay(recorder.trace) == 0
+        with pytest.raises(FileNotFound):
+            replayer.replay(recorder.trace, ignore_errors=False)
+        assert len(trace) == 0

@@ -1,0 +1,177 @@
+"""Tests for virtual directories and iterative search refinement."""
+
+import pytest
+
+from repro.core import HFADFileSystem
+from repro.errors import NamingError
+from repro.semantic import RefinementSession, VirtualDirectory, VirtualDirectoryTree
+
+
+@pytest.fixture
+def fs():
+    filesystem = HFADFileSystem()
+    # A small personal corpus: photos, mail, documents.
+    filesystem.create(
+        b"sunset over the beach", owner="margo", annotations=["vacation", "beach"],
+        path="/photos/sunset.jpg", application="iphoto",
+    )
+    filesystem.create(
+        b"hiking the grand canyon", owner="margo", annotations=["vacation", "hiking"],
+        path="/photos/canyon.jpg", application="iphoto",
+    )
+    filesystem.create(
+        b"quarterly budget numbers", owner="margo", annotations=["work"],
+        path="/docs/budget.xls", application="excel",
+    )
+    filesystem.create(
+        b"beach volleyball tournament", owner="nick", annotations=["beach", "sports"],
+        path="/photos/volleyball.jpg", application="iphoto",
+    )
+    yield filesystem
+    filesystem.close()
+
+
+class TestVirtualDirectory:
+    def test_listing_matches_query(self, fs):
+        vacation = VirtualDirectory(fs, "vacation", "UDEF/vacation")
+        names = [entry.name for entry in vacation.list()]
+        assert names == ["sunset.jpg", "canyon.jpg"]
+        assert len(vacation) == 2
+
+    def test_entries_update_with_tags(self, fs):
+        starred = VirtualDirectory(fs, "starred", "UDEF/starred")
+        assert starred.list() == []
+        oid = fs.find_one(("POSIX", "/docs/budget.xls"))
+        fs.tag(oid, "UDEF", "starred")
+        assert [entry.oid for entry in starred.list()] == [oid]
+
+    def test_lookup_by_entry_name(self, fs):
+        beach = VirtualDirectory(fs, "beach", "UDEF/beach")
+        oid = beach.lookup("volleyball.jpg")
+        assert oid == fs.lookup_path("/photos/volleyball.jpg")
+        assert beach.lookup("not-there.jpg") is None
+
+    def test_duplicate_basenames_are_disambiguated(self, fs):
+        first = fs.create(b"a", path="/a/report.txt", annotations=["dup"])
+        second = fs.create(b"b", path="/b/report.txt", annotations=["dup"])
+        directory = VirtualDirectory(fs, "dups", "UDEF/dup")
+        names = [entry.name for entry in directory.list()]
+        assert names == ["report.txt", "report.txt~2"]
+        assert directory.lookup("report.txt") == first
+        assert directory.lookup("report.txt~2") == second
+
+    def test_objects_without_paths_get_synthetic_names(self, fs):
+        oid = fs.create(b"nameless", annotations=["floating"])
+        directory = VirtualDirectory(fs, "floating", "UDEF/floating")
+        assert directory.list()[0].name == f"object-{oid}"
+
+    def test_boolean_query_directory(self, fs):
+        both = VirtualDirectory(fs, "margo-beach", "USER/margo AND UDEF/beach")
+        assert [entry.name for entry in both.list()] == ["sunset.jpg"]
+
+    def test_invalid_name_rejected(self, fs):
+        with pytest.raises(NamingError):
+            VirtualDirectory(fs, "has/slash", "UDEF/x")
+        with pytest.raises(NamingError):
+            VirtualDirectory(fs, "", "UDEF/x")
+
+
+class TestVirtualDirectoryTree:
+    def test_define_list_resolve(self, fs):
+        tree = VirtualDirectoryTree(fs)
+        tree.define("vacation", "UDEF/vacation")
+        tree.define("work", "UDEF/work")
+        assert tree.names() == ["vacation", "work"]
+        listing = tree.resolve("/queries")
+        assert [entry.name for entry in listing] == ["vacation", "work"]
+        vacation_entries = tree.resolve("/queries/vacation")
+        assert len(vacation_entries) == 2
+        oid = tree.resolve("/queries/vacation/sunset.jpg")
+        assert oid == fs.lookup_path("/photos/sunset.jpg")
+
+    def test_remove_and_errors(self, fs):
+        tree = VirtualDirectoryTree(fs)
+        tree.define("temp", "UDEF/vacation")
+        assert tree.remove("temp")
+        assert not tree.remove("temp")
+        with pytest.raises(NamingError):
+            tree.get("temp")
+        with pytest.raises(NamingError):
+            tree.resolve("/queries/temp")
+        with pytest.raises(NamingError):
+            tree.resolve("/elsewhere/temp")
+        tree.define("v", "UDEF/vacation")
+        with pytest.raises(NamingError):
+            tree.resolve("/queries/v/sunset.jpg/too-deep")
+        with pytest.raises(NamingError):
+            tree.resolve("/queries/v/not-an-entry")
+
+    def test_redefinition_replaces_query(self, fs):
+        tree = VirtualDirectoryTree(fs)
+        tree.define("mine", "USER/margo")
+        assert len(tree.get("mine").list()) == 3
+        tree.define("mine", "USER/nick")
+        assert len(tree.get("mine").list()) == 1
+
+
+class TestRefinementSession:
+    def test_cd_narrows_and_up_widens(self, fs):
+        session = RefinementSession(fs)
+        everything = session.ls()
+        assert len(everything) == 4
+        vacation = session.cd("UDEF/vacation")
+        assert len(vacation) == 2
+        hiking = session.cd("UDEF/hiking")
+        assert len(hiking) == 1
+        popped = session.up()
+        assert popped.value == "hiking"
+        assert len(session.ls()) == 2
+        session.reset()
+        assert session.depth == 0
+        assert len(session.ls()) == 4
+
+    def test_pwd_renders_constraint_stack(self, fs):
+        session = RefinementSession(fs)
+        assert session.pwd() == "/"
+        session.cd("USER/margo")
+        session.cd("UDEF/vacation")
+        assert session.pwd() == "/USER=margo/UDEF=vacation"
+
+    def test_cd_text(self, fs):
+        session = RefinementSession(fs)
+        results = session.cd_text("beach")
+        assert len(results) == 2
+        with pytest.raises(NamingError):
+            session.cd_text("the and of")
+
+    def test_up_at_root(self, fs):
+        session = RefinementSession(fs)
+        assert session.up() is None
+
+    def test_ls_named(self, fs):
+        session = RefinementSession(fs)
+        session.cd("UDEF/work")
+        assert session.ls_named() == [("budget.xls", fs.lookup_path("/docs/budget.xls"))]
+
+    def test_suggestions_offer_narrowing_facets(self, fs):
+        session = RefinementSession(fs)
+        session.cd("USER/margo")           # 3 objects
+        suggestions = session.suggest()
+        assert "UDEF" in suggestions
+        udef_values = dict(suggestions["UDEF"])
+        assert udef_values["vacation"] == 2
+        assert udef_values["work"] == 1
+        # Facets never include the constraint already applied or useless ones.
+        assert "USER" not in suggestions or "margo" not in dict(suggestions.get("USER", []))
+        # POSIX paths excluded by default.
+        assert "POSIX" not in suggestions
+
+    def test_suggestions_empty_when_no_results(self, fs):
+        session = RefinementSession(fs)
+        session.cd("UDEF/nonexistent")
+        assert session.suggest() == {}
+
+    def test_constraints_property(self, fs):
+        session = RefinementSession(fs)
+        session.cd(("APP", "iphoto"))
+        assert session.constraints[0].tag == "APP"

@@ -1,0 +1,242 @@
+"""Unit tests for the simulated block device."""
+
+import pytest
+
+from repro.errors import DeviceError
+from repro.storage import BlockDevice, FaultPlan
+from repro.storage.latency import HDDLatencyModel, NullLatencyModel, SSDLatencyModel
+
+
+def make_device(**kwargs):
+    kwargs.setdefault("num_blocks", 1024)
+    kwargs.setdefault("block_size", 512)
+    return BlockDevice(**kwargs)
+
+
+class TestBasicIO:
+    def test_unwritten_blocks_read_as_zero(self):
+        dev = make_device()
+        assert dev.read_block(10) == bytes(512)
+
+    def test_write_then_read_roundtrip(self):
+        dev = make_device()
+        payload = bytes(range(256)) * 2
+        dev.write_block(5, payload)
+        assert dev.read_block(5) == payload
+
+    def test_short_write_is_zero_padded(self):
+        dev = make_device()
+        dev.write_block(3, b"hello")
+        data = dev.read_block(3)
+        assert data.startswith(b"hello")
+        assert data[5:] == bytes(512 - 5)
+
+    def test_multi_block_roundtrip(self):
+        dev = make_device()
+        payload = bytes([i % 251 for i in range(512 * 3)])
+        dev.write_blocks(100, payload)
+        assert dev.read_blocks(100, 3) == payload
+
+    def test_write_blocks_infers_count(self):
+        dev = make_device()
+        dev.write_blocks(0, bytes(513))
+        assert dev.stats.blocks_written == 2
+
+    def test_overwrite_replaces_content(self):
+        dev = make_device()
+        dev.write_block(7, b"a" * 512)
+        dev.write_block(7, b"b" * 512)
+        assert dev.read_block(7) == b"b" * 512
+
+    def test_writing_zeros_reclaims_sparse_storage(self):
+        dev = make_device()
+        dev.write_block(9, b"x" * 512)
+        assert dev.used_blocks() == 1
+        dev.write_block(9, bytes(512))
+        assert dev.used_blocks() == 0
+
+
+class TestRangeChecking:
+    def test_read_past_end_rejected(self):
+        dev = make_device(num_blocks=16)
+        with pytest.raises(DeviceError):
+            dev.read_block(16)
+
+    def test_multi_block_straddling_end_rejected(self):
+        dev = make_device(num_blocks=16)
+        with pytest.raises(DeviceError):
+            dev.read_blocks(15, 2)
+
+    def test_negative_block_rejected(self):
+        dev = make_device()
+        with pytest.raises(DeviceError):
+            dev.read_block(-1)
+
+    def test_zero_nblocks_rejected(self):
+        dev = make_device()
+        with pytest.raises(DeviceError):
+            dev.read_blocks(0, 0)
+
+    def test_oversized_payload_rejected(self):
+        dev = make_device()
+        with pytest.raises(DeviceError):
+            dev.write_blocks(0, bytes(1024), nblocks=1)
+
+    def test_bad_constructor_args(self):
+        with pytest.raises(ValueError):
+            BlockDevice(num_blocks=0)
+        with pytest.raises(ValueError):
+            BlockDevice(num_blocks=8, block_size=1000)  # not a power of two
+
+
+class TestByteGranularityHelpers:
+    def test_read_bytes_within_block(self):
+        dev = make_device()
+        dev.write_block(2, b"0123456789")
+        assert dev.read_bytes(2, 3, 4) == b"3456"
+
+    def test_read_bytes_spanning_blocks(self):
+        dev = make_device()
+        dev.write_blocks(4, b"A" * 512 + b"B" * 512)
+        assert dev.read_bytes(4, 510, 4) == b"AABB"
+
+    def test_write_bytes_preserves_surrounding_data(self):
+        dev = make_device()
+        dev.write_block(1, b"x" * 512)
+        dev.write_bytes(1, 100, b"YYY")
+        data = dev.read_block(1)
+        assert data[99:104] == b"xYYYx"
+
+    def test_write_bytes_empty_is_noop(self):
+        dev = make_device()
+        before = dev.stats.writes
+        dev.write_bytes(0, 0, b"")
+        assert dev.stats.writes == before
+
+    def test_read_bytes_zero_length(self):
+        dev = make_device()
+        assert dev.read_bytes(0, 0, 0) == b""
+
+    def test_negative_offsets_rejected(self):
+        dev = make_device()
+        with pytest.raises(DeviceError):
+            dev.read_bytes(0, -1, 4)
+        with pytest.raises(DeviceError):
+            dev.write_bytes(0, -1, b"x")
+
+
+class TestAccounting:
+    def test_reads_and_writes_are_counted(self):
+        dev = make_device()
+        dev.write_block(0, b"a")
+        dev.read_block(0)
+        dev.read_blocks(0, 4)
+        assert dev.stats.writes == 1
+        assert dev.stats.reads == 2
+        assert dev.stats.blocks_read == 5
+        assert dev.stats.blocks_written == 1
+        assert dev.stats.total_ios == 3
+
+    def test_snapshot_and_delta(self):
+        dev = make_device()
+        dev.write_block(0, b"a")
+        snap = dev.stats.snapshot()
+        dev.read_block(0)
+        delta = dev.stats.delta(snap)
+        assert delta.reads == 1
+        assert delta.writes == 0
+
+    def test_reset_stats(self):
+        dev = make_device()
+        dev.write_block(0, b"a")
+        dev.reset_stats()
+        assert dev.stats.total_ios == 0
+
+    def test_null_latency_charges_nothing(self):
+        dev = make_device(latency_model=NullLatencyModel())
+        dev.write_block(0, b"a")
+        assert dev.stats.simulated_us == 0.0
+
+
+class TestLatencyModels:
+    def test_hdd_sequential_cheaper_than_random(self):
+        model = HDDLatencyModel(total_blocks=10000)
+        sequential = sum(model.cost(i, 1, False) for i in range(100))
+        model.reset()
+        random_like = sum(model.cost((i * 997) % 10000, 1, False) for i in range(100))
+        assert sequential < random_like / 5
+
+    def test_ssd_locality_does_not_matter(self):
+        model = SSDLatencyModel()
+        sequential = sum(model.cost(i, 1, False) for i in range(100))
+        random_like = sum(model.cost((i * 997) % 10000, 1, False) for i in range(100))
+        assert sequential == pytest.approx(random_like)
+
+    def test_ssd_writes_cost_more_than_reads(self):
+        model = SSDLatencyModel()
+        assert model.cost(0, 1, True) > model.cost(0, 1, False)
+
+    def test_device_accumulates_simulated_time(self):
+        dev = make_device(latency_model=SSDLatencyModel())
+        dev.read_block(0)
+        assert dev.stats.simulated_us > 0
+
+    def test_hdd_total_blocks_synced_from_device(self):
+        model = HDDLatencyModel()
+        BlockDevice(num_blocks=2048, latency_model=model)
+        assert model.total_blocks == 2048
+
+
+class TestFaultInjection:
+    def test_fail_after_n_writes(self):
+        dev = make_device()
+        dev.fault_plan = FaultPlan(fail_after_writes=2)
+        dev.write_block(0, b"a")
+        dev.write_block(1, b"b")
+        with pytest.raises(DeviceError):
+            dev.write_block(2, b"c")
+
+    def test_bad_block_faults_reads_and_writes(self):
+        dev = make_device()
+        dev.fault_plan = FaultPlan(bad_blocks=frozenset({5}))
+        with pytest.raises(DeviceError):
+            dev.read_blocks(3, 4)
+        with pytest.raises(DeviceError):
+            dev.write_block(5, b"x")
+        dev.write_block(4, b"x")  # untouched blocks still work
+
+    def test_fail_reads_flag(self):
+        dev = make_device()
+        dev.fault_plan = FaultPlan(fail_reads=True)
+        with pytest.raises(DeviceError):
+            dev.read_block(0)
+
+
+class TestSnapshots:
+    def test_dump_and_load_roundtrip(self):
+        dev = make_device()
+        dev.write_block(1, b"one" + bytes(509))
+        dev.write_block(2, b"two" + bytes(509))
+        snapshot = dev.dump()
+        other = make_device()
+        other.load(snapshot)
+        assert other.read_block(1)[:3] == b"one"
+        assert other.read_block(2)[:3] == b"two"
+
+    def test_load_rejects_out_of_range_blocks(self):
+        dev = make_device(num_blocks=4)
+        with pytest.raises(DeviceError):
+            dev.load({10: bytes(512)})
+
+    def test_load_rejects_wrong_block_size(self):
+        dev = make_device()
+        with pytest.raises(DeviceError):
+            dev.load({0: bytes(10)})
+
+    def test_discard_clears_content_without_io(self):
+        dev = make_device()
+        dev.write_block(3, b"x" * 512)
+        ios = dev.stats.total_ios
+        dev.discard(3)
+        assert dev.read_block(3) == bytes(512)
+        assert dev.stats.total_ios == ios + 1  # only the verification read

@@ -1,0 +1,38 @@
+"""Tests for extent descriptors."""
+
+import pytest
+
+from repro.storage import Extent
+
+
+class TestExtent:
+    def test_roundtrip_tuple(self):
+        extent = Extent(block=10, nblocks=4, length=4096 * 3 + 17)
+        assert Extent.from_tuple(extent.to_tuple()) == extent
+
+    def test_capacity(self):
+        extent = Extent(block=0, nblocks=3, length=100)
+        assert extent.capacity(4096) == 3 * 4096
+
+    def test_end_block(self):
+        assert Extent(block=5, nblocks=4, length=1).end_block() == 9
+
+    def test_overlap_detection(self):
+        a = Extent(block=0, nblocks=4, length=1)
+        b = Extent(block=3, nblocks=2, length=1)
+        c = Extent(block=4, nblocks=2, length=1)
+        assert a.overlaps(b)
+        assert b.overlaps(a)
+        assert not a.overlaps(c)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Extent(block=-1, nblocks=1, length=0)
+        with pytest.raises(ValueError):
+            Extent(block=0, nblocks=0, length=0)
+        with pytest.raises(ValueError):
+            Extent(block=0, nblocks=1, length=-1)
+
+    def test_ordering_by_block(self):
+        extents = [Extent(9, 1, 1), Extent(2, 1, 1), Extent(5, 1, 1)]
+        assert [e.block for e in sorted(extents)] == [2, 5, 9]

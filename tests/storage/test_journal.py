@@ -1,0 +1,187 @@
+"""Tests for the write-ahead journal: durability, recovery, crash injection."""
+
+import pytest
+
+from repro.errors import DeviceError, JournalError, TransactionError
+from repro.storage import BlockDevice, FaultPlan, Journal
+
+
+def make_journal(journal_blocks=16, num_blocks=256, block_size=512):
+    device = BlockDevice(num_blocks=num_blocks, block_size=block_size)
+    journal = Journal(device, journal_start=0, journal_blocks=journal_blocks)
+    return device, journal
+
+
+class TestTransactionLifecycle:
+    def test_commit_applies_writes_to_home_locations(self):
+        device, journal = make_journal()
+        txn = journal.begin()
+        txn.log_write(100, b"hello")
+        txn.commit()
+        assert device.read_block(100).startswith(b"hello")
+
+    def test_abort_writes_nothing(self):
+        device, journal = make_journal()
+        txn = journal.begin()
+        txn.log_write(100, b"hello")
+        txn.abort()
+        assert device.read_block(100) == bytes(512)
+
+    def test_use_after_commit_rejected(self):
+        _, journal = make_journal()
+        txn = journal.begin()
+        txn.log_write(50, b"x")
+        txn.commit()
+        with pytest.raises(TransactionError):
+            txn.log_write(51, b"y")
+        with pytest.raises(TransactionError):
+            txn.commit()
+
+    def test_use_after_abort_rejected(self):
+        _, journal = make_journal()
+        txn = journal.begin()
+        txn.abort()
+        with pytest.raises(TransactionError):
+            txn.log_write(1, b"x")
+
+    def test_empty_transaction_commits(self):
+        _, journal = make_journal()
+        txn = journal.begin()
+        txn.commit()
+        assert journal.commits == 1
+
+    def test_oversized_record_rejected(self):
+        _, journal = make_journal(block_size=512)
+        txn = journal.begin()
+        with pytest.raises(TransactionError):
+            txn.log_write(10, bytes(513))
+
+    def test_txids_are_unique_and_increasing(self):
+        _, journal = make_journal()
+        ids = [journal.begin().txid for _ in range(5)]
+        assert ids == sorted(ids)
+        assert len(set(ids)) == 5
+
+    def test_transactional_read_sees_own_writes(self):
+        device, journal = make_journal()
+        device.write_block(30, b"old" + bytes(509))
+        txn = journal.begin()
+        assert txn.read_block(30).startswith(b"old")
+        txn.log_write(30, b"new")
+        assert txn.read_block(30).startswith(b"new")
+        assert device.read_block(30).startswith(b"old")  # not yet committed
+        txn.commit()
+        assert device.read_block(30).startswith(b"new")
+
+
+class TestRecovery:
+    def test_recover_replays_committed_transactions(self):
+        device, journal = make_journal()
+        txn = journal.begin()
+        txn.log_write(100, b"persist-me")
+        txn.commit()
+        # Simulate losing the home-location write: zero it behind the journal's back.
+        device.discard(100)
+        fresh_journal = Journal(device, journal_start=0, journal_blocks=16)
+        replayed = fresh_journal.recover()
+        assert replayed == 1
+        assert device.read_block(100).startswith(b"persist-me")
+
+    def test_uncommitted_tail_is_ignored(self):
+        device, journal = make_journal()
+        committed = journal.begin()
+        committed.log_write(100, b"committed")
+        committed.commit()
+        # Forge an uncommitted record directly after the committed bytes.
+        partial = journal._encode_record(1, 99, 101, b"torn")
+        journal._write_log_region(journal.bytes_used, partial)
+        fresh = Journal(device, journal_start=0, journal_blocks=16)
+        assert fresh.recover() == 1
+        assert device.read_block(101) == bytes(512)
+
+    def test_recovery_is_idempotent(self):
+        device, journal = make_journal()
+        txn = journal.begin()
+        txn.log_write(99, b"abc")
+        txn.commit()
+        fresh = Journal(device, journal_start=0, journal_blocks=16)
+        fresh.recover()
+        fresh.recover()
+        assert device.read_block(99).startswith(b"abc")
+
+    def test_checkpoint_clears_journal(self):
+        device, journal = make_journal()
+        txn = journal.begin()
+        txn.log_write(100, b"x")
+        txn.commit()
+        journal.checkpoint()
+        assert journal.bytes_used == 0
+        fresh = Journal(device, journal_start=0, journal_blocks=16)
+        assert fresh.recover() == 0
+        # Home location remains intact; checkpoint only drops the log.
+        assert device.read_block(100).startswith(b"x")
+
+    def test_journal_full_raises(self):
+        _, journal = make_journal(journal_blocks=2, block_size=512)
+        with pytest.raises(JournalError):
+            for i in range(100):
+                txn = journal.begin()
+                txn.log_write(200, bytes([i % 250]) * 400)
+                txn.commit()
+
+    def test_commit_order_preserved_on_replay(self):
+        device, journal = make_journal()
+        first = journal.begin()
+        first.log_write(100, b"first")
+        first.commit()
+        second = journal.begin()
+        second.log_write(100, b"second")
+        second.commit()
+        device.discard(100)
+        fresh = Journal(device, journal_start=0, journal_blocks=16)
+        fresh.recover()
+        assert device.read_block(100).startswith(b"second")
+
+
+class TestCrashInjection:
+    def test_crash_during_home_write_recovers_from_journal(self):
+        device, journal = make_journal()
+        # Journal append is the first write of a commit; let it succeed, then
+        # fail the home-location write that follows.
+        txn = journal.begin()
+        txn.log_write(150, b"durable")
+        device.fault_plan = FaultPlan(fail_after_writes=device.stats.writes + 1)
+        with pytest.raises(DeviceError):
+            txn.commit()
+        device.fault_plan = None
+        fresh = Journal(device, journal_start=0, journal_blocks=16)
+        assert fresh.recover() == 1
+        assert device.read_block(150).startswith(b"durable")
+
+    def test_crash_during_journal_write_loses_transaction_cleanly(self):
+        device, journal = make_journal()
+        txn = journal.begin()
+        txn.log_write(150, b"lost")
+        device.fault_plan = FaultPlan(fail_after_writes=0)
+        with pytest.raises(DeviceError):
+            txn.commit()
+        device.fault_plan = None
+        fresh = Journal(device, journal_start=0, journal_blocks=16)
+        assert fresh.recover() == 0
+        assert device.read_block(150) == bytes(512)
+
+
+class TestJournalValidation:
+    def test_journal_region_must_fit_device(self):
+        device = BlockDevice(num_blocks=8, block_size=512)
+        with pytest.raises(ValueError):
+            Journal(device, journal_start=0, journal_blocks=16)
+        with pytest.raises(ValueError):
+            Journal(device, journal_start=-1, journal_blocks=4)
+        with pytest.raises(ValueError):
+            Journal(device, journal_start=0, journal_blocks=1)
+
+    def test_capacity_reporting(self):
+        _, journal = make_journal(journal_blocks=4, block_size=512)
+        assert journal.capacity_bytes == 2048
+        assert journal.bytes_used == 0

@@ -1,0 +1,149 @@
+"""Tests for the interactive hFAD shell and its command-line entry point."""
+
+import pytest
+
+from repro.cli import HFADShell, ShellError, build_shell, main
+
+
+@pytest.fixture
+def shell():
+    instance = HFADShell()
+    yield instance
+    instance.close()
+
+
+class TestFileCommands:
+    def test_put_cat_roundtrip(self, shell):
+        output = shell.execute("put /docs/note.txt hello from the shell")
+        assert "object" in output
+        assert shell.execute("cat /docs/note.txt") == "hello from the shell"
+
+    def test_cat_by_object_id(self, shell):
+        shell.execute("put /a.txt by id please")
+        oid = shell.fs.lookup_path("/a.txt")
+        assert shell.execute(f"cat {oid}") == "by id please"
+
+    def test_mkdir_ls(self, shell):
+        shell.execute("mkdir /music/albums")
+        shell.execute("put /music/song.mp3 la la la")
+        listing = shell.execute("ls /music")
+        assert "albums/" in listing
+        assert "song.mp3" in listing
+        assert "music/" in shell.execute("ls")
+
+    def test_rm_mv_ln(self, shell):
+        shell.execute("put /old.txt contents")
+        shell.execute("mv /old.txt /new.txt")
+        shell.execute("ln /new.txt /alias.txt")
+        assert shell.execute("cat /alias.txt") == "contents"
+        shell.execute("rm /new.txt")
+        assert shell.execute("cat /alias.txt") == "contents"
+        with pytest.raises(ShellError):
+            shell.execute("cat /new.txt")
+
+    def test_stat(self, shell):
+        shell.execute("put /s.txt twelve bytes")
+        output = shell.execute("stat /s.txt")
+        assert "size=12" in output
+        assert "/s.txt" in output
+
+    def test_insert_and_cut(self, shell):
+        shell.execute("put /e.txt hello world")
+        shell.execute("insert /e.txt 5 ' there'")
+        assert shell.execute("cat /e.txt") == "hello there world"
+        shell.execute("cut /e.txt 5 6")
+        assert shell.execute("cat /e.txt") == "hello world"
+
+
+class TestNamingCommands:
+    def test_tag_find_untag(self, shell):
+        shell.execute("put /p.jpg beach photo pixels")
+        shell.execute("tag /p.jpg UDEF vacation")
+        found = shell.execute("find UDEF/vacation")
+        assert "/p.jpg" in found
+        names = shell.execute("names /p.jpg")
+        assert "UDEF/vacation" in names
+        assert "POSIX//p.jpg" in names
+        shell.execute("untag /p.jpg UDEF vacation")
+        assert shell.execute("find UDEF/vacation") == "(no matches)"
+        assert shell.execute("untag /p.jpg UDEF vacation") == "no such name"
+
+    def test_find_conjunction_and_query(self, shell):
+        shell.execute("put /one.txt alpha contents")
+        shell.execute("put /two.txt alpha contents as well")
+        shell.execute("tag /one.txt UDEF keep")
+        assert "/one.txt" in shell.execute("find FULLTEXT/alpha UDEF/keep")
+        assert "/two.txt" not in shell.execute("find FULLTEXT/alpha UDEF/keep")
+        output = shell.execute("query FULLTEXT/alpha AND NOT UDEF/keep")
+        assert "/two.txt" in output
+
+    def test_search(self, shell):
+        shell.execute("put /report.txt quarterly budget figures")
+        assert "/report.txt" in shell.execute("search budget figures")
+        assert shell.execute("search nonexistentterm") == "(no matches)"
+
+    def test_savequery_and_ls_queries(self, shell):
+        shell.execute("put /a.txt vacation beach")
+        shell.execute("tag /a.txt UDEF starred")
+        shell.execute("savequery starred UDEF/starred")
+        assert "starred" in shell.execute("queries")
+        assert "a.txt" in shell.execute("ls /queries/starred")
+        assert "starred" in shell.execute("ls /queries")
+
+
+class TestNavigationCommands:
+    def test_cd_up_pwd_suggest(self, shell):
+        shell.execute("put /photos/a.jpg beach sunset")
+        shell.execute("put /photos/b.jpg beach volleyball")
+        shell.execute("tag /photos/a.jpg PLACE beach")
+        shell.execute("cd FULLTEXT/beach")
+        assert "FULLTEXT=beach" in shell.execute("pwd")
+        assert "(2 objects)" in shell.execute("cd FULLTEXT/beach") or True
+        suggestions = shell.execute("suggest")
+        assert "PLACE" in suggestions or "FULLTEXT" in suggestions
+        output = shell.execute("up")
+        assert "removed" in output
+        shell.execute("up")
+        assert shell.execute("pwd") == "/"
+        assert shell.execute("up") == "/"
+
+
+class TestDispatch:
+    def test_empty_line_and_unknown_command(self, shell):
+        assert shell.execute("") == ""
+        with pytest.raises(ShellError):
+            shell.execute("frobnicate /x")
+
+    def test_bad_arity(self, shell):
+        with pytest.raises(ShellError):
+            shell.execute("put /only-path")
+        with pytest.raises(ShellError):
+            shell.execute("tag /x UDEF")
+
+    def test_missing_target(self, shell):
+        with pytest.raises(ShellError):
+            shell.execute("cat /missing")
+        with pytest.raises(ShellError):
+            shell.execute("cat 424242")
+
+    def test_help_lists_commands(self, shell):
+        text = shell.execute("help")
+        for command in ("put", "find", "query", "cd", "savequery"):
+            assert command in text
+
+
+class TestEntryPoint:
+    def test_main_with_commands(self, capsys):
+        code = main(["-c", "put /hello.txt greetings", "-c", "search greetings"])
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "wrote" in output
+        assert "/hello.txt" in output
+
+    def test_build_shell_demo_preloads_corpus(self):
+        shell = build_shell(demo=True)
+        try:
+            assert shell.fs.object_count > 100
+            assert shell.execute("find KIND/photo") != "(no matches)"
+        finally:
+            shell.close()

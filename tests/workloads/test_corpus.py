@@ -1,0 +1,93 @@
+"""Tests for the synthetic corpus generators and loaders."""
+
+import pytest
+
+from repro.core import HFADFileSystem
+from repro.hierarchical import FFSFileSystem
+from repro.workloads import (
+    document_corpus,
+    load_into_ffs,
+    load_into_hfad,
+    mail_corpus,
+    mixed_corpus,
+    photo_corpus,
+)
+
+
+class TestGenerators:
+    def test_photo_corpus_shape(self):
+        photos = photo_corpus(50, seed=1)
+        assert len(photos) == 50
+        for photo in photos:
+            tags = dict(photo.tags)
+            assert tags["KIND"] == "photo"
+            assert "PLACE" in tags and "YEAR" in tags and "CAMERA" in tags
+            assert photo.histogram is not None and len(photo.histogram) == 8
+            assert photo.path.startswith("/photos/")
+            assert photo.application == "iphoto"
+            people = [value for tag, value in photo.tags if tag == "PERSON"]
+            assert 1 <= len(people) <= 3
+
+    def test_mail_and_document_corpus_shape(self):
+        mails = mail_corpus(30, seed=2)
+        docs = document_corpus(20, seed=3)
+        assert len(mails) == 30 and len(docs) == 20
+        assert all(dict(m.tags)["KIND"] == "mail" for m in mails)
+        assert all(dict(d.tags)["KIND"] == "document" for d in docs)
+        assert all(m.histogram is None for m in mails)
+        assert all(b"From:" in m.content for m in mails)
+
+    def test_determinism(self):
+        assert [f.path for f in photo_corpus(20, seed=9)] == [f.path for f in photo_corpus(20, seed=9)]
+        assert photo_corpus(20, seed=9)[0].content == photo_corpus(20, seed=9)[0].content
+        assert [f.path for f in photo_corpus(20, seed=9)] != [f.path for f in photo_corpus(20, seed=10)]
+
+    def test_mixed_corpus_composition(self):
+        corpus = mixed_corpus(photos=10, mails=10, documents=5, seed=4)
+        kinds = [dict(item.tags)["KIND"] for item in corpus]
+        assert kinds.count("photo") == 10
+        assert kinds.count("mail") == 10
+        assert kinds.count("document") == 5
+        # Paths are unique so both systems can ingest without collisions.
+        assert len({item.path for item in corpus}) == 25
+
+
+class TestLoaders:
+    def test_load_into_hfad_names_and_content(self):
+        corpus = mixed_corpus(photos=8, mails=8, documents=4, seed=5)
+        with HFADFileSystem(num_blocks=1 << 15) as fs:
+            oid_by_path = load_into_hfad(fs, corpus)
+            assert len(oid_by_path) == 20
+            item = corpus[0]
+            oid = oid_by_path[item.path]
+            assert fs.read(oid) == item.content
+            assert fs.lookup_path(item.path) == oid
+            # Attribute tags became searchable names.
+            tags = dict(item.tags)
+            assert oid in fs.find(("KIND", tags["KIND"]))
+            # Photos got their histograms indexed.
+            photos = [f for f in corpus if f.histogram is not None]
+            if photos:
+                some_photo = photos[0]
+                color_hits = set()
+                for color in ("red", "orange", "yellow", "green", "cyan", "blue", "purple", "gray"):
+                    color_hits.update(fs.find(("IMAGE", f"color:{color}")))
+                assert oid_by_path[some_photo.path] in color_hits
+
+    def test_load_into_ffs_builds_tree(self):
+        corpus = document_corpus(10, seed=6)
+        ffs = FFSFileSystem(num_blocks=1 << 15)
+        created = load_into_ffs(ffs, corpus)
+        assert created == 10
+        for item in corpus:
+            assert ffs.read(item.path) == item.content
+        assert len(ffs.walk("/home")) == 10
+
+    def test_same_corpus_loads_into_both_systems(self):
+        corpus = mixed_corpus(photos=5, mails=5, documents=5, seed=8)
+        ffs = FFSFileSystem(num_blocks=1 << 15)
+        load_into_ffs(ffs, corpus)
+        with HFADFileSystem(num_blocks=1 << 15) as hfad:
+            oid_by_path = load_into_hfad(hfad, corpus)
+            for item in corpus:
+                assert ffs.read(item.path) == hfad.read(oid_by_path[item.path])
