@@ -1,0 +1,175 @@
+"""E9 — the unified cache subsystem: eviction policies and query caching.
+
+The paper's viability argument (Section 3) leans on database buffer
+management: index lookups only rival hierarchical traversal if hot index
+pages and hot query results stay in memory.  This experiment measures both
+halves of ``repro.cache``:
+
+* **Buffer pool** — one btree worked through a fixed-budget
+  :class:`~repro.cache.BufferPool` under each eviction policy (LRU, LFU,
+  Clock, ARC) on two access patterns: a Zipfian point-lookup workload
+  (skewed, cache-friendly) and a repeated full scan (the classic LRU
+  killer).  Reported: device reads and hit ratio per policy, with the
+  uncached path (``cache_pages=0``) as the baseline.
+* **Query cache** — the same boolean query repeated against a corpus-loaded
+  hFAD with the query-result cache on and off.  Reported: cold and warm
+  latency and index lookups per run.  Expected shape: the warm cached run
+  does zero index lookups and is markedly faster than the uncached path;
+  a mutation between runs restores the cold cost (generation invalidation).
+"""
+
+from __future__ import annotations
+
+import random
+import time
+
+import pytest
+
+from repro.btree import BPlusTree, DevicePageStore
+from repro.cache import POLICIES, BufferPool
+from repro.core import HFADFileSystem
+from repro.storage import BlockDevice, BuddyAllocator
+from repro.workloads import load_into_hfad
+
+from conftest import emit_table
+
+KEYS = 400
+POOL_PAGES = 24
+ZIPF_S = 1.2
+LOOKUPS = 3000
+
+
+def _build_tree(policy):
+    """A device-backed btree whose pages go through one shared pool."""
+    device = BlockDevice(num_blocks=1 << 15, block_size=512)
+    allocator = BuddyAllocator(total_blocks=1 << 15)
+    if policy is None:
+        store = DevicePageStore(device, allocator, page_blocks=4, cache_pages=0)
+    else:
+        pool = BufferPool(capacity=POOL_PAGES, policy=policy)
+        store = DevicePageStore(
+            device, allocator, page_blocks=4, cache_pages=POOL_PAGES,
+            buffer_pool=pool, name=f"e9.{policy}",
+        )
+    tree = BPlusTree(store=store, max_keys=16)
+    for i in range(KEYS):
+        tree.put(b"%06d" % i, b"value-%d" % i)
+    return tree, store, device
+
+
+def _zipf_keys(rng, count):
+    weights = [1.0 / (rank + 1) ** ZIPF_S for rank in range(KEYS)]
+    return [b"%06d" % key for key in rng.choices(range(KEYS), weights=weights, k=count)]
+
+
+def _scan_keys(rounds):
+    return [b"%06d" % i for _ in range(rounds) for i in range(KEYS)]
+
+
+def _run_workload(tree, store, device, keys):
+    store.drop_cache()
+    reads_before = device.stats.reads
+    for key in keys:
+        assert tree.lookup(key) is not None
+    return device.stats.reads - reads_before
+
+
+def test_e9_eviction_policies():
+    rows = []
+    reads_by_policy = {}
+    for policy in [None] + sorted(POLICIES):
+        tree, store, device = _build_tree(policy)
+        zipf_reads = _run_workload(
+            tree, store, device, _zipf_keys(random.Random(9), LOOKUPS)
+        )
+        scan_reads = _run_workload(tree, store, device, _scan_keys(4))
+        label = policy or "uncached"
+        reads_by_policy[label] = (zipf_reads, scan_reads)
+        hit_ratio = (
+            f"{store._consumer.stats.hit_ratio:.2f}" if policy is not None else "-"
+        )
+        rows.append((label, zipf_reads, scan_reads, hit_ratio))
+    # Every policy must beat the uncached path on the skewed workload.
+    uncached_zipf = reads_by_policy["uncached"][0]
+    for policy in POLICIES:
+        assert reads_by_policy[policy][0] < uncached_zipf, (
+            f"{policy} did not reduce device reads on the Zipfian workload"
+        )
+    emit_table(
+        "E9 — device reads by eviction policy "
+        f"({POOL_PAGES}-page pool, {KEYS}-key btree)",
+        ["policy", f"zipf reads ({LOOKUPS} lookups)", "scan reads (4 passes)", "hit ratio"],
+        rows,
+    )
+
+
+QUERY = "USER/margo AND (UDEF/vacation OR UDEF/beach) AND NOT APP/quicken"
+REPEATS = 50
+
+
+def _timed_queries(fs, repeats):
+    lookups_before = fs.registry.stats.lookups
+    start = time.perf_counter()
+    for _ in range(repeats):
+        result = fs.query(QUERY)
+    elapsed = time.perf_counter() - start
+    return result, elapsed / repeats, fs.registry.stats.lookups - lookups_before
+
+
+def test_e9_query_cache_warm_vs_cold(corpus):
+    cached_fs = HFADFileSystem(num_blocks=1 << 17)
+    uncached_fs = HFADFileSystem(num_blocks=1 << 17, query_cache_entries=0)
+    try:
+        load_into_hfad(cached_fs, corpus)
+        load_into_hfad(uncached_fs, corpus)
+
+        cold_result, cold_latency, cold_lookups = _timed_queries(cached_fs, 1)
+        warm_result, warm_latency, warm_lookups = _timed_queries(cached_fs, REPEATS)
+        plain_result, plain_latency, plain_lookups = _timed_queries(uncached_fs, REPEATS)
+
+        assert warm_result == plain_result == cold_result  # caching never changes answers
+        assert warm_lookups == 0  # warm repeats never touch the indexes
+        assert plain_lookups > 0
+        # The acceptance criterion: warm cached repeats beat the uncached path.
+        assert warm_latency < plain_latency
+
+        # A mutation under one of the query's tags invalidates precisely.
+        invalidations_before = cached_fs.query_cache.stats.stale_drops
+        oid = cached_fs.create(b"", owner="margo", annotations=["vacation"])
+        fresh = cached_fs.query(QUERY)
+        assert oid in fresh
+        assert cached_fs.query_cache.stats.stale_drops == invalidations_before + 1
+
+        emit_table(
+            f"E9 — repeated boolean query, warm cache vs uncached (x{REPEATS})",
+            ["configuration", "latency/query (us)", "index lookups"],
+            [
+                ("cold (first run, cache on)", f"{cold_latency * 1e6:.1f}", cold_lookups),
+                ("warm (cache on)", f"{warm_latency * 1e6:.1f}", warm_lookups),
+                ("uncached", f"{plain_latency * 1e6:.1f}", plain_lookups),
+            ],
+        )
+    finally:
+        cached_fs.close()
+        uncached_fs.close()
+
+
+@pytest.mark.parametrize("config", ["cached", "uncached"])
+def test_e9_query_latency(benchmark, corpus, config):
+    fs = HFADFileSystem(
+        num_blocks=1 << 17,
+        query_cache_entries=256 if config == "cached" else 0,
+    )
+    try:
+        load_into_hfad(fs, corpus)
+        fs.query(QUERY)  # warm the cache (a no-op for the uncached config)
+        benchmark(lambda: fs.query(QUERY))
+    finally:
+        fs.close()
+
+
+@pytest.mark.parametrize("policy", sorted(POLICIES))
+def test_e9_policy_lookup_latency(benchmark, policy):
+    tree, store, device = _build_tree(policy)
+    keys = _zipf_keys(random.Random(5), 200)
+    benchmark(lambda: [tree.lookup(key) for key in keys])

@@ -51,8 +51,14 @@ def corpus():
 
 @pytest.fixture(scope="session")
 def hfad_with_corpus(corpus):
-    """An hFAD instance pre-loaded with the shared corpus."""
-    fs = HFADFileSystem(num_blocks=1 << 17)
+    """An hFAD instance pre-loaded with the shared corpus.
+
+    The query-result cache is disabled here: these experiments measure index
+    traversal and naming-operation cost, and a repeated `fs.find` would
+    otherwise time a cache probe after the first iteration.  E9 measures the
+    caching layer explicitly with its own instances.
+    """
+    fs = HFADFileSystem(num_blocks=1 << 17, query_cache_entries=0)
     oid_by_path = load_into_hfad(fs, corpus)
     yield fs, oid_by_path
     fs.close()

@@ -19,6 +19,7 @@ See README.md for the architecture overview, DESIGN.md for the system
 inventory and EXPERIMENTS.md for the experiment-by-experiment results.
 """
 
+from repro.cache import BufferPool, QueryResultCache
 from repro.core import HFADFileSystem
 from repro.core.query import parse_query
 from repro.index.tags import (
@@ -32,10 +33,12 @@ from repro.index.tags import (
     TagValue,
 )
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "HFADFileSystem",
+    "BufferPool",
+    "QueryResultCache",
     "TagValue",
     "parse_query",
     "TAG_POSIX",

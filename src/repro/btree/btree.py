@@ -218,6 +218,26 @@ class BPlusTree:
                 self._root_id = root.children[0]
                 self.store.free(old_root_id)
 
+    def destroy(self) -> int:
+        """Free every page of the tree back to its store; returns the count.
+
+        Used when a whole tree dies (object deletion): per-key deletes only
+        release pages on merges, so dropping a tree without this leaks all
+        its pages.  The tree is unusable afterwards.
+        """
+        with self._lock:
+            freed = self._destroy(self._root_id)
+        return freed
+
+    def _destroy(self, page_id: int) -> int:
+        node = self.store.read(page_id)
+        freed = 1
+        if not node.is_leaf:
+            for child_id in node.children:
+                freed += self._destroy(child_id)
+        self.store.free(page_id)
+        return freed
+
     def pop(self, key: bytes, default=_MISSING):
         """Remove ``key`` and return its value (or ``default`` if absent)."""
         try:

@@ -8,16 +8,23 @@ The tree itself only speaks in page ids.  Two backends are provided:
   from a :class:`~repro.storage.buddy.BuddyAllocator` on a
   :class:`~repro.storage.block_device.BlockDevice`.  Nodes are serialized via
   :mod:`repro.btree.node` and every page read/write turns into device I/O, so
-  experiments that count index traversals (E1) see real block traffic.  A
-  small LRU cache can absorb repeated reads of hot pages, mirroring a buffer
-  cache; set ``cache_pages=0`` to measure the uncached path.
+  experiments that count index traversals (E1) see real block traffic.
+
+Caching of device pages goes through the shared
+:class:`~repro.cache.buffer_pool.BufferPool` (``repro.cache``): pass an
+existing pool to share one global page budget across several stores (the OSD
+does this for its master and extent btrees), or let the store create a small
+private pool sized by ``cache_pages``.  Set ``cache_pages=0`` (and no pool)
+to measure the uncached path.  With ``write_back=True`` node writes are
+buffered dirty in the pool and only reach the device on eviction or
+:meth:`DevicePageStore.flush` — the classic write-behind buffer cache.
 """
 
 from __future__ import annotations
 
-from collections import OrderedDict
 from typing import Dict, Optional
 
+from repro.cache.buffer_pool import BufferPool, PoolConsumer
 from repro.errors import BTreeError
 from repro.storage.block_device import BlockDevice
 from repro.storage.buddy import BuddyAllocator
@@ -101,7 +108,13 @@ class DevicePageStore(PageStore):
     :param allocator: buddy allocator managing the region pages come from.
     :param page_blocks: blocks per page (default 4 → 16 KiB pages with the
         default 4 KiB block size).
-    :param cache_pages: LRU cache capacity in pages; ``0`` disables caching.
+    :param cache_pages: private buffer-pool capacity in pages when no shared
+        pool is given; ``0`` disables caching entirely.
+    :param buffer_pool: an existing :class:`~repro.cache.buffer_pool.BufferPool`
+        to share; overrides ``cache_pages``.
+    :param write_back: buffer node writes dirty in the pool instead of writing
+        through; dirty pages reach the device on eviction or :meth:`flush`.
+    :param name: consumer name under which pool statistics are reported.
     """
 
     def __init__(
@@ -110,6 +123,9 @@ class DevicePageStore(PageStore):
         allocator: BuddyAllocator,
         page_blocks: int = 4,
         cache_pages: int = 64,
+        buffer_pool: Optional[BufferPool] = None,
+        write_back: bool = False,
+        name: str = "btree",
     ) -> None:
         if page_blocks <= 0:
             raise ValueError("page_blocks must be positive")
@@ -118,11 +134,17 @@ class DevicePageStore(PageStore):
         self.page_blocks = page_blocks
         self.page_bytes = page_blocks * device.block_size
         self.cache_pages = cache_pages
-        self._cache: "OrderedDict[int, object]" = OrderedDict()
+        if buffer_pool is None and cache_pages:
+            buffer_pool = BufferPool(capacity=cache_pages)
+        self.pool = buffer_pool
+        self.write_back = write_back and self.pool is not None
+        self._consumer: Optional[PoolConsumer] = (
+            self.pool.register(name, writeback=self._write_page)
+            if self.pool is not None
+            else None
+        )
         self.reads = 0
         self.writes = 0
-        self.cache_hits = 0
-        self.cache_misses = 0
 
     # Page ids are the absolute device block address of the page's first block.
 
@@ -131,19 +153,19 @@ class DevicePageStore(PageStore):
 
     def read(self, page_id: int):
         self.reads += 1
-        if self.cache_pages:
-            cached = self._cache.get(page_id)
+        if self._consumer is not None:
+            cached = self._consumer.get(page_id)
             if cached is not None:
-                self._cache.move_to_end(page_id)
-                self.cache_hits += 1
                 return cached
-            self.cache_misses += 1
         raw = self.device.read_blocks(page_id, self.page_blocks)
         node = decode_node(raw)
-        self._remember(page_id, node)
+        if self._consumer is not None:
+            self._consumer.put(page_id, node)
         return node
 
     def write(self, page_id: int, node) -> None:
+        # Validate the encoded size up front even when the device write is
+        # deferred — an oversized node must fail at write(), not at eviction.
         encoded = node.encode()
         if len(encoded) > self.page_bytes:
             raise BTreeError(
@@ -151,21 +173,65 @@ class DevicePageStore(PageStore):
                 f"{self.page_bytes}; lower the tree's max_keys"
             )
         self.writes += 1
+        if self.write_back and self._consumer is not None:
+            self._consumer.put(page_id, node, dirty=True)
+            return
         self.device.write_blocks(page_id, encoded, nblocks=self.page_blocks)
-        self._remember(page_id, node)
+        if self._consumer is not None:
+            self._consumer.put(page_id, node)
 
     def free(self, page_id: int) -> None:
-        self._cache.pop(page_id, None)
+        if self._consumer is not None:
+            self._consumer.invalidate(page_id)
         self.allocator.free(page_id)
 
-    def _remember(self, page_id: int, node) -> None:
-        if not self.cache_pages:
-            return
-        self._cache[page_id] = node
-        self._cache.move_to_end(page_id)
-        while len(self._cache) > self.cache_pages:
-            self._cache.popitem(last=False)
+    def _write_page(self, page_id: int, node) -> None:
+        """Buffer-pool write-back target: persist a (dirty) node."""
+        self.device.write_blocks(page_id, node.encode(), nblocks=self.page_blocks)
+
+    # ------------------------------------------------------------ cache mgmt
+
+    def flush(self) -> int:
+        """Write back every dirty page this store holds; returns the count."""
+        if self._consumer is None:
+            return 0
+        return self._consumer.flush()
 
     def drop_cache(self) -> None:
-        """Empty the page cache (used between benchmark phases)."""
-        self._cache.clear()
+        """Empty this store's slice of the pool (used between bench phases).
+
+        Dirty pages are written back first, so no updates are lost.
+        """
+        if self._consumer is not None:
+            self._consumer.drop_all(write_back=True)
+
+    def detach(self, write_back: bool = False) -> None:
+        """Tear the store down: drop its pages and leave the pool.
+
+        Used when the owning tree dies (object deletion) so a long-lived
+        shared pool does not accumulate dead consumers.  Dirty pages are
+        discarded by default — a dead tree's pages are never read again —
+        pass ``write_back=True`` if the pages must survive on the device.
+        """
+        if self._consumer is not None:
+            if write_back:
+                self._consumer.flush()
+            self.pool.unregister(self._consumer)
+            self._consumer = None
+
+    # ---------------------------------------------------------- diagnostics
+
+    @property
+    def cache_hits(self) -> int:
+        return self._consumer.stats.hits if self._consumer is not None else 0
+
+    @property
+    def cache_misses(self) -> int:
+        return self._consumer.stats.misses if self._consumer is not None else 0
+
+    @property
+    def _cache(self) -> Dict[int, object]:
+        """This store's resident pages (kept for diagnostics and old tests)."""
+        if self._consumer is None:
+            return {}
+        return self._consumer.cached_pages()

@@ -1,0 +1,332 @@
+"""A shared buffer pool with a fixed global page budget.
+
+The paper's Section 3 argues that a search-first file system stands or falls
+on database-style buffer management: index pages must be as cheap to revisit
+as a warmed dentry cache.  The :class:`BufferPool` is that layer.  Several
+*consumers* — btree page stores, the OSD, anything holding page-like values —
+register with the pool and share one global budget of ``capacity`` pages.
+
+Semantics follow classic DB engines:
+
+* **Eviction** is pluggable (:mod:`repro.cache.policies`): LRU, LFU, Clock or
+  ARC, selected by name (``BufferPool(64, policy="arc")``).
+* **Pin/unpin** — a pinned page is never evicted; pins nest.  If every page
+  is pinned when a victim is needed, :class:`~repro.errors.AllPagesPinnedError`
+  is raised (the simulator's equivalent of a buffer-starvation deadlock).
+* **Dirty pages** are written back through the owning consumer's ``writeback``
+  callback *before* the frame is reused, and on :meth:`flush`.
+* **Statistics** are kept globally and per consumer (hits, misses, evictions,
+  writebacks) so benchmarks can attribute traffic to layers.
+
+The pool is deliberately value-agnostic: it maps ``(consumer, page_id)`` to
+arbitrary Python objects and never touches a device itself — consumers decide
+what write-back means.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Hashable, Optional, Tuple
+
+from repro.errors import AllPagesPinnedError, CacheError
+from repro.cache.policies import EvictionPolicy, make_policy
+
+_Key = Tuple[str, Hashable]
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss/eviction counters (kept per consumer and pool-wide)."""
+
+    hits: int = 0
+    misses: int = 0
+    insertions: int = 0
+    evictions: int = 0
+    writebacks: int = 0
+    invalidations: int = 0
+
+    @property
+    def accesses(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_ratio(self) -> float:
+        return self.hits / self.accesses if self.accesses else 0.0
+
+    def reset(self) -> None:
+        self.hits = self.misses = self.insertions = 0
+        self.evictions = self.writebacks = self.invalidations = 0
+
+    def snapshot(self) -> Dict[str, float]:
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "insertions": self.insertions,
+            "evictions": self.evictions,
+            "writebacks": self.writebacks,
+            "invalidations": self.invalidations,
+            "hit_ratio": round(self.hit_ratio, 4),
+        }
+
+
+class _Frame:
+    """One resident page: its value, dirty bit and pin count."""
+
+    __slots__ = ("value", "dirty", "pins")
+
+    def __init__(self, value, dirty: bool) -> None:
+        self.value = value
+        self.dirty = dirty
+        self.pins = 0
+
+
+class PoolConsumer:
+    """A registered client's handle onto the shared pool.
+
+    All page operations go through the handle so the pool can attribute
+    traffic (and route write-back) to the right consumer.
+    """
+
+    def __init__(self, pool: "BufferPool", name: str,
+                 writeback: Optional[Callable[[Hashable, object], None]]) -> None:
+        self.pool = pool
+        self.name = name
+        self.writeback = writeback
+        self.stats = CacheStats()
+
+    def get(self, page_id: Hashable):
+        return self.pool._get(self, page_id)
+
+    def put(self, page_id: Hashable, value, dirty: bool = False) -> None:
+        self.pool._put(self, page_id, value, dirty)
+
+    def pin(self, page_id: Hashable) -> None:
+        self.pool._pin(self, page_id, +1)
+
+    def unpin(self, page_id: Hashable) -> None:
+        self.pool._pin(self, page_id, -1)
+
+    def invalidate(self, page_id: Hashable) -> None:
+        self.pool._invalidate(self, page_id)
+
+    def flush(self) -> int:
+        return self.pool.flush(self)
+
+    def drop_all(self, write_back: bool = True) -> None:
+        self.pool._drop_consumer(self, write_back=write_back)
+
+    def cached_pages(self) -> Dict[Hashable, object]:
+        """Read-only view of this consumer's resident pages (diagnostics)."""
+        return self.pool._pages_of(self)
+
+
+class BufferPool:
+    """Fixed-budget page cache shared between consumers.
+
+    :param capacity: global budget in pages (must be >= 1).
+    :param policy: eviction policy name (``"lru"``, ``"lfu"``, ``"clock"``,
+        ``"arc"``), class, or instance.
+    """
+
+    def __init__(self, capacity: int = 256, policy="lru") -> None:
+        if capacity < 1:
+            raise CacheError("buffer pool capacity must be at least 1 page")
+        self.capacity = capacity
+        self.policy: EvictionPolicy = make_policy(policy, capacity)
+        self.stats = CacheStats()
+        self._frames: Dict[_Key, _Frame] = {}
+        # Keys with pins > 0, maintained incrementally: _make_room runs on
+        # every miss once the pool is full, so it must not rescan all frames.
+        self._pinned: set = set()
+        self._consumers: Dict[str, PoolConsumer] = {}
+        self._name_serials: Dict[str, int] = {}
+        self._lock = threading.RLock()
+
+    # ------------------------------------------------------------ consumers
+
+    def register(self, name: str,
+                 writeback: Optional[Callable[[Hashable, object], None]] = None,
+                 ) -> PoolConsumer:
+        """Register a consumer; names are made unique automatically.
+
+        The next free serial per base name is remembered so registering the
+        N-th same-named consumer (one per on-device object tree) stays O(1).
+        """
+        with self._lock:
+            serial = self._name_serials.get(name, 1)
+            unique = name if serial == 1 else f"{name}#{serial}"
+            while unique in self._consumers:
+                serial += 1
+                unique = f"{name}#{serial}"
+            self._name_serials[name] = serial + 1
+            consumer = PoolConsumer(self, unique, writeback)
+            self._consumers[unique] = consumer
+            return consumer
+
+    def unregister(self, consumer: PoolConsumer) -> None:
+        """Drop a consumer and its pages (without write-back: the caller
+        flushes first if the pages still matter)."""
+        with self._lock:
+            self._drop_consumer(consumer, write_back=False)
+            self._consumers.pop(consumer.name, None)
+
+    @property
+    def consumers(self) -> Dict[str, PoolConsumer]:
+        return dict(self._consumers)
+
+    # ------------------------------------------------------------ page ops
+
+    def _get(self, consumer: PoolConsumer, page_id: Hashable):
+        key = (consumer.name, page_id)
+        with self._lock:
+            frame = self._frames.get(key)
+            if frame is None:
+                consumer.stats.misses += 1
+                self.stats.misses += 1
+                return None
+            consumer.stats.hits += 1
+            self.stats.hits += 1
+            self.policy.on_hit(key)
+            return frame.value
+
+    def _put(self, consumer: PoolConsumer, page_id: Hashable, value,
+             dirty: bool) -> None:
+        key = (consumer.name, page_id)
+        with self._lock:
+            frame = self._frames.get(key)
+            if frame is not None:
+                frame.value = value
+                frame.dirty = frame.dirty or dirty
+                self.policy.on_hit(key)
+                return
+            self._make_room()
+            self._frames[key] = _Frame(value, dirty)
+            self.policy.on_add(key)
+            consumer.stats.insertions += 1
+            self.stats.insertions += 1
+
+    def _pin(self, consumer: PoolConsumer, page_id: Hashable, delta: int) -> None:
+        key = (consumer.name, page_id)
+        with self._lock:
+            frame = self._frames.get(key)
+            if frame is None:
+                raise CacheError(f"cannot (un)pin non-resident page {key!r}")
+            frame.pins += delta
+            if frame.pins < 0:
+                frame.pins = 0
+                raise CacheError(f"unbalanced unpin of page {key!r}")
+            if frame.pins > 0:
+                self._pinned.add(key)
+            else:
+                self._pinned.discard(key)
+
+    def _invalidate(self, consumer: PoolConsumer, page_id: Hashable) -> None:
+        """Drop a page without write-back (e.g. the page was freed)."""
+        key = (consumer.name, page_id)
+        with self._lock:
+            resident = self._frames.pop(key, None) is not None
+            # Tell the policy even when the page is not resident: ARC keeps
+            # ghost entries for evicted pages, and a freed page id that the
+            # allocator later reuses must not read as a ghost hit.
+            self.policy.on_remove(key)
+            if resident:
+                self._pinned.discard(key)
+                consumer.stats.invalidations += 1
+                self.stats.invalidations += 1
+
+    # ------------------------------------------------------------ eviction
+
+    def _make_room(self) -> None:
+        while len(self._frames) >= self.capacity:
+            victim = self.policy.victim(self._pinned)
+            if victim is None:
+                raise AllPagesPinnedError(
+                    f"buffer pool of {self.capacity} pages has no evictable page"
+                )
+            self._evict(victim)
+
+    def _evict(self, key: _Key) -> None:
+        frame = self._frames.pop(key)
+        self._pinned.discard(key)
+        consumer = self._consumers[key[0]]
+        if frame.dirty:
+            self._write_back(consumer, key[1], frame.value)
+        self.policy.on_evict(key)
+        consumer.stats.evictions += 1
+        self.stats.evictions += 1
+
+    def _write_back(self, consumer: PoolConsumer, page_id: Hashable, value) -> None:
+        if consumer.writeback is None:
+            raise CacheError(
+                f"dirty page {page_id!r} owned by {consumer.name!r}, "
+                "which registered no writeback callback"
+            )
+        consumer.writeback(page_id, value)
+        consumer.stats.writebacks += 1
+        self.stats.writebacks += 1
+
+    # ------------------------------------------------------------ flushing
+
+    def flush(self, consumer: Optional[PoolConsumer] = None) -> int:
+        """Write back dirty pages (of one consumer, or all); returns count."""
+        flushed = 0
+        with self._lock:
+            for (owner_name, page_id), frame in list(self._frames.items()):
+                if consumer is not None and owner_name != consumer.name:
+                    continue
+                if not frame.dirty:
+                    continue
+                self._write_back(self._consumers[owner_name], page_id, frame.value)
+                frame.dirty = False
+                flushed += 1
+        return flushed
+
+    def _drop_consumer(self, consumer: PoolConsumer, write_back: bool) -> None:
+        with self._lock:
+            if write_back:
+                self.flush(consumer)
+            for key in [k for k in self._frames if k[0] == consumer.name]:
+                del self._frames[key]
+                self._pinned.discard(key)
+                self.policy.on_remove(key)
+                consumer.stats.invalidations += 1
+                self.stats.invalidations += 1
+
+    # ------------------------------------------------------------ inspection
+
+    def _pages_of(self, consumer: PoolConsumer) -> Dict[Hashable, object]:
+        with self._lock:
+            return {
+                page_id: frame.value
+                for (owner_name, page_id), frame in self._frames.items()
+                if owner_name == consumer.name
+            }
+
+    def __len__(self) -> int:
+        return len(self._frames)
+
+    @property
+    def dirty_pages(self) -> int:
+        return sum(1 for frame in self._frames.values() if frame.dirty)
+
+    @property
+    def pinned_pages(self) -> int:
+        return len(self._pinned)
+
+    def snapshot(self) -> Dict[str, object]:
+        """Pool-wide and per-consumer statistics (for ``HFADFileSystem.stats``)."""
+        with self._lock:
+            return {
+                "capacity": self.capacity,
+                "policy": self.policy.name,
+                "resident": len(self._frames),
+                "dirty": self.dirty_pages,
+                "pinned": self.pinned_pages,
+                "totals": self.stats.snapshot(),
+                "consumers": {
+                    name: consumer.stats.snapshot()
+                    for name, consumer in self._consumers.items()
+                    if consumer.stats.accesses or consumer.stats.insertions
+                },
+            }

@@ -317,7 +317,11 @@ def main(argv: Optional[List[str]] = None) -> int:
     try:
         if options.command:
             for line in options.command:
-                output = shell.execute(line)
+                try:
+                    output = shell.execute(line)
+                except ReproError as error:
+                    print(f"error: {error}", file=sys.stderr)
+                    return 1
                 if output:
                     print(output)
             return 0

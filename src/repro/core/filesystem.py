@@ -19,6 +19,7 @@ from __future__ import annotations
 
 from typing import Dict, Iterable, List, Optional, Sequence, Union
 
+from repro.cache import BufferPool, QueryResultCache
 from repro.core.access import AccessInterface, ObjectHandle
 from repro.core.naming import NamingInterface, PairLike, as_pair
 from repro.core.query import Query, QueryPlanner, parse_query
@@ -26,6 +27,8 @@ from repro.core.transactions import NamespaceTransaction, TransactionManager
 from repro.errors import NoSuchObjectError
 from repro.index import (
     TAG_APP,
+    TAG_FULLTEXT,
+    TAG_IMAGE,
     TAG_POSIX,
     TAG_UDEF,
     TAG_USER,
@@ -54,6 +57,12 @@ class HFADFileSystem:
     :param index_workers: background indexing threads when lazy.
     :param btree_on_device: persist index/extent btrees on the device too.
     :param enable_planner: plan conjunctive queries by selectivity.
+    :param cache_pages: global buffer-pool budget (in pages) shared by every
+        on-device btree; ``0`` disables page caching (ablation path).
+    :param cache_policy: buffer-pool eviction policy (``"lru"``, ``"lfu"``,
+        ``"clock"``, ``"arc"``).
+    :param query_cache_entries: capacity of the query-result cache; ``0``
+        disables result caching so every query re-evaluates the indexes.
     """
 
     def __init__(
@@ -65,11 +74,28 @@ class HFADFileSystem:
         index_workers: int = 1,
         btree_on_device: bool = False,
         enable_planner: bool = True,
+        cache_pages: int = 256,
+        cache_policy: str = "lru",
+        query_cache_entries: int = 256,
     ) -> None:
         if device is None:
             device = BlockDevice(num_blocks=num_blocks, latency_model=latency_model)
         self.device = device
-        self.objects = ObjectStore(device=device, btree_on_device=btree_on_device)
+        # The shared memory hierarchy between the btrees and the device.
+        # Only on-device btrees consume pool pages, so an in-memory
+        # configuration gets no pool (stats() then reports it as absent
+        # rather than as an enabled-but-idle cache).
+        self.buffer_pool = (
+            BufferPool(capacity=cache_pages, policy=cache_policy)
+            if cache_pages and btree_on_device
+            else None
+        )
+        self.objects = ObjectStore(
+            device=device,
+            btree_on_device=btree_on_device,
+            buffer_pool=self.buffer_pool,
+            cache_pages=cache_pages,
+        )
         # Index stores (Figure 1: the extensible collection of indices).
         self.keyvalue_index = KeyValueIndexStore()
         self.path_index = PosixPathIndexStore()
@@ -80,8 +106,22 @@ class HFADFileSystem:
         self.registry.register(self.path_index)
         self.registry.register(self.fulltext_index)
         self.registry.register(self.image_index)
+        # Content indexing mutates the inverted index outside the registry
+        # (possibly on a background thread); bump the FULLTEXT generation at
+        # the moment a mutation becomes visible so cached results die exactly
+        # then.
+        self.fulltext_index.on_mutation = lambda: self.registry.touch(TAG_FULLTEXT)
         # Native API.
-        self.naming = NamingInterface(self.registry, planner=QueryPlanner(enabled=enable_planner))
+        self.query_cache = (
+            QueryResultCache(self.registry, capacity=query_cache_entries)
+            if query_cache_entries
+            else None
+        )
+        self.naming = NamingInterface(
+            self.registry,
+            planner=QueryPlanner(enabled=enable_planner),
+            query_cache=self.query_cache,
+        )
         self.access = AccessInterface(self.objects)
         self.transactions = TransactionManager()
         #: objects whose full-text index entry tracks their content.
@@ -124,6 +164,7 @@ class HFADFileSystem:
             self.naming.add_name(oid, pair)
         if path is not None:
             self.path_index.link(path, oid)
+            self.registry.touch(TAG_POSIX)
         if index_content:
             # Track the object even when it starts empty so that later writes
             # through the access interfaces keep its index entry current.
@@ -274,10 +315,14 @@ class HFADFileSystem:
         if not self.objects.exists(oid):
             raise NoSuchObjectError(oid)
         self.path_index.link(path, oid)
+        self.registry.touch(TAG_POSIX)
 
     def unlink_path(self, path: str) -> Optional[int]:
         """Remove a POSIX path name; returns the object it named."""
-        return self.path_index.unlink(path)
+        oid = self.path_index.unlink(path)
+        if oid is not None:
+            self.registry.touch(TAG_POSIX)
+        return oid
 
     def lookup_path(self, path: str) -> Optional[int]:
         """Resolve a POSIX path to an object id (None if unbound)."""
@@ -292,7 +337,9 @@ class HFADFileSystem:
         """Index an object's colour histogram; returns its dominant colour."""
         if not self.objects.exists(oid):
             raise NoSuchObjectError(oid)
-        return self.image_index.index_histogram(oid, histogram)
+        colour = self.image_index.index_histogram(oid, histogram)
+        self.registry.touch(TAG_IMAGE)
+        return colour
 
     # ------------------------------------------------------------------
     # transactions / maintenance
@@ -330,4 +377,6 @@ class HFADFileSystem:
             "fulltext_term_lookups": self.fulltext_index.index.term_lookups,
             "fulltext_postings_scanned": self.fulltext_index.index.postings_scanned,
             "object_count": self.object_count,
+            "buffer_pool": self.buffer_pool.snapshot() if self.buffer_pool else None,
+            "query_cache": self.query_cache.snapshot() if self.query_cache else None,
         }

@@ -48,15 +48,49 @@ class NamingStats:
     queries: int = 0
     names_added: int = 0
     names_removed: int = 0
+    cached_results: int = 0
 
 
 class NamingInterface:
-    """Maps vectors of tag/value pairs to sets of object ids."""
+    """Maps vectors of tag/value pairs to sets of object ids.
 
-    def __init__(self, registry: IndexStoreRegistry, planner: Optional[QueryPlanner] = None) -> None:
+    When a :class:`~repro.cache.query_cache.QueryResultCache` is supplied,
+    both naming operations and boolean queries are answered from it on
+    repeats; per-tag generation counters on the registry keep the cache
+    precise across mutations.
+    """
+
+    def __init__(
+        self,
+        registry: IndexStoreRegistry,
+        planner: Optional[QueryPlanner] = None,
+        query_cache=None,
+    ) -> None:
         self.registry = registry
         self.planner = planner if planner is not None else QueryPlanner()
+        self.query_cache = query_cache
         self.stats = NamingStats()
+
+    def _evaluate(self, query: Query) -> List[int]:
+        """Evaluate through the query cache when one is configured.
+
+        On a cache hit no evaluation runs, so ``planner.last_plan`` keeps
+        whatever the last *evaluated* query planned.
+        """
+        if self.query_cache is None:
+            return query.evaluate(self.registry, self.planner)
+        key = self.query_cache.canonical_key(query)
+        cached = self.query_cache.lookup(query, key=key)
+        if cached is not None:
+            self.stats.cached_results += 1
+            return cached
+        # Snapshot generations before evaluating: a concurrent mutation (e.g.
+        # lazy indexing applying on a worker thread) then prevents the stale
+        # result from being cached under the post-mutation generation.
+        snapshot = self.query_cache.generations_for(query)
+        result = query.evaluate(self.registry, self.planner)
+        self.query_cache.store(query, result, snapshot=snapshot, key=key)
+        return result
 
     # ------------------------------------------------------------- naming
 
@@ -99,8 +133,11 @@ class NamingInterface:
         if not coerced:
             raise NamingError("a naming operation needs at least one tag/value pair")
         self.stats.naming_operations += 1
+        # Always evaluate through And so the planner runs (and refreshes
+        # last_plan) even for a single pair; the query cache normalizes
+        # single-child conjunctions, so And([t]) and a bare t share a key.
         query = And([TagTerm.from_pair(pair) for pair in coerced])
-        return query.evaluate(self.registry, self.planner)
+        return self._evaluate(query)
 
     def resolve_one(self, pairs: Union[PairLike, Sequence[PairLike]]) -> int:
         """Resolve and insist on at least one match (returning the first).
@@ -119,6 +156,4 @@ class NamingInterface:
         if isinstance(query, str):
             query = parse_query(query)
         self.stats.queries += 1
-        if isinstance(query, TagTerm):
-            return query.evaluate(self.registry, self.planner)
-        return query.evaluate(self.registry, self.planner)
+        return self._evaluate(query)

@@ -145,33 +145,52 @@ class QueryPlanner:
     #: cost assumed for terms whose store offers no estimate.
     DEFAULT_CARDINALITY = 1 << 30
 
+    #: bound on the memoised estimate table before it is cleared wholesale.
+    MAX_MEMO_ENTRIES = 4096
+
     def __init__(self, enabled: bool = True) -> None:
         self.enabled = enabled
         #: (term, estimate) pairs recorded for the most recent conjunction —
         #: surfaced by the E7 benchmark to show what the planner decided.
         self.last_plan: List[Tuple[str, int]] = []
+        # Cardinality estimates memoised per (tag, value), validated against
+        # the registry's per-tag mutation generation so a stale estimate is
+        # recomputed rather than trusted.
+        self._estimates: dict = {}
 
     def estimate(self, term: Query, registry: IndexStoreRegistry) -> int:
         if isinstance(term, TagTerm):
             if term.tag == TAG_ID:
                 return 0
-            try:
-                store = registry.store_for(term.tag)
-            except Exception:
-                return self.DEFAULT_CARDINALITY
-            cardinality = getattr(store, "cardinality", None)
-            if cardinality is None:
-                return self.DEFAULT_CARDINALITY
-            try:
-                return int(cardinality(term.tag, term.value))
-            except Exception:
-                return self.DEFAULT_CARDINALITY
+            generation = registry.generation(term.tag)
+            memo_key = (term.tag, term.value)
+            memo = self._estimates.get(memo_key)
+            if memo is not None and memo[0] == generation:
+                return memo[1]
+            estimate = self._estimate_term(term, registry)
+            if len(self._estimates) >= self.MAX_MEMO_ENTRIES:
+                self._estimates.clear()
+            self._estimates[memo_key] = (generation, estimate)
+            return estimate
         if isinstance(term, Or):
             return sum(self.estimate(child, registry) for child in term.children)
         if isinstance(term, And):
             estimates = [self.estimate(child, registry) for child in term.children if not isinstance(child, Not)]
             return min(estimates) if estimates else self.DEFAULT_CARDINALITY
         return self.DEFAULT_CARDINALITY
+
+    def _estimate_term(self, term: TagTerm, registry: IndexStoreRegistry) -> int:
+        try:
+            store = registry.store_for(term.tag)
+        except Exception:
+            return self.DEFAULT_CARDINALITY
+        cardinality = getattr(store, "cardinality", None)
+        if cardinality is None:
+            return self.DEFAULT_CARDINALITY
+        try:
+            return int(cardinality(term.tag, term.value))
+        except Exception:
+            return self.DEFAULT_CARDINALITY
 
     def order_conjuncts(self, terms: Sequence[Query], registry: IndexStoreRegistry) -> List[Query]:
         if not self.enabled:

@@ -72,6 +72,19 @@ class DuplicateIndexError(IndexStoreError):
 
 
 # ---------------------------------------------------------------------------
+# Cache subsystem
+# ---------------------------------------------------------------------------
+
+
+class CacheError(ReproError):
+    """Base class for buffer-pool / query-cache failures."""
+
+
+class AllPagesPinnedError(CacheError):
+    """The buffer pool needed a victim but every resident page is pinned."""
+
+
+# ---------------------------------------------------------------------------
 # OSD / objects
 # ---------------------------------------------------------------------------
 

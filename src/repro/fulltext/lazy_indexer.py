@@ -41,6 +41,10 @@ class LazyIndexer:
     :param workers: number of background threads.
     :param max_queue: bound on outstanding work items; enqueue blocks when full.
     :param synchronous: index inline instead of in the background.
+    :param on_apply: called (with no arguments) after each add/remove has
+        actually been applied to the index — i.e. at visibility time, not at
+        enqueue time.  The query cache uses this to invalidate FULLTEXT
+        results exactly when the index really changes, even in lazy mode.
     """
 
     def __init__(
@@ -49,11 +53,13 @@ class LazyIndexer:
         workers: int = 1,
         max_queue: int = 1024,
         synchronous: bool = False,
+        on_apply=None,
     ) -> None:
         if workers < 1:
             raise ValueError("workers must be at least 1")
         self.index = index if index is not None else InvertedIndex()
         self.synchronous = synchronous
+        self.on_apply = on_apply
         self.stats = IndexerStats()
         self._lock = threading.Lock()
         self._queue: "queue.Queue" = queue.Queue(maxsize=max_queue)
@@ -107,6 +113,7 @@ class LazyIndexer:
             with self._lock:
                 self.index.add_document(doc_id, text)
             self.stats.indexed += 1
+            self._applied()
             return
         if not self._started:
             self.start()
@@ -121,10 +128,15 @@ class LazyIndexer:
             with self._lock:
                 self.index.remove_document(doc_id)
             self.stats.removed += 1
+            self._applied()
             return
         if not self._started:
             self.start()
         self._queue.put(("remove", doc_id, None))
+
+    def _applied(self) -> None:
+        if self.on_apply is not None:
+            self.on_apply()
 
     # ------------------------------------------------------------ visibility
 
@@ -175,6 +187,7 @@ class LazyIndexer:
                     elif operation == "remove":
                         self.index.remove_document(doc_id)
                         self.stats.removed += 1
+                self._applied()
             finally:
                 self._queue.task_done()
 

@@ -33,7 +33,21 @@ class FullTextIndexStore(IndexStore):
     ) -> None:
         self.index = InvertedIndex(analyzer=analyzer)
         self.lazy = lazy
-        self.indexer = LazyIndexer(index=self.index, workers=workers, synchronous=not lazy)
+        #: optional callable invoked whenever the inverted index actually
+        #: changes (content indexed or dropped, possibly on a worker thread);
+        #: the file-system facade points this at the registry's generation
+        #: bump for FULLTEXT so query caches invalidate precisely.
+        self.on_mutation = None
+        self.indexer = LazyIndexer(
+            index=self.index,
+            workers=workers,
+            synchronous=not lazy,
+            on_apply=self._notify_mutation,
+        )
+
+    def _notify_mutation(self) -> None:
+        if self.on_mutation is not None:
+            self.on_mutation()
 
     def tags(self) -> Sequence[str]:
         return (TAG_FULLTEXT,)

@@ -10,6 +10,7 @@ itself: an ``ID`` lookup never consults an index at all.
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional, Sequence, Set
 
@@ -74,6 +75,14 @@ class IndexStoreRegistry:
         self._by_tag: Dict[str, IndexStore] = {}
         self._stores: List[IndexStore] = []
         self.stats = RegistryStats()
+        # Per-tag mutation generations, consumed by the query-result cache
+        # (repro.cache.query_cache): every mutation that can change a tag's
+        # lookups bumps its counter, so cached results for that tag — and
+        # only that tag — become stale.  touch() may be called from lazy
+        # indexing worker threads, so increments are locked: a lost update
+        # would leave a stale cache entry validating as fresh forever.
+        self._generations: Dict[str, int] = {}
+        self._generation_lock = threading.Lock()
 
     # ----------------------------------------------------------- plug-ins
 
@@ -118,23 +127,54 @@ class IndexStoreRegistry:
     def registered_tags(self) -> Set[str]:
         return set(self._by_tag) | {TAG_ID}
 
+    # -------------------------------------------------------- generations
+
+    def generation(self, tag: str) -> int:
+        """Current mutation generation of ``tag`` (0 until first mutation)."""
+        return self._generations.get(normalize_tag(tag), 0)
+
+    def touch(self, tag: str) -> None:
+        """Record that ``tag``'s lookups may have changed.
+
+        Called automatically by :meth:`insert`/:meth:`remove`/
+        :meth:`remove_object`; callers that mutate a store directly (e.g. the
+        path index's rename, or content indexing feeding the FULLTEXT index)
+        must call this themselves so query caches stay precise.
+        """
+        tag = normalize_tag(tag)
+        with self._generation_lock:
+            self._generations[tag] = self._generations.get(tag, 0) + 1
+
+    def _tags_of(self, store: IndexStore) -> List[str]:
+        return [tag for tag, owner in self._by_tag.items() if owner is store]
+
     # ------------------------------------------------------------- naming
 
     def insert(self, tag: str, value: str, oid: int) -> None:
         """Add one naming association."""
         self.stats.inserts += 1
         self.store_for(tag).insert(normalize_tag(tag), str(value), oid)
+        self.touch(tag)
 
     def remove(self, tag: str, value: str, oid: int) -> bool:
         """Remove one naming association."""
         self.stats.removals += 1
-        return self.store_for(tag).remove(normalize_tag(tag), str(value), oid)
+        removed = self.store_for(tag).remove(normalize_tag(tag), str(value), oid)
+        if removed:
+            self.touch(tag)
+        return removed
 
     def remove_object(self, oid: int) -> int:
         """Remove ``oid`` from every registered store (object deletion)."""
         removed = 0
         for store in self._stores:
-            removed += store.remove_object(oid)
+            dropped = store.remove_object(oid)
+            if dropped:
+                # The store does not say which of its tags named the object,
+                # so every tag it serves may have changed.
+                for tag in self._tags_of(store):
+                    self.touch(tag)
+            removed += dropped
         return removed
 
     def lookup(self, tag: str, value: str) -> List[int]:

@@ -23,6 +23,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Set
 
 from repro.btree import BPlusTree, DevicePageStore, InMemoryPageStore
+from repro.cache import BufferPool
 from repro.errors import InvalidRangeError, NoSuchObjectError, ObjectStoreError
 from repro.osd.extent_map import ExtentMap, ObjectExtent
 from repro.osd.metadata import ObjectMetadata
@@ -57,6 +58,11 @@ class ObjectStore:
         pages in memory, mirroring a warmed metadata cache.
     :param max_extent_blocks: cap on a single extent's size; larger writes are
         split into several extents.
+    :param buffer_pool: shared :class:`~repro.cache.BufferPool` for the master
+        and per-object extent btrees when ``btree_on_device`` is set; a
+        private pool of ``cache_pages`` pages is created when omitted.
+    :param cache_pages: size of that private pool; ``0`` disables page
+        caching for the uncached ablation path.
     """
 
     def __init__(
@@ -67,6 +73,8 @@ class ObjectStore:
         max_keys: int = 32,
         max_extent_blocks: int = 1024,
         data_region_start: int = 0,
+        buffer_pool: Optional[BufferPool] = None,
+        cache_pages: int = 256,
     ) -> None:
         if device is None:
             device = BlockDevice(num_blocks=1 << 16)
@@ -82,7 +90,11 @@ class ObjectStore:
         self.max_keys = max_keys
         self.max_extent_blocks = max_extent_blocks
         self.stats = ObjectStoreStats()
-        self._master = BPlusTree(store=self._new_page_store(), max_keys=max_keys)
+        if btree_on_device and buffer_pool is None and cache_pages:
+            buffer_pool = BufferPool(capacity=cache_pages)
+        self.buffer_pool = buffer_pool
+        self.cache_pages = cache_pages
+        self._master = BPlusTree(store=self._new_page_store("osd.master"), max_keys=max_keys)
         self._trees: Dict[int, BPlusTree] = {}
         self._chunks: Dict[int, Set[int]] = {}
         self._next_oid = 1
@@ -90,9 +102,15 @@ class ObjectStore:
 
     # ------------------------------------------------------------ internals
 
-    def _new_page_store(self):
+    def _new_page_store(self, name: str = "osd.extent"):
         if self.btree_on_device:
-            return DevicePageStore(self.device, self.allocator)
+            return DevicePageStore(
+                self.device,
+                self.allocator,
+                cache_pages=self.cache_pages,
+                buffer_pool=self.buffer_pool,
+                name=name,
+            )
         return InMemoryPageStore()
 
     def _tick(self) -> int:
@@ -155,7 +173,13 @@ class ObjectStore:
         self._require(oid)
         for chunk_block in self._chunks.pop(oid, set()):
             self.allocator.free(chunk_block)
-        self._trees.pop(oid, None)
+        tree = self._trees.pop(oid, None)
+        if tree is not None and isinstance(tree.store, DevicePageStore):
+            # Free the dead tree's device pages (per-key deletes only free on
+            # merges, so dropping the tree outright would leak them all),
+            # then release its slice of the shared buffer pool.
+            tree.destroy()
+            tree.store.detach()
         self._master.delete(self._metadata_key(oid))
         self.stats.objects_deleted += 1
 

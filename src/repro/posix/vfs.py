@@ -33,6 +33,7 @@ from repro.errors import (
     NotADirectory,
 )
 from repro.index.path_index import basename_of, normalize_path, parent_of
+from repro.index.tags import TAG_POSIX
 
 #: open(2)-style flags (values mirror the common Linux ones).
 O_RDONLY = 0x0
@@ -298,6 +299,8 @@ class PosixVFS:
                 self.unlink(new)
         if self._is_directory(oid):
             self.fs.path_index.rename_subtree(old, new)
+            # Subtree renames bypass the registry; invalidate POSIX queries.
+            self.fs.registry.touch(TAG_POSIX)
         else:
             self.fs.unlink_path(old)
             self.fs.link_path(new, oid)

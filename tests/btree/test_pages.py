@@ -122,3 +122,117 @@ class TestDevicePageStore:
         allocator = BuddyAllocator(total_blocks=64)
         with pytest.raises(ValueError):
             DevicePageStore(device, allocator, page_blocks=0)
+
+
+class TestSharedBufferPool:
+    """DevicePageStore on an explicitly shared pool (the OSD configuration)."""
+
+    def make_shared(self, capacity=8, write_back=False):
+        from repro.cache import BufferPool
+
+        device = BlockDevice(num_blocks=1 << 12, block_size=512)
+        allocator = BuddyAllocator(total_blocks=1 << 12)
+        pool = BufferPool(capacity=capacity)
+        stores = [
+            DevicePageStore(
+                device, allocator, page_blocks=2, buffer_pool=pool,
+                write_back=write_back, name=f"store{i}",
+            )
+            for i in range(2)
+        ]
+        return pool, stores, device
+
+    def test_two_stores_share_one_budget(self):
+        pool, (a, b), _ = self.make_shared(capacity=4)
+        for store in (a, b):
+            for index in range(4):
+                page = store.allocate()
+                store.write(page, LeafNode(keys=[bytes([index])], values=[b""]))
+        assert len(pool) <= 4
+
+    def test_per_store_statistics(self):
+        pool, (a, b), _ = self.make_shared(capacity=8)
+        page = a.allocate()
+        a.write(page, LeafNode(keys=[b"k"], values=[b"v"]))
+        a.read(page)
+        assert a.cache_hits == 1
+        assert b.cache_hits == 0
+
+
+class TestWriteBack:
+    """Regression: a dirty evicted page must reach the device before reuse."""
+
+    def make_store(self, cache_pages=2):
+        device = BlockDevice(num_blocks=1 << 12, block_size=512)
+        allocator = BuddyAllocator(total_blocks=1 << 12)
+        store = DevicePageStore(
+            device, allocator, page_blocks=2, cache_pages=cache_pages, write_back=True
+        )
+        return store, device
+
+    def test_write_back_defers_device_writes(self):
+        store, device = self.make_store(cache_pages=4)
+        page = store.allocate()
+        store.write(page, LeafNode(keys=[b"k"], values=[b"v"]))
+        assert store.writes == 1
+        assert device.stats.writes == 0  # still buffered dirty
+
+    def test_dirty_evicted_page_is_written_back_before_reuse(self):
+        store, device = self.make_store(cache_pages=2)
+        pages = []
+        for index in range(3):
+            page = store.allocate()
+            store.write(page, LeafNode(keys=[bytes([index])], values=[b"x"]))
+            pages.append(page)
+        # Capacity 2, three dirty pages: the first was evicted and must have
+        # been written to the device, not dropped.
+        assert device.stats.writes == 1
+        node = store.read(pages[0])  # re-read through the device
+        assert node.keys == [bytes([0])]
+
+    def test_flush_persists_all_dirty_pages(self):
+        store, device = self.make_store(cache_pages=8)
+        pages = []
+        for index in range(4):
+            page = store.allocate()
+            store.write(page, LeafNode(keys=[bytes([index])], values=[b""]))
+            pages.append(page)
+        assert device.stats.writes == 0
+        assert store.flush() == 4
+        assert device.stats.writes == 4
+        # A second flush has nothing to do.
+        assert store.flush() == 0
+
+    def test_drop_cache_flushes_dirty_pages_first(self):
+        store, device = self.make_store(cache_pages=8)
+        page = store.allocate()
+        store.write(page, LeafNode(keys=[b"durable"], values=[b"yes"]))
+        store.drop_cache()
+        assert device.stats.writes == 1
+        assert store.read(page).keys == [b"durable"]
+
+    def test_freed_dirty_page_is_not_written_back(self):
+        store, device = self.make_store(cache_pages=8)
+        page = store.allocate()
+        store.write(page, LeafNode(keys=[b"doomed"], values=[b""]))
+        store.free(page)
+        store.flush()
+        assert device.stats.writes == 0
+
+    def test_tree_on_write_back_store_round_trips(self):
+        from repro.btree import BPlusTree
+
+        store, device = self.make_store(cache_pages=4)
+        tree = BPlusTree(store=store, max_keys=8)
+        for i in range(100):
+            tree.put(b"%04d" % i, b"v%d" % i)
+        # Evictions during the build already persisted most pages; a final
+        # flush persists the rest, so every lookup works even after the
+        # cache is emptied.
+        store.flush()
+        store.drop_cache()
+        for i in range(100):
+            assert tree.lookup(b"%04d" % i) == b"v%d" % i
+        # The root is genuinely on the device: a cold, uncached store sees it.
+        fresh = DevicePageStore(device, store.allocator, page_blocks=2, cache_pages=0)
+        assert fresh.read(tree._root_id) is not None

@@ -144,6 +144,90 @@ class TestParser:
             parse_query(bad)
 
 
+class TestParserEdgeCases:
+    """Nested parentheses, bare NOT rejection, precedence interactions."""
+
+    def test_deeply_nested_parentheses(self):
+        registry = make_registry()
+        query = parse_query("(((USER/margo)))")
+        assert isinstance(query, TagTerm)
+        assert query.evaluate(registry) == [1, 2]
+
+    def test_nested_groups_mixing_operators(self):
+        registry = make_registry()
+        query = parse_query(
+            "((USER/margo AND UDEF/vacation) OR (USER/nick AND APP/iphoto)) AND NOT APP/quicken"
+        )
+        # margo∩vacation = {1}; nick∩iphoto = {3}; minus quicken = {2} → {1, 3}
+        assert query.evaluate(registry) == [1, 3]
+
+    def test_parenthesized_or_under_not(self):
+        registry = make_registry()
+        query = parse_query("USER/margo AND NOT (APP/quicken OR UDEF/vacation)")
+        # margo = {1,2}; quicken∪vacation = {1,2,3} → empty
+        assert query.evaluate(registry) == []
+
+    def test_bare_not_parses_but_cannot_evaluate(self):
+        registry = make_registry()
+        query = parse_query("NOT USER/margo")
+        assert isinstance(query, Not)
+        with pytest.raises(QueryError):
+            query.evaluate(registry)
+
+    def test_not_inside_or_rejected_at_evaluation(self):
+        registry = make_registry()
+        query = parse_query("NOT USER/margo OR USER/nick")
+        with pytest.raises(QueryError):
+            query.evaluate(registry)
+
+    def test_conjunction_of_only_negations_rejected(self):
+        registry = make_registry()
+        query = parse_query("NOT USER/margo AND NOT USER/nick")
+        with pytest.raises(QueryError):
+            query.evaluate(registry)
+
+    def test_double_negation(self):
+        registry = make_registry()
+        query = parse_query("USER/margo AND NOT NOT APP/quicken")
+        # NOT NOT X parses as Not(Not(X)); the inner Not cannot be evaluated.
+        assert isinstance(query, And)
+        with pytest.raises(QueryError):
+            query.evaluate(registry)
+
+    def test_precedence_not_binds_tighter_than_and(self):
+        query = parse_query("NOT A/1 AND B/2")
+        assert isinstance(query, And)
+        assert isinstance(query.children[0], Not)
+        assert isinstance(query.children[0].child, TagTerm)
+
+    def test_precedence_chain_groups_left_to_right(self):
+        query = parse_query("A/1 OR B/2 AND C/3 OR D/4")
+        assert isinstance(query, Or)
+        assert len(query.children) == 3
+        assert isinstance(query.children[1], And)
+
+    def test_parentheses_override_precedence(self):
+        registry = make_registry()
+        grouped = parse_query("(USER/margo OR USER/nick) AND APP/iphoto")
+        flat = parse_query("USER/margo OR USER/nick AND APP/iphoto")
+        assert grouped.evaluate(registry) == [1, 3]
+        assert flat.evaluate(registry) == [1, 2, 3]
+
+    @pytest.mark.parametrize(
+        "bad",
+        ["()", "(())", "((USER/margo)", "USER/margo))", "AND USER/margo",
+         "USER/margo OR", "NOT", "USER/margo (USER/nick)", "( )"],
+    )
+    def test_more_malformed_queries_rejected(self, bad):
+        with pytest.raises(QueryError):
+            parse_query(bad)
+
+    def test_whitespace_and_case_robustness(self):
+        registry = make_registry()
+        query = parse_query("   user/margo    AnD   nOt  app/quicken  ")
+        assert query.evaluate(registry) == [1]
+
+
 class TestPlanner:
     def test_rarest_term_first(self):
         registry = make_registry()
