@@ -22,9 +22,9 @@ from repro.btree import BPlusTree, DevicePageStore
 from repro.core import HFADFileSystem
 from repro.storage import BlockDevice, BuddyAllocator
 
-from conftest import emit_table
+from conftest import emit_table, scaled
 
-OBJECTS = 150
+OBJECTS = scaled(150, 30)
 PAYLOAD = b"object payload " * 64  # ~1 KiB
 
 
@@ -90,4 +90,4 @@ def test_a1_ingest_latency(benchmark, on_device):
             fs.create(PAYLOAD + str(index).encode(), index_content=False)
         fs.close()
 
-    benchmark.pedantic(ingest, rounds=5, iterations=1)
+    benchmark.pedantic(ingest, rounds=scaled(5, 2), iterations=1)

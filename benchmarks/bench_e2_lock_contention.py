@@ -24,16 +24,16 @@ from repro.concurrency import (
 )
 from repro.hierarchical.locking import FlatLockManager, HierarchicalLockManager
 
-from conftest import emit_table
+from conftest import emit_table, scaled
 
-CONCURRENCY = 8
+CONCURRENCY = scaled(8, 4)
 
 
 def _schedules():
     return [
-        home_directory_workload(users=16, operations_per_user=60, write_fraction=0.3, seed=1),
-        shared_project_workload(users=16, operations_per_user=60, write_fraction=0.5, seed=2),
-        metadata_scan_workload(directories=12, files_per_directory=24, scanners=6, seed=3),
+        home_directory_workload(users=scaled(16, 4), operations_per_user=scaled(60, 15), write_fraction=0.3, seed=1),
+        shared_project_workload(users=scaled(16, 4), operations_per_user=scaled(60, 15), write_fraction=0.5, seed=2),
+        metadata_scan_workload(directories=scaled(12, 4), files_per_directory=scaled(24, 8), scanners=scaled(6, 3), seed=3),
     ]
 
 

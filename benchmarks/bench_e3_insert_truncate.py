@@ -19,7 +19,7 @@ import pytest
 from repro.core import HFADFileSystem
 from repro.hierarchical import FFSFileSystem
 
-from conftest import emit_table
+from conftest import emit_table, scaled
 
 FILE_SIZES = [64 * 1024, 512 * 1024, 2 * 1024 * 1024, 8 * 1024 * 1024]
 PAYLOAD = b"[*** inserted by the benchmark ***]"
@@ -95,7 +95,7 @@ def test_e3_midfile_insert_latency(benchmark, system):
 
         # Fixed rounds: every insert adds an extent, so unbounded calibration
         # rounds would measure a growing object rather than the operation.
-        benchmark.pedantic(insert_hfad, rounds=50, iterations=1)
+        benchmark.pedantic(insert_hfad, rounds=scaled(50, 10), iterations=1)
         fs.close()
     else:
         fs = FFSFileSystem(num_blocks=1 << 18)
@@ -104,4 +104,4 @@ def test_e3_midfile_insert_latency(benchmark, system):
         def insert_ffs():
             fs.insert_via_rewrite("/victim", size // 2, PAYLOAD)
 
-        benchmark.pedantic(insert_ffs, rounds=50, iterations=1)
+        benchmark.pedantic(insert_ffs, rounds=scaled(50, 10), iterations=1)

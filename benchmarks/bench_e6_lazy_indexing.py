@@ -22,7 +22,7 @@ import pytest
 from repro.core import HFADFileSystem
 from repro.workloads import document_corpus
 
-from conftest import emit_table
+from conftest import emit_table, scaled
 
 DOCUMENTS = document_corpus(count=150, seed=33)
 
@@ -74,4 +74,4 @@ def test_e6_ingest_latency(benchmark, mode):
             fs.flush_indexing(timeout=30)
         fs.close()
 
-    benchmark.pedantic(ingest, rounds=5, iterations=1)
+    benchmark.pedantic(ingest, rounds=scaled(5, 2), iterations=1)

@@ -31,12 +31,12 @@ from repro.core import HFADFileSystem
 from repro.storage import BlockDevice, BuddyAllocator
 from repro.workloads import load_into_hfad
 
-from conftest import emit_table
+from conftest import emit_table, scaled
 
-KEYS = 400
+KEYS = scaled(400, 100)
 POOL_PAGES = 24
 ZIPF_S = 1.2
-LOOKUPS = 3000
+LOOKUPS = scaled(3000, 400)
 
 
 def _build_tree(policy):
@@ -104,7 +104,7 @@ def test_e9_eviction_policies():
 
 
 QUERY = "USER/margo AND (UDEF/vacation OR UDEF/beach) AND NOT APP/quicken"
-REPEATS = 50
+REPEATS = scaled(50, 5)
 
 
 def _timed_queries(fs, repeats):

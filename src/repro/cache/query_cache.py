@@ -20,6 +20,12 @@ Two mechanisms keep it correct:
   ``FULLTEXT`` query.
 
 The cache holds at most ``capacity`` entries, evicting least recently used.
+
+Interplay with streamed ``limit=`` queries (see ``repro.core.naming``): only
+*fully-consumed* streams are cached under a query's canonical key, so a
+cached entry is always the complete answer and can serve any later limit as
+a prefix.  A truncated top-k result is stored under a separate
+``"<key> LIMIT <n>"`` key and only ever answers that exact limit.
 """
 
 from __future__ import annotations

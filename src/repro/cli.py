@@ -115,6 +115,17 @@ class HFADShell:
             raise ShellError(f"no object named {target}")
         return oid
 
+    def _parse_limit(self, args: List[str], usage: str):
+        """Strip a leading ``--limit N`` / ``-n N`` from ``args``.
+
+        Returns ``(limit, remaining_args)``; ``limit`` is None when absent.
+        """
+        if args and args[0] in ("--limit", "-n"):
+            if len(args) < 2 or not args[1].isdigit():
+                raise ShellError(f"usage: {usage}")
+            return int(args[1]), args[2:]
+        return None, args
+
     def _render_oids(self, oids: List[int]) -> str:
         lines = []
         for oid in oids:
@@ -133,8 +144,8 @@ class HFADShell:
             "                 rm PATH | mv OLD NEW | ln EXISTING NEW | stat PATH|OID |\n"
             "                 insert PATH|OID OFFSET TEXT | cut PATH|OID OFFSET LENGTH\n"
             "naming commands: tag TARGET TAG VALUE | untag TARGET TAG VALUE | names TARGET |\n"
-            "                 find TAG/VALUE... | query EXPR | search TEXT |\n"
-            "                 savequery NAME EXPR | queries\n"
+            "                 find [--limit N] TAG/VALUE... | query [--limit N] EXPR |\n"
+            "                 search [--limit N] TEXT | savequery NAME EXPR | queries\n"
             "navigation:      cd TAG/VALUE | up | pwd | suggest"
         )
 
@@ -241,16 +252,22 @@ class HFADShell:
         return "\n".join(str(pair) for pair in self.fs.names_for(oid))
 
     def cmd_find(self, args: List[str]) -> str:
-        self._require(args, 1, "find TAG/VALUE...")
-        return self._render_oids(self.fs.find(*args))
+        usage = "find [--limit N] TAG/VALUE..."
+        limit, args = self._parse_limit(args, usage)
+        self._require(args, 1, usage)
+        return self._render_oids(self.fs.find(*args, limit=limit))
 
     def cmd_query(self, args: List[str]) -> str:
-        self._require(args, 1, "query EXPR")
-        return self._render_oids(self.fs.query(" ".join(args)))
+        usage = "query [--limit N] EXPR"
+        limit, args = self._parse_limit(args, usage)
+        self._require(args, 1, usage)
+        return self._render_oids(self.fs.query(" ".join(args), limit=limit))
 
     def cmd_search(self, args: List[str]) -> str:
-        self._require(args, 1, "search TEXT...")
-        return self._render_oids(self.fs.search_text(" ".join(args)))
+        usage = "search [--limit N] TEXT..."
+        limit, args = self._parse_limit(args, usage)
+        self._require(args, 1, usage)
+        return self._render_oids(self.fs.search_text(" ".join(args), limit=limit))
 
     def cmd_savequery(self, args: List[str]) -> str:
         self._require(args, 2, "savequery NAME EXPR")

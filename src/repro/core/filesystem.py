@@ -285,24 +285,31 @@ class HFADFileSystem:
     def names_for(self, oid: int) -> List[TagValue]:
         return self.naming.names_for(oid)
 
-    def find(self, *pairs: PairLike) -> List[int]:
-        """Conjunctive naming operation over tag/value pairs."""
-        return self.naming.resolve(list(pairs))
+    def find(self, *pairs: PairLike, limit: Optional[int] = None) -> List[int]:
+        """Conjunctive naming operation over tag/value pairs.
+
+        ``limit=N`` streams the first ``N`` matches (ascending object id)
+        out of the index merge and stops — top-k early exit.
+        """
+        return self.naming.resolve(list(pairs), limit=limit)
 
     def find_one(self, *pairs: PairLike) -> int:
         """Like :meth:`find` but returns one match (raises if none)."""
         return self.naming.resolve_one(list(pairs))
 
-    def query(self, query: Union[str, Query]) -> List[int]:
-        """Boolean query, e.g. ``"USER/margo AND NOT APP/quicken"``."""
-        return self.naming.query(query)
+    def query(self, query: Union[str, Query], limit: Optional[int] = None) -> List[int]:
+        """Boolean query, e.g. ``"USER/margo AND NOT APP/quicken"``.
 
-    def search_text(self, text: str) -> List[int]:
+        ``limit=N`` streams only the first ``N`` matching ids.
+        """
+        return self.naming.query(query, limit=limit)
+
+    def search_text(self, text: str, limit: Optional[int] = None) -> List[int]:
         """Full-text conjunction: objects containing every term of ``text``."""
         terms = self.fulltext_index.index.analyzer.analyze_query(text)
         if not terms:
             return []
-        return self.find(*[TagValue("FULLTEXT", term) for term in terms])
+        return self.find(*[TagValue("FULLTEXT", term) for term in terms], limit=limit)
 
     def rank_text(self, text: str, limit: Optional[int] = 10):
         """BM25-ranked full-text search."""
@@ -374,6 +381,8 @@ class HFADFileSystem:
             "objects": self.objects.stats,
             "naming": self.naming.stats,
             "registry": self.registry.stats,
+            "planner": self.naming.planner.snapshot(),
+            "keyvalue_entries_scanned": self.keyvalue_index.scan_stats.scanned,
             "fulltext_term_lookups": self.fulltext_index.index.term_lookups,
             "fulltext_postings_scanned": self.fulltext_index.index.postings_scanned,
             "object_count": self.object_count,

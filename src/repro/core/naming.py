@@ -18,10 +18,11 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Iterable, List, Optional, Sequence, Union
 
-from repro.errors import NamingError, NoMatchError
+from repro.errors import NamingError, NoMatchError, QueryError
 from repro.index.store import IndexStoreRegistry
 from repro.index.tags import TagValue
 from repro.core.query import And, Query, QueryPlanner, TagTerm, parse_query
+from repro.query.cursors import materialize
 
 #: things accepted wherever a tag/value pair is expected.
 PairLike = Union[TagValue, "TagTerm", tuple, str]
@@ -46,6 +47,8 @@ class NamingStats:
 
     naming_operations: int = 0
     queries: int = 0
+    #: queries/resolves answered with top-k early exit (``limit=`` given).
+    limited_queries: int = 0
     names_added: int = 0
     names_removed: int = 0
     cached_results: int = 0
@@ -71,26 +74,55 @@ class NamingInterface:
         self.query_cache = query_cache
         self.stats = NamingStats()
 
-    def _evaluate(self, query: Query) -> List[int]:
+    def _evaluate(self, query: Query, limit: Optional[int] = None) -> List[int]:
         """Evaluate through the query cache when one is configured.
 
         On a cache hit no evaluation runs, so ``planner.last_plan`` keeps
         whatever the last *evaluated* query planned.
+
+        ``limit`` streams the cursor pipeline with top-k early exit.  The
+        cache stays correct around it by caching only fully-consumed
+        streams: a full (unlimited or exhausted-before-limit) result is
+        stored under the query's canonical key and can serve any later
+        limit as a prefix; a truncated result is stored under a
+        limit-qualified key and only ever serves that exact limit.
         """
+        if limit is not None:
+            limit = int(limit)
+            if limit < 0:
+                raise QueryError(f"limit must be non-negative, got {limit}")
+            self.stats.limited_queries += 1
+            if limit == 0:
+                return []
         if self.query_cache is None:
-            return query.evaluate(self.registry, self.planner)
+            results, _exhausted = materialize(
+                query.cursor(self.registry, self.planner), limit=limit
+            )
+            return results
         key = self.query_cache.canonical_key(query)
         cached = self.query_cache.lookup(query, key=key)
         if cached is not None:
             self.stats.cached_results += 1
-            return cached
+            return cached if limit is None else cached[:limit]
+        limited_key = None
+        if limit is not None:
+            limited_key = f"{key} LIMIT {limit}"
+            cached = self.query_cache.lookup(query, key=limited_key)
+            if cached is not None:
+                self.stats.cached_results += 1
+                return cached
         # Snapshot generations before evaluating: a concurrent mutation (e.g.
         # lazy indexing applying on a worker thread) then prevents the stale
         # result from being cached under the post-mutation generation.
         snapshot = self.query_cache.generations_for(query)
-        result = query.evaluate(self.registry, self.planner)
-        self.query_cache.store(query, result, snapshot=snapshot, key=key)
-        return result
+        results, exhausted = materialize(
+            query.cursor(self.registry, self.planner), limit=limit, probe_exhaustion=True
+        )
+        # An exhausted stream is the complete answer even when a limit was
+        # set, so it may serve unlimited repeats too.
+        store_key = key if exhausted else limited_key
+        self.query_cache.store(query, results, snapshot=snapshot, key=store_key)
+        return results
 
     # ------------------------------------------------------------- naming
 
@@ -125,8 +157,16 @@ class NamingInterface:
 
     # ------------------------------------------------------------ resolving
 
-    def resolve(self, pairs: Union[PairLike, Sequence[PairLike]]) -> List[int]:
-        """The paper's naming operation: conjunction of each pair's matches."""
+    def resolve(
+        self,
+        pairs: Union[PairLike, Sequence[PairLike]],
+        limit: Optional[int] = None,
+    ) -> List[int]:
+        """The paper's naming operation: conjunction of each pair's matches.
+
+        ``limit`` returns only the first ``limit`` matching ids (ascending),
+        stopping the index merge as soon as they are found.
+        """
         if isinstance(pairs, (TagValue, TagTerm, str, tuple)):
             pairs = [pairs]
         coerced = [as_pair(pair) for pair in pairs]
@@ -137,23 +177,28 @@ class NamingInterface:
         # last_plan) even for a single pair; the query cache normalizes
         # single-child conjunctions, so And([t]) and a bare t share a key.
         query = And([TagTerm.from_pair(pair) for pair in coerced])
-        return self._evaluate(query)
+        return self._evaluate(query, limit=limit)
 
     def resolve_one(self, pairs: Union[PairLike, Sequence[PairLike]]) -> int:
         """Resolve and insist on at least one match (returning the first).
 
         "No query need uniquely define a data item" — so this helper picks the
         lowest object id when several match; callers needing all matches use
-        :meth:`resolve`.
+        :meth:`resolve`.  Streams with ``limit=1``: the index merge stops at
+        the first match instead of materializing every one.
         """
-        matches = self.resolve(pairs)
+        matches = self.resolve(pairs, limit=1)
         if not matches:
             raise NoMatchError(f"no object named by {pairs!r}")
         return matches[0]
 
-    def query(self, query: Union[str, Query]) -> List[int]:
-        """Evaluate a boolean query (textual or programmatic)."""
+    def query(self, query: Union[str, Query], limit: Optional[int] = None) -> List[int]:
+        """Evaluate a boolean query (textual or programmatic).
+
+        ``limit=N`` streams the first ``N`` matching ids (ascending) and
+        stops — large operands are never fully scanned for a top-k ask.
+        """
         if isinstance(query, str):
             query = parse_query(query)
         self.stats.queries += 1
-        return self._evaluate(query)
+        return self._evaluate(query, limit=limit)

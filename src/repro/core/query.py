@@ -14,26 +14,73 @@ answers both at the layer above the index stores:
   cardinality (rarest first) so intersections shrink as early as possible —
   the ablation benchmark E7 compares planned vs. unplanned execution.
 
+Execution is *streaming*: every node compiles to a
+:class:`~repro.query.cursors.DocIdCursor` (:meth:`Query.cursor`) and the
+boolean operators are leapfrog/heap merges over their children's cursors, so
+a consumer that stops after ten results only pays for ten results.
+:meth:`Query.evaluate` is a thin wrapper that drains the cursor pipeline,
+preserving the original materialized API for every existing caller.
+
 ``Not`` is only meaningful inside an ``And`` (set difference); a bare ``Not``
 would require enumerating the universe and is rejected.
 """
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from dataclasses import dataclass, field
-from typing import List, Optional, Sequence, Set, Tuple
+from itertools import islice
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.errors import QueryError
 from repro.index.store import IndexStoreRegistry
 from repro.index.tags import TAG_ID, TagValue, normalize_tag
+from repro.query.cursors import (
+    DifferenceCursor,
+    DocIdCursor,
+    EmptyCursor,
+    IntersectCursor,
+    ListCursor,
+    UnionCursor,
+    materialize,
+)
+
+
+def _registry_cursor(registry, tag: str, value: str) -> DocIdCursor:
+    """Open a streaming cursor through ``registry``, however capable it is.
+
+    Real registries stream (:meth:`IndexStoreRegistry.open_cursor`); anything
+    duck-typed that only offers ``lookup`` gets the materialized-fallback
+    adapter so the cursor pipeline still works.
+    """
+    opener = getattr(registry, "open_cursor", None)
+    if opener is not None:
+        return opener(tag, value)
+    return ListCursor(registry.lookup(tag, value))
 
 
 class Query:
     """Base class of the query algebra."""
 
-    def evaluate(self, registry: IndexStoreRegistry, planner: Optional["QueryPlanner"] = None) -> List[int]:
-        """Return the sorted object ids matching this query."""
+    def cursor(
+        self, registry: IndexStoreRegistry, planner: Optional["QueryPlanner"] = None
+    ) -> DocIdCursor:
+        """Compile this query into a streaming cursor over matching ids."""
         raise NotImplementedError
+
+    def evaluate(
+        self,
+        registry: IndexStoreRegistry,
+        planner: Optional["QueryPlanner"] = None,
+        limit: Optional[int] = None,
+    ) -> List[int]:
+        """Return the sorted object ids matching this query.
+
+        Thin wrapper over :meth:`cursor`; ``limit`` stops the pipeline after
+        that many ids (top-k early exit) instead of draining it.
+        """
+        results, _exhausted = materialize(self.cursor(registry, planner), limit=limit)
+        return results
 
     # Convenience combinators so callers can write q1 & q2 | ~q3.
     def __and__(self, other: "Query") -> "And":
@@ -64,8 +111,10 @@ class TagTerm(Query):
     def as_pair(self) -> TagValue:
         return TagValue(tag=self.tag, value=self.value)
 
-    def evaluate(self, registry: IndexStoreRegistry, planner: Optional["QueryPlanner"] = None) -> List[int]:
-        return registry.lookup(self.tag, self.value)
+    def cursor(
+        self, registry: IndexStoreRegistry, planner: Optional["QueryPlanner"] = None
+    ) -> DocIdCursor:
+        return _registry_cursor(registry, self.tag, self.value)
 
     def __str__(self) -> str:
         return f"{self.tag}/{self.value}"
@@ -77,25 +126,24 @@ class And(Query):
 
     children: List[Query] = field(default_factory=list)
 
-    def evaluate(self, registry: IndexStoreRegistry, planner: Optional["QueryPlanner"] = None) -> List[int]:
+    def cursor(
+        self, registry: IndexStoreRegistry, planner: Optional["QueryPlanner"] = None
+    ) -> DocIdCursor:
         positive = [child for child in self.children if not isinstance(child, Not)]
         negative = [child for child in self.children if isinstance(child, Not)]
         if not positive:
             raise QueryError("a conjunction needs at least one non-negated term")
         if planner is not None:
+            # Rarest first: the first cursor drives the leapfrog merge, so the
+            # big operands are only probed with galloping seeks.
             positive = planner.order_conjuncts(positive, registry)
-        result: Optional[Set[int]] = None
-        for child in positive:
-            matches = set(child.evaluate(registry, planner))
-            result = matches if result is None else (result & matches)
-            if not result:
-                return []
-        assert result is not None
-        for child in negative:
-            result -= set(child.child.evaluate(registry, planner))
-            if not result:
-                return []
-        return sorted(result)
+        cursors = [child.cursor(registry, planner) for child in positive]
+        merged = cursors[0] if len(cursors) == 1 else IntersectCursor(cursors)
+        if negative:
+            merged = DifferenceCursor(
+                merged, [child.child.cursor(registry, planner) for child in negative]
+            )
+        return merged
 
     def __str__(self) -> str:
         return "(" + " AND ".join(str(child) for child in self.children) + ")"
@@ -107,15 +155,15 @@ class Or(Query):
 
     children: List[Query] = field(default_factory=list)
 
-    def evaluate(self, registry: IndexStoreRegistry, planner: Optional["QueryPlanner"] = None) -> List[int]:
+    def cursor(
+        self, registry: IndexStoreRegistry, planner: Optional["QueryPlanner"] = None
+    ) -> DocIdCursor:
+        if any(isinstance(child, Not) for child in self.children):
+            raise QueryError("NOT is only supported inside AND")
         if not self.children:
-            return []
-        result: Set[int] = set()
-        for child in self.children:
-            if isinstance(child, Not):
-                raise QueryError("NOT is only supported inside AND")
-            result |= set(child.evaluate(registry, planner))
-        return sorted(result)
+            return EmptyCursor()
+        cursors = [child.cursor(registry, planner) for child in self.children]
+        return cursors[0] if len(cursors) == 1 else UnionCursor(cursors)
 
     def __str__(self) -> str:
         return "(" + " OR ".join(str(child) for child in self.children) + ")"
@@ -127,7 +175,9 @@ class Not(Query):
 
     child: Query
 
-    def evaluate(self, registry: IndexStoreRegistry, planner: Optional["QueryPlanner"] = None) -> List[int]:
+    def cursor(
+        self, registry: IndexStoreRegistry, planner: Optional["QueryPlanner"] = None
+    ) -> DocIdCursor:
         raise QueryError("NOT cannot be evaluated on its own; use it inside AND")
 
     def __str__(self) -> str:
@@ -145,7 +195,9 @@ class QueryPlanner:
     #: cost assumed for terms whose store offers no estimate.
     DEFAULT_CARDINALITY = 1 << 30
 
-    #: bound on the memoised estimate table before it is cleared wholesale.
+    #: bound on the memoised estimate table; when full, the least recently
+    #: used half is evicted (never the whole table — a hot working set of
+    #: saved queries keeps its estimates).
     MAX_MEMO_ENTRIES = 4096
 
     def __init__(self, enabled: bool = True) -> None:
@@ -155,8 +207,11 @@ class QueryPlanner:
         self.last_plan: List[Tuple[str, int]] = []
         # Cardinality estimates memoised per (tag, value), validated against
         # the registry's per-tag mutation generation so a stale estimate is
-        # recomputed rather than trusted.
-        self._estimates: dict = {}
+        # recomputed rather than trusted.  Ordered so eviction is LRU.
+        self._estimates: "OrderedDict[Tuple[str, str], Tuple[int, int]]" = OrderedDict()
+        #: memo effectiveness counters, surfaced via ``fs.stats()["planner"]``.
+        self.memo_hits = 0
+        self.memo_misses = 0
 
     def estimate(self, term: Query, registry: IndexStoreRegistry) -> int:
         if isinstance(term, TagTerm):
@@ -166,11 +221,19 @@ class QueryPlanner:
             memo_key = (term.tag, term.value)
             memo = self._estimates.get(memo_key)
             if memo is not None and memo[0] == generation:
+                self.memo_hits += 1
+                self._estimates.move_to_end(memo_key)
                 return memo[1]
+            self.memo_misses += 1
             estimate = self._estimate_term(term, registry)
-            if len(self._estimates) >= self.MAX_MEMO_ENTRIES:
-                self._estimates.clear()
+            if memo is None and len(self._estimates) >= self.MAX_MEMO_ENTRIES:
+                # Drop the least recently used half in one sweep; evicting
+                # entry-by-entry would make every insert at the cap pay an
+                # eviction, and clearing wholesale would forget the hot set.
+                for stale_key in list(islice(iter(self._estimates), self.MAX_MEMO_ENTRIES // 2)):
+                    del self._estimates[stale_key]
             self._estimates[memo_key] = (generation, estimate)
+            self._estimates.move_to_end(memo_key)
             return estimate
         if isinstance(term, Or):
             return sum(self.estimate(child, registry) for child in term.children)
@@ -200,6 +263,17 @@ class QueryPlanner:
         scored.sort(key=lambda item: (item[0], item[1]))
         self.last_plan = [(str(term), estimate) for estimate, _index, term in scored]
         return [term for _estimate, _index, term in scored]
+
+    def snapshot(self) -> Dict[str, object]:
+        """Planner counters for ``fs.stats()`` / the benchmarks."""
+        accesses = self.memo_hits + self.memo_misses
+        return {
+            "enabled": self.enabled,
+            "memo_hits": self.memo_hits,
+            "memo_misses": self.memo_misses,
+            "memo_entries": len(self._estimates),
+            "memo_hit_ratio": round(self.memo_hits / accesses, 4) if accesses else 0.0,
+        }
 
 
 # ---------------------------------------------------------------------------

@@ -25,6 +25,7 @@ from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 from repro.errors import FullTextError
 from repro.fulltext.analyzer import Analyzer
 from repro.fulltext.postings import Posting, PostingList, intersect, union
+from repro.query.cursors import DocIdCursor, EmptyCursor, IntersectCursor, ScanCounter
 
 
 @dataclass(frozen=True)
@@ -43,9 +44,19 @@ class InvertedIndex:
         self._terms: Dict[str, PostingList] = {}
         self._doc_lengths: Dict[int, int] = {}
         self._doc_terms: Dict[int, List[str]] = {}
-        # work counters for the index-traversal experiments
+        # work counters for the index-traversal experiments; postings_scanned
+        # counts postings actually *touched* — a galloping seek that leaps
+        # over a run of postings does not inflate it.
         self.term_lookups = 0
-        self.postings_scanned = 0
+        self._scan = ScanCounter()
+
+    @property
+    def postings_scanned(self) -> int:
+        return self._scan.scanned
+
+    @postings_scanned.setter
+    def postings_scanned(self, value: int) -> None:
+        self._scan.scanned = value
 
     # ------------------------------------------------------------- mutation
 
@@ -116,7 +127,6 @@ class InvertedIndex:
             posting_list = self._terms.get(term)
             if posting_list is None:
                 return []  # a missing term empties any conjunction
-            self.postings_scanned += len(posting_list)
             lists.append(posting_list)
         return lists
 
@@ -128,7 +138,26 @@ class InvertedIndex:
         lists = self._posting_lists(terms)
         if len(lists) != len(terms):
             return []
-        return intersect(lists)
+        return intersect(lists, counter=self._scan)
+
+    def cursor(self, query, counter: Optional[ScanCounter] = None) -> DocIdCursor:
+        """A streaming cursor over the conjunctive matches of ``query``.
+
+        This is the entry point the FULLTEXT index store exposes to the
+        query executor: nothing is materialized, and multi-term values
+        become a rarest-first leapfrog intersection of posting cursors.
+        """
+        terms = self.analyzer.analyze_query(query)
+        if not terms:
+            return EmptyCursor()
+        lists = self._posting_lists(terms)
+        if len(lists) != len(terms):
+            return EmptyCursor()
+        counter = counter if counter is not None else self._scan
+        cursors = [posting_list.cursor(counter) for posting_list in sorted(lists, key=len)]
+        if len(cursors) == 1:
+            return cursors[0]
+        return IntersectCursor(cursors)
 
     # The paper phrases naming as a vector of FULLTEXT/term pairs; expose the
     # same spelling for callers that already hold a term list.
@@ -144,9 +173,8 @@ class InvertedIndex:
             self.term_lookups += 1
             posting_list = self._terms.get(term)
             if posting_list is not None:
-                self.postings_scanned += len(posting_list)
                 lists.append(posting_list)
-        return union(lists)
+        return union(lists, counter=self._scan)
 
     def search_phrase(self, phrase) -> List[int]:
         """Documents containing the exact (analyzed) phrase, in order."""
@@ -212,4 +240,4 @@ class InvertedIndex:
 
     def reset_counters(self) -> None:
         self.term_lookups = 0
-        self.postings_scanned = 0
+        self._scan.reset()

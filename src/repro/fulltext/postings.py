@@ -2,8 +2,16 @@
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, Iterator, List, Optional, Tuple
+
+from repro.query.cursors import (
+    DocIdCursor,
+    IntersectCursor,
+    ListCursor,
+    ScanCounter,
+    UnionCursor,
+)
 
 
 @dataclass
@@ -23,14 +31,16 @@ class Posting:
 class PostingList:
     """Sorted-by-doc-id list of :class:`Posting` for a single term.
 
-    Kept sorted so conjunctive queries can intersect lists with a linear
+    Kept sorted so conjunctive queries can intersect lists with a streaming
     merge, the way real search engines do, and so the benchmark can report
-    "postings scanned" as a proxy for index work.
+    "postings scanned" as a proxy for index work.  The sorted ids are cached
+    as an immutable tuple, so handing them out (``doc_ids``) and seeking into
+    them (``cursor``) allocates nothing per call.
     """
 
     def __init__(self) -> None:
         self._postings: Dict[int, Posting] = {}
-        self._sorted_ids: Optional[List[int]] = []
+        self._sorted_ids: Optional[Tuple[int, ...]] = ()
 
     def __len__(self) -> int:
         return len(self._postings)
@@ -55,11 +65,15 @@ class PostingList:
     def get(self, doc_id: int) -> Optional[Posting]:
         return self._postings.get(doc_id)
 
-    def doc_ids(self) -> List[int]:
-        """Document ids in ascending order."""
+    def doc_ids(self) -> Tuple[int, ...]:
+        """Document ids in ascending order (cached, immutable — do not copy)."""
         if self._sorted_ids is None:
-            self._sorted_ids = sorted(self._postings)
-        return list(self._sorted_ids)
+            self._sorted_ids = tuple(sorted(self._postings))
+        return self._sorted_ids
+
+    def cursor(self, counter: Optional[ScanCounter] = None) -> DocIdCursor:
+        """A :class:`DocIdCursor` over the list, with bisect/galloping seek."""
+        return ListCursor(self.doc_ids(), counter=counter)
 
     def __iter__(self) -> Iterator[Posting]:
         for doc_id in self.doc_ids():
@@ -71,27 +85,33 @@ class PostingList:
         return len(self._postings)
 
 
-def intersect(lists: List[PostingList]) -> List[int]:
-    """Intersect posting lists, smallest-first, returning sorted doc ids.
+def intersect(lists: List[PostingList], counter: Optional[ScanCounter] = None) -> List[int]:
+    """Intersect posting lists with a rarest-first leapfrog merge.
 
-    Processing the rarest term first is the classic conjunctive-query
-    optimization; the query planner in :mod:`repro.core.query` relies on the
-    same idea one level up.
+    Putting the rarest term in the driver's seat is the classic conjunctive
+    optimization (the query planner in :mod:`repro.core.query` applies the
+    same idea one level up); the longer lists are then only probed with
+    galloping seeks, never scanned end to end.  ``counter`` records the
+    postings actually touched.
     """
     if not lists:
         return []
     ordered = sorted(lists, key=len)
-    result = set(ordered[0].doc_ids())
-    for posting_list in ordered[1:]:
-        if not result:
-            break
-        result &= set(posting_list.doc_ids())
-    return sorted(result)
+    if not ordered[0]:
+        return []
+    cursors = [posting_list.cursor(counter) for posting_list in ordered]
+    if len(cursors) == 1:
+        return list(cursors[0])
+    return list(IntersectCursor(cursors))
 
 
-def union(lists: List[PostingList]) -> List[int]:
-    """Union posting lists, returning sorted doc ids."""
-    result: set = set()
-    for posting_list in lists:
-        result |= set(posting_list.doc_ids())
-    return sorted(result)
+def union(lists: List[PostingList], counter: Optional[ScanCounter] = None) -> List[int]:
+    """Union posting lists with a heap-based k-way merge (sorted, deduped)."""
+    cursors: List[DocIdCursor] = [
+        posting_list.cursor(counter) for posting_list in lists if len(posting_list)
+    ]
+    if not cursors:
+        return []
+    if len(cursors) == 1:
+        return list(cursors[0])
+    return list(UnionCursor(cursors))

@@ -92,6 +92,15 @@ class FullTextIndexStore(IndexStore):
     def lookup(self, tag: str, value: str) -> List[int]:
         return self.index.search(value)
 
+    def open_cursor(self, tag: str, value: str):
+        """Stream matches from the posting lists instead of materializing.
+
+        A multi-term value becomes a rarest-first leapfrog intersection of
+        posting cursors inside the inverted index; "postings scanned" then
+        counts only the postings the merge actually touches.
+        """
+        return self.index.cursor(value)
+
     def remove_object(self, oid: int) -> int:
         had_terms = len(self.index.terms_for(oid))
         self.index.remove_document(oid)

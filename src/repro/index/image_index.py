@@ -55,7 +55,12 @@ def cosine_similarity(a: Sequence[float], b: Sequence[float]) -> float:
 
 
 class ImageIndexStore(IndexStore):
-    """Colour-histogram index serving the IMAGE tag."""
+    """Colour-histogram index serving the IMAGE tag.
+
+    Similarity lookups must score every histogram before they know their
+    result set, so this store cannot stream; it serves the cursor protocol
+    through the base class's materialized-fallback adapter instead.
+    """
 
     name = "image"
 

@@ -25,8 +25,10 @@ from repro.btree import BPlusTree, PageStore
 from repro.errors import IndexStoreError
 from repro.index.store import IndexStore
 from repro.index.tags import TAG_APP, TAG_UDEF, TAG_USER, TagValue, normalize_tag
+from repro.query.cursors import DocIdCursor, ScanCounter
 
 _OID = struct.Struct(">Q")
+_MAX_OID = (1 << 64) - 1
 _SEP = b"\x00"
 _FORWARD = b"F"
 _REVERSE = b"R"
@@ -37,6 +39,55 @@ def _encode_text(text: str) -> bytes:
     if _SEP in encoded:
         raise IndexStoreError("tag/value strings may not contain NUL bytes")
     return encoded
+
+
+class _PrefixOidCursor(DocIdCursor):
+    """Streams the oids of one forward-prefix range straight off the B+-tree.
+
+    Keys under ``F\\0tag\\0value\\0`` end in the big-endian oid, so key order
+    *is* ascending oid order and no sort or materialization is needed.
+    ``seek`` maps an oid target onto a tree re-descent (O(log n)), which is
+    what lets leapfrog intersections skip most of a huge tag's entries.
+    """
+
+    def __init__(self, tree, prefix: bytes, cardinality, counter: ScanCounter) -> None:
+        self._cursor = tree.cursor(prefix=prefix)
+        self._prefix = prefix
+        self._cardinality = cardinality
+        self._counter = counter
+        self._estimate: Optional[int] = None
+        self._floor = 0
+        self._done = False
+
+    def _accept(self, item) -> Optional[int]:
+        if item is None:
+            self._done = True
+            return None
+        key, _value = item
+        oid = _OID.unpack(key[len(self._prefix):])[0]
+        self._floor = oid + 1
+        self._counter.scanned += 1
+        return oid
+
+    def next(self) -> Optional[int]:
+        if self._done:
+            return None
+        return self._accept(self._cursor.next_item())
+
+    def seek(self, target: int) -> Optional[int]:
+        if self._done:
+            return None
+        target = max(target, self._floor)
+        if target > _MAX_OID:
+            self._done = True
+            return None
+        self._counter.seeks += 1
+        return self._accept(self._cursor.seek(self._prefix + _OID.pack(target)))
+
+    def estimate(self) -> int:
+        if self._estimate is None:
+            self._estimate = self._cardinality()
+        return self._estimate
 
 
 class KeyValueIndexStore(IndexStore):
@@ -56,6 +107,8 @@ class KeyValueIndexStore(IndexStore):
         chosen = self.DEFAULT_TAGS if tags is None else tags
         self._tags = tuple(normalize_tag(tag) for tag in chosen)
         self._tree = BPlusTree(store=store, max_keys=max_keys)
+        #: entries touched by lookups and streaming cursors (for benchmarks).
+        self.scan_stats = ScanCounter()
 
     def tags(self) -> Sequence[str]:
         return self._tags
@@ -93,11 +146,25 @@ class KeyValueIndexStore(IndexStore):
     def lookup(self, tag: str, value: str) -> List[int]:
         tag = normalize_tag(tag)
         prefix = self._forward_prefix(tag, value)
+        # Keys end in the big-endian oid, so prefix order is ascending oid
+        # order already — no sort needed.
         oids = [
             _OID.unpack(key[len(prefix):])[0]
             for key, _ in self._tree.cursor(prefix=prefix)
         ]
-        return sorted(oids)
+        self.scan_stats.scanned += len(oids)
+        return oids
+
+    def open_cursor(self, tag: str, value: str) -> DocIdCursor:
+        """Stream matches straight from the B+-tree prefix range."""
+        tag = normalize_tag(tag)
+        prefix = self._forward_prefix(tag, value)
+        return _PrefixOidCursor(
+            self._tree,
+            prefix,
+            cardinality=lambda: self.cardinality(tag, value),
+            counter=self.scan_stats,
+        )
 
     def remove_object(self, oid: int) -> int:
         pairs = self.values_for(oid)
@@ -131,8 +198,14 @@ class KeyValueIndexStore(IndexStore):
         return sorted(values)
 
     def cardinality(self, tag: str, value: str) -> int:
-        """Number of objects named by ``(tag, value)`` — used by the planner."""
-        return len(self.lookup(tag, value))
+        """Number of objects named by ``(tag, value)`` — used by the planner.
+
+        Counts keys without decoding them (and without charging the scan
+        counter: estimating is not scanning).
+        """
+        tag = normalize_tag(tag)
+        prefix = self._forward_prefix(tag, value)
+        return sum(1 for _ in self._tree.cursor(prefix=prefix))
 
     @property
     def entry_count(self) -> int:

@@ -67,7 +67,12 @@ def basename_of(path: str) -> str:
 
 
 class PosixPathIndexStore(IndexStore):
-    """The index store serving the POSIX tag."""
+    """The index store serving the POSIX tag.
+
+    A path names at most one object, so this store serves the streaming
+    cursor protocol through the base class's materialized-fallback adapter —
+    wrapping the zero-or-one-element ``lookup`` result costs nothing.
+    """
 
     name = "posix-path"
 

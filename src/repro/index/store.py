@@ -16,6 +16,7 @@ from typing import Dict, Iterable, List, Optional, Sequence, Set
 
 from repro.errors import DuplicateIndexError, IndexStoreError, UnknownTagError
 from repro.index.tags import TAG_ID, TagValue, normalize_tag
+from repro.query.cursors import DocIdCursor, ListCursor
 
 
 class IndexStore:
@@ -52,6 +53,19 @@ class IndexStore:
     def values_for(self, oid: int) -> List[TagValue]:
         """The tag/value pairs currently naming ``oid`` in this store."""
         raise NotImplementedError
+
+    def open_cursor(self, tag: str, value: str) -> DocIdCursor:
+        """A streaming :class:`~repro.query.cursors.DocIdCursor` over the
+        objects matching ``(tag, value)``.
+
+        This default is the *materialized-fallback adapter*: it runs
+        :meth:`lookup` once and wraps the sorted list, so every store
+        satisfies the cursor protocol (sorted, seekable, estimable) even if
+        it cannot stream natively.  Stores that can — the B+-tree-backed
+        key/value index, the inverted index — override it to avoid
+        materializing anything.
+        """
+        return ListCursor(self.lookup(tag, value))
 
 
 @dataclass
@@ -190,6 +204,23 @@ class IndexStoreRegistry:
                 raise IndexStoreError(f"ID lookups need an integer value, got {value!r}")
         self.stats.lookups += 1
         return self.store_for(tag).lookup(tag, str(value))
+
+    def open_cursor(self, tag: str, value: str) -> DocIdCursor:
+        """A streaming cursor over one ``(tag, value)`` pair's matches.
+
+        The streaming twin of :meth:`lookup`: the same routing (including
+        the ID fast path) but the store hands back a cursor instead of a
+        materialized list, so conjunctions only pull what they consume.
+        """
+        tag = normalize_tag(tag)
+        if tag == TAG_ID:
+            self.stats.fastpath_lookups += 1
+            try:
+                return ListCursor([int(value)])
+            except (TypeError, ValueError):
+                raise IndexStoreError(f"ID lookups need an integer value, got {value!r}")
+        self.stats.lookups += 1
+        return self.store_for(tag).open_cursor(tag, str(value))
 
     def lookup_all(self, pairs: Sequence[TagValue]) -> List[int]:
         """Conjunction of every pair's matches (the paper's naming semantics).

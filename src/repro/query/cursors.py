@@ -1,0 +1,342 @@
+"""Streaming doc-id cursors: the Volcano-style executor under the query algebra.
+
+The seed implementation evaluated boolean queries by materializing the full
+result of every sub-expression as a Python set.  A query touching one huge
+tag therefore paid for its entire posting list even when the caller wanted
+ten results.  This module replaces that with the merge machinery real search
+engines and database executors use: every operand is a *cursor* over an
+ascending stream of doc ids, and the boolean operators are cursors too,
+pulling from their children on demand.
+
+The protocol (:class:`DocIdCursor`) is deliberately tiny:
+
+``next()``
+    The next doc id, strictly greater than everything already returned, or
+    ``None`` once exhausted (and forever after).
+
+``seek(target)``
+    The first doc id ``>= target``, skipping everything in between without
+    touching it.  Targets below the cursor's current position are clamped, so
+    a backward seek can never rewind a cursor — this is what makes leapfrog
+    intersection safe to drive from any operand.
+
+``estimate()``
+    A cheap upper bound on how many ids remain.  Operators use it to order
+    their inputs (rarest first); it never affects correctness.
+
+Concrete operators:
+
+* :class:`ListCursor` — bisect/galloping seek over any materialized sorted
+  sequence; also the generic fallback adapter for index stores that cannot
+  stream natively.
+* :class:`IntersectCursor` — leapfrog (galloping) conjunction, driven by its
+  first child; callers put the rarest operand first (the planner does).
+* :class:`UnionCursor` — heap-based k-way disjunctive merge with
+  deduplication.
+* :class:`DifferenceCursor` — ``AND NOT``: streams the positive side and
+  probes the negations with ``seek``.
+
+:func:`materialize` drains a cursor into a list with optional top-k early
+exit, reporting whether the stream was fully consumed — the query cache uses
+that bit to cache only complete results.
+"""
+
+from __future__ import annotations
+
+import heapq
+from bisect import bisect_left
+from typing import Iterator, List, Optional, Sequence, Tuple
+
+#: estimate for cursors whose size is unknown; matches the planner's
+#: "assume expensive" default so unknown operands sort last.
+UNKNOWN_ESTIMATE = 1 << 30
+
+
+class ScanCounter:
+    """Counts index entries actually touched by leaf cursors.
+
+    Stores hand one of these to the cursors they open so benchmarks can
+    report "postings scanned" honestly: an id a galloping seek jumps over is
+    *not* scanned, an id the cursor lands on is.
+    """
+
+    __slots__ = ("scanned", "seeks")
+
+    def __init__(self) -> None:
+        self.scanned = 0
+        self.seeks = 0
+
+    def reset(self) -> None:
+        self.scanned = 0
+        self.seeks = 0
+
+
+class DocIdCursor:
+    """Base class of the cursor protocol (see module docstring)."""
+
+    def next(self) -> Optional[int]:
+        """The next doc id in ascending order, or ``None`` when exhausted."""
+        raise NotImplementedError
+
+    def seek(self, target: int) -> Optional[int]:
+        """The first doc id ``>= target`` (clamped forward), or ``None``."""
+        # Correct-but-linear default; real operands override with bisection,
+        # tree descent or galloping.
+        doc = self.next()
+        while doc is not None and doc < target:
+            doc = self.next()
+        return doc
+
+    def estimate(self) -> int:
+        """Cheap upper bound on remaining ids (never affects correctness)."""
+        return UNKNOWN_ESTIMATE
+
+    def __iter__(self) -> Iterator[int]:
+        while True:
+            doc = self.next()
+            if doc is None:
+                return
+            yield doc
+
+
+class EmptyCursor(DocIdCursor):
+    """The empty stream (missing term, empty disjunction, ...)."""
+
+    def next(self) -> Optional[int]:
+        return None
+
+    def seek(self, target: int) -> Optional[int]:
+        return None
+
+    def estimate(self) -> int:
+        return 0
+
+
+class ListCursor(DocIdCursor):
+    """Cursor over a materialized ascending sequence.
+
+    ``seek`` gallops: it first probes exponentially growing steps from the
+    current position, then bisects inside the bracketing window, so seeking
+    near the current position is O(1) and a long jump is O(log distance) —
+    the behaviour leapfrog intersection relies on.
+
+    This is also the *materialized-fallback adapter*: any index store whose
+    ``lookup`` returns a sorted list is a valid cursor source through it.
+    """
+
+    def __init__(self, ids: Sequence[int], counter: Optional[ScanCounter] = None) -> None:
+        self._ids = ids
+        self._index = 0
+        self._counter = counter
+
+    def next(self) -> Optional[int]:
+        if self._index >= len(self._ids):
+            return None
+        doc = self._ids[self._index]
+        self._index += 1
+        if self._counter is not None:
+            self._counter.scanned += 1
+        return doc
+
+    def seek(self, target: int) -> Optional[int]:
+        ids, low = self._ids, self._index
+        size = len(ids)
+        if low >= size:
+            return None
+        if self._counter is not None:
+            self._counter.seeks += 1
+        if ids[low] < target:
+            # Gallop: double the step until we bracket the target, then bisect
+            # within [low, high).
+            step = 1
+            high = low + 1
+            while high < size and ids[high] < target:
+                low = high
+                step <<= 1
+                high = low + step
+            low = bisect_left(ids, target, low + 1, min(high, size))
+        self._index = low
+        return self.next()
+
+    def estimate(self) -> int:
+        return len(self._ids) - self._index
+
+
+class IntersectCursor(DocIdCursor):
+    """Leapfrog conjunction of child cursors.
+
+    The first child drives the merge; callers order children rarest-first
+    (``QueryPlanner.order_conjuncts`` does exactly that) so the driver is the
+    smallest stream and the big operands are only probed with galloping
+    ``seek`` — never scanned end to end.
+    """
+
+    def __init__(self, children: Sequence[DocIdCursor]) -> None:
+        if not children:
+            raise ValueError("IntersectCursor needs at least one child")
+        self._children = list(children)
+        # Last id each child returned: a child is never re-seeked for a value
+        # it is already standing on (cursors consume what they return).
+        self._positions: List[Optional[int]] = [None] * len(children)
+        self._floor = 0
+        self._exhausted = False
+
+    def next(self) -> Optional[int]:
+        return self.seek(self._floor)
+
+    def seek(self, target: int) -> Optional[int]:
+        if self._exhausted:
+            return None
+        target = max(target, self._floor)
+        children, positions = self._children, self._positions
+        if positions[0] is None or positions[0] < target:
+            positions[0] = children[0].seek(target)
+            if positions[0] is None:
+                self._exhausted = True
+                return None
+        candidate = positions[0]
+        index = 1
+        while index < len(children):
+            held = positions[index]
+            if held is None or held < candidate:
+                held = children[index].seek(candidate)
+                positions[index] = held
+                if held is None:
+                    self._exhausted = True
+                    return None
+            if held > candidate:
+                # Missed: leap the driver forward to the blocker and restart.
+                positions[0] = children[0].seek(held)
+                if positions[0] is None:
+                    self._exhausted = True
+                    return None
+                candidate = positions[0]
+                index = 1
+                continue
+            index += 1
+        self._floor = candidate + 1
+        return candidate
+
+    def estimate(self) -> int:
+        return min(child.estimate() for child in self._children)
+
+
+class UnionCursor(DocIdCursor):
+    """Heap-based k-way disjunctive merge (duplicates collapsed)."""
+
+    def __init__(self, children: Sequence[DocIdCursor]) -> None:
+        self._children = list(children)
+        self._heap: Optional[List[Tuple[int, int]]] = None
+        self._floor = 0
+
+    def _prime(self) -> None:
+        self._heap = []
+        for index, child in enumerate(self._children):
+            head = child.next()
+            if head is not None:
+                self._heap.append((head, index))
+        heapq.heapify(self._heap)
+
+    def next(self) -> Optional[int]:
+        return self.seek(self._floor)
+
+    def seek(self, target: int) -> Optional[int]:
+        if self._heap is None:
+            self._prime()
+        heap = self._heap
+        target = max(target, self._floor)
+        while heap:
+            head, index = heap[0]
+            if head >= target:
+                self._floor = head + 1
+                replacement = self._children[index].next()
+                if replacement is None:
+                    heapq.heappop(heap)
+                else:
+                    heapq.heapreplace(heap, (replacement, index))
+                return head
+            # Behind the target (already-returned id or an explicit seek):
+            # leap that child forward instead of draining it one id at a time.
+            replacement = self._children[index].seek(target)
+            if replacement is None:
+                heapq.heappop(heap)
+            else:
+                heapq.heapreplace(heap, (replacement, index))
+        return None
+
+    def estimate(self) -> int:
+        return sum(child.estimate() for child in self._children)
+
+
+class DifferenceCursor(DocIdCursor):
+    """``positive AND NOT (n1 OR n2 OR ...)`` as a stream.
+
+    Negations are only probed with ``seek`` at candidate ids, so a huge
+    negated term costs O(log n) per surviving candidate instead of a full
+    materialization.
+    """
+
+    #: position sentinel for a drained negation (compares above every doc id).
+    _DRAINED = float("inf")
+
+    def __init__(self, positive: DocIdCursor, negatives: Sequence[DocIdCursor]) -> None:
+        self._positive = positive
+        self._negatives = list(negatives)
+        # Last id each negation returned; only re-seek a negation when it is
+        # standing strictly before the candidate (cursors consume what they
+        # return, so re-seeking would silently skip a blocking id).
+        self._positions: List[object] = [None] * len(negatives)
+
+    def _blocked(self, doc: int) -> bool:
+        for index, negative in enumerate(self._negatives):
+            held = self._positions[index]
+            if held is None or (held is not self._DRAINED and held < doc):
+                got = negative.seek(doc)
+                held = got if got is not None else self._DRAINED
+                self._positions[index] = held
+            if held == doc:
+                return True
+        return False
+
+    def next(self) -> Optional[int]:
+        doc = self._positive.next()
+        while doc is not None and self._blocked(doc):
+            doc = self._positive.next()
+        return doc
+
+    def seek(self, target: int) -> Optional[int]:
+        doc = self._positive.seek(target)
+        while doc is not None and self._blocked(doc):
+            doc = self._positive.next()
+        return doc
+
+    def estimate(self) -> int:
+        return self._positive.estimate()
+
+
+def materialize(
+    cursor: DocIdCursor,
+    limit: Optional[int] = None,
+    probe_exhaustion: bool = False,
+) -> Tuple[List[int], bool]:
+    """Drain ``cursor`` into a sorted list, stopping after ``limit`` ids.
+
+    Returns ``(results, exhausted)``.  ``exhausted`` is True only when the
+    stream provably produced everything it ever will — the condition under
+    which a result is safe to cache as the query's *full* answer.  When the
+    limit is hit exactly, ``probe_exhaustion=True`` spends one extra ``next()``
+    to learn whether anything was left (callers that cache want to know;
+    callers that don't shouldn't pay for it).
+    """
+    if limit is not None and limit <= 0:
+        return [], False
+    results: List[int] = []
+    while True:
+        doc = cursor.next()
+        if doc is None:
+            return results, True
+        results.append(doc)
+        if limit is not None and len(results) >= limit:
+            if probe_exhaustion and cursor.next() is None:
+                return results, True
+            return results, False

@@ -270,3 +270,49 @@ class TestPlanner:
         planned = And(list(query_terms)).evaluate(registry, QueryPlanner(enabled=True))
         unplanned = And(list(query_terms)).evaluate(registry, QueryPlanner(enabled=False))
         assert planned == unplanned == [1]
+
+
+class TestPlannerMemo:
+    def test_hits_and_misses_counted(self):
+        registry = make_registry()
+        planner = QueryPlanner()
+        term = TagTerm("USER", "margo")
+        planner.estimate(term, registry)
+        planner.estimate(term, registry)
+        assert planner.memo_misses == 1
+        assert planner.memo_hits == 1
+        snapshot = planner.snapshot()
+        assert snapshot["memo_hits"] == 1
+        assert snapshot["memo_misses"] == 1
+        assert snapshot["memo_entries"] == 1
+        assert snapshot["memo_hit_ratio"] == 0.5
+
+    def test_mutation_invalidates_memo(self):
+        registry = make_registry()
+        planner = QueryPlanner()
+        term = TagTerm("USER", "margo")
+        assert planner.estimate(term, registry) == 2
+        registry.insert("USER", "margo", 9)
+        assert planner.estimate(term, registry) == 3
+        assert planner.memo_misses == 2
+
+    def test_eviction_drops_oldest_half_only(self, monkeypatch):
+        registry = make_registry()
+        planner = QueryPlanner()
+        monkeypatch.setattr(QueryPlanner, "MAX_MEMO_ENTRIES", 8)
+        for index in range(8):
+            planner.estimate(TagTerm("UDEF", f"value-{index}"), registry)
+        assert planner.snapshot()["memo_entries"] == 8
+        # Touch an old entry so LRU keeps it through the eviction sweep.
+        planner.estimate(TagTerm("UDEF", "value-0"), registry)
+        planner.estimate(TagTerm("UDEF", "value-8"), registry)
+        entries = planner.snapshot()["memo_entries"]
+        assert entries == 8 // 2 + 1  # survivors + the new entry
+        planner.estimate(TagTerm("UDEF", "value-0"), registry)
+        assert planner.memo_hits >= 2  # value-0 survived the sweep
+
+    def test_id_terms_bypass_memo(self):
+        registry = make_registry()
+        planner = QueryPlanner()
+        planner.estimate(TagTerm("ID", "5"), registry)
+        assert planner.snapshot()["memo_entries"] == 0

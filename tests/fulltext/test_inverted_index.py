@@ -34,7 +34,9 @@ class TestPostingList:
         plist = PostingList()
         for doc_id in [5, 1, 9, 3]:
             plist.add(Posting(doc_id=doc_id, term_frequency=1))
-        assert plist.doc_ids() == [1, 3, 5, 9]
+        # doc_ids() hands back its cached tuple (no per-call copy).
+        assert plist.doc_ids() == (1, 3, 5, 9)
+        assert plist.doc_ids() is plist.doc_ids()
         assert [p.doc_id for p in plist] == [1, 3, 5, 9]
 
     def test_intersect_and_union(self):

@@ -1,0 +1,192 @@
+"""Unit tests for the streaming cursor operators (repro.query.cursors)."""
+
+import pytest
+
+from repro.query.cursors import (
+    DifferenceCursor,
+    DocIdCursor,
+    EmptyCursor,
+    IntersectCursor,
+    ListCursor,
+    ScanCounter,
+    UnionCursor,
+    materialize,
+)
+
+
+class TestListCursor:
+    def test_iterates_in_order(self):
+        assert list(ListCursor([1, 4, 9])) == [1, 4, 9]
+        assert list(ListCursor([])) == []
+
+    def test_next_consumes(self):
+        cursor = ListCursor([1, 2])
+        assert cursor.next() == 1
+        assert cursor.next() == 2
+        assert cursor.next() is None
+        assert cursor.next() is None  # exhaustion is sticky
+
+    def test_seek_lands_on_first_ge(self):
+        cursor = ListCursor([10, 20, 30, 40])
+        assert cursor.seek(15) == 20
+        assert cursor.seek(30) == 30
+        assert cursor.seek(100) is None
+
+    def test_seek_is_clamped_forward(self):
+        cursor = ListCursor([10, 20, 30])
+        assert cursor.next() == 10
+        assert cursor.next() == 20
+        # A backward target cannot rewind the cursor.
+        assert cursor.seek(0) == 30
+
+    def test_seek_gallops_over_long_runs(self):
+        ids = list(range(0, 100_000, 2))
+        counter = ScanCounter()
+        cursor = ListCursor(ids, counter=counter)
+        assert cursor.seek(99_990) == 99_990
+        # Only the landing posting is touched, not the ~50k skipped ones.
+        assert counter.scanned == 1
+
+    def test_estimate_counts_remaining(self):
+        cursor = ListCursor([1, 2, 3, 4])
+        assert cursor.estimate() == 4
+        cursor.next()
+        assert cursor.estimate() == 3
+
+
+class TestIntersectCursor:
+    def intersect(self, *id_lists):
+        return list(IntersectCursor([ListCursor(ids) for ids in id_lists]))
+
+    def test_basic(self):
+        assert self.intersect([1, 2, 3], [2, 3, 4]) == [2, 3]
+        assert self.intersect([1, 2, 3]) == [1, 2, 3]
+        assert self.intersect([1, 3, 5], [2, 4, 6]) == []
+        assert self.intersect([1, 2], [], [1]) == []
+
+    def test_three_way(self):
+        assert self.intersect([1, 2, 3, 4, 5], [2, 4, 5], [1, 4, 5, 9]) == [4, 5]
+
+    def test_requires_children(self):
+        with pytest.raises(ValueError):
+            IntersectCursor([])
+
+    def test_seek(self):
+        cursor = IntersectCursor([ListCursor([1, 2, 5, 9]), ListCursor([2, 5, 9, 11])])
+        assert cursor.seek(3) == 5
+        assert cursor.next() == 9
+        assert cursor.next() is None
+
+    def test_galloping_touches_few_postings(self):
+        counter = ScanCounter()
+        rare = ListCursor([5_000, 9_999], counter=counter)
+        common = ListCursor(list(range(10_000)), counter=counter)
+        assert list(IntersectCursor([rare, common])) == [5_000, 9_999]
+        # Each operand lands on a handful of postings; nothing is scanned
+        # end to end.
+        assert counter.scanned < 10
+
+    def test_estimate_is_min_of_children(self):
+        cursor = IntersectCursor([ListCursor([1, 2, 3]), ListCursor([2])])
+        assert cursor.estimate() == 1
+
+
+class TestUnionCursor:
+    def union(self, *id_lists):
+        return list(UnionCursor([ListCursor(ids) for ids in id_lists]))
+
+    def test_basic(self):
+        assert self.union([1, 3], [2, 3, 4]) == [1, 2, 3, 4]
+        assert self.union() == []
+        assert self.union([], []) == []
+        assert self.union([7]) == [7]
+
+    def test_duplicates_collapsed(self):
+        assert self.union([1, 2], [1, 2], [2]) == [1, 2]
+
+    def test_seek(self):
+        cursor = UnionCursor([ListCursor([1, 5, 9]), ListCursor([2, 5, 20])])
+        assert cursor.seek(4) == 5
+        assert cursor.next() == 9
+        assert cursor.next() == 20
+        assert cursor.next() is None
+
+    def test_seek_before_any_next(self):
+        cursor = UnionCursor([ListCursor([1, 5]), ListCursor([3, 7])])
+        assert cursor.seek(4) == 5
+
+    def test_estimate_sums_children(self):
+        cursor = UnionCursor([ListCursor([1, 2]), ListCursor([2, 3])])
+        assert cursor.estimate() == 4
+
+
+class TestDifferenceCursor:
+    def difference(self, positive, *negatives):
+        return list(
+            DifferenceCursor(ListCursor(positive), [ListCursor(ids) for ids in negatives])
+        )
+
+    def test_basic(self):
+        assert self.difference([1, 2, 3, 4], [2, 4]) == [1, 3]
+        assert self.difference([1, 2], []) == [1, 2]
+        assert self.difference([1, 2], [1, 2]) == []
+
+    def test_multiple_negatives(self):
+        assert self.difference([1, 2, 3, 4, 5], [2], [4, 5]) == [1, 3]
+
+    def test_negative_id_between_probes_still_blocks(self):
+        # The negation's cursor steps past 3 while probing for 2; 3 must
+        # still block when the positive side reaches it.
+        assert self.difference([2, 3, 6], [3, 5]) == [2, 6]
+
+    def test_seek(self):
+        cursor = DifferenceCursor(ListCursor([1, 2, 3, 9]), [ListCursor([3])])
+        assert cursor.seek(2) == 2
+        assert cursor.next() == 9
+
+
+class TestEmptyCursor:
+    def test_empty(self):
+        cursor = EmptyCursor()
+        assert cursor.next() is None
+        assert cursor.seek(0) is None
+        assert cursor.estimate() == 0
+        assert list(cursor) == []
+
+
+class TestMaterialize:
+    def test_drains_fully_without_limit(self):
+        assert materialize(ListCursor([1, 2, 3])) == ([1, 2, 3], True)
+
+    def test_limit_stops_early(self):
+        results, exhausted = materialize(ListCursor([1, 2, 3]), limit=2)
+        assert results == [1, 2]
+        assert exhausted is False
+
+    def test_limit_zero(self):
+        assert materialize(ListCursor([1, 2]), limit=0) == ([], False)
+
+    def test_limit_past_end_reports_exhausted(self):
+        assert materialize(ListCursor([1, 2]), limit=5) == ([1, 2], True)
+
+    def test_probe_exhaustion_detects_exact_fit(self):
+        results, exhausted = materialize(ListCursor([1, 2]), limit=2, probe_exhaustion=True)
+        assert results == [1, 2]
+        assert exhausted is True
+        results, exhausted = materialize(ListCursor([1, 2, 3]), limit=2, probe_exhaustion=True)
+        assert results == [1, 2]
+        assert exhausted is False
+
+
+class TestDefaultSeek:
+    def test_base_class_seek_is_linear_but_correct(self):
+        class Plain(DocIdCursor):
+            def __init__(self, ids):
+                self._iter = iter(ids)
+
+            def next(self):
+                return next(self._iter, None)
+
+        cursor = Plain([1, 4, 9, 16])
+        assert cursor.seek(5) == 9
+        assert cursor.next() == 16

@@ -1,0 +1,102 @@
+"""Property-style check: the streamed pipeline equals set-based evaluation.
+
+Random corpora are loaded into a key/value-backed registry, random query
+trees are generated over them, and every query is answered three ways —
+brute-force sets (the reference), the cursor pipeline via ``evaluate()``,
+and the pipeline with ``limit=`` — which must agree exactly.
+"""
+
+import random
+
+import pytest
+
+from repro.core.query import And, Not, Or, QueryPlanner, TagTerm
+from repro.errors import QueryError
+from repro.index.keyvalue_index import KeyValueIndexStore
+from repro.index.store import IndexStoreRegistry
+
+TAGS = ("USER", "UDEF", "APP")
+VALUES = ("a", "b", "c", "d")
+
+
+def build_registry(rng, objects=120):
+    registry = IndexStoreRegistry()
+    registry.register(KeyValueIndexStore(tags=TAGS))
+    for oid in range(objects):
+        for tag in TAGS:
+            # Skewed: value "a" is common, "d" is rare.
+            value = rng.choices(VALUES, weights=[8, 4, 2, 1])[0]
+            if rng.random() < 0.8:
+                registry.insert(tag, value, oid)
+    return registry
+
+
+def random_query(rng, depth=0):
+    roll = rng.random()
+    if depth >= 2 or roll < 0.4:
+        return TagTerm(rng.choice(TAGS), rng.choice(VALUES))
+    if roll < 0.7:
+        children = [random_query(rng, depth + 1) for _ in range(rng.randint(2, 3))]
+        if rng.random() < 0.5:
+            children.append(Not(random_query(rng, depth + 1)))
+        return And(children)
+    return Or([random_query(rng, depth + 1) for _ in range(rng.randint(2, 3))])
+
+
+def reference_eval(query, registry):
+    """Set-based evaluation, the way the seed implementation worked."""
+    if isinstance(query, TagTerm):
+        return set(registry.lookup(query.tag, query.value))
+    if isinstance(query, And):
+        positive = [c for c in query.children if not isinstance(c, Not)]
+        negative = [c.child for c in query.children if isinstance(c, Not)]
+        result = None
+        for child in positive:
+            matches = reference_eval(child, registry)
+            result = matches if result is None else result & matches
+        for child in negative:
+            result -= reference_eval(child, registry)
+        return result
+    if isinstance(query, Or):
+        result = set()
+        for child in query.children:
+            result |= reference_eval(child, registry)
+        return result
+    raise AssertionError(f"unexpected node {query!r}")
+
+
+@pytest.mark.parametrize("seed", range(8))
+def test_streamed_equals_reference_on_random_queries(seed):
+    rng = random.Random(seed)
+    registry = build_registry(rng)
+    planner = QueryPlanner()
+    for _ in range(25):
+        query = random_query(rng)
+        expected = sorted(reference_eval(query, registry))
+        streamed = query.evaluate(registry, planner)
+        assert streamed == expected, f"query {query} diverged"
+        unplanned = query.evaluate(registry, QueryPlanner(enabled=False))
+        assert unplanned == expected, f"unplanned query {query} diverged"
+        # limit=k must be exactly the first k of the full answer.
+        k = rng.randint(0, len(expected) + 2)
+        assert query.evaluate(registry, planner, limit=k) == expected[:k]
+
+
+@pytest.mark.parametrize("seed", range(4))
+def test_cursor_seek_consistency_on_random_queries(seed):
+    """seek(t) over a composed pipeline equals filtering the full answer."""
+    rng = random.Random(1000 + seed)
+    registry = build_registry(rng, objects=80)
+    planner = QueryPlanner()
+    for _ in range(15):
+        query = random_query(rng)
+        try:
+            expected = query.evaluate(registry, planner)
+        except QueryError:
+            continue
+        target = rng.randint(0, 90)
+        cursor = query.cursor(registry, planner)
+        tail = [oid for oid in expected if oid >= target]
+        first = cursor.seek(target)
+        assert first == (tail[0] if tail else None)
+        assert list(cursor) == tail[1:]
