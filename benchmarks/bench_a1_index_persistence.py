@@ -29,7 +29,10 @@ PAYLOAD = b"object payload " * 64  # ~1 KiB
 
 
 def _run_configuration(btree_on_device: bool):
-    fs = HFADFileSystem(num_blocks=1 << 17, btree_on_device=btree_on_device)
+    # durability pinned to the pre-WAL semantics: this experiment isolates
+    # in-memory vs on-device page stores; journal overhead is E11's job.
+    fs = HFADFileSystem(num_blocks=1 << 17, btree_on_device=btree_on_device,
+                        durability="writethrough")
     oids = []
     for index in range(OBJECTS):
         oids.append(fs.create(PAYLOAD + str(index).encode(), index_content=False))
@@ -85,7 +88,8 @@ def test_a1_page_cache_absorbs_reads():
 @pytest.mark.parametrize("on_device", [False, True], ids=["memory-btrees", "device-btrees"])
 def test_a1_ingest_latency(benchmark, on_device):
     def ingest():
-        fs = HFADFileSystem(num_blocks=1 << 16, btree_on_device=on_device)
+        fs = HFADFileSystem(num_blocks=1 << 16, btree_on_device=on_device,
+                            durability="writethrough")
         for index in range(40):
             fs.create(PAYLOAD + str(index).encode(), index_content=False)
         fs.close()

@@ -22,6 +22,7 @@ inventory and EXPERIMENTS.md for the experiment-by-experiment results.
 from repro.cache import BufferPool, QueryResultCache
 from repro.core import HFADFileSystem
 from repro.core.query import parse_query
+from repro.recovery import CrashingBlockDevice, RecoveryManager, Superblock
 from repro.index.tags import (
     TAG_APP,
     TAG_FULLTEXT,
@@ -39,6 +40,9 @@ __all__ = [
     "HFADFileSystem",
     "BufferPool",
     "QueryResultCache",
+    "RecoveryManager",
+    "Superblock",
+    "CrashingBlockDevice",
     "TagValue",
     "parse_query",
     "TAG_POSIX",

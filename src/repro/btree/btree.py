@@ -32,22 +32,84 @@ class BPlusTree:
     :param store: page backend; defaults to a fresh in-memory store.
     :param max_keys: maximum keys per node before it splits.  ``min_keys``
         (underflow threshold) is ``max_keys // 2``.
+    :param root_id: attach to an *existing* tree rooted at this page instead
+        of creating a fresh one (the crash-recovery mount path).  The element
+        count is rebuilt by one leaf-chain walk unless ``count`` is supplied.
+    :param count: known element count when attaching via ``root_id`` —
+        callers that already walk the tree (the mount reservation pass) use
+        it to skip the redundant counting walk.
+    :param on_root_change: callback invoked with the new root page id
+        whenever the root moves (root split or root collapse); the recovery
+        layer uses it to journal the master-tree root.
+    :param node_byte_limit: split nodes whose *encoded* size would exceed
+        this many bytes, regardless of key count.  Defaults to the store's
+        page size when it has one (``DevicePageStore.page_bytes``), so
+        variable-size values (fat metadata records) can never overflow a
+        device page.  Byte-limited trees skip count-based merges that would
+        not fit, so their occupancy invariant is byte- rather than
+        count-driven.
     """
 
-    def __init__(self, store: Optional[PageStore] = None, max_keys: int = 64) -> None:
+    def __init__(self, store: Optional[PageStore] = None, max_keys: int = 64,
+                 root_id: Optional[int] = None,
+                 count: Optional[int] = None,
+                 on_root_change=None,
+                 node_byte_limit: Optional[int] = None) -> None:
         if max_keys < 3:
             raise ValueError("max_keys must be at least 3")
         self.store = store if store is not None else InMemoryPageStore()
         self.max_keys = max_keys
         self.min_keys = max_keys // 2
+        if node_byte_limit is None:
+            node_byte_limit = getattr(self.store, "page_bytes", None)
+        self.node_byte_limit = node_byte_limit
         self._lock = threading.RLock()
         self._count = 0
         #: nodes visited by lookups/cursors; the index-traversal experiments
         #: (E1) read this to report "how many index hops did that search cost".
         self.node_visits = 0
-        root = LeafNode()
-        self._root_id = self.store.allocate()
-        self.store.write(self._root_id, root)
+        self.on_root_change = on_root_change
+        if root_id is None:
+            root = LeafNode()
+            self._root_id = self.store.allocate()
+            self.store.write(self._root_id, root)
+        else:
+            self._root_id = root_id
+            self._count = (
+                count if count is not None
+                else sum(1 for _ in self._leaf_items_from(None))
+            )
+
+    @property
+    def root_id(self) -> int:
+        """Current root page id (persisted so a mount can re-attach)."""
+        return self._root_id
+
+    def _move_root(self, new_root_id: int) -> None:
+        self._root_id = new_root_id
+        if self.on_root_change is not None:
+            self.on_root_change(new_root_id)
+
+    def _overfull(self, node) -> bool:
+        """A node must split: too many keys, or too many encoded bytes.
+
+        A single-entry node is never split (a value too large for a page is
+        the store's oversized-node error, not a split opportunity).
+        """
+        if len(node.keys) > self.max_keys:
+            return True
+        return (
+            self.node_byte_limit is not None
+            and len(node.keys) > 1
+            and node.encoded_size() > self.node_byte_limit
+        )
+
+    def _fits(self, node) -> bool:
+        """Whether a (prospective) node respects the byte budget."""
+        return (
+            self.node_byte_limit is None
+            or node.encoded_size() <= self.node_byte_limit
+        )
 
     # ------------------------------------------------------------------ basic
 
@@ -144,7 +206,7 @@ class BPlusTree:
                 new_root = InnerNode(keys=[separator], children=[self._root_id, right_id])
                 new_root_id = self.store.allocate()
                 self.store.write(new_root_id, new_root)
-                self._root_id = new_root_id
+                self._move_root(new_root_id)
 
     def _insert(self, page_id: int, node, key: bytes, value: bytes):
         if node.is_leaf:
@@ -158,7 +220,7 @@ class BPlusTree:
         separator, right_id = split
         node.keys.insert(index, separator)
         node.children.insert(index + 1, right_id)
-        if len(node.keys) <= self.max_keys:
+        if not self._overfull(node):
             self.store.write(page_id, node)
             return None
         return self._split_inner(page_id, node)
@@ -166,19 +228,50 @@ class BPlusTree:
     def _insert_into_leaf(self, page_id: int, leaf: LeafNode, key: bytes, value: bytes):
         index = bisect.bisect_left(leaf.keys, key)
         if index < len(leaf.keys) and leaf.keys[index] == key:
+            # Replacing a value with a bigger one can overflow the byte
+            # budget without changing the key count (growing metadata
+            # records do exactly this) — split just like an insert would.
             leaf.values[index] = value
-            self.store.write(page_id, leaf)
-            return None
+            if not self._overfull(leaf):
+                self.store.write(page_id, leaf)
+                return None
+            return self._split_leaf(page_id, leaf)
         leaf.keys.insert(index, key)
         leaf.values.insert(index, value)
         self._count += 1
-        if len(leaf.keys) <= self.max_keys:
+        if not self._overfull(leaf):
             self.store.write(page_id, leaf)
             return None
         return self._split_leaf(page_id, leaf)
 
+    def _leaf_split_point(self, leaf: LeafNode) -> int:
+        """Split index balancing *bytes*, not entry counts.
+
+        With uniform values this is the classic middle; with skewed value
+        sizes (one fat metadata record among small ones) a count-based
+        middle can leave one half still over the page budget.  The index
+        minimizing the larger half's byte size is chosen, so whenever any
+        split can keep both halves within the budget, this one does —
+        including the fat-entry-at-either-end cases where a "first half
+        reaching 50%" heuristic degenerates to the count middle.
+        """
+        entries = len(leaf.keys)
+        if self.node_byte_limit is None:
+            return entries // 2
+        sizes = [leaf.entry_size(i) for i in range(entries)]
+        total = sum(sizes)
+        best = entries // 2
+        best_cost: Optional[int] = None
+        running = 0
+        for index in range(1, entries):
+            running += sizes[index - 1]
+            cost = max(running, total - running)
+            if best_cost is None or cost < best_cost:
+                best, best_cost = index, cost
+        return best
+
     def _split_leaf(self, page_id: int, leaf: LeafNode):
-        mid = len(leaf.keys) // 2
+        mid = self._leaf_split_point(leaf)
         right = LeafNode(
             keys=leaf.keys[mid:],
             values=leaf.values[mid:],
@@ -215,7 +308,7 @@ class BPlusTree:
             if not root.is_leaf and len(root.keys) == 0:
                 # The root lost its last separator: promote its only child.
                 old_root_id = self._root_id
-                self._root_id = root.children[0]
+                self._move_root(root.children[0])
                 self.store.free(old_root_id)
 
     def destroy(self) -> int:
@@ -269,8 +362,37 @@ class BPlusTree:
     def _underflowing(self, node) -> bool:
         return len(node.keys) < self.min_keys
 
+    def _borrow_fits(self, parent: InnerNode, index: int, donor, child,
+                     from_left: bool) -> bool:
+        """Whether moving one entry from ``donor`` keeps ``child`` in budget."""
+        if self.node_byte_limit is None:
+            return True
+        if child.is_leaf:
+            donor_index = len(donor.keys) - 1 if from_left else 0
+            added = donor.entry_size(donor_index)
+        else:
+            separator = parent.keys[index - 1] if from_left else parent.keys[index]
+            added = 12 + len(separator)  # length prefix + key + child pointer
+        return child.encoded_size() + added <= self.node_byte_limit
+
+    def _merge_fits(self, left, right) -> bool:
+        """Whether merging two siblings respects the byte budget.
+
+        ``encoded_size`` of both nodes slightly over-counts the merged node
+        (one header survives, not two), so this is conservatively safe.
+        """
+        if self.node_byte_limit is None:
+            return True
+        return left.encoded_size() + right.encoded_size() <= self.node_byte_limit
+
     def _rebalance(self, parent_id: int, parent: InnerNode, index: int) -> None:
-        """Fix an underflowing child ``parent.children[index]``."""
+        """Fix an underflowing child ``parent.children[index]``.
+
+        In a byte-limited tree a repair step that would overflow a page is
+        skipped; if neither borrowing nor merging fits, the child simply
+        stays count-underfull (occupancy is byte-driven there — classic
+        lazy deletion).
+        """
         child_id = parent.children[index]
         child = self.store.read(child_id)
         left_id = parent.children[index - 1] if index > 0 else None
@@ -278,25 +400,27 @@ class BPlusTree:
         left = self.store.read(left_id) if left_id is not None else None
         right = self.store.read(right_id) if right_id is not None else None
 
-        if left is not None and len(left.keys) > self.min_keys:
+        if (left is not None and len(left.keys) > self.min_keys
+                and self._borrow_fits(parent, index, left, child, from_left=True)):
             self._borrow_from_left(parent, index, left, child)
             self.store.write(left_id, left)
             self.store.write(child_id, child)
             self.store.write(parent_id, parent)
             return
-        if right is not None and len(right.keys) > self.min_keys:
+        if (right is not None and len(right.keys) > self.min_keys
+                and self._borrow_fits(parent, index, right, child, from_left=False)):
             self._borrow_from_right(parent, index, child, right)
             self.store.write(right_id, right)
             self.store.write(child_id, child)
             self.store.write(parent_id, parent)
             return
         # Merge: prefer merging child into its left sibling.
-        if left is not None:
+        if left is not None and self._merge_fits(left, child):
             self._merge(parent, index - 1, left, child)
             self.store.write(left_id, left)
             self.store.write(parent_id, parent)
             self.store.free(child_id)
-        else:
+        elif right is not None and self._merge_fits(child, right):
             self._merge(parent, index, child, right)
             self.store.write(child_id, child)
             self.store.write(parent_id, parent)
@@ -427,7 +551,9 @@ class BPlusTree:
                 assert node.keys == sorted(node.keys), "leaf keys unsorted"
                 assert len(node.keys) == len(set(node.keys)), "duplicate keys in leaf"
                 assert len(node.keys) == len(node.values), "key/value length mismatch"
-                if not is_root:
+                if not is_root and self.node_byte_limit is None:
+                    # Byte-limited trees may legitimately keep count-underfull
+                    # nodes (merges that would overflow a page are skipped).
                     assert len(node.keys) >= self.min_keys, "leaf underflow"
                 for key in node.keys:
                     if low is not None:
@@ -440,7 +566,8 @@ class BPlusTree:
             assert node.keys == sorted(node.keys), "inner keys unsorted"
             assert len(node.children) == len(node.keys) + 1, "child count mismatch"
             if not is_root:
-                assert len(node.keys) >= self.min_keys, "inner underflow"
+                if self.node_byte_limit is None:
+                    assert len(node.keys) >= self.min_keys, "inner underflow"
             else:
                 assert len(node.keys) >= 1, "non-leaf root must have a separator"
             bounds = [low] + list(node.keys) + [high]

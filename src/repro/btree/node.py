@@ -51,6 +51,17 @@ class LeafNode:
         parts.append(_U64.pack(self.next_leaf))
         return b"".join(parts)
 
+    def encoded_size(self) -> int:
+        """Exact byte length :meth:`encode` would produce (no allocation)."""
+        size = _HEADER.size + _U64.size
+        for key, value in zip(self.keys, self.values):
+            size += 2 * _U32.size + len(key) + len(value)
+        return size
+
+    def entry_size(self, index: int) -> int:
+        """Encoded bytes entry ``index`` contributes (for split placement)."""
+        return 2 * _U32.size + len(self.keys[index]) + len(self.values[index])
+
 
 @dataclass
 class InnerNode:
@@ -75,6 +86,13 @@ class InnerNode:
         for child in self.children:
             parts.append(_U64.pack(child))
         return b"".join(parts)
+
+    def encoded_size(self) -> int:
+        """Exact byte length :meth:`encode` would produce (no allocation)."""
+        size = _HEADER.size + _U64.size * len(self.children)
+        for key in self.keys:
+            size += _U32.size + len(key)
+        return size
 
 
 def decode_node(data: bytes):

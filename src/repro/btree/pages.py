@@ -18,6 +18,13 @@ private pool sized by ``cache_pages``.  Set ``cache_pages=0`` (and no pool)
 to measure the uncached path.  With ``write_back=True`` node writes are
 buffered dirty in the pool and only reach the device on eviction or
 :meth:`DevicePageStore.flush` — the classic write-behind buffer cache.
+
+When a :class:`~repro.recovery.manager.RecoveryManager` is attached, every
+node write is logged to the WAL *before* it is buffered (or written
+through), pages are stamped with the record's LSN, and pages dirtied by an
+open transaction are pinned until it resolves (no-steal).  With a recovery
+manager present, ``write_back`` defaults to **on**: the buffered
+configuration is the fast one, and the WAL makes it safe.
 """
 
 from __future__ import annotations
@@ -114,7 +121,11 @@ class DevicePageStore(PageStore):
         to share; overrides ``cache_pages``.
     :param write_back: buffer node writes dirty in the pool instead of writing
         through; dirty pages reach the device on eviction or :meth:`flush`.
+        Defaults to on when ``recovery`` is attached (WAL-protected), off
+        otherwise.
     :param name: consumer name under which pool statistics are reported.
+    :param recovery: optional :class:`~repro.recovery.manager.RecoveryManager`;
+        when set, every node write is WAL-logged before it is buffered.
     """
 
     def __init__(
@@ -124,8 +135,9 @@ class DevicePageStore(PageStore):
         page_blocks: int = 4,
         cache_pages: int = 64,
         buffer_pool: Optional[BufferPool] = None,
-        write_back: bool = False,
+        write_back: Optional[bool] = None,
         name: str = "btree",
+        recovery=None,
     ) -> None:
         if page_blocks <= 0:
             raise ValueError("page_blocks must be positive")
@@ -137,12 +149,32 @@ class DevicePageStore(PageStore):
         if buffer_pool is None and cache_pages:
             buffer_pool = BufferPool(capacity=cache_pages)
         self.pool = buffer_pool
+        self.recovery = recovery
+        if recovery is not None and buffer_pool is None:
+            raise ValueError(
+                "WAL logging requires a buffer pool: without one, page "
+                "writes go straight to home locations and no-steal cannot "
+                "keep uncommitted images off the device"
+            )
+        if write_back is None:
+            write_back = recovery is not None
+        if recovery is not None and not write_back:
+            raise ValueError(
+                "WAL logging requires write_back: a write-through store "
+                "would put uncommitted page images at home locations "
+                "mid-transaction"
+            )
         self.write_back = write_back and self.pool is not None
         self._consumer: Optional[PoolConsumer] = (
             self.pool.register(name, writeback=self._write_page)
             if self.pool is not None
             else None
         )
+        if recovery is not None and self.pool is not None and self.pool.wal_hook is None:
+            # Private-pool configuration: enforce the WAL rule here too, and
+            # let no-steal pinning oversubscribe rather than dead-end.
+            self.pool.wal_hook = recovery.ensure_durable
+            self.pool.allow_pinned_overflow = True
         self.reads = 0
         self.writes = 0
 
@@ -173,17 +205,39 @@ class DevicePageStore(PageStore):
                 f"{self.page_bytes}; lower the tree's max_keys"
             )
         self.writes += 1
+        lsn = None
+        if self.recovery is not None:
+            # Write-ahead: the redo record exists before the page is even
+            # buffered, so no path to the device can overtake it.
+            lsn = self.recovery.log_page(page_id, encoded)
         if self.write_back and self._consumer is not None:
-            self._consumer.put(page_id, node, dirty=True)
+            self._consumer.put(page_id, node, dirty=True, lsn=lsn)
+            if self.recovery is not None:
+                # No-steal: keep the uncommitted image out of home locations.
+                self.recovery.protect(self._consumer, page_id)
             return
+        # Unreachable with a recovery manager (the constructor enforces
+        # pool + write_back); this is the plain write-through path.
         self.device.write_blocks(page_id, encoded, nblocks=self.page_blocks)
         if self._consumer is not None:
-            self._consumer.put(page_id, node)
+            self._consumer.put(page_id, node, lsn=lsn)
 
     def free(self, page_id: int) -> None:
+        if self.recovery is not None:
+            if self._consumer is not None:
+                self.recovery.forget_page(self._consumer, page_id)
+            # Revoke the page's logged history: its block may be re-used for
+            # unlogged data, which a replay of stale images would corrupt.
+            self.recovery.log_revoke(page_id)
         if self._consumer is not None:
             self._consumer.invalidate(page_id)
-        self.allocator.free(page_id)
+        if self.recovery is not None:
+            # The block may be recycled for *unlogged* object data; hold it
+            # until the freeing transaction's commit marker is durable, or a
+            # crash could resurrect a tree whose page bytes were overwritten.
+            self.recovery.on_durable(lambda: self.allocator.free(page_id))
+        else:
+            self.allocator.free(page_id)
 
     def _write_page(self, page_id: int, node) -> None:
         """Buffer-pool write-back target: persist a (dirty) node."""
@@ -205,18 +259,21 @@ class DevicePageStore(PageStore):
         if self._consumer is not None:
             self._consumer.drop_all(write_back=True)
 
-    def detach(self, write_back: bool = False) -> None:
+    def detach(self, write_back: bool = False, discard: bool = False) -> None:
         """Tear the store down: drop its pages and leave the pool.
 
         Used when the owning tree dies (object deletion) so a long-lived
-        shared pool does not accumulate dead consumers.  Dirty pages are
-        discarded by default — a dead tree's pages are never read again —
-        pass ``write_back=True`` if the pages must survive on the device.
+        shared pool does not accumulate dead consumers.  Dropping dirty
+        pages silently was a data-loss footgun, so the choice is now
+        explicit: pass ``write_back=True`` if the pages must survive on the
+        device, or ``discard=True`` to assert they are dead (the
+        object-deletion path); with neither, lingering dirty pages raise
+        :class:`~repro.errors.CacheError` and the store stays attached.
         """
         if self._consumer is not None:
             if write_back:
                 self._consumer.flush()
-            self.pool.unregister(self._consumer)
+            self.pool.unregister(self._consumer, discard=discard)
             self._consumer = None
 
     # ---------------------------------------------------------- diagnostics

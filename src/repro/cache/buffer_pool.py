@@ -15,8 +15,19 @@ Semantics follow classic DB engines:
   is raised (the simulator's equivalent of a buffer-starvation deadlock).
 * **Dirty pages** are written back through the owning consumer's ``writeback``
   callback *before* the frame is reused, and on :meth:`flush`.
+* **Write-ahead logging** — frames carry the LSN of the log record covering
+  their latest mutation (``put(..., lsn=...)``).  When a ``wal_hook`` is
+  installed (by :class:`repro.recovery.RecoveryManager`), it is invoked with
+  that LSN *before* any dirty frame reaches the device, enforcing the WAL
+  rule at the single choke point every write-back flows through.
+  :meth:`min_dirty_lsn` reports the recovery horizon for fuzzy checkpoints.
 * **Statistics** are kept globally and per consumer (hits, misses, evictions,
   writebacks) so benchmarks can attribute traffic to layers.
+
+Dropping dirty frames without write-back is an explicit, counted act:
+``drop_all(write_back=False)`` and ``unregister`` refuse to discard dirty
+data unless the caller passes ``discard=True`` (the dead-tree teardown path),
+and every discarded dirty frame shows up in ``stats.discards``.
 
 The pool is deliberately value-agnostic: it maps ``(consumer, page_id)`` to
 arbitrary Python objects and never touches a device itself — consumers decide
@@ -45,6 +56,8 @@ class CacheStats:
     evictions: int = 0
     writebacks: int = 0
     invalidations: int = 0
+    #: dirty frames dropped without write-back (explicit ``discard=True``).
+    discards: int = 0
 
     @property
     def accesses(self) -> int:
@@ -57,6 +70,7 @@ class CacheStats:
     def reset(self) -> None:
         self.hits = self.misses = self.insertions = 0
         self.evictions = self.writebacks = self.invalidations = 0
+        self.discards = 0
 
     def snapshot(self) -> Dict[str, float]:
         return {
@@ -66,19 +80,27 @@ class CacheStats:
             "evictions": self.evictions,
             "writebacks": self.writebacks,
             "invalidations": self.invalidations,
+            "discards": self.discards,
             "hit_ratio": round(self.hit_ratio, 4),
         }
 
 
 class _Frame:
-    """One resident page: its value, dirty bit and pin count."""
+    """One resident page: its value, dirty bit, pin count and page LSN.
 
-    __slots__ = ("value", "dirty", "pins")
+    ``lsn`` is the log sequence number of the record covering the latest
+    mutation of this page (``None`` for unlogged pages).  The WAL rule — the
+    record must be durable before the page reaches its home location — is
+    enforced against it at write-back time.
+    """
 
-    def __init__(self, value, dirty: bool) -> None:
+    __slots__ = ("value", "dirty", "pins", "lsn")
+
+    def __init__(self, value, dirty: bool, lsn: Optional[int] = None) -> None:
         self.value = value
         self.dirty = dirty
         self.pins = 0
+        self.lsn = lsn
 
 
 class PoolConsumer:
@@ -98,8 +120,9 @@ class PoolConsumer:
     def get(self, page_id: Hashable):
         return self.pool._get(self, page_id)
 
-    def put(self, page_id: Hashable, value, dirty: bool = False) -> None:
-        self.pool._put(self, page_id, value, dirty)
+    def put(self, page_id: Hashable, value, dirty: bool = False,
+            lsn: Optional[int] = None) -> None:
+        self.pool._put(self, page_id, value, dirty, lsn)
 
     def pin(self, page_id: Hashable) -> None:
         self.pool._pin(self, page_id, +1)
@@ -113,8 +136,12 @@ class PoolConsumer:
     def flush(self) -> int:
         return self.pool.flush(self)
 
-    def drop_all(self, write_back: bool = True) -> None:
-        self.pool._drop_consumer(self, write_back=write_back)
+    def page_lsn(self, page_id: Hashable) -> Optional[int]:
+        """LSN stamped on a resident page (None if clean-tracked or absent)."""
+        return self.pool._page_lsn(self, page_id)
+
+    def drop_all(self, write_back: bool = True, discard: bool = False) -> None:
+        self.pool._drop_consumer(self, write_back=write_back, discard=discard)
 
     def cached_pages(self) -> Dict[Hashable, object]:
         """Read-only view of this consumer's resident pages (diagnostics)."""
@@ -135,6 +162,16 @@ class BufferPool:
         self.capacity = capacity
         self.policy: EvictionPolicy = make_policy(policy, capacity)
         self.stats = CacheStats()
+        #: called with a frame's LSN before any dirty write-back reaches the
+        #: device (the WAL rule); installed by the recovery manager.
+        self.wal_hook: Optional[Callable[[int], None]] = None
+        #: when set (by the recovery manager), an all-pages-pinned pool
+        #: temporarily exceeds its budget instead of raising: no-steal
+        #: pinning must not turn a large transaction into a dead end.  The
+        #: pool drains back below capacity as commits unpin.
+        self.allow_pinned_overflow = False
+        #: inserts admitted past capacity because every page was pinned.
+        self.pin_overflows = 0
         self._frames: Dict[_Key, _Frame] = {}
         # Keys with pins > 0, maintained incrementally: _make_room runs on
         # every miss once the pool is full, so it must not rescan all frames.
@@ -164,11 +201,15 @@ class BufferPool:
             self._consumers[unique] = consumer
             return consumer
 
-    def unregister(self, consumer: PoolConsumer) -> None:
+    def unregister(self, consumer: PoolConsumer, discard: bool = False) -> None:
         """Drop a consumer and its pages (without write-back: the caller
-        flushes first if the pages still matter)."""
+        flushes first if the pages still matter).
+
+        Refuses to drop dirty frames unless ``discard=True`` — silently
+        losing buffered writes is the classic write-back footgun.
+        """
         with self._lock:
-            self._drop_consumer(consumer, write_back=False)
+            self._drop_consumer(consumer, write_back=False, discard=discard)
             self._consumers.pop(consumer.name, None)
 
     @property
@@ -191,17 +232,19 @@ class BufferPool:
             return frame.value
 
     def _put(self, consumer: PoolConsumer, page_id: Hashable, value,
-             dirty: bool) -> None:
+             dirty: bool, lsn: Optional[int] = None) -> None:
         key = (consumer.name, page_id)
         with self._lock:
             frame = self._frames.get(key)
             if frame is not None:
                 frame.value = value
                 frame.dirty = frame.dirty or dirty
+                if lsn is not None:
+                    frame.lsn = lsn
                 self.policy.on_hit(key)
                 return
             self._make_room()
-            self._frames[key] = _Frame(value, dirty)
+            self._frames[key] = _Frame(value, dirty, lsn)
             self.policy.on_add(key)
             consumer.stats.insertions += 1
             self.stats.insertions += 1
@@ -241,6 +284,9 @@ class BufferPool:
         while len(self._frames) >= self.capacity:
             victim = self.policy.victim(self._pinned)
             if victim is None:
+                if self.allow_pinned_overflow:
+                    self.pin_overflows += 1
+                    return
                 raise AllPagesPinnedError(
                     f"buffer pool of {self.capacity} pages has no evictable page"
                 )
@@ -251,18 +297,23 @@ class BufferPool:
         self._pinned.discard(key)
         consumer = self._consumers[key[0]]
         if frame.dirty:
-            self._write_back(consumer, key[1], frame.value)
+            self._write_back(consumer, key[1], frame)
         self.policy.on_evict(key)
         consumer.stats.evictions += 1
         self.stats.evictions += 1
 
-    def _write_back(self, consumer: PoolConsumer, page_id: Hashable, value) -> None:
+    def _write_back(self, consumer: PoolConsumer, page_id: Hashable,
+                    frame: _Frame) -> None:
         if consumer.writeback is None:
             raise CacheError(
                 f"dirty page {page_id!r} owned by {consumer.name!r}, "
                 "which registered no writeback callback"
             )
-        consumer.writeback(page_id, value)
+        # WAL rule: the log record covering this page must be durable before
+        # the page itself reaches its home location.
+        if self.wal_hook is not None and frame.lsn is not None:
+            self.wal_hook(frame.lsn)
+        consumer.writeback(page_id, frame.value)
         consumer.stats.writebacks += 1
         self.stats.writebacks += 1
 
@@ -277,16 +328,53 @@ class BufferPool:
                     continue
                 if not frame.dirty:
                     continue
-                self._write_back(self._consumers[owner_name], page_id, frame.value)
+                self._write_back(self._consumers[owner_name], page_id, frame)
                 frame.dirty = False
                 flushed += 1
         return flushed
 
-    def _drop_consumer(self, consumer: PoolConsumer, write_back: bool) -> None:
+    def flush_page(self, consumer: PoolConsumer, page_id: Hashable) -> bool:
+        """Write back one dirty page (True if it was dirty and resident)."""
+        key = (consumer.name, page_id)
+        with self._lock:
+            frame = self._frames.get(key)
+            if frame is None or not frame.dirty:
+                return False
+            self._write_back(consumer, page_id, frame)
+            frame.dirty = False
+            return True
+
+    def min_dirty_lsn(self) -> Optional[int]:
+        """Smallest LSN among dirty resident frames (the checkpoint horizon).
+
+        Every log record older than this is already reflected at its home
+        location, so a fuzzy checkpoint may truncate the log up to it.
+        ``None`` means no dirty logged frames are resident.
+        """
+        with self._lock:
+            lsns = [
+                frame.lsn
+                for frame in self._frames.values()
+                if frame.dirty and frame.lsn is not None
+            ]
+        return min(lsns) if lsns else None
+
+    def _drop_consumer(self, consumer: PoolConsumer, write_back: bool,
+                       discard: bool = False) -> None:
         with self._lock:
             if write_back:
                 self.flush(consumer)
-            for key in [k for k in self._frames if k[0] == consumer.name]:
+            keys = [k for k in self._frames if k[0] == consumer.name]
+            dirty_keys = [k for k in keys if self._frames[k].dirty]
+            if dirty_keys and not discard:
+                raise CacheError(
+                    f"dropping {consumer.name!r} would lose {len(dirty_keys)} "
+                    "dirty page(s); flush first or pass discard=True"
+                )
+            for key in keys:
+                if self._frames[key].dirty:
+                    consumer.stats.discards += 1
+                    self.stats.discards += 1
                 del self._frames[key]
                 self._pinned.discard(key)
                 self.policy.on_remove(key)
@@ -294,6 +382,11 @@ class BufferPool:
                 self.stats.invalidations += 1
 
     # ------------------------------------------------------------ inspection
+
+    def _page_lsn(self, consumer: PoolConsumer, page_id: Hashable) -> Optional[int]:
+        with self._lock:
+            frame = self._frames.get((consumer.name, page_id))
+            return frame.lsn if frame is not None else None
 
     def _pages_of(self, consumer: PoolConsumer) -> Dict[Hashable, object]:
         with self._lock:
@@ -323,6 +416,7 @@ class BufferPool:
                 "resident": len(self._frames),
                 "dirty": self.dirty_pages,
                 "pinned": self.pinned_pages,
+                "pin_overflows": self.pin_overflows,
                 "totals": self.stats.snapshot(),
                 "consumers": {
                     name: consumer.stats.snapshot()

@@ -75,6 +75,9 @@ class HFADShell:
             "suggest": self.cmd_suggest,
             "insert": self.cmd_insert,
             "cut": self.cmd_cut,
+            "fsck": self.cmd_fsck,
+            "recover": self.cmd_recover,
+            "checkpoint": self.cmd_checkpoint,
         }
 
     # ------------------------------------------------------------------
@@ -146,7 +149,8 @@ class HFADShell:
             "naming commands: tag TARGET TAG VALUE | untag TARGET TAG VALUE | names TARGET |\n"
             "                 find [--limit N] TAG/VALUE... | query [--limit N] EXPR |\n"
             "                 search [--limit N] TEXT | savequery NAME EXPR | queries\n"
-            "navigation:      cd TAG/VALUE | up | pwd | suggest"
+            "navigation:      cd TAG/VALUE | up | pwd | suggest\n"
+            "durability:      fsck | recover | checkpoint"
         )
 
     def cmd_put(self, args: List[str]) -> str:
@@ -279,6 +283,51 @@ class HFADShell:
         return "\n".join(self.queries.names()) or "(none)"
 
     # ------------------------------------------------------------------
+    # commands: durability
+    # ------------------------------------------------------------------
+
+    def cmd_fsck(self, args: List[str]) -> str:
+        """Walk the on-device structures and report integrity."""
+        report = self.fs.fsck()
+        lines = [
+            f"objects checked: {report['objects']}",
+            f"extents checked: {report['extents']}",
+        ]
+        if "journal_committed_transactions" in report:
+            lines.append(
+                f"journal: {report['journal_committed_transactions']} committed "
+                f"transaction(s), {report['journal_bytes_used']} bytes in use"
+            )
+        if report["errors"]:
+            lines.append(f"ERRORS ({len(report['errors'])}):")
+            lines.extend(f"  {error}" for error in report["errors"])
+        else:
+            lines.append("clean: no inconsistencies found")
+        return "\n".join(lines)
+
+    def cmd_recover(self, args: List[str]) -> str:
+        """Report the durability layer's state (journal, LSNs, checkpoints)."""
+        info = self.fs.stats()["recovery"]
+        if info.get("mode") != "wal":
+            return f"durability mode: {info.get('mode')} (no write-ahead log)"
+        return (
+            f"durability mode: wal (group commit {info['group_commit']})\n"
+            f"lsn {info['last_lsn']} (durable {info['durable_lsn']}), "
+            f"journal {info['journal_bytes_used']}/{info['journal_capacity_bytes']} bytes\n"
+            f"committed {info['transactions_committed']}, "
+            f"aborted {info['transactions_aborted']}, "
+            f"checkpoints {info['checkpoints']} "
+            f"({info['auto_checkpoints']} automatic)\n"
+            f"replayed at mount: {info['replayed_transactions']} transaction(s), "
+            f"{info['replayed_pages']} page(s)"
+        )
+
+    def cmd_checkpoint(self, args: List[str]) -> str:
+        """Force a checkpoint (flush dirty pages, truncate the journal)."""
+        flushed = self.fs.checkpoint()
+        return f"checkpoint complete: {flushed} dirty page(s) flushed"
+
+    # ------------------------------------------------------------------
     # commands: refinement navigation
     # ------------------------------------------------------------------
 
@@ -312,9 +361,14 @@ class HFADShell:
 # ---------------------------------------------------------------------------
 
 
-def build_shell(demo: bool = False) -> HFADShell:
+def build_shell(demo: bool = False, on_device: bool = False,
+                durability: str = "wal") -> HFADShell:
     """Create a shell, optionally pre-loaded with the synthetic corpus."""
-    fs = HFADFileSystem(num_blocks=1 << 17)
+    fs = HFADFileSystem(
+        num_blocks=1 << 17,
+        btree_on_device=on_device,
+        durability=durability,
+    )
     if demo:
         from repro.workloads import load_into_hfad, mixed_corpus
 
@@ -326,11 +380,21 @@ def main(argv: Optional[List[str]] = None) -> int:
     parser = argparse.ArgumentParser(prog="hfad", description="Interactive hFAD shell")
     parser.add_argument("--demo", action="store_true", help="pre-load the synthetic corpus")
     parser.add_argument(
+        "--on-device", action="store_true",
+        help="persist index/extent btrees on the simulated device",
+    )
+    parser.add_argument(
+        "--durability", choices=["wal", "writeback", "writethrough"], default="wal",
+        help="durability mode for on-device btrees (default: wal)",
+    )
+    parser.add_argument(
         "-c", "--command", action="append", default=[],
         help="run this command and exit (repeatable)",
     )
     options = parser.parse_args(argv)
-    shell = build_shell(demo=options.demo)
+    shell = build_shell(
+        demo=options.demo, on_device=options.on_device, durability=options.durability
+    )
     try:
         if options.command:
             for line in options.command:

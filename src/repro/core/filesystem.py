@@ -17,6 +17,8 @@ veneer and the benchmarks use:
 
 from __future__ import annotations
 
+import json
+from contextlib import nullcontext
 from typing import Dict, Iterable, List, Optional, Sequence, Union
 
 from repro.cache import BufferPool, QueryResultCache
@@ -24,7 +26,8 @@ from repro.core.access import AccessInterface, ObjectHandle
 from repro.core.naming import NamingInterface, PairLike, as_pair
 from repro.core.query import Query, QueryPlanner, parse_query
 from repro.core.transactions import NamespaceTransaction, TransactionManager
-from repro.errors import NoSuchObjectError
+from repro.errors import DeviceError, NoSuchObjectError, RecoveryError
+from repro.index.path_index import normalize_path
 from repro.index import (
     TAG_APP,
     TAG_FULLTEXT,
@@ -41,8 +44,28 @@ from repro.index import (
 )
 from repro.osd.metadata import ObjectMetadata
 from repro.osd.object_store import ObjectStore
+from repro.recovery import RecoveryManager, Superblock
 from repro.storage import BlockDevice
 from repro.storage.latency import LatencyModel
+
+#: durability modes for on-device btrees (``btree_on_device=True``):
+#: ``"wal"`` — write-back caching protected by write-ahead logging and
+#: mount-time replay (the default: fastest *and* safe);
+#: ``"writeback"`` — write-back caching with no log (fast, crash-unsafe);
+#: ``"writethrough"`` — every page write goes straight to the device
+#: (slow, individually-torn-operation-unsafe but cache-loss-safe).
+DURABILITY_MODES = ("wal", "writeback", "writethrough")
+
+# Durable-naming key/attribute vocabulary.  Manual names and POSIX paths are
+# persisted as *individual master-tree entries* (``ObjectStore.put_name``) so
+# a heavily-tagged object never grows an unbounded metadata record; the two
+# bounded-size facts below ride the metadata attributes.  Full-text postings
+# are re-derived on mount from the object's own bytes (persisting every
+# posting would explode the index into the metadata).
+_NAME_ENTRY = "n:"       # "n:TAG/value" → the object carries this name
+_PATH_ENTRY = "p:"       # "p:/a/b"      → the object is linked at this path
+_ATTR_INDEXED = "hfad.ci"     # content-indexed flag
+_ATTR_HISTOGRAM = "hfad.img"  # JSON colour histogram for the image index
 
 
 class HFADFileSystem:
@@ -63,6 +86,19 @@ class HFADFileSystem:
         ``"clock"``, ``"arc"``).
     :param query_cache_entries: capacity of the query-result cache; ``0``
         disables result caching so every query re-evaluates the indexes.
+    :param durability: one of :data:`DURABILITY_MODES`; only meaningful with
+        ``btree_on_device=True`` (in-memory trees are volatile by nature).
+        The default ``"wal"`` formats the device with a superblock and a
+        write-ahead journal, runs btrees write-back, and makes every
+        operation crash-atomic; re-open such a device with :meth:`mount`.
+    :param journal_blocks: size of the WAL region in device blocks (the
+        metadata prefix ``superblock + journal`` is rounded up to a power of
+        two and reserved out of the data allocator).
+    :param checkpoint_threshold: journal-fill fraction triggering automatic
+        checkpoints.
+    :param group_commit: commits batched per journal sync (``1`` = sync
+        every commit; larger values trade a bounded loss window for
+        throughput — see ``repro.recovery``).
     """
 
     def __init__(
@@ -77,10 +113,18 @@ class HFADFileSystem:
         cache_pages: int = 256,
         cache_policy: str = "lru",
         query_cache_entries: int = 256,
+        durability: str = "wal",
+        journal_blocks: int = 255,
+        checkpoint_threshold: float = 0.5,
+        group_commit: int = 1,
+        _mounted: Optional[dict] = None,
     ) -> None:
+        if durability not in DURABILITY_MODES:
+            raise ValueError(f"durability must be one of {DURABILITY_MODES}")
         if device is None:
             device = BlockDevice(num_blocks=num_blocks, latency_model=latency_model)
         self.device = device
+        self.durability = durability if btree_on_device else "volatile"
         # The shared memory hierarchy between the btrees and the device.
         # Only on-device btrees consume pool pages, so an in-memory
         # configuration gets no pool (stats() then reports it as absent
@@ -90,12 +134,69 @@ class HFADFileSystem:
             if cache_pages and btree_on_device
             else None
         )
-        self.objects = ObjectStore(
-            device=device,
-            btree_on_device=btree_on_device,
-            buffer_pool=self.buffer_pool,
-            cache_pages=cache_pages,
-        )
+        self.recovery: Optional[RecoveryManager] = None
+        if _mounted is not None:
+            # mount(): the recovery manager has already replayed the journal;
+            # re-open the object store from the recovered on-device state.
+            self.recovery = _mounted["recovery"]
+            self.recovery.attach_pool(self.buffer_pool)
+            self.objects = ObjectStore.mount(
+                device,
+                self.recovery,
+                buffer_pool=self.buffer_pool,
+                cache_pages=cache_pages,
+            )
+        elif btree_on_device and durability == "wal":
+            # mkfs: reserve the metadata prefix (superblock + journal) out of
+            # the data allocator and write checkpoint zero.
+            from repro.storage.buddy import BuddyAllocator, _next_power_of_two
+
+            if self.buffer_pool is None:
+                raise ValueError(
+                    "durability='wal' needs a buffer pool (cache_pages > 0): "
+                    "no-steal holds uncommitted dirty pages in memory.  Use "
+                    "durability='writethrough' for the uncached ablation path."
+                )
+            data_region_start = 1 + journal_blocks
+            reserved = _next_power_of_two(data_region_start)
+            if reserved * 2 > device.num_blocks:
+                raise ValueError(
+                    f"device of {device.num_blocks} blocks too small for a "
+                    f"{journal_blocks}-block journal"
+                )
+            self.recovery = RecoveryManager(
+                device,
+                journal_start=1,
+                journal_blocks=journal_blocks,
+                checkpoint_threshold=checkpoint_threshold,
+                group_commit=group_commit,
+            )
+            self.recovery.attach_pool(self.buffer_pool)
+            allocator = BuddyAllocator(total_blocks=device.num_blocks, base=0)
+            allocator.reserve(0, data_region_start)
+            self.objects = ObjectStore(
+                device=device,
+                allocator=allocator,
+                btree_on_device=True,
+                buffer_pool=self.buffer_pool,
+                cache_pages=cache_pages,
+                recovery=self.recovery,
+            )
+            self.recovery.initialize(
+                master_root=self.objects._master.root_id,
+                next_oid=self.objects._next_oid,
+                data_region_start=data_region_start,
+                page_blocks=self.objects.page_blocks,
+                max_keys=self.objects.max_keys,
+            )
+        else:
+            self.objects = ObjectStore(
+                device=device,
+                btree_on_device=btree_on_device,
+                buffer_pool=self.buffer_pool,
+                cache_pages=cache_pages,
+                write_back=(durability == "writeback") if btree_on_device else None,
+            )
         # Index stores (Figure 1: the extensible collection of indices).
         self.keyvalue_index = KeyValueIndexStore()
         self.path_index = PosixPathIndexStore()
@@ -123,9 +224,180 @@ class HFADFileSystem:
             query_cache=self.query_cache,
         )
         self.access = AccessInterface(self.objects)
-        self.transactions = TransactionManager()
+        self.transactions = TransactionManager(recovery=self.recovery)
         #: objects whose full-text index entry tracks their content.
         self._content_indexed: set = set()
+        #: index stores registered on the fly for tags met during a mount.
+        self._adhoc_stores: Dict[str, KeyValueIndexStore] = {}
+        if _mounted is not None:
+            self._rebuild_naming()
+            # Clear the replayed tail and persist the recovered roots.
+            self.recovery.checkpoint()
+
+    # ------------------------------------------------------------------
+    # durability: mount, checkpoint, fsck
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def mount(
+        cls,
+        device: BlockDevice,
+        cache_pages: int = 256,
+        cache_policy: str = "lru",
+        query_cache_entries: int = 256,
+        enable_planner: bool = True,
+        lazy_indexing: bool = False,
+        index_workers: int = 1,
+        checkpoint_threshold: float = 0.5,
+        group_commit: int = 1,
+    ) -> "HFADFileSystem":
+        """Re-open a device formatted with ``durability="wal"``.
+
+        Recovery runs before any index is opened: the superblock is loaded,
+        the journal's committed tail is replayed onto home locations, and
+        only then are the master tree, the extent trees and the in-memory
+        naming indexes rebuilt from the (now consistent) device state.
+        Every operation that completed before the crash is visible; every
+        operation that did not reach its commit marker has vanished whole.
+        """
+        superblock = Superblock.load(device)
+        recovery = RecoveryManager.from_superblock(
+            device, superblock,
+            checkpoint_threshold=checkpoint_threshold,
+            group_commit=group_commit,
+        )
+        recovery.replay()
+        return cls(
+            device=device,
+            btree_on_device=True,
+            cache_pages=cache_pages,
+            cache_policy=cache_policy,
+            query_cache_entries=query_cache_entries,
+            enable_planner=enable_planner,
+            lazy_indexing=lazy_indexing,
+            index_workers=index_workers,
+            durability="wal",
+            _mounted={"recovery": recovery},
+        )
+
+    def _rebuild_naming(self) -> None:
+        """Mount-time re-indexing: derive naming state from object metadata.
+
+        Manual names and POSIX paths are persisted per entry in each
+        object's metadata record (which lives in the master btree and is
+        therefore covered by the WAL); full-text postings and image features
+        are re-derived from the object's own bytes.
+        """
+        inventory = self.objects.take_mount_inventory()
+        if inventory is not None:
+            # The mount walk already materialized every master-tree entry;
+            # reuse it instead of issuing fresh cursors per object.
+            metadata_by_oid, names_by_oid = inventory
+        else:
+            metadata_by_oid = {
+                oid: self.objects.stat(oid) for oid in self.objects.list_objects()
+            }
+            names_by_oid = {oid: self.objects.names(oid) for oid in metadata_by_oid}
+        for oid in sorted(metadata_by_oid):
+            for entry in names_by_oid.get(oid, ()):
+                if entry.startswith(_NAME_ENTRY):
+                    pair = TagValue.parse(entry[len(_NAME_ENTRY):])
+                    self._ensure_tag_registered(pair.tag)
+                    self.naming.add_name(oid, pair)
+                elif entry.startswith(_PATH_ENTRY):
+                    self.path_index.link(entry[len(_PATH_ENTRY):], oid)
+            attributes = metadata_by_oid[oid].attributes
+            if attributes.get(_ATTR_INDEXED) == "1":
+                self._content_indexed.add(oid)
+                content = self.objects.read(oid)
+                if content:
+                    self.fulltext_index.index_content(oid, content)
+            if _ATTR_HISTOGRAM in attributes:
+                self.image_index.index_histogram(
+                    oid, json.loads(attributes[_ATTR_HISTOGRAM])
+                )
+        for tag in (TAG_POSIX, TAG_FULLTEXT, TAG_IMAGE):
+            self.registry.touch(tag)
+
+    def _ensure_tag_registered(self, tag: str) -> None:
+        """Serve ad-hoc tags met during a mount with on-the-fly kv stores."""
+        if self.registry.supports(tag) or tag in self._adhoc_stores:
+            return
+        store = KeyValueIndexStore(tags=[tag])
+        self._adhoc_stores[tag] = store
+        self.registry.register(store, tags=[tag])
+
+    def _durable(self):
+        """One WAL transaction bracketing a whole filesystem operation.
+
+        The OSD wraps each of its own mutators too, but compound operations
+        (create = allocate + write + name) must be atomic as a unit; nesting
+        is flat, so this outer bracket subsumes the inner ones.
+        """
+        if self.recovery is None:
+            return nullcontext()
+        return self.recovery.transaction()
+
+    def checkpoint(self) -> int:
+        """Force a checkpoint: flush dirty pages, truncate the journal,
+        persist the superblock.  Returns the number of pages flushed."""
+        if self.recovery is None:
+            return self.buffer_pool.flush() if self.buffer_pool else 0
+        self.objects.flush_access_times()
+        return self.recovery.checkpoint()
+
+    def fsck(self) -> Dict[str, object]:
+        """Integrity audit of the on-device structures.
+
+        Walks every object's extent map and btree invariants, verifies the
+        persisted extent-tree roots match the live trees, checks the
+        allocator's internal consistency and scans the journal for a clean
+        (parseable) tail.  Returns a report dict with an ``errors`` list —
+        empty on a healthy filesystem.
+        """
+        errors: List[str] = []
+        objects = 0
+        extents = 0
+        try:
+            live = self.objects.list_objects()
+        except Exception as error:  # noqa: BLE001 — fsck reports, never raises
+            errors.append(f"master tree walk: {error}")
+            live = []
+        for oid in live:
+            objects += 1
+            try:
+                self.objects.check_object(oid)
+                extents += self.objects.extent_count(oid)
+                tree = self.objects._trees.get(oid)
+                if tree is not None:
+                    tree.check_invariants()
+                    persisted = self.objects.stat(oid).extent_root
+                    if persisted is not None and persisted != tree.root_id:
+                        errors.append(
+                            f"object {oid}: persisted extent root {persisted} "
+                            f"!= live root {tree.root_id}"
+                        )
+            except Exception as error:  # noqa: BLE001 — fsck reports, never raises
+                errors.append(f"object {oid}: {error}")
+        report: Dict[str, object] = {"objects": objects, "extents": extents,
+                                     "errors": errors}
+        try:
+            self.objects._master.check_invariants()
+        except Exception as error:  # noqa: BLE001
+            errors.append(f"master tree: {error}")
+        try:
+            self.objects.allocator.check_invariants()
+        except Exception as error:  # noqa: BLE001
+            errors.append(f"allocator: {error}")
+        if self.recovery is not None:
+            journal = self.recovery.journal
+            try:
+                report["journal_committed_transactions"] = len(journal.scan())
+                report["journal_bytes_used"] = journal.bytes_used
+            except Exception as error:  # noqa: BLE001
+                errors.append(f"journal: {error}")
+        report["clean"] = not errors
+        return report
 
     # ------------------------------------------------------------------
     # object lifecycle
@@ -150,28 +422,98 @@ class HFADFileSystem:
         (UDEF/...), an optional POSIX path, and — when ``index_content`` is
         true — the object's full text.
         """
-        oid = self.objects.create(owner=owner, attributes=attributes)
-        if txn is not None:
-            txn.record_undo(lambda: self._undo_create(oid))
-        if content:
-            self.objects.write(oid, 0, content)
-        self.naming.add_name(oid, TagValue(TAG_USER, owner))
-        if application is not None:
-            self.naming.add_name(oid, TagValue(TAG_APP, application))
-        for annotation in annotations:
-            self.naming.add_name(oid, TagValue(TAG_UDEF, annotation))
-        for pair in tags:
-            self.naming.add_name(oid, pair)
+        # Validate naming inputs *before* the durable bracket: with WAL
+        # durability, failing after pages were logged poisons the filesystem
+        # (redo-only logging cannot roll the mutation back), and a typo'd
+        # tag or path must not cost a remount.
+        pairs = [as_pair(pair) for pair in tags]
+        for pair in pairs:
+            # store_for matches insert-time routing exactly (it also rejects
+            # the registry-internal ID fast-path tag, which supports() allows).
+            self.registry.store_for(pair.tag)
         if path is not None:
-            self.path_index.link(path, oid)
-            self.registry.touch(TAG_POSIX)
-        if index_content:
-            # Track the object even when it starts empty so that later writes
-            # through the access interfaces keep its index entry current.
-            self._content_indexed.add(oid)
+            path = normalize_path(path)
+        self._check_name_sizes(
+            *(f"{_NAME_ENTRY}{p.tag}/{p.value}" for p in pairs),
+            *(f"{_NAME_ENTRY}{TAG_UDEF}/{a}" for a in annotations),
+            f"{_NAME_ENTRY}{TAG_USER}/{owner}",
+            *([] if application is None else [f"{_NAME_ENTRY}{TAG_APP}/{application}"]),
+            *([] if path is None else [f"{_PATH_ENTRY}{path}"]),
+        )
+        with self._durable():
+            oid = self.objects.create(owner=owner, attributes=attributes)
+            if txn is not None:
+                txn.record_undo(lambda: self._undo_create(oid))
             if content:
-                self.fulltext_index.index_content(oid, content)
-        return oid
+                self.objects.write(oid, 0, content)
+            self._add_name(oid, TagValue(TAG_USER, owner))
+            if application is not None:
+                self._add_name(oid, TagValue(TAG_APP, application))
+            for annotation in annotations:
+                self._add_name(oid, TagValue(TAG_UDEF, annotation))
+            for pair in pairs:
+                self._add_name(oid, pair)
+            if path is not None:
+                self._link_path(path, oid)
+            if index_content:
+                # Track the object even when it starts empty so that later
+                # writes through the access interfaces keep its index entry
+                # current.
+                self._content_indexed.add(oid)
+                self._persist_attr(oid, _ATTR_INDEXED, "1")
+                if content:
+                    self.fulltext_index.index_content(oid, content)
+            return oid
+
+    # -- durable naming helpers -----------------------------------------------
+    #
+    # In-memory index mutations are paired with a persisted master-tree name
+    # entry (or a bounded metadata attribute) so the name survives a re-mount;
+    # the write rides the enclosing WAL transaction.  Without a recovery
+    # manager nothing is persisted — in-memory trees are volatile by design.
+
+    def _check_name_sizes(self, *entries: str) -> None:
+        """Pre-flight size validation for durable name entries (no-op
+        without a recovery manager — nothing is persisted then)."""
+        if self.recovery is not None:
+            for entry in entries:
+                self.objects.check_name(entry)
+
+    def _persist_attr(self, oid: int, key: str, value: str) -> None:
+        if self.recovery is not None:
+            self.objects.set_attributes(oid, **{key: value})
+
+    def _unpersist_attr(self, oid: int, key: str) -> None:
+        if self.recovery is not None and self.objects.exists(oid):
+            self.objects.remove_attributes(oid, key)
+
+    def _add_name(self, oid: int, pair: TagValue) -> None:
+        self.naming.add_name(oid, pair)
+        if self.recovery is not None:
+            self.objects.put_name(oid, f"{_NAME_ENTRY}{pair.tag}/{pair.value}")
+
+    def _remove_name(self, oid: int, pair: TagValue) -> bool:
+        removed = self.naming.remove_name(oid, pair)
+        if removed and self.recovery is not None and self.objects.exists(oid):
+            self.objects.remove_name(oid, f"{_NAME_ENTRY}{pair.tag}/{pair.value}")
+        return removed
+
+    def _link_path(self, path: str, oid: int) -> None:
+        # Persist the *normalized* spelling: the path index normalizes on
+        # link, and a later unlink (given the normalized form) must find and
+        # remove the same entry or the name would resurrect at mount.
+        path = normalize_path(path)
+        displaced = self.path_index.resolve(path)
+        self.path_index.link(path, oid)
+        self.registry.touch(TAG_POSIX)
+        if self.recovery is not None:
+            if (displaced is not None and displaced != oid
+                    and self.objects.exists(displaced)):
+                # Rebinding over an existing name: the displaced object's
+                # persisted entry must die too, or it resurrects at mount
+                # (and, sorting first by oid, could even win the path back).
+                self.objects.remove_name(displaced, f"{_PATH_ENTRY}{path}")
+            self.objects.put_name(oid, f"{_PATH_ENTRY}{path}")
 
     def _undo_create(self, oid: int) -> None:
         if self.objects.exists(oid):
@@ -181,9 +523,10 @@ class HFADFileSystem:
         """Destroy the object and scrub every name pointing at it."""
         if not self.objects.exists(oid):
             raise NoSuchObjectError(oid)
-        self.naming.remove_all_names(oid)
-        self._content_indexed.discard(oid)
-        self.objects.delete(oid)
+        with self._durable():
+            self.naming.remove_all_names(oid)
+            self._content_indexed.discard(oid)
+            self.objects.delete(oid)
 
     def exists(self, oid: int) -> bool:
         return self.objects.exists(oid)
@@ -203,25 +546,29 @@ class HFADFileSystem:
         return self.access.read(oid, offset, length)
 
     def write(self, oid: int, offset: int, data: bytes) -> int:
-        written = self.access.write(oid, offset, data)
-        self._reindex_if_tracked(oid)
-        return written
+        with self._durable():
+            written = self.access.write(oid, offset, data)
+            self._reindex_if_tracked(oid)
+            return written
 
     def append(self, oid: int, data: bytes) -> int:
-        offset = self.access.append(oid, data)
-        self._reindex_if_tracked(oid)
-        return offset
+        with self._durable():
+            offset = self.access.append(oid, data)
+            self._reindex_if_tracked(oid)
+            return offset
 
     def insert(self, oid: int, offset: int, data: bytes) -> int:
-        inserted = self.access.insert(oid, offset, data)
-        self._reindex_if_tracked(oid)
-        return inserted
+        with self._durable():
+            inserted = self.access.insert(oid, offset, data)
+            self._reindex_if_tracked(oid)
+            return inserted
 
     def truncate(self, oid: int, offset: int, length: int) -> int:
         """The hFAD two-argument truncate (remove ``length`` bytes at ``offset``)."""
-        removed = self.access.truncate(oid, offset, length)
-        self._reindex_if_tracked(oid)
-        return removed
+        with self._durable():
+            removed = self.access.truncate(oid, offset, length)
+            self._reindex_if_tracked(oid)
+            return removed
 
     def open(self, oid: int) -> ObjectHandle:
         return self.access.open(oid)
@@ -242,11 +589,13 @@ class HFADFileSystem:
     def enable_content_indexing(self, oid: int) -> None:
         """Start tracking (and immediately index) the object's content."""
         self._content_indexed.add(oid)
+        self._persist_attr(oid, _ATTR_INDEXED, "1")
         self.fulltext_index.index_content(oid, self.objects.read(oid))
 
     def disable_content_indexing(self, oid: int) -> None:
         """Stop tracking the object's content and drop it from the index."""
         self._content_indexed.discard(oid)
+        self._unpersist_attr(oid, _ATTR_INDEXED)
         self.fulltext_index.drop_content(oid)
 
     # ------------------------------------------------------------------
@@ -264,9 +613,11 @@ class HFADFileSystem:
         if not self.objects.exists(oid):
             raise NoSuchObjectError(oid)
         pair = TagValue(tag, value)
-        self.naming.add_name(oid, pair)
+        self._check_name_sizes(f"{_NAME_ENTRY}{pair.tag}/{pair.value}")
+        with self._durable():
+            self._add_name(oid, pair)
         if txn is not None:
-            txn.record_undo(lambda: self.naming.remove_name(oid, pair))
+            txn.record_undo(lambda: self.untag(oid, pair.tag, pair.value))
 
     def untag(
         self,
@@ -277,9 +628,10 @@ class HFADFileSystem:
     ) -> bool:
         """Remove one tag/value name; returns True if it existed."""
         pair = TagValue(tag, value)
-        removed = self.naming.remove_name(oid, pair)
+        with self._durable():
+            removed = self._remove_name(oid, pair)
         if removed and txn is not None:
-            txn.record_undo(lambda: self.naming.add_name(oid, pair))
+            txn.record_undo(lambda: self.tag(oid, pair.tag, pair.value))
         return removed
 
     def names_for(self, oid: int) -> List[TagValue]:
@@ -321,15 +673,71 @@ class HFADFileSystem:
         """Give an object (another) POSIX path name."""
         if not self.objects.exists(oid):
             raise NoSuchObjectError(oid)
-        self.path_index.link(path, oid)
-        self.registry.touch(TAG_POSIX)
+        path = normalize_path(path)
+        self._check_name_sizes(f"{_PATH_ENTRY}{path}")
+        with self._durable():
+            self._link_path(path, oid)
+
+    def rename_path(self, old_path: str, new_path: str) -> Optional[int]:
+        """Move one path binding atomically; returns the object it names.
+
+        rename(2) semantics need one commit marker: unlink-then-link as two
+        separate durable operations would let a crash between them strand
+        the object with neither name.
+        """
+        old_path = normalize_path(old_path)
+        new_path = normalize_path(new_path)
+        self._check_name_sizes(f"{_PATH_ENTRY}{new_path}")
+        with self._durable():
+            oid = self.unlink_path(old_path)
+            if oid is not None:
+                self._link_path(new_path, oid)
+            return oid
+
+    def rename_path_subtree(self, old_path: str, new_path: str) -> int:
+        """Rebind every path under ``old_path`` below ``new_path``.
+
+        The POSIX veneer's directory rename; one atomic (and durable) name
+        operation — the persisted path entries move with the in-memory
+        index, so the rename survives a re-mount.  Returns the number of
+        bindings moved.
+        """
+        old_path = normalize_path(old_path)
+        new_path = normalize_path(new_path)
+        self._check_name_sizes(
+            *(f"{_PATH_ENTRY}{new_path}{bound[len(old_path):]}"
+              for bound, _oid in self.path_index.list_subtree(old_path))
+        )
+
+        def persist_move(bound_path: str, target: str, oid: int,
+                         displaced: Optional[int]) -> None:
+            if self.recovery is None:
+                return
+            if self.objects.exists(oid):
+                self.objects.remove_name(oid, f"{_PATH_ENTRY}{bound_path}")
+                self.objects.put_name(oid, f"{_PATH_ENTRY}{target}")
+            if (displaced is not None and displaced != oid
+                    and self.objects.exists(displaced)):
+                self.objects.remove_name(displaced, f"{_PATH_ENTRY}{target}")
+
+        with self._durable():
+            moved = self.path_index.rename_subtree(
+                old_path, new_path, on_move=persist_move
+            )
+            if moved:
+                self.registry.touch(TAG_POSIX)
+            return moved
 
     def unlink_path(self, path: str) -> Optional[int]:
         """Remove a POSIX path name; returns the object it named."""
-        oid = self.path_index.unlink(path)
-        if oid is not None:
-            self.registry.touch(TAG_POSIX)
-        return oid
+        path = normalize_path(path)
+        with self._durable():
+            oid = self.path_index.unlink(path)
+            if oid is not None:
+                self.registry.touch(TAG_POSIX)
+                if self.recovery is not None and self.objects.exists(oid):
+                    self.objects.remove_name(oid, f"{_PATH_ENTRY}{path}")
+            return oid
 
     def lookup_path(self, path: str) -> Optional[int]:
         """Resolve a POSIX path to an object id (None if unbound)."""
@@ -344,9 +752,11 @@ class HFADFileSystem:
         """Index an object's colour histogram; returns its dominant colour."""
         if not self.objects.exists(oid):
             raise NoSuchObjectError(oid)
-        colour = self.image_index.index_histogram(oid, histogram)
-        self.registry.touch(TAG_IMAGE)
-        return colour
+        with self._durable():
+            colour = self.image_index.index_histogram(oid, histogram)
+            self.registry.touch(TAG_IMAGE)
+            self._persist_attr(oid, _ATTR_HISTOGRAM, json.dumps(list(histogram)))
+            return colour
 
     # ------------------------------------------------------------------
     # transactions / maintenance
@@ -361,8 +771,18 @@ class HFADFileSystem:
         return self.fulltext_index.flush(timeout=timeout)
 
     def close(self) -> None:
-        """Stop background indexing threads."""
+        """Stop background indexing threads and checkpoint (clean unmount).
+
+        The checkpoint is best-effort: a dead device or a poisoned recovery
+        manager must not turn teardown into a crash — recovery at the next
+        mount handles those states by design.
+        """
         self.fulltext_index.close()
+        if self.recovery is not None:
+            try:
+                self.checkpoint()
+            except (DeviceError, RecoveryError):
+                pass
 
     def __enter__(self) -> "HFADFileSystem":
         return self
@@ -388,4 +808,9 @@ class HFADFileSystem:
             "object_count": self.object_count,
             "buffer_pool": self.buffer_pool.snapshot() if self.buffer_pool else None,
             "query_cache": self.query_cache.snapshot() if self.query_cache else None,
+            "recovery": (
+                self.recovery.snapshot()
+                if self.recovery is not None
+                else {"mode": self.durability}
+            ),
         }

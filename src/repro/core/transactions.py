@@ -15,6 +15,14 @@ complementary mechanisms:
 Transactions are not isolated from concurrent readers (hFAD naming results
 are explicitly unordered sets, so readers may observe intermediate states);
 they provide atomicity of the namespace update only.
+
+When the filesystem runs with ``durability="wal"``, each namespace
+transaction is additionally bracketed by one WAL transaction
+(:class:`~repro.recovery.manager.RecoveryManager`), so the whole group of
+operations is atomic across a *crash* too: commit writes one commit marker
+covering every page the group touched, and an abort applies the undo
+actions and then commits the (no-op) net effect — the redo-only log never
+needs to unwind anything.
 """
 
 from __future__ import annotations
@@ -43,6 +51,23 @@ class NamespaceTransaction:
         self.txid = txid
         self._undo_log: List[UndoAction] = []
         self.state = "open"
+        self._wal_open = False
+        recovery = manager.recovery
+        if recovery is not None:
+            recovery.begin()
+            self._wal_open = True
+
+    def _close_wal(self) -> None:
+        """Commit the bracketing WAL transaction (commit *and* abort paths:
+        an aborted namespace group has already applied its undo operations,
+        so its durable net effect is exactly the rolled-back state).
+
+        The flag is cleared only after the WAL commit succeeds: if it
+        raises, a retried ``commit()`` must fail loudly again rather than
+        silently 'commit' a group that was never made durable."""
+        if self._wal_open:
+            self._manager.recovery.commit()
+            self._wal_open = False
 
     def _require_open(self) -> None:
         if self.state != "open":
@@ -56,18 +81,36 @@ class NamespaceTransaction:
     def commit(self) -> None:
         """Keep every applied operation and discard the undo log."""
         self._require_open()
+        # Durability first: if the WAL commit fails (journal full, device
+        # fault) the transaction stays open with its undo log intact, so the
+        # caller still observes an un-committed transaction.
+        self._close_wal()
         self.state = "committed"
         self._undo_log.clear()
         self._manager.stats.committed += 1
 
     def abort(self) -> None:
-        """Revert every applied operation, newest first."""
+        """Revert every applied operation, newest first (LIFO).
+
+        Undo order matters: later operations may depend on earlier ones
+        (create → tag → link), so their inverses must run in reverse.
+        """
         self._require_open()
         self.state = "aborted"
-        while self._undo_log:
-            action = self._undo_log.pop()
-            action()
-            self._manager.stats.undo_actions_run += 1
+        try:
+            while self._undo_log:
+                action = self._undo_log.pop()
+                action()
+                self._manager.stats.undo_actions_run += 1
+        except BaseException:
+            # A failed undo leaves the group half-rolled-back; let the WAL
+            # transaction abort (poisoning the durability layer) rather than
+            # committing a state neither the user nor the undo log intended.
+            if self._wal_open:
+                self._wal_open = False
+                self._manager.recovery.abort()
+            raise
+        self._close_wal()
         self._manager.stats.aborted += 1
 
     @property
@@ -89,10 +132,16 @@ class NamespaceTransaction:
 
 
 class TransactionManager:
-    """Hands out :class:`NamespaceTransaction` objects and tracks statistics."""
+    """Hands out :class:`NamespaceTransaction` objects and tracks statistics.
 
-    def __init__(self) -> None:
+    :param recovery: optional :class:`~repro.recovery.manager.RecoveryManager`;
+        when present every namespace transaction is crash-atomic (one WAL
+        transaction brackets the whole group).
+    """
+
+    def __init__(self, recovery=None) -> None:
         self._next_txid = 1
+        self.recovery = recovery
         self.stats = TransactionStats()
 
     def begin(self) -> NamespaceTransaction:

@@ -42,6 +42,15 @@ class TransactionError(StorageError):
     """A transaction was used after commit/abort or nested illegally."""
 
 
+class RecoveryError(StorageError):
+    """Crash-recovery failed or the filesystem needs recovery to proceed.
+
+    Raised when a superblock is missing/corrupt, when mounting detects an
+    inconsistency fsck cannot repair, or when a WAL transaction aborted after
+    logging page mutations (the in-memory state can no longer be trusted and
+    the filesystem must be re-mounted to replay the committed log)."""
+
+
 # ---------------------------------------------------------------------------
 # Index structures
 # ---------------------------------------------------------------------------

@@ -25,6 +25,10 @@ from repro.btree import BPlusTree
 from repro.errors import InvalidRangeError
 
 _KEY_PREFIX = b"D"
+
+#: public alias so the mount walk can recognize extent entries in raw
+#: leaf pages without re-iterating through an ExtentMap cursor.
+EXTENT_KEY_PREFIX = _KEY_PREFIX
 _OFFSET = struct.Struct(">Q")
 _VALUE = struct.Struct(">QIIQ")  # block, nblocks, skip, length
 

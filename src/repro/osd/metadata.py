@@ -33,6 +33,11 @@ class ObjectMetadata:
     accessed_at: int = 0
     #: free-form attributes (content type, application hints, ...).
     attributes: Dict[str, str] = field(default_factory=dict)
+    #: root page id of the object's extent btree when it lives on the device
+    #: (None for in-memory trees).  Persisting it in the master tree is what
+    #: makes the object reachable again after a re-mount: superblock →
+    #: master root → metadata → extent tree.
+    extent_root: Optional[int] = None
 
     def touch_modified(self, timestamp: int) -> None:
         """Record a content modification at logical time ``timestamp``."""
@@ -57,6 +62,8 @@ class ObjectMetadata:
             "accessed_at": self.accessed_at,
             "attributes": self.attributes,
         }
+        if self.extent_root is not None:
+            payload["extent_root"] = self.extent_root
         return json.dumps(payload, sort_keys=True, separators=(",", ":")).encode("utf-8")
 
     @classmethod
@@ -72,6 +79,7 @@ class ObjectMetadata:
             modified_at=payload["modified_at"],
             accessed_at=payload["accessed_at"],
             attributes=dict(payload.get("attributes", {})),
+            extent_root=payload.get("extent_root"),
         )
 
     def copy(self) -> "ObjectMetadata":

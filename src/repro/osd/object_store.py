@@ -19,17 +19,30 @@ device's I/O accounting.
 from __future__ import annotations
 
 import struct
+from contextlib import nullcontext
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Set
 
 from repro.btree import BPlusTree, DevicePageStore, InMemoryPageStore
 from repro.cache import BufferPool
-from repro.errors import InvalidRangeError, NoSuchObjectError, ObjectStoreError
-from repro.osd.extent_map import ExtentMap, ObjectExtent
+from repro.errors import (
+    InvalidRangeError,
+    KeyNotFoundError,
+    NoSuchObjectError,
+    ObjectStoreError,
+)
+from repro.osd.extent_map import EXTENT_KEY_PREFIX, ExtentMap, ObjectExtent
 from repro.osd.metadata import ObjectMetadata
 from repro.storage import BlockDevice, BuddyAllocator
 
 _OID = struct.Struct(">Q")
+
+# Durable per-object name entries live in the master tree as individual keys
+# (``\xffN | oid | name``), not inside the metadata record: a heavily-tagged
+# object would otherwise grow its metadata value past any page size.  The
+# prefix byte sorts after every 8-byte OID key, so metadata scans and name
+# scans never interleave.
+_NAME_PREFIX = b"\xffN"
 
 
 @dataclass
@@ -63,6 +76,14 @@ class ObjectStore:
         private pool of ``cache_pages`` pages is created when omitted.
     :param cache_pages: size of that private pool; ``0`` disables page
         caching for the uncached ablation path.
+    :param recovery: optional :class:`~repro.recovery.manager.RecoveryManager`.
+        When set, every public mutator runs as one WAL transaction (so a
+        multi-page update — btree split, extent re-keying, create/delete —
+        is atomic across a crash), btree page writes are logged, and the
+        store is re-mountable via :meth:`mount`.
+    :param write_back: buffer btree page writes dirty in the pool (default:
+        on when ``recovery`` protects them, off otherwise).
+    :param page_blocks: blocks per btree page.
     """
 
     def __init__(
@@ -75,6 +96,9 @@ class ObjectStore:
         data_region_start: int = 0,
         buffer_pool: Optional[BufferPool] = None,
         cache_pages: int = 256,
+        recovery=None,
+        write_back: Optional[bool] = None,
+        page_blocks: int = 4,
     ) -> None:
         if device is None:
             device = BlockDevice(num_blocks=1 << 16)
@@ -89,16 +113,163 @@ class ObjectStore:
         self.btree_on_device = btree_on_device
         self.max_keys = max_keys
         self.max_extent_blocks = max_extent_blocks
+        self.page_blocks = page_blocks
         self.stats = ObjectStoreStats()
         if btree_on_device and buffer_pool is None and cache_pages:
             buffer_pool = BufferPool(capacity=cache_pages)
         self.buffer_pool = buffer_pool
         self.cache_pages = cache_pages
-        self._master = BPlusTree(store=self._new_page_store("osd.master"), max_keys=max_keys)
+        self.recovery = recovery if btree_on_device else None
+        self.write_back = write_back
+        self._master = BPlusTree(
+            store=self._new_page_store("osd.master"),
+            max_keys=max_keys,
+            on_root_change=self._master_root_moved,
+        )
         self._trees: Dict[int, BPlusTree] = {}
         self._chunks: Dict[int, Set[int]] = {}
         self._next_oid = 1
         self._clock = 0
+        self._live_objects = 0
+        self._pending_atime: Dict[int, int] = {}
+        self._mount_inventory = None
+
+    # ------------------------------------------------------------ mounting
+
+    @classmethod
+    def mount(
+        cls,
+        device: BlockDevice,
+        recovery,
+        buffer_pool: Optional[BufferPool] = None,
+        cache_pages: int = 256,
+        max_extent_blocks: int = 1024,
+    ) -> "ObjectStore":
+        """Re-open a store from its recovered on-device state.
+
+        ``recovery`` must already have replayed the journal: its ``state``
+        holds the effective master root and next oid.  Everything else is
+        rediscovered by walking — each object's metadata names its extent
+        tree root, each extent names its data chunk — and the walk doubles
+        as fsck: allocator occupancy is rebuilt from reachable structures
+        only, so space held by uncommitted (never-replayed) allocations is
+        reclaimed for free.
+        """
+        state = recovery.state
+        store = cls.__new__(cls)
+        store.device = device
+        store.btree_on_device = True
+        store.max_keys = state["max_keys"]
+        store.max_extent_blocks = max_extent_blocks
+        store.page_blocks = state["page_blocks"]
+        store.stats = ObjectStoreStats()
+        if buffer_pool is None and cache_pages:
+            buffer_pool = BufferPool(capacity=cache_pages)
+        store.buffer_pool = buffer_pool
+        store.cache_pages = cache_pages
+        store.recovery = recovery
+        store.write_back = None  # WAL-protected: write-back on
+        store.allocator = BuddyAllocator(total_blocks=device.num_blocks, base=0)
+        if state["data_region_start"]:
+            store.allocator.reserve(0, state["data_region_start"])
+        store._trees = {}
+        store._chunks = {}
+        store._clock = 0
+        store._pending_atime = {}
+        # One walk per tree does triple duty: reserve every reachable page
+        # in the allocator, rebuild the element count (so BPlusTree skips
+        # its own counting walk), and surface the leaf entries (metadata
+        # records / extents) the rest of the mount needs.
+        store._master = BPlusTree(
+            store=store._new_page_store("osd.master"),
+            max_keys=store.max_keys,
+            root_id=state["master_root"],
+            count=0,
+            on_root_change=store._master_root_moved,
+        )
+        master_count, master_entries = store._reserve_tree_pages(
+            store._master, collect=True
+        )
+        store._master._count = master_count
+        # The same walk feeds the naming rebuild: metadata records and name
+        # entries are handed to the filesystem layer via the mount inventory
+        # instead of being re-read with fresh cursors.
+        metadata_by_oid: Dict[int, ObjectMetadata] = {}
+        names_by_oid: Dict[int, List[str]] = {}
+        for key, raw in master_entries:
+            if key.startswith(_NAME_PREFIX):
+                name_oid = _OID.unpack_from(key, len(_NAME_PREFIX))[0]
+                names_by_oid.setdefault(name_oid, []).append(
+                    key[len(_NAME_PREFIX) + _OID.size:].decode("utf-8")
+                )
+                continue
+            if len(key) != _OID.size:
+                continue
+            oid = _OID.unpack(key)[0]
+            metadata = ObjectMetadata.from_bytes(raw)
+            metadata_by_oid[oid] = metadata
+            if metadata.extent_root is None:
+                raise ObjectStoreError(
+                    f"object {oid} has no persisted extent-tree root; "
+                    "the device was not formatted for mounting"
+                )
+            tree = BPlusTree(
+                store=store._new_page_store(),
+                max_keys=store.max_keys,
+                root_id=metadata.extent_root,
+                count=0,
+            )
+            store._trees[oid] = tree
+            tree_count, tree_entries = store._reserve_tree_pages(tree, collect=True)
+            tree._count = tree_count
+            chunks: Set[int] = set()
+            for entry_key, entry_value in tree_entries:
+                if not entry_key.startswith(EXTENT_KEY_PREFIX):
+                    continue
+                extent = ObjectExtent.decode(entry_value)
+                if extent.block not in chunks:
+                    chunks.add(extent.block)
+                    store.allocator.reserve(extent.block, extent.nblocks)
+            store._chunks[oid] = chunks
+            store._clock = max(
+                store._clock, metadata.created_at,
+                metadata.modified_at, metadata.accessed_at,
+            )
+        store._next_oid = max(state["next_oid"], max(store._trees, default=0) + 1)
+        store._live_objects = len(store._trees)
+        store._mount_inventory = (metadata_by_oid, names_by_oid)
+        return store
+
+    def take_mount_inventory(self):
+        """Hand over (and clear) the metadata/name snapshot from the mount
+        walk, or ``None`` when the store was not mounted.  The filesystem's
+        naming rebuild consumes this instead of re-walking the master tree."""
+        inventory = getattr(self, "_mount_inventory", None)
+        self._mount_inventory = None
+        return inventory
+
+    def _reserve_tree_pages(self, tree: BPlusTree, collect: bool = False):
+        """Re-reserve every reachable page of ``tree`` in the allocator.
+
+        Returns ``(leaf_entry_count, entries)`` where ``entries`` is the
+        list of leaf ``(key, value)`` pairs when ``collect`` is set (the
+        mount path folds its metadata/extent scans into this same walk).
+        """
+        page_store = tree.store
+        count = 0
+        entries: List = []
+        stack = [tree.root_id]
+        while stack:
+            page_id = stack.pop()
+            self.allocator.reserve(page_id, page_store.page_blocks)
+            node = page_store.read(page_id)
+            if node.is_leaf:
+                count += len(node.keys)
+                if collect:
+                    entries.extend(zip(node.keys, node.values))
+            else:
+                stack.extend(node.children)
+        return count, entries
 
     # ------------------------------------------------------------ internals
 
@@ -107,11 +278,59 @@ class ObjectStore:
             return DevicePageStore(
                 self.device,
                 self.allocator,
+                page_blocks=self.page_blocks,
                 cache_pages=self.cache_pages,
                 buffer_pool=self.buffer_pool,
                 name=name,
+                recovery=self.recovery,
+                write_back=self.write_back,
             )
         return InMemoryPageStore()
+
+    def _txn(self):
+        """One WAL transaction per public mutator (no-op without recovery)."""
+        if self.recovery is None:
+            return nullcontext()
+        return self.recovery.transaction()
+
+    def _master_root_moved(self, root: int) -> None:
+        # The master root is the one page nothing else points at; journal it
+        # logically so a mount can find the tree again.
+        if self.recovery is not None:
+            self.recovery.log_meta({"master_root": root})
+
+    def _free_chunk(self, block: int) -> None:
+        """Free a data chunk — deferred until the freeing commit is durable.
+
+        Data blocks are written in place (not logged), so a chunk freed and
+        re-used before its freeing transaction's commit marker reaches the
+        device would let new bytes land in blocks that state the crash
+        resurrects still references.  Deferring the free until the marker is
+        durable (which group commit may delay past commit()) closes that
+        window.
+        """
+        if self.recovery is not None:
+            self.recovery.on_durable(lambda: self.allocator.free(block))
+        else:
+            self.allocator.free(block)
+
+    def flush_access_times(self) -> int:
+        """Persist lazily-tracked access times (clean unmount / checkpoint).
+
+        Returns the number of metadata records updated.  Between calls,
+        access times ride the next real mutation of their object (relatime);
+        a crash loses at most the times recorded since the last flush.
+        """
+        pending = [oid for oid in self._pending_atime if self.exists(oid)]
+        if pending:
+            # One bracketing transaction: one commit marker and one journal
+            # sync for the whole batch, not one per object.
+            with self._txn():
+                for oid in pending:
+                    # _require overlays the pending time; saving pops it.
+                    self._save_metadata(oid, self._require(oid))
+        self._pending_atime.clear()
+        return len(pending)
 
     def _tick(self) -> int:
         self._clock += 1
@@ -124,9 +343,24 @@ class ObjectStore:
         raw = self._master.get(self._metadata_key(oid))
         if raw is None:
             raise NoSuchObjectError(oid)
-        return ObjectMetadata.from_bytes(raw)
+        metadata = ObjectMetadata.from_bytes(raw)
+        # Overlay the lazily-persisted access time (relatime; see read()).
+        pending = self._pending_atime.get(oid)
+        if pending is not None and pending > metadata.accessed_at:
+            metadata.accessed_at = pending
+        return metadata
 
     def _save_metadata(self, oid: int, metadata: ObjectMetadata) -> None:
+        tree = self._trees.get(oid)
+        if tree is not None and isinstance(tree.store, DevicePageStore):
+            # The extent-tree root may have moved since the caller read this
+            # metadata copy (splits happen mid-operation); always persist the
+            # live root so a mount can re-attach the tree.
+            metadata.extent_root = tree.root_id
+        # Every mutator loads metadata through _require, so the record being
+        # saved already carries any pending access time: the lazy atime
+        # piggybacks on the next real mutation.
+        self._pending_atime.pop(oid, None)
         self._master.put(self._metadata_key(oid), metadata.to_bytes())
 
     def _extent_map(self, oid: int) -> ExtentMap:
@@ -145,24 +379,36 @@ class ObjectStore:
         attributes: Optional[Dict[str, str]] = None,
     ) -> int:
         """Create an empty object and return its OID."""
-        oid = self._next_oid
-        self._next_oid += 1
-        now = self._tick()
-        metadata = ObjectMetadata(
-            size=0,
-            owner=owner,
-            group=group,
-            mode=mode,
-            created_at=now,
-            modified_at=now,
-            accessed_at=now,
-            attributes=dict(attributes or {}),
+        self._check_metadata_record(
+            ObjectMetadata(owner=owner, group=group, mode=mode,
+                           attributes=dict(attributes or {}))
         )
-        self._save_metadata(oid, metadata)
-        self._trees[oid] = BPlusTree(store=self._new_page_store(), max_keys=self.max_keys)
-        self._chunks[oid] = set()
-        self.stats.objects_created += 1
-        return oid
+        with self._txn():
+            oid = self._next_oid
+            self._next_oid += 1
+            if self.recovery is not None:
+                # next_oid is logical state only the superblock knows; log it
+                # so a crashed-then-replayed mount never reuses the id.
+                self.recovery.log_meta({"next_oid": self._next_oid})
+            now = self._tick()
+            metadata = ObjectMetadata(
+                size=0,
+                owner=owner,
+                group=group,
+                mode=mode,
+                created_at=now,
+                modified_at=now,
+                accessed_at=now,
+                attributes=dict(attributes or {}),
+            )
+            # The tree must exist before the metadata is saved so the save
+            # records its root page (the mount path follows that pointer).
+            self._trees[oid] = BPlusTree(store=self._new_page_store(), max_keys=self.max_keys)
+            self._chunks[oid] = set()
+            self._save_metadata(oid, metadata)
+            self._live_objects += 1
+            self.stats.objects_created += 1
+            return oid
 
     def exists(self, oid: int) -> bool:
         """True if ``oid`` names a live object."""
@@ -171,25 +417,102 @@ class ObjectStore:
     def delete(self, oid: int) -> None:
         """Destroy the object and release every data chunk it owns."""
         self._require(oid)
-        for chunk_block in self._chunks.pop(oid, set()):
-            self.allocator.free(chunk_block)
-        tree = self._trees.pop(oid, None)
-        if tree is not None and isinstance(tree.store, DevicePageStore):
-            # Free the dead tree's device pages (per-key deletes only free on
-            # merges, so dropping the tree outright would leak them all),
-            # then release its slice of the shared buffer pool.
-            tree.destroy()
-            tree.store.detach()
-        self._master.delete(self._metadata_key(oid))
-        self.stats.objects_deleted += 1
+        with self._txn():
+            for chunk_block in self._chunks.pop(oid, set()):
+                self._free_chunk(chunk_block)
+            tree = self._trees.pop(oid, None)
+            if tree is not None and isinstance(tree.store, DevicePageStore):
+                # Free the dead tree's device pages (per-key deletes only free
+                # on merges, so dropping the tree outright would leak them
+                # all), then release its slice of the shared buffer pool.
+                # Its dirty pages are explicitly discarded: a dead tree's
+                # pages are never read again.
+                tree.destroy()
+                tree.store.detach(discard=True)
+            for name in self.names(oid):
+                self._master.delete(self._name_key(oid, name))
+            self._master.delete(self._metadata_key(oid))
+            self._pending_atime.pop(oid, None)
+            self._live_objects -= 1
+            self.stats.objects_deleted += 1
 
     def list_objects(self) -> List[int]:
         """All live OIDs in ascending order."""
-        return [_OID.unpack(key)[0] for key, _value in self._master.items()]
+        return [
+            _OID.unpack(key)[0]
+            for key, _value in self._master.items()
+            if len(key) == _OID.size
+        ]
 
     @property
     def object_count(self) -> int:
-        return len(self._master)
+        # Kept as a counter: the master tree also stores per-name entries,
+        # so len(tree) over-counts and a scan would cost device reads on
+        # every stats() call.
+        return self._live_objects
+
+    # ------------------------------------------------------------ name entries
+
+    def _name_key(self, oid: int, name: str) -> bytes:
+        return _NAME_PREFIX + _OID.pack(oid) + name.encode("utf-8")
+
+    def put_name(self, oid: int, name: str) -> None:
+        """Persist one name entry for the object (idempotent)."""
+        self._require(oid)
+        with self._txn():
+            self._master.put(self._name_key(oid, name), b"")
+
+    def remove_name(self, oid: int, name: str) -> bool:
+        """Drop one persisted name entry; returns True if it existed."""
+        with self._txn():
+            try:
+                self._master.delete(self._name_key(oid, name))
+                return True
+            except KeyNotFoundError:
+                return False
+
+    def _check_metadata_record(self, metadata: ObjectMetadata) -> None:
+        """Reject a metadata record that could not fit a master-tree page.
+
+        Like :meth:`check_name`, this must run *before* anything is logged:
+        a single btree entry cannot be split, and failing mid-transaction
+        poisons the WAL.  The slack covers timestamps/extent-root fields
+        stamped later in the operation.
+        """
+        page_bytes = getattr(self._master.store, "page_bytes", None)
+        if page_bytes is None:
+            return
+        if len(metadata.to_bytes()) + 256 > page_bytes:
+            raise ObjectStoreError(
+                f"metadata record of {len(metadata.to_bytes())} bytes cannot "
+                f"fit a {page_bytes}-byte btree page (trim the attributes)"
+            )
+
+    def check_name(self, name: str) -> None:
+        """Reject a name entry that could not fit a master-tree page.
+
+        A single btree entry cannot be split, so an oversized key would
+        fail *after* the enclosing WAL transaction logged pages — poisoning
+        the filesystem.  Callers validate before mutating anything.
+        """
+        store = self._master.store
+        page_bytes = getattr(store, "page_bytes", None)
+        if page_bytes is None:
+            return
+        key_len = len(_NAME_PREFIX) + _OID.size + len(name.encode("utf-8"))
+        if key_len + 64 > page_bytes:
+            raise ObjectStoreError(
+                f"name entry of {key_len} bytes cannot fit a "
+                f"{page_bytes}-byte btree page"
+            )
+
+    def names(self, oid: int) -> List[str]:
+        """All persisted name entries of the object, in key order."""
+        prefix = _NAME_PREFIX + _OID.pack(oid)
+        return [
+            key[len(prefix):].decode("utf-8")
+            for key, _value in self._master.cursor(prefix=prefix)
+        ]
 
     # ------------------------------------------------------------ metadata
 
@@ -205,8 +528,23 @@ class ObjectStore:
         """Merge free-form attributes into the object's metadata."""
         metadata = self._require(oid)
         metadata.attributes.update({key: str(value) for key, value in attributes.items()})
-        metadata.touch_modified(self._tick())
-        self._save_metadata(oid, metadata)
+        self._check_metadata_record(metadata)  # before any page is logged
+        with self._txn():
+            metadata.touch_modified(self._tick())
+            self._save_metadata(oid, metadata)
+
+    def remove_attributes(self, oid: int, *keys: str) -> int:
+        """Delete free-form attributes; returns how many existed."""
+        metadata = self._require(oid)
+        removed = 0
+        with self._txn():
+            for key in keys:
+                if metadata.attributes.pop(key, None) is not None:
+                    removed += 1
+            if removed:
+                metadata.touch_modified(self._tick())
+                self._save_metadata(oid, metadata)
+        return removed
 
     def chown(self, oid: int, owner: str, group: Optional[str] = None) -> None:
         """Change the object's security attributes."""
@@ -214,15 +552,18 @@ class ObjectStore:
         metadata.owner = owner
         if group is not None:
             metadata.group = group
-        metadata.touch_modified(self._tick())
-        self._save_metadata(oid, metadata)
+        self._check_metadata_record(metadata)
+        with self._txn():
+            metadata.touch_modified(self._tick())
+            self._save_metadata(oid, metadata)
 
     def chmod(self, oid: int, mode: int) -> None:
         """Change the object's permission bits."""
         metadata = self._require(oid)
-        metadata.mode = mode
-        metadata.touch_modified(self._tick())
-        self._save_metadata(oid, metadata)
+        with self._txn():
+            metadata.mode = mode
+            metadata.touch_modified(self._tick())
+            self._save_metadata(oid, metadata)
 
     def extent_count(self, oid: int) -> int:
         """Number of extents currently describing the object."""
@@ -261,14 +602,15 @@ class ObjectStore:
         data = bytes(data)
         if not data:
             return 0
-        extent_map = self._extent_map(oid)
-        extent_map.punch(offset, offset + len(data))
-        self._store_data(oid, extent_map, offset, data)
-        metadata.size = max(metadata.size, offset + len(data))
-        metadata.touch_modified(self._tick())
-        self._save_metadata(oid, metadata)
-        self.stats.bytes_written += len(data)
-        return len(data)
+        with self._txn():
+            extent_map = self._extent_map(oid)
+            extent_map.punch(offset, offset + len(data))
+            self._store_data(oid, extent_map, offset, data)
+            metadata.size = max(metadata.size, offset + len(data))
+            metadata.touch_modified(self._tick())
+            self._save_metadata(oid, metadata)
+            self.stats.bytes_written += len(data)
+            return len(data)
 
     def append(self, oid: int, data: bytes) -> int:
         """Append ``data`` at the end of the object; returns the write offset."""
@@ -303,7 +645,14 @@ class ObjectStore:
             )
             result[overlap_start - offset:overlap_end - offset] = chunk
         metadata.touch_accessed(self._tick())
-        self._save_metadata(oid, metadata)
+        if self.recovery is None:
+            self._save_metadata(oid, metadata)
+        else:
+            # relatime: persisting an access time costs a logged page write
+            # plus a journal sync per read, so it rides the next real
+            # mutation instead (stat() sees it immediately via _require;
+            # a crash loses at most recent access times, never data).
+            self._pending_atime[oid] = metadata.accessed_at
         self.stats.bytes_read += length
         return bytes(result)
 
@@ -321,15 +670,16 @@ class ObjectStore:
         data = bytes(data)
         if not data:
             return 0
-        extent_map = self._extent_map(oid)
-        extent_map.split_at(offset)
-        self.stats.extents_shifted += extent_map.shift(offset, len(data))
-        self._store_data(oid, extent_map, offset, data)
-        metadata.size += len(data)
-        metadata.touch_modified(self._tick())
-        self._save_metadata(oid, metadata)
-        self.stats.bytes_inserted += len(data)
-        return len(data)
+        with self._txn():
+            extent_map = self._extent_map(oid)
+            extent_map.split_at(offset)
+            self.stats.extents_shifted += extent_map.shift(offset, len(data))
+            self._store_data(oid, extent_map, offset, data)
+            metadata.size += len(data)
+            metadata.touch_modified(self._tick())
+            self._save_metadata(oid, metadata)
+            self.stats.bytes_inserted += len(data)
+            return len(data)
 
     def remove_range(self, oid: int, offset: int, length: int) -> int:
         """Remove ``length`` bytes starting at ``offset`` (paper's truncate).
@@ -343,18 +693,19 @@ class ObjectStore:
             raise InvalidRangeError("offset/length must be non-negative")
         if offset >= metadata.size or length == 0:
             return 0
-        end = min(offset + length, metadata.size)
-        extent_map = self._extent_map(oid)
-        extent_map.split_at(offset)
-        extent_map.split_at(end)
-        extent_map.punch(offset, end)
-        self.stats.extents_shifted += extent_map.shift(end, -(end - offset))
-        removed = end - offset
-        metadata.size -= removed
-        metadata.touch_modified(self._tick())
-        self._save_metadata(oid, metadata)
-        self.stats.bytes_removed += removed
-        return removed
+        with self._txn():
+            end = min(offset + length, metadata.size)
+            extent_map = self._extent_map(oid)
+            extent_map.split_at(offset)
+            extent_map.split_at(end)
+            extent_map.punch(offset, end)
+            self.stats.extents_shifted += extent_map.shift(end, -(end - offset))
+            removed = end - offset
+            metadata.size -= removed
+            metadata.touch_modified(self._tick())
+            self._save_metadata(oid, metadata)
+            self.stats.bytes_removed += removed
+            return removed
 
     # POSIX-style truncate-to-length, expressed in terms of remove_range.
     def truncate(self, oid: int, new_size: int) -> None:
@@ -365,10 +716,11 @@ class ObjectStore:
         if new_size < metadata.size:
             self.remove_range(oid, new_size, metadata.size - new_size)
         elif new_size > metadata.size:
-            metadata = self._require(oid)
-            metadata.size = new_size
-            metadata.touch_modified(self._tick())
-            self._save_metadata(oid, metadata)
+            with self._txn():
+                metadata = self._require(oid)
+                metadata.size = new_size
+                metadata.touch_modified(self._tick())
+                self._save_metadata(oid, metadata)
 
     # ------------------------------------------------------------ maintenance
 
@@ -381,22 +733,23 @@ class ObjectStore:
         """
         metadata = self._require(oid)
         contents = self.read(oid, 0, metadata.size)
-        extent_map = self._extent_map(oid)
-        extent_map.clear()
-        old_chunks = self._chunks[oid]
-        freed = 0
-        for chunk_block in old_chunks:
-            order = self.allocator.allocation_order(chunk_block)
-            freed += (1 << order) if order is not None else 0
-            self.allocator.free(chunk_block)
-        self._chunks[oid] = set()
-        if contents:
-            self._store_data(oid, extent_map, 0, contents)
-        metadata = self._require(oid)
-        metadata.size = len(contents)
-        metadata.touch_modified(self._tick())
-        self._save_metadata(oid, metadata)
-        return freed
+        with self._txn():
+            extent_map = self._extent_map(oid)
+            extent_map.clear()
+            old_chunks = self._chunks[oid]
+            freed = 0
+            for chunk_block in old_chunks:
+                order = self.allocator.allocation_order(chunk_block)
+                freed += (1 << order) if order is not None else 0
+                self._free_chunk(chunk_block)
+            self._chunks[oid] = set()
+            if contents:
+                self._store_data(oid, extent_map, 0, contents)
+            metadata = self._require(oid)
+            metadata.size = len(contents)
+            metadata.touch_modified(self._tick())
+            self._save_metadata(oid, metadata)
+            return freed
 
     def check_object(self, oid: int) -> None:
         """Verify the object's extent map invariants (used by property tests)."""

@@ -298,12 +298,11 @@ class PosixVFS:
             else:
                 self.unlink(new)
         if self._is_directory(oid):
-            self.fs.path_index.rename_subtree(old, new)
-            # Subtree renames bypass the registry; invalidate POSIX queries.
-            self.fs.registry.touch(TAG_POSIX)
+            # Route through the filesystem so the durable name entries move
+            # with the in-memory bindings (and POSIX queries invalidate).
+            self.fs.rename_path_subtree(old, new)
         else:
-            self.fs.unlink_path(old)
-            self.fs.link_path(new, oid)
+            self.fs.rename_path(old, new)
 
     # ------------------------------------------------------------------
     # directories

@@ -1,0 +1,525 @@
+"""The recovery manager: one durability path for pool, journal and trees.
+
+This is the ARIES-lite heart of ``repro.recovery``.  It unifies three
+previously independent pieces — the :class:`~repro.storage.journal.Journal`
+(redo log), the :class:`~repro.cache.buffer_pool.BufferPool` (dirty
+write-back) and the namespace/OSD transaction boundaries — into a single
+write-ahead-logging discipline:
+
+* **Redo-only WAL with LSNs.**  Every page mutation of an on-device btree is
+  logged as a physical ``DATA`` record before the page is even buffered;
+  logical state that cannot be rediscovered by walking (the master-tree
+  root, the next object id) is logged as ``META`` records.  Records get
+  monotonically increasing LSNs and pages are stamped with the LSN of their
+  latest record.
+* **No-force.**  Commit does not write pages home; it appends a commit
+  marker and (group-)syncs the log.  Dirty pages linger in the pool and
+  reach the device on eviction, flush or checkpoint.
+* **No-steal.**  Pages dirtied by an *open* transaction are pinned until the
+  transaction resolves, so an uncommitted page image can never reach its
+  home location (redo-only logging has no undo to fix that with).
+* **WAL rule at the choke point.**  The pool's ``wal_hook`` calls
+  :meth:`ensure_durable` before any dirty frame is written back, so even
+  group-committed (buffered) records are flushed before their page.
+* **Fuzzy checkpoints.**  When the journal passes ``checkpoint_threshold``
+  of its capacity (checked between transactions), every dirty page is
+  flushed, the journal is truncated and a fresh superblock is written.
+* **Mount-time replay.**  :meth:`replay` scans the journal tail, rewrites
+  committed page images to their home locations (idempotent physical redo)
+  and folds committed ``META`` records into the superblock state — all
+  before any index is opened.
+
+Abort semantics are deliberately asymmetric, mirroring journaling
+filesystems: *namespace* aborts are handled above this layer by applying
+undo operations and then committing the net effect, while a WAL transaction
+that aborts after logging page mutations poisons the manager (ext4's
+"abort the journal and remount" behaviour) — redo-only logging cannot roll
+the in-memory tree state back, so the only safe continuation is a remount
+that replays the committed prefix.  Transactions that abort *before* logging
+anything (input validation failures) are clean no-ops.
+"""
+
+from __future__ import annotations
+
+import json
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.errors import CacheError, RecoveryError
+from repro.storage.block_device import BlockDevice
+from repro.storage.journal import (
+    RECORD_OVERHEAD,
+    TYPE_DATA,
+    TYPE_META,
+    TYPE_REVOKE,
+    Journal,
+)
+from repro.recovery.superblock import SUPERBLOCK_BLOCK, Superblock
+
+
+@dataclass
+class RecoveryStats:
+    """Counters surfaced through ``fs.stats()['recovery']``."""
+
+    transactions_committed: int = 0
+    transactions_aborted: int = 0
+    #: page writes logged outside any transaction (self-committing).
+    autocommits: int = 0
+    pages_logged: int = 0
+    meta_records_logged: int = 0
+    revokes_logged: int = 0
+    checkpoints: int = 0
+    #: checkpoints triggered by the journal filling past the threshold.
+    auto_checkpoints: int = 0
+    replayed_transactions: int = 0
+    replayed_pages: int = 0
+    wal_forced_syncs: int = 0
+
+
+class RecoveryManager:
+    """Assigns LSNs, owns the WAL discipline and drives crash recovery.
+
+    :param device: the shared block device.
+    :param journal_start: first block of the journal region.
+    :param journal_blocks: size of the journal region in blocks.
+    :param checkpoint_threshold: journal-fill fraction that triggers an
+        automatic checkpoint between transactions.
+    :param group_commit: number of commits batched per journal sync.  ``1``
+        (the default) syncs on every commit — an operation that returned is
+        durable.  Larger values trade a bounded window of recent commits for
+        fewer journal writes (the WAL rule is still enforced, so what *is*
+        on the device is always consistent).
+    :param superblock_block: device block holding the superblock.
+    """
+
+    def __init__(
+        self,
+        device: BlockDevice,
+        journal_start: int = 1,
+        journal_blocks: int = 255,
+        checkpoint_threshold: float = 0.5,
+        group_commit: int = 1,
+        superblock_block: int = SUPERBLOCK_BLOCK,
+    ) -> None:
+        if not 0.0 < checkpoint_threshold <= 1.0:
+            raise ValueError("checkpoint_threshold must be in (0, 1]")
+        if group_commit < 1:
+            raise ValueError("group_commit must be at least 1")
+        self.device = device
+        self.journal = Journal(device, journal_start, journal_blocks)
+        self.checkpoint_threshold = checkpoint_threshold
+        self.group_commit = group_commit
+        self.superblock_block = superblock_block
+        #: logical superblock state; META records merge into this dict and a
+        #: checkpoint persists it.
+        self.state: Dict[str, int] = {
+            "journal_start": journal_start,
+            "journal_blocks": journal_blocks,
+            "data_region_start": 0,
+            "master_root": 0,
+            "next_oid": 1,
+            "page_blocks": 4,
+            "max_keys": 32,
+            "checkpoint_seq": 0,
+        }
+        self.pool = None  # the shared BufferPool, once attached
+        self.poisoned = False
+        self.stats = RecoveryStats()
+        self._depth = 0
+        self._txid: Optional[int] = None
+        self._txn_records = 0
+        self._txn_pins: Set[Tuple[object, object]] = set()
+        self._txn_on_commit: List = []
+        #: actions from *committed* transactions still waiting for their
+        #: commit marker to reach the device (group commit defers the sync).
+        self._deferred_until_durable: List[Tuple[int, object]] = []
+        self._unsynced_commits = 0
+
+    # ------------------------------------------------------------ wiring
+
+    def attach_pool(self, pool) -> None:
+        """Install the WAL hook on the shared buffer pool.
+
+        Also allows pinned overflow: no-steal pins every page an open
+        transaction dirties, and a transaction touching more pages than the
+        pool's budget must oversubscribe temporarily rather than dead-end in
+        ``AllPagesPinnedError`` mid-mutation.
+        """
+        self.pool = pool
+        if pool is not None:
+            pool.wal_hook = self.ensure_durable
+            pool.allow_pinned_overflow = True
+
+    def _check_usable(self) -> None:
+        if self.poisoned:
+            raise RecoveryError(
+                "durability layer aborted mid-transaction; the in-memory "
+                "state is untrusted — re-mount the filesystem to recover"
+            )
+
+    # ------------------------------------------------------------ transactions
+
+    def begin(self) -> int:
+        """Open (or nest into) a WAL transaction; returns the nesting depth.
+
+        Nesting is flat: inner begin/commit pairs join the outermost
+        transaction, and only the outermost commit writes the commit marker.
+        """
+        self._check_usable()
+        self._depth += 1
+        if self._depth == 1:
+            self._txid = self.journal.allocate_txid()
+            self._txn_records = 0
+            self._txn_pins = set()
+            self._txn_on_commit = []
+        return self._depth
+
+    def commit(self) -> None:
+        """Close one nesting level; the outermost close commits the group."""
+        if self._depth <= 0:
+            raise RecoveryError("commit without a matching begin")
+        self._depth -= 1
+        if self._depth > 0:
+            return
+        marker_lsn = None
+        if self._txn_records:
+            try:
+                sync_now = self._unsynced_commits + 1 >= self.group_commit
+                marker_lsn = self.journal.commit_txid(self._txid, sync=sync_now)
+            except BaseException:
+                # The commit marker never became durable (journal full, device
+                # fault): the transaction effectively aborted after logging —
+                # same fail-stop state as an explicit abort-after-logging.
+                self._fail_open_transaction()
+                self.stats.transactions_aborted += 1
+                raise
+            self._unsynced_commits = 0 if sync_now else self._unsynced_commits + 1
+        self._release_pins()
+        actions, self._txn_on_commit = self._txn_on_commit, []
+        if marker_lsn is not None and marker_lsn > self.journal.durable_lsn:
+            # Group commit left the marker buffered: the transaction can
+            # still vanish in a crash, so its irreversible actions (chunk
+            # and page frees) must wait for the covering sync.
+            self._deferred_until_durable.extend(
+                (marker_lsn, action) for action in actions
+            )
+        else:
+            for action in actions:
+                action()
+        self._txid = None
+        self.stats.transactions_committed += 1
+        self._run_durable_actions()
+        self.maybe_checkpoint()
+
+    def abort(self) -> None:
+        """Close one nesting level abnormally.
+
+        An abort before anything was logged (validation failures) is a clean
+        no-op.  After page mutations were logged, the in-memory structures
+        can no longer be trusted (redo-only WAL has no undo): the manager is
+        poisoned and further durable operations raise until a re-mount
+        replays the committed prefix.
+        """
+        if self._depth <= 0:
+            raise RecoveryError("abort without a matching begin")
+        self._depth -= 1
+        if self._depth > 0:
+            # Let the outermost frame decide; the exception unwinding through
+            # the outer context managers will abort the whole group.
+            return
+        self._fail_open_transaction()
+        self.stats.transactions_aborted += 1
+
+    def _fail_open_transaction(self) -> None:
+        """Dispose of the outermost transaction's state after a failure.
+
+        If it logged nothing, this is a clean no-op.  Otherwise the manager
+        is poisoned *and* the transaction's dirty frames are discarded from
+        the pool: their uncommitted images must never be stolen to home
+        locations by later (read-only) traffic, which no poisoning check on
+        the mutation path alone would prevent.
+        """
+        if self._txn_records:
+            for consumer, page_id in self._txn_pins:
+                # invalidate() drops the frame and its pin together.
+                consumer.invalidate(page_id)
+            self._txn_pins = set()
+            self.poisoned = True
+        else:
+            self._release_pins()
+        self._txn_on_commit = []
+        self._txid = None
+
+    @contextmanager
+    def transaction(self):
+        """``with recovery.transaction(): ...`` — commit on success."""
+        self.begin()
+        try:
+            yield self
+        except BaseException:
+            self.abort()
+            raise
+        else:
+            self.commit()
+
+    def _release_pins(self) -> None:
+        for consumer, page_id in self._txn_pins:
+            try:
+                consumer.unpin(page_id)
+            except CacheError:
+                # The page was freed (and invalidated) inside the transaction.
+                pass
+        self._txn_pins = set()
+
+    @property
+    def in_transaction(self) -> bool:
+        return self._depth > 0
+
+    # ------------------------------------------------------------ logging
+
+    def _log_record(self, rtype: int, block: int, payload: bytes) -> int:
+        """Append one record; returns its LSN.
+
+        Inside a transaction the record joins it; outside, it forms a
+        self-committing transaction that is immediately durable (the
+        uncached/write-through path).
+        """
+        self._check_usable()
+        self._reserve_log_space(len(payload))
+        if self._depth > 0:
+            self._txn_records += 1
+            return self.journal.append(rtype, self._txid, block, payload)
+        txid = self.journal.allocate_txid()
+        lsn = self.journal.append(rtype, txid, block, payload)
+        self.journal.commit_txid(txid, sync=True)
+        self.stats.autocommits += 1
+        self.maybe_checkpoint()
+        return lsn
+
+    def log_page(self, block: int, payload: bytes) -> int:
+        """Log a physical page image; returns the record's LSN."""
+        self.stats.pages_logged += 1
+        return self._log_record(TYPE_DATA, block, payload)
+
+    def log_meta(self, updates: Dict[str, int]) -> int:
+        """Log a logical superblock update (master root, next oid, ...).
+
+        The update is applied to the in-memory state immediately and
+        re-applied from the log on mount-time replay.
+        """
+        payload = json.dumps(updates, sort_keys=True).encode("utf-8")
+        self.state.update(updates)
+        self.stats.meta_records_logged += 1
+        return self._log_record(TYPE_META, 0, payload)
+
+    def log_revoke(self, block: int) -> int:
+        """Log that ``block`` was freed: replay must skip its older records.
+
+        Without this, a freed btree page whose block is later re-used for
+        *unlogged* object data would be clobbered by replaying the stale
+        page image (the ext3 revoke-record problem).
+        """
+        self.stats.revokes_logged += 1
+        return self._log_record(TYPE_REVOKE, block, b"")
+
+    def _reserve_log_space(self, payload_len: int) -> None:
+        """Checkpoint early if the next record wouldn't fit the journal.
+
+        Only possible between transactions; inside one we rely on the
+        between-transaction threshold checkpointing having kept headroom
+        (``Journal`` still raises ``JournalError`` as the hard backstop).
+        """
+        if self._depth > 0 or self.pool is None:
+            return
+        # Headroom for this record's header plus its commit marker.
+        needed = payload_len + 2 * RECORD_OVERHEAD
+        if self.journal.bytes_used + needed > self.journal.capacity_bytes:
+            self.checkpoint()
+
+    def protect(self, consumer, page_id) -> None:
+        """No-steal: pin a page dirtied by the open transaction until it ends."""
+        if self._depth == 0:
+            return
+        key = (consumer, page_id)
+        if key in self._txn_pins:
+            return
+        consumer.pin(page_id)
+        self._txn_pins.add(key)
+
+    def forget_page(self, consumer, page_id) -> None:
+        """Drop transaction bookkeeping for a page freed mid-transaction."""
+        self._txn_pins.discard((consumer, page_id))
+
+    def on_durable(self, action) -> None:
+        """Run ``action`` once the covering commit marker is *durable*.
+
+        Used to defer irreversible in-memory effects — freeing data chunks
+        and btree pages, whose storage may be re-used for unlogged bytes —
+        past the point where the responsible transaction can still vanish in
+        a crash.  Inside a transaction that is its commit's group sync;
+        outside, everything logged so far is already durable (autocommits
+        sync) unless group commit left a tail, in which case the action
+        waits for the next sync.
+        """
+        if self._depth > 0:
+            self._txn_on_commit.append(action)
+            return
+        if self.journal.last_lsn <= self.journal.durable_lsn:
+            action()
+        else:
+            self._deferred_until_durable.append((self.journal.last_lsn, action))
+
+    def _run_durable_actions(self) -> None:
+        """Fire deferred actions whose covering marker has reached the device."""
+        if not self._deferred_until_durable:
+            return
+        durable = self.journal.durable_lsn
+        ready = [a for lsn, a in self._deferred_until_durable if lsn <= durable]
+        self._deferred_until_durable = [
+            (lsn, a) for lsn, a in self._deferred_until_durable if lsn > durable
+        ]
+        for action in ready:
+            action()
+
+    def ensure_durable(self, lsn: Optional[int]) -> None:
+        """The WAL rule: flush the log through ``lsn`` before a page write."""
+        if lsn is None or lsn <= self.journal.durable_lsn:
+            return
+        self.journal.sync()
+        self.stats.wal_forced_syncs += 1
+        self._run_durable_actions()
+
+    # ------------------------------------------------------------ checkpoints
+
+    def checkpoint(self) -> int:
+        """Flush dirty pages, persist the superblock, truncate the journal.
+
+        Returns the number of pages flushed.  Refuses to run inside an open
+        transaction (its records would be truncated out from under it).
+
+        The order is load-bearing: the superblock capturing the current
+        logical state must be durable *before* the journal (whose META
+        records are the only other copy of that state) is truncated.  A
+        crash anywhere in between leaves superblock + journal tail still
+        describing the same state — replay after a new superblock merely
+        rewrites page images the flush already made home (idempotent).
+        """
+        self._check_usable()
+        if self._depth > 0:
+            raise RecoveryError("cannot checkpoint inside an open transaction")
+        flushed = self.pool.flush() if self.pool is not None else 0
+        self.journal.sync()  # buffered group-commit markers become durable
+        self._run_durable_actions()
+        self.state["checkpoint_seq"] = self.state.get("checkpoint_seq", 0) + 1
+        self.write_superblock()
+        self.journal.checkpoint()
+        self._unsynced_commits = 0
+        self.stats.checkpoints += 1
+        return flushed
+
+    def maybe_checkpoint(self) -> bool:
+        """Checkpoint when the journal fill passes the threshold (and no
+        transaction is open)."""
+        if self._depth > 0 or self.poisoned:
+            return False
+        if self.journal.bytes_used < self.checkpoint_threshold * self.journal.capacity_bytes:
+            return False
+        self.checkpoint()
+        self.stats.auto_checkpoints += 1
+        return True
+
+    def write_superblock(self) -> None:
+        Superblock(
+            journal_start=self.state["journal_start"],
+            journal_blocks=self.state["journal_blocks"],
+            data_region_start=self.state["data_region_start"],
+            master_root=self.state["master_root"],
+            next_oid=self.state["next_oid"],
+            page_blocks=self.state["page_blocks"],
+            max_keys=self.state["max_keys"],
+            checkpoint_seq=self.state["checkpoint_seq"],
+        ).store(self.device, self.superblock_block)
+
+    # ------------------------------------------------------------ lifecycle
+
+    def initialize(self, master_root: int, next_oid: int,
+                   data_region_start: int, page_blocks: int, max_keys: int) -> None:
+        """mkfs: record the freshly created roots and write checkpoint zero."""
+        self.state.update(
+            master_root=master_root,
+            next_oid=next_oid,
+            data_region_start=data_region_start,
+            page_blocks=page_blocks,
+            max_keys=max_keys,
+        )
+        self.checkpoint()
+
+    @classmethod
+    def from_superblock(cls, device: BlockDevice, superblock: Superblock,
+                        checkpoint_threshold: float = 0.5,
+                        group_commit: int = 1) -> "RecoveryManager":
+        """Build a manager over an existing format (mount path)."""
+        manager = cls(
+            device,
+            journal_start=superblock.journal_start,
+            journal_blocks=superblock.journal_blocks,
+            checkpoint_threshold=checkpoint_threshold,
+            group_commit=group_commit,
+        )
+        manager.state.update(
+            data_region_start=superblock.data_region_start,
+            master_root=superblock.master_root,
+            next_oid=superblock.next_oid,
+            page_blocks=superblock.page_blocks,
+            max_keys=superblock.max_keys,
+            checkpoint_seq=superblock.checkpoint_seq,
+        )
+        return manager
+
+    def replay(self) -> int:
+        """Mount-time recovery: replay the committed journal tail.
+
+        Physical ``DATA`` records are rewritten to their home locations (in
+        commit order — replay is idempotent because later images simply
+        overwrite earlier ones); committed ``META`` records are folded into
+        the superblock state.  Returns the number of transactions replayed.
+        The caller should checkpoint once the namespace is rebuilt, clearing
+        the replayed tail.
+        """
+        committed = self.journal.replay()
+        for _txid, records in committed:
+            for record in records:
+                if record.rtype == TYPE_META:
+                    self.state.update(json.loads(record.data.decode("utf-8")))
+        self.stats.replayed_pages += self.journal.last_replay_applied
+        self.stats.replayed_transactions += len(committed)
+        return len(committed)
+
+    # ------------------------------------------------------------ introspection
+
+    def snapshot(self) -> Dict[str, object]:
+        journal = self.journal
+        return {
+            "mode": "wal",
+            "poisoned": self.poisoned,
+            "group_commit": self.group_commit,
+            "last_lsn": journal.last_lsn,
+            "durable_lsn": journal.durable_lsn,
+            "min_dirty_lsn": self.pool.min_dirty_lsn() if self.pool is not None else None,
+            "journal_bytes_used": journal.bytes_used,
+            "journal_capacity_bytes": journal.capacity_bytes,
+            "journal_syncs": journal.syncs,
+            "transactions_committed": self.stats.transactions_committed,
+            "transactions_aborted": self.stats.transactions_aborted,
+            "autocommits": self.stats.autocommits,
+            "pages_logged": self.stats.pages_logged,
+            "meta_records_logged": self.stats.meta_records_logged,
+            "revokes_logged": self.stats.revokes_logged,
+            "checkpoints": self.stats.checkpoints,
+            "auto_checkpoints": self.stats.auto_checkpoints,
+            "replayed_transactions": self.stats.replayed_transactions,
+            "replayed_pages": self.stats.replayed_pages,
+            "wal_forced_syncs": self.stats.wal_forced_syncs,
+            "checkpoint_seq": self.state.get("checkpoint_seq", 0),
+        }

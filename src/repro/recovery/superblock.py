@@ -1,0 +1,89 @@
+"""The on-device superblock: the root of the mountable hFAD format.
+
+hFAD keeps *all* naming state in btrees on the object store (paper Section
+3.4), so a remount must be able to find those trees from device bytes alone.
+The superblock is the fixed-location record that makes that possible:
+
+* device geometry of the durability layer (journal location and size, the
+  reserved metadata prefix data allocations must avoid);
+* the master-btree root page and the next object id — the two pieces of
+  logical state that cannot be rediscovered by walking (everything else is
+  reachable from the master tree: per-object extent-tree roots live in each
+  object's metadata record, data chunks in its extent map);
+* btree shape knobs (``page_blocks``, ``max_keys``) so a mount builds
+  compatible page stores.
+
+It is written only at **checkpoints**, never in the hot path: between
+checkpoints the recovery manager logs superblock-relevant changes as logical
+``META`` records in the WAL, and mount-time replay folds them back in.  A
+torn superblock write is detected by the CRC and fails the mount loudly
+rather than silently opening a corrupt namespace.
+"""
+
+from __future__ import annotations
+
+import json
+import struct
+import zlib
+from dataclasses import asdict, dataclass
+
+from repro.errors import RecoveryError
+from repro.storage.block_device import BlockDevice
+
+#: fixed device block where the superblock lives.
+SUPERBLOCK_BLOCK = 0
+
+_MAGIC = b"HFADSB01"
+_PREFIX = struct.Struct(">8sII")  # magic | payload length | crc32(payload)
+
+
+@dataclass
+class Superblock:
+    """Checkpoint image of the filesystem's logical roots."""
+
+    journal_start: int
+    journal_blocks: int
+    #: blocks [0, data_region_start) are metadata (superblock + journal) and
+    #: are reserved out of the data allocator at mkfs/mount time.
+    data_region_start: int
+    master_root: int
+    next_oid: int
+    page_blocks: int = 4
+    max_keys: int = 32
+    #: monotonically increasing checkpoint counter (diagnostics).
+    checkpoint_seq: int = 0
+
+    # -- serialization --------------------------------------------------------
+
+    def to_bytes(self) -> bytes:
+        payload = json.dumps(asdict(self), sort_keys=True).encode("utf-8")
+        crc = zlib.crc32(payload) & 0xFFFFFFFF
+        return _PREFIX.pack(_MAGIC, len(payload), crc) + payload
+
+    @classmethod
+    def from_bytes(cls, raw: bytes) -> "Superblock":
+        if len(raw) < _PREFIX.size:
+            raise RecoveryError("superblock truncated")
+        magic, length, crc = _PREFIX.unpack_from(raw, 0)
+        if magic != _MAGIC:
+            raise RecoveryError(
+                "no hFAD superblock on this device (was it ever formatted "
+                "with durability='wal'?)"
+            )
+        payload = raw[_PREFIX.size:_PREFIX.size + length]
+        if len(payload) < length or (zlib.crc32(payload) & 0xFFFFFFFF) != crc:
+            raise RecoveryError("superblock checksum mismatch (torn write?)")
+        fields = json.loads(payload.decode("utf-8"))
+        return cls(**fields)
+
+    # -- device I/O -----------------------------------------------------------
+
+    def store(self, device: BlockDevice, block: int = SUPERBLOCK_BLOCK) -> None:
+        encoded = self.to_bytes()
+        if len(encoded) > device.block_size:
+            raise RecoveryError("superblock does not fit in one device block")
+        device.write_block(block, encoded)
+
+    @classmethod
+    def load(cls, device: BlockDevice, block: int = SUPERBLOCK_BLOCK) -> "Superblock":
+        return cls.from_bytes(device.read_block(block))

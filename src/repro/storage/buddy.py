@@ -175,6 +175,59 @@ class BuddyAllocator:
             self.coalesces += 1
         self._free_lists[order].add(offset)
 
+    def reserve(self, block: int, nblocks: int) -> None:
+        """Claim a *specific* range as allocated (mount-time rebuild).
+
+        Crash recovery reconstructs allocator occupancy by walking the
+        recovered trees (fsck-style): every reachable btree page and data
+        chunk re-reserves the chunk it was originally allocated from.  The
+        range is rounded up to the power-of-two order it was handed out at,
+        must be aligned to that order, and must currently be free (or already
+        reserved at exactly that order, which is idempotent — several extents
+        of one object may share a chunk).
+        """
+        order = self.order_for(nblocks)
+        if order > self.max_order:
+            raise AllocationError(
+                f"reservation of {nblocks} blocks exceeds the managed region"
+            )
+        offset = block - self.base
+        if offset < 0 or offset + (1 << order) > self.total_blocks:
+            raise AllocationError(f"reservation at block {block} outside the region")
+        if offset % (1 << order):
+            raise AllocationError(
+                f"reservation at block {block} misaligned for order {order}"
+            )
+        existing = self._allocated.get(offset)
+        if existing is not None:
+            if existing == order:
+                return  # already reserved by an earlier walk step
+            raise AllocationError(
+                f"block {block} already allocated at order {existing}, "
+                f"cannot re-reserve at order {order}"
+            )
+        # Find the free chunk containing the range and split down to it.
+        for source in range(order, self.max_order + 1):
+            candidate = offset & ~((1 << source) - 1)
+            if candidate in self._free_lists.get(source, ()):
+                self._free_lists[source].remove(candidate)
+                while source > order:
+                    source -= 1
+                    half = 1 << source
+                    if offset < candidate + half:
+                        self._free_lists[source].add(candidate + half)
+                    else:
+                        self._free_lists[source].add(candidate)
+                        candidate += half
+                    self.splits += 1
+                self._allocated[offset] = order
+                self.allocations += 1
+                return
+        raise AllocationError(
+            f"cannot reserve blocks [{block}, {block + (1 << order)}): "
+            "range overlaps an existing allocation"
+        )
+
     def allocate_extent(self, nblocks: int) -> Tuple[int, int]:
         """Allocate and return ``(first_block, chunk_blocks)``.
 

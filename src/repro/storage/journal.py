@@ -10,20 +10,32 @@ Design
 ------
 The journal occupies a dedicated region of the shared block device
 (``journal_start`` .. ``journal_start + journal_blocks``).  It is a physical
-redo log:
+redo log with ARIES-style log sequence numbers:
 
-* a transaction is a sequence of ``JournalRecord(block, data)`` entries plus
-  a commit marker;
-* records are serialized into a byte stream with length-prefixed framing and
-  a per-record checksum, then appended to the journal region;
-* on ``commit`` the records and the commit marker are flushed to the journal
-  *before* the home locations are written (write-ahead rule);
-* ``recover`` scans the journal, replays every *committed* transaction in
-  order and ignores any trailing uncommitted tail (the crash case);
+* every record carries a monotonically increasing **LSN**; a transaction is a
+  sequence of data/meta records plus a commit marker;
+* records are serialized with length-prefixed framing and a CRC32 covering
+  the *whole record* (header fields and payload), so a torn append — the
+  classic crash signature — is detected even when only the header survives;
+* records are first buffered in memory; :meth:`sync` makes everything
+  buffered so far durable in **one** device write (group commit: a single
+  flush covers every transaction that committed since the previous flush);
+* ``recover``/``replay`` scan the journal, replay every *committed*
+  transaction in order and ignore any trailing uncommitted or torn tail;
 * ``checkpoint`` truncates the journal once home locations are durable.
 
-The implementation favours clarity over compactness; the framing format is
-documented next to the encoder so the tests can corrupt records surgically.
+Two client layers sit on top:
+
+* :class:`JournalTransaction` — the self-contained block-level transaction
+  (collect writes, commit applies them to home locations).  Used directly by
+  tests and by callers that want force-at-commit semantics.
+* :class:`repro.recovery.RecoveryManager` — the no-force/no-steal path: page
+  writes stay dirty in the buffer pool, the WAL rule is enforced at eviction
+  time, and replay happens at mount.  It drives the lower-level
+  :meth:`append` / :meth:`commit_txid` / :meth:`sync` API.
+
+The framing format is documented next to the encoder so the tests can
+corrupt records surgically.
 """
 
 from __future__ import annotations
@@ -31,29 +43,52 @@ from __future__ import annotations
 import struct
 import zlib
 from dataclasses import dataclass
-from typing import Iterable, List, Optional, Tuple
+from typing import List, Optional, Tuple
 
 from repro.errors import JournalError, TransactionError
 from repro.storage.block_device import BlockDevice
 
-# Record framing:  MAGIC | type | txid | block | length | crc32 | payload
-_RECORD_HEADER = struct.Struct(">IBQQII")
+# Record framing:  MAGIC | type | txid | lsn | block | length | crc32
+# The CRC is computed over the header (with the crc field zeroed) plus the
+# payload, so corruption anywhere in the record is detected, not just in the
+# payload bytes.
+_RECORD_HEADER = struct.Struct(">IBQQQII")
 _MAGIC = 0x68464144  # "hFAD"
+_CRC_OFFSET = _RECORD_HEADER.size - 4
 
-_TYPE_DATA = 1
-_TYPE_COMMIT = 2
+#: framing bytes one record adds on top of its payload (header only — the
+#: payload is stored verbatim).  Clients budgeting journal space headroom
+#: (e.g. "one more record plus a commit marker") should use multiples of
+#: this instead of guessing.
+RECORD_OVERHEAD = _RECORD_HEADER.size
+
+TYPE_DATA = 1
+TYPE_COMMIT = 2
+TYPE_META = 3
+#: the block was freed: earlier DATA records for it must not be replayed
+#: (its storage may have been re-used by *unlogged* object data since).
+TYPE_REVOKE = 4
+
+_KNOWN_TYPES = (TYPE_DATA, TYPE_COMMIT, TYPE_META, TYPE_REVOKE)
 
 
 @dataclass(frozen=True)
 class JournalRecord:
-    """A single redo record: ``data`` must be written at device ``block``."""
+    """A single log record.
+
+    ``TYPE_DATA`` records are physical redo: ``data`` must be written at
+    device ``block``.  ``TYPE_META`` records carry logical state (JSON
+    payloads interpreted by the recovery manager); ``block`` is unused.
+    """
 
     block: int
     data: bytes
+    lsn: int = 0
+    rtype: int = TYPE_DATA
 
 
 class JournalTransaction:
-    """Handle for an open journal transaction.
+    """Handle for an open block-level journal transaction.
 
     Collect writes with :meth:`log_write`, then :meth:`commit` (making them
     durable and applying them to the device) or :meth:`abort` (dropping them).
@@ -124,48 +159,125 @@ class Journal:
         self.journal_start = journal_start
         self.journal_blocks = journal_blocks
         self._next_txid = 1
+        self._next_lsn = 1
         # The in-memory append buffer mirrors the on-device journal contents
-        # between checkpoints so we can append without re-reading the region.
+        # between checkpoints; bytes past ``_flushed`` are buffered only and
+        # become durable at the next sync (group commit).
         self._log = bytearray()
+        self._flushed = 0
+        #: highest LSN whose record is durable on the device.
+        self.durable_lsn = 0
+        #: highest LSN assigned so far.
+        self.last_lsn = 0
         self.commits = 0
         self.aborts = 0
+        self.syncs = 0
+        self.records_appended = 0
+        self.checkpoints = 0
         self.replayed_transactions = 0
+        self.last_replay_applied = 0
+        self.last_replay_revoked = 0
 
     # -- transaction lifecycle ------------------------------------------------
 
     def begin(self) -> JournalTransaction:
-        """Open a new transaction."""
-        txn = JournalTransaction(self, self._next_txid)
-        self._next_txid += 1
-        return txn
+        """Open a new block-level transaction."""
+        return JournalTransaction(self, self.allocate_txid())
 
-    def _encode_record(self, rtype: int, txid: int, block: int, payload: bytes) -> bytes:
-        crc = zlib.crc32(payload) & 0xFFFFFFFF
-        header = _RECORD_HEADER.pack(_MAGIC, rtype, txid, block, len(payload), crc)
-        return header + payload
+    def allocate_txid(self) -> int:
+        """Hand out the next transaction id (shared with the recovery layer)."""
+        txid = self._next_txid
+        self._next_txid += 1
+        return txid
+
+    # -- encoding -------------------------------------------------------------
+
+    def _encode_record(self, rtype: int, txid: int, block: int, payload: bytes,
+                       lsn: Optional[int] = None) -> bytes:
+        if lsn is None:
+            lsn = self._take_lsn()
+        header = bytearray(
+            _RECORD_HEADER.pack(_MAGIC, rtype, txid, lsn, block, len(payload), 0)
+        )
+        crc = zlib.crc32(payload, zlib.crc32(bytes(header))) & 0xFFFFFFFF
+        header[_CRC_OFFSET:] = struct.pack(">I", crc)
+        return bytes(header) + payload
+
+    def _take_lsn(self) -> int:
+        lsn = self._next_lsn
+        self._next_lsn += 1
+        self.last_lsn = lsn
+        return lsn
+
+    def _record_size(self, payload: bytes) -> int:
+        return _RECORD_HEADER.size + len(payload)
+
+    def _require_capacity(self, nbytes: int) -> None:
+        if len(self._log) + nbytes > self.capacity_bytes:
+            raise JournalError(
+                "journal full: checkpoint before committing more transactions"
+            )
+
+    # -- low-level append / sync (the recovery-manager API) -------------------
+
+    def append(self, rtype: int, txid: int, block: int, payload: bytes) -> int:
+        """Buffer one record; returns its LSN.  Not yet durable — see sync."""
+        if rtype not in _KNOWN_TYPES:
+            raise JournalError(f"unknown record type {rtype}")
+        payload = bytes(payload)
+        self._require_capacity(self._record_size(payload))
+        lsn = self._take_lsn()
+        self._log += self._encode_record(rtype, txid, block, payload, lsn=lsn)
+        self.records_appended += 1
+        return lsn
+
+    def commit_txid(self, txid: int, sync: bool = True) -> int:
+        """Append the commit marker for ``txid``; optionally flush the log.
+
+        With ``sync=True`` this is group commit: the single device write
+        covers every record buffered since the last flush, including other
+        transactions' records and commit markers.
+        """
+        lsn = self.append(TYPE_COMMIT, txid, 0, b"")
+        self.commits += 1
+        if sync:
+            self.sync()
+        return lsn
+
+    def sync(self) -> int:
+        """Flush buffered records to the journal region; returns bytes written.
+
+        After a successful sync every record appended so far is durable
+        (``durable_lsn == last_lsn``).
+        """
+        pending = len(self._log) - self._flushed
+        if pending <= 0:
+            self.durable_lsn = self.last_lsn
+            return 0
+        self._write_log_region(self._flushed, bytes(self._log[self._flushed:]))
+        self._flushed = len(self._log)
+        self.durable_lsn = self.last_lsn
+        self.syncs += 1
+        return pending
+
+    # -- block-level transaction commit ---------------------------------------
 
     def _commit(self, txn: JournalTransaction) -> None:
         if not txn.records:
             # Empty transactions commit trivially with no journal traffic.
             self.commits += 1
             return
-        encoded = bytearray()
+        needed = sum(self._record_size(r.data) for r in txn.records)
+        needed += self._record_size(b"")  # the commit marker
+        self._require_capacity(needed)
         for record in txn.records:
-            encoded += self._encode_record(_TYPE_DATA, txn.txid, record.block, record.data)
-        encoded += self._encode_record(_TYPE_COMMIT, txn.txid, 0, b"")
-        capacity = self.journal_blocks * self.device.block_size
-        if len(self._log) + len(encoded) > capacity:
-            raise JournalError(
-                "journal full: checkpoint before committing more transactions"
-            )
-        # Write-ahead: journal region first ...
-        start_offset = len(self._log)
-        self._log += encoded
-        self._write_log_region(start_offset, bytes(encoded))
+            self.append(TYPE_DATA, txn.txid, record.block, record.data)
+        # Write-ahead: records + commit marker reach the journal region in one
+        # device write ...
+        self.commit_txid(txn.txid, sync=True)
         # ... then home locations.
         for record in txn.records:
             self.device.write_block(record.block, record.data)
-        self.commits += 1
 
     def _write_log_region(self, offset: int, data: bytes) -> None:
         """Write ``data`` at byte ``offset`` of the journal region."""
@@ -179,34 +291,102 @@ class Journal:
     def _read_log_bytes(self) -> bytes:
         return self.device.read_blocks(self.journal_start, self.journal_blocks)
 
-    def scan(self) -> List[Tuple[int, List[JournalRecord]]]:
-        """Parse the on-device journal, returning committed transactions.
+    def scan_detailed(self) -> Tuple[List[Tuple[int, List[JournalRecord]]], int, int]:
+        """Parse the on-device journal.
 
-        Stops at the first malformed or zeroed record header (the journal
-        tail).  Transactions without a commit marker are discarded.
+        Returns ``(committed, max_txid, max_lsn)`` where ``committed`` lists
+        each committed transaction's records (data and meta) in commit order
+        and the maxima cover *every* well-formed record seen, committed or
+        not (so id generators can be advanced past the replayed tail).
+
+        Parsing stops cleanly at the first torn, corrupt or zeroed record —
+        the journal tail left by a crash.  Transactions without a commit
+        marker are discarded.
         """
         raw = self._read_log_bytes()
         position = 0
         open_txns: dict = {}
         committed: List[Tuple[int, List[JournalRecord]]] = []
+        max_txid = 0
+        max_lsn = 0
         while position + _RECORD_HEADER.size <= len(raw):
-            magic, rtype, txid, block, length, crc = _RECORD_HEADER.unpack_from(raw, position)
-            if magic != _MAGIC:
+            magic, rtype, txid, lsn, block, length, crc = _RECORD_HEADER.unpack_from(
+                raw, position
+            )
+            if magic != _MAGIC or rtype not in _KNOWN_TYPES:
                 break
             payload_start = position + _RECORD_HEADER.size
             payload_end = payload_start + length
             if payload_end > len(raw):
-                break
+                break  # torn: the length field promises bytes that never made it
+            header = bytearray(raw[position:payload_start])
+            header[_CRC_OFFSET:] = b"\x00\x00\x00\x00"
             payload = raw[payload_start:payload_end]
-            if (zlib.crc32(payload) & 0xFFFFFFFF) != crc:
-                break
-            if rtype == _TYPE_DATA:
-                open_txns.setdefault(txid, []).append(JournalRecord(block=block, data=payload))
-            elif rtype == _TYPE_COMMIT:
+            if (zlib.crc32(payload, zlib.crc32(bytes(header))) & 0xFFFFFFFF) != crc:
+                break  # torn or bit-flipped record
+            max_txid = max(max_txid, txid)
+            max_lsn = max(max_lsn, lsn)
+            if rtype == TYPE_COMMIT:
                 committed.append((txid, open_txns.pop(txid, [])))
             else:
-                break
+                open_txns.setdefault(txid, []).append(
+                    JournalRecord(block=block, data=payload, lsn=lsn, rtype=rtype)
+                )
             position = payload_end
+        return committed, max_txid, max_lsn
+
+    def scan(self) -> List[Tuple[int, List[JournalRecord]]]:
+        """Parse the on-device journal, returning committed transactions."""
+        committed, _max_txid, _max_lsn = self.scan_detailed()
+        return committed
+
+    def replay(self) -> List[Tuple[int, List[JournalRecord]]]:
+        """Replay committed physical records and resynchronize counters.
+
+        Data records are written to their home locations (idempotent physical
+        redo); meta records are returned untouched for the recovery manager
+        to interpret.  The in-memory append buffer is rebuilt so new commits
+        go after the replayed tail, and the txid/LSN generators are advanced
+        past everything seen in the log.
+
+        Revoke handling (the ext3 lesson): a committed ``TYPE_REVOKE`` record
+        says the block was freed at that LSN — any *older* data record for it
+        must not be replayed, because the block may since hold unlogged
+        object data that replaying would corrupt.  Newer data records (the
+        block was re-used as a logged page again) still apply.
+        """
+        committed, max_txid, max_lsn = self.scan_detailed()
+        revoked: dict = {}
+        for _txid, records in committed:
+            for record in records:
+                if record.rtype == TYPE_REVOKE:
+                    revoked[record.block] = max(revoked.get(record.block, 0), record.lsn)
+        self.last_replay_applied = 0
+        self.last_replay_revoked = 0
+        for _txid, records in committed:
+            for record in records:
+                if record.rtype != TYPE_DATA:
+                    continue
+                if record.lsn <= revoked.get(record.block, 0):
+                    self.last_replay_revoked += 1
+                    continue
+                self.device.write_blocks(record.block, record.data)
+                self.last_replay_applied += 1
+        self.replayed_transactions += len(committed)
+        self._next_txid = max(self._next_txid, max_txid + 1)
+        self._next_lsn = max(self._next_lsn, max_lsn + 1)
+        self.last_lsn = self._next_lsn - 1
+        # Rebuild the append buffer from the committed prefix; it is already
+        # durable on the device, so nothing is pending.
+        self._log = bytearray()
+        for txid, records in committed:
+            for record in records:
+                self._log += self._encode_record(
+                    record.rtype, txid, record.block, record.data, lsn=record.lsn
+                )
+            self._log += self._encode_record(TYPE_COMMIT, txid, 0, b"", lsn=0)
+        self._flushed = len(self._log)
+        self.durable_lsn = self.last_lsn
         return committed
 
     def recover(self) -> int:
@@ -215,25 +395,21 @@ class Journal:
         Returns the number of transactions replayed.  Safe to call on a clean
         journal (replays are idempotent physical redo writes).
         """
-        committed = self.scan()
-        for _txid, records in committed:
-            for record in records:
-                self.device.write_block(record.block, record.data)
-        self.replayed_transactions += len(committed)
-        # Rebuild the append buffer so new commits go after the replayed tail.
-        self._log = bytearray()
-        for txid, records in committed:
-            for record in records:
-                self._log += self._encode_record(_TYPE_DATA, txid, record.block, record.data)
-            self._log += self._encode_record(_TYPE_COMMIT, txid, 0, b"")
-        return len(committed)
+        return len(self.replay())
 
     def checkpoint(self) -> None:
-        """Truncate the journal: home locations are assumed durable."""
-        zero = bytes(self.device.block_size)
-        for block in range(self.journal_start, self.journal_start + self.journal_blocks):
-            self.device.write_block(block, zero)
+        """Truncate the journal: home locations are assumed durable.
+
+        The whole region is zeroed in one device write so a crash can tear
+        it only into a zeroed *prefix* — which scan reads as an empty log,
+        never as a resurrected stale record.  (Callers persist their
+        checkpoint state *before* truncating; see RecoveryManager.)
+        """
+        self.device.write_blocks(self.journal_start, b"", nblocks=self.journal_blocks)
         self._log = bytearray()
+        self._flushed = 0
+        self.durable_lsn = self.last_lsn
+        self.checkpoints += 1
 
     # -- introspection --------------------------------------------------------
 
@@ -241,6 +417,11 @@ class Journal:
     def bytes_used(self) -> int:
         """Bytes of journal space consumed since the last checkpoint."""
         return len(self._log)
+
+    @property
+    def bytes_unflushed(self) -> int:
+        """Buffered bytes not yet durable (waiting on the next sync)."""
+        return len(self._log) - self._flushed
 
     @property
     def capacity_bytes(self) -> int:

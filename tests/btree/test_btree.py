@@ -282,11 +282,32 @@ class TestDevicePageStore:
             tree.delete(key(i))
         tree.check_invariants()
 
-    def test_node_too_big_for_page_rejected(self):
-        tree, _device, _store = self.make_device_tree(max_keys=64)
+    def test_fat_values_split_by_bytes_instead_of_overflowing(self):
+        # Nodes used to overflow their page when values were fat; trees over
+        # a page store now split on *encoded bytes*, so this just works.
+        tree, _device, store = self.make_device_tree(max_keys=64)
+        for i in range(64):
+            tree.put(key(i), bytes(600))
+        tree.check_invariants()
+        for i in range(64):
+            assert tree.lookup(key(i)) == bytes(600)
+        # Every live node respects the page budget.
+        assert tree.node_byte_limit == store.page_bytes
+
+    def test_growing_value_in_place_splits_by_bytes(self):
+        tree, _device, store = self.make_device_tree(max_keys=64)
+        for i in range(8):
+            tree.put(key(i), b"small")
+        for i in range(8):  # grow each value in place past a page's worth
+            tree.put(key(i), bytes(store.page_bytes // 4))
+        tree.check_invariants()
+        for i in range(8):
+            assert tree.lookup(key(i)) == bytes(store.page_bytes // 4)
+
+    def test_single_value_larger_than_page_still_rejected(self):
+        tree, _device, store = self.make_device_tree(max_keys=64)
         with pytest.raises(BTreeError):
-            for i in range(64):
-                tree.put(key(i), bytes(600))
+            tree.put(b"giant", bytes(store.page_bytes + 1))
 
 
 class TestTraversalAccounting:
@@ -349,3 +370,32 @@ class TestBTreeProperties:
             tree.put(key(n), value(n))
         assert [k for k, _ in tree.items()] == [key(n) for n in sorted(numbers)]
         tree.check_invariants()
+
+class TestByteBalancedSplits:
+    """Regression: a count-middle split fallback could leave the half with a
+    fat boundary entry over the page budget; the byte-balancing split must
+    isolate fat entries at either end of the leaf."""
+
+    def make_tree(self):
+        device = BlockDevice(num_blocks=1 << 12, block_size=512)
+        allocator = BuddyAllocator(total_blocks=1 << 12)
+        store = DevicePageStore(device, allocator, page_blocks=2, cache_pages=16)
+        return BPlusTree(store=store, max_keys=64), store
+
+    def test_split_isolates_a_fat_trailing_value(self):
+        tree, store = self.make_tree()
+        fat = store.page_bytes // 2 + store.page_bytes // 4
+        for i in range(20):
+            tree.put(key(i), b"tiny")
+        tree.put(b"\xff-last", bytes(fat))  # sorts after every small key
+        tree.check_invariants()
+        assert tree.lookup(b"\xff-last") == bytes(fat)
+
+    def test_split_isolates_a_fat_leading_value(self):
+        tree, store = self.make_tree()
+        fat = store.page_bytes // 2 + store.page_bytes // 4
+        tree.put(b"\x00-first", bytes(fat))  # sorts before every small key
+        for i in range(20):
+            tree.put(key(i), b"tiny")
+        tree.check_invariants()
+        assert tree.lookup(b"\x00-first") == bytes(fat)

@@ -253,3 +253,100 @@ class TestStats:
         assert other.stats.misses == 1
         assert pool.stats.hits == 1
         assert pool.stats.misses == 1
+
+
+class TestDiscardFootgun:
+    """Dropping dirty frames without write-back must be explicit and counted."""
+
+    def test_drop_all_without_writeback_refuses_dirty_frames(self):
+        pool, consumer, written = make_pool()
+        consumer.put(1, "dirty", dirty=True)
+        with pytest.raises(CacheError, match="discard=True"):
+            consumer.drop_all(write_back=False)
+        # The refused drop left everything intact.
+        assert consumer.get(1) == "dirty"
+        assert written == {}
+
+    def test_unregister_refuses_dirty_frames(self):
+        pool, consumer, written = make_pool()
+        consumer.put(1, "dirty", dirty=True)
+        with pytest.raises(CacheError):
+            pool.unregister(consumer)
+        assert written == {}
+
+    def test_explicit_discard_drops_and_counts(self):
+        pool, consumer, written = make_pool()
+        consumer.put(1, "dirty", dirty=True)
+        consumer.put(2, "clean")
+        consumer.drop_all(write_back=False, discard=True)
+        assert len(pool) == 0
+        assert written == {}
+        assert consumer.stats.discards == 1  # only the dirty frame counts
+        assert pool.stats.discards == 1
+        assert pool.snapshot()["totals"]["discards"] == 1
+
+    def test_clean_frames_drop_without_ceremony(self):
+        pool, consumer, _ = make_pool()
+        consumer.put(1, "clean")
+        consumer.drop_all(write_back=False)
+        assert len(pool) == 0
+        assert consumer.stats.discards == 0
+
+
+class TestWalIntegration:
+    """Page LSNs, the WAL hook, and the checkpoint horizon."""
+
+    def test_put_stamps_page_lsn(self):
+        pool, consumer, _ = make_pool()
+        consumer.put(1, "node", dirty=True, lsn=41)
+        assert consumer.page_lsn(1) == 41
+        consumer.put(1, "node2", dirty=True, lsn=57)
+        assert consumer.page_lsn(1) == 57
+
+    def test_wal_hook_called_before_writeback(self):
+        events = []
+        pool = BufferPool(capacity=4)
+        pool.wal_hook = lambda lsn: events.append(("wal", lsn))
+        consumer = pool.register(
+            "t", writeback=lambda page, value: events.append(("home", page))
+        )
+        consumer.put(1, "node", dirty=True, lsn=9)
+        pool.flush()
+        assert events == [("wal", 9), ("home", 1)]
+
+    def test_wal_hook_called_on_eviction_too(self):
+        events = []
+        pool = BufferPool(capacity=1)
+        pool.wal_hook = events.append
+        consumer = pool.register("t", writeback=lambda page, value: None)
+        consumer.put(1, "a", dirty=True, lsn=5)
+        consumer.put(2, "b")  # evicts page 1
+        assert events == [5]
+
+    def test_unlogged_pages_skip_the_hook(self):
+        events = []
+        pool = BufferPool(capacity=4)
+        pool.wal_hook = events.append
+        consumer = pool.register("t", writeback=lambda page, value: None)
+        consumer.put(1, "legacy", dirty=True)  # no lsn
+        pool.flush()
+        assert events == []
+
+    def test_min_dirty_lsn_tracks_the_checkpoint_horizon(self):
+        pool, consumer, _ = make_pool(capacity=8)
+        assert pool.min_dirty_lsn() is None
+        consumer.put(1, "a", dirty=True, lsn=30)
+        consumer.put(2, "b", dirty=True, lsn=12)
+        consumer.put(3, "c", lsn=1)  # clean: does not hold the horizon back
+        assert pool.min_dirty_lsn() == 12
+        pool.flush()
+        assert pool.min_dirty_lsn() is None
+
+    def test_flush_page_writes_one_dirty_page(self):
+        pool, consumer, written = make_pool()
+        consumer.put(1, "a", dirty=True)
+        consumer.put(2, "b", dirty=True)
+        assert pool.flush_page(consumer, 1) is True
+        assert written == {1: "a"}
+        assert pool.flush_page(consumer, 1) is False  # now clean
+        assert pool.flush_page(consumer, 99) is False  # not resident

@@ -1,0 +1,90 @@
+"""The crash-injection device: countdown, death, torn writes, imaging."""
+
+import random
+
+import pytest
+
+from repro.recovery import CrashError, CrashingBlockDevice
+
+
+def make_device(**kwargs):
+    kwargs.setdefault("num_blocks", 256)
+    kwargs.setdefault("block_size", 512)
+    return CrashingBlockDevice(**kwargs)
+
+
+class TestCountdown:
+    def test_unarmed_device_behaves_normally(self):
+        device = make_device()
+        device.write_block(10, b"fine")
+        assert device.read_block(10).startswith(b"fine")
+
+    def test_crash_on_nth_write(self):
+        device = make_device()
+        device.plan_crash(2)
+        device.write_block(1, b"a")
+        device.write_block(2, b"b")
+        with pytest.raises(CrashError):
+            device.write_block(3, b"c")
+        assert device.dead
+
+    def test_fatal_write_applies_nothing_without_torn_rng(self):
+        device = make_device()
+        device.plan_crash(0)
+        with pytest.raises(CrashError):
+            device.write_blocks(5, b"x" * 2048, nblocks=4)
+        image = device.surviving_image()
+        assert image.read_blocks(5, 4) == bytes(4 * 512)
+
+    def test_dead_device_rejects_all_io(self):
+        device = make_device()
+        device.plan_crash(0)
+        with pytest.raises(CrashError):
+            device.write_block(1, b"x")
+        with pytest.raises(CrashError):
+            device.write_block(2, b"y")
+        with pytest.raises(CrashError):
+            device.read_block(1)
+
+    def test_disarm_cancels_the_crash(self):
+        device = make_device()
+        device.plan_crash(0)
+        device.disarm()
+        device.write_block(1, b"survives")
+        assert not device.dead
+
+
+class TestTornWrites:
+    def test_torn_write_applies_a_prefix(self):
+        # With a seeded rng, find a crash that tears mid-request.
+        for seed in range(50):
+            device = make_device()
+            device.plan_crash(0, torn_rng=random.Random(seed))
+            data = b"".join(bytes([i]) * 512 for i in range(1, 5))  # 4 distinct blocks
+            with pytest.raises(CrashError):
+                device.write_blocks(8, data, nblocks=4)
+            if device.torn_blocks:
+                image = device.surviving_image()
+                survived = image.read_blocks(8, 4)
+                # The prefix made it, the tail did not.
+                for i in range(device.torn_blocks):
+                    assert survived[i * 512:(i + 1) * 512] == bytes([i + 1]) * 512
+                assert survived[device.torn_blocks * 512:] == bytes(
+                    (4 - device.torn_blocks) * 512
+                )
+                return
+        pytest.fail("no torn write produced in 50 seeds")
+
+
+class TestImaging:
+    def test_surviving_image_is_independent_and_healthy(self):
+        device = make_device()
+        device.write_block(3, b"before crash")
+        device.plan_crash(0)
+        with pytest.raises(CrashError):
+            device.write_block(4, b"never lands")
+        image = device.surviving_image()
+        assert image.read_block(3).startswith(b"before crash")
+        assert image.read_block(4) == bytes(512)
+        image.write_block(4, b"alive again")  # the clone is a healthy device
+        assert image.read_block(4).startswith(b"alive again")

@@ -1,0 +1,296 @@
+"""Mount-time recovery of a whole HFADFileSystem: clean and dirty remounts."""
+
+import pytest
+
+from repro.core import HFADFileSystem
+from repro.errors import RecoveryError
+from repro.storage import BlockDevice
+
+
+def make_fs(device=None, **kwargs):
+    if device is None:
+        device = BlockDevice(num_blocks=1 << 14, block_size=512)
+    kwargs.setdefault("btree_on_device", True)
+    kwargs.setdefault("durability", "wal")
+    kwargs.setdefault("journal_blocks", 127)
+    kwargs.setdefault("cache_pages", 64)
+    return device, HFADFileSystem(device=device, **kwargs)
+
+
+def clone(device):
+    """A reboot: only the device bytes survive."""
+    image = BlockDevice(num_blocks=device.num_blocks, block_size=device.block_size)
+    image.load(device.dump())
+    return image
+
+
+class TestCleanRemount:
+    def test_everything_survives_without_any_flush(self):
+        device, fs = make_fs()
+        oid = fs.create(
+            b"the quick brown fox", path="/doc.txt",
+            owner="margo", application="editor", annotations=["draft"],
+        )
+        fs.tag(oid, "UDEF", "favourite")
+        other = fs.create(b"unrelated words here", path="/other.txt")
+        fs.delete(other)
+        # No close(), no checkpoint: the dirty pages live only in the pool,
+        # the journal alone carries the committed state to the new life.
+        mounted = HFADFileSystem.mount(clone(device))
+        assert mounted.list_objects() == [oid]
+        assert mounted.read(oid) == b"the quick brown fox"
+        names = {str(pair) for pair in mounted.names_for(oid)}
+        assert {"USER/margo", "APP/editor", "UDEF/draft", "UDEF/favourite"} <= names
+        assert mounted.lookup_path("/doc.txt") == oid
+        assert mounted.lookup_path("/other.txt") is None
+        assert mounted.search_text("quick fox") == [oid]
+        assert mounted.fsck()["clean"]
+
+    def test_remount_after_close_replays_nothing(self):
+        device, fs = make_fs()
+        oid = fs.create(b"checkpointed content", path="/c.txt")
+        fs.close()  # clean unmount: checkpoint truncates the journal
+        mounted = HFADFileSystem.mount(clone(device))
+        assert mounted.stats()["recovery"]["replayed_transactions"] == 0
+        assert mounted.read(oid) == b"checkpointed content"
+
+    def test_edits_survive_remount(self):
+        device, fs = make_fs()
+        oid = fs.create(b"AAAA-BBBB-CCCC", path="/e.txt", index_content=False)
+        fs.insert(oid, 5, b"XYZ-")
+        fs.truncate(oid, 0, 5)
+        expected = fs.read(oid)
+        mounted = HFADFileSystem.mount(clone(device))
+        assert mounted.read(oid) == expected
+
+    def test_next_oid_not_reused_after_remount(self):
+        device, fs = make_fs()
+        first = fs.create(b"one")
+        second = fs.create(b"two")
+        fs.delete(second)
+        mounted = HFADFileSystem.mount(clone(device))
+        third = mounted.create(b"three")
+        assert third > second >= first
+
+    def test_mutations_after_remount_are_durable_too(self):
+        device, fs = make_fs()
+        oid = fs.create(b"generation one", path="/gen.txt")
+        image = clone(device)
+        mounted = HFADFileSystem.mount(image)
+        mounted.write(oid, 0, b"generation TWO")
+        mounted.tag(oid, "UDEF", "regenerated")
+        remounted = HFADFileSystem.mount(clone(image))
+        assert remounted.read(oid) == b"generation TWO"
+        assert {str(p) for p in remounted.names_for(oid)} >= {"UDEF/regenerated"}
+
+    def test_image_histograms_survive(self):
+        device, fs = make_fs()
+        oid = fs.create(b"photo bytes", index_content=False)
+        colour = fs.index_image(oid, [0.1, 0.7, 0.2, 0.0, 0.0, 0.0, 0.0, 0.0])
+        mounted = HFADFileSystem.mount(clone(device))
+        assert mounted.find(("IMAGE", f"color:{colour}")) == [oid]
+
+    def test_hundreds_of_tags_on_one_object_survive(self):
+        # Regression: names are persisted as individual master-tree entries,
+        # not inside the metadata record — a heavily-tagged object must not
+        # overflow any page.
+        device, fs = make_fs()
+        oid = fs.create(b"popular object", index_content=False)
+        for i in range(300):
+            fs.tag(oid, "UDEF", f"tag-{i:04d}")
+        mounted = HFADFileSystem.mount(clone(device))
+        names = {str(pair) for pair in mounted.names_for(oid)}
+        assert {f"UDEF/tag-{i:04d}" for i in range(300)} <= names
+        assert mounted.fsck()["clean"]
+
+    def test_untag_survives_remount(self):
+        device, fs = make_fs()
+        oid = fs.create(b"tagged then untagged")
+        fs.tag(oid, "UDEF", "temporary")
+        fs.untag(oid, "UDEF", "temporary")
+        mounted = HFADFileSystem.mount(clone(device))
+        assert "UDEF/temporary" not in {str(p) for p in mounted.names_for(oid)}
+
+
+class TestNamespaceTransactions:
+    def test_aborted_group_leaves_no_trace_after_remount(self):
+        device, fs = make_fs()
+        oid = fs.create(b"stable object")
+        with pytest.raises(RuntimeError):
+            with fs.begin() as txn:
+                fs.tag(oid, "UDEF", "doomed-a", txn=txn)
+                fs.tag(oid, "UDEF", "doomed-b", txn=txn)
+                raise RuntimeError("changed my mind")
+        mounted = HFADFileSystem.mount(clone(device))
+        names = {str(pair) for pair in mounted.names_for(oid)}
+        assert "UDEF/doomed-a" not in names
+        assert "UDEF/doomed-b" not in names
+
+    def test_committed_group_survives_whole(self):
+        device, fs = make_fs()
+        oid = fs.create(b"stable object")
+        with fs.begin() as txn:
+            fs.tag(oid, "UDEF", "kept-a", txn=txn)
+            fs.tag(oid, "UDEF", "kept-b", txn=txn)
+        mounted = HFADFileSystem.mount(clone(device))
+        names = {str(pair) for pair in mounted.names_for(oid)}
+        assert {"UDEF/kept-a", "UDEF/kept-b"} <= names
+
+
+class TestMountErrors:
+    def test_mounting_an_unformatted_device_fails_loudly(self):
+        with pytest.raises(RecoveryError):
+            HFADFileSystem.mount(BlockDevice(num_blocks=1 << 12, block_size=512))
+
+    def test_other_durability_modes_have_no_superblock(self):
+        device, fs = make_fs(durability="writethrough")
+        fs.create(b"volatile trees")
+        with pytest.raises(RecoveryError):
+            HFADFileSystem.mount(clone(device))
+
+    def test_tiny_device_rejected_at_format_time(self):
+        with pytest.raises(ValueError):
+            HFADFileSystem(
+                device=BlockDevice(num_blocks=64, block_size=512),
+                btree_on_device=True, durability="wal", journal_blocks=255,
+            )
+
+
+class TestDurabilityModes:
+    def test_writeback_mode_has_no_journal(self):
+        _, fs = make_fs(durability="writeback")
+        assert fs.recovery is None
+        assert fs.stats()["recovery"] == {"mode": "writeback"}
+        oid = fs.create(b"fast and loose")
+        assert fs.read(oid) == b"fast and loose"
+
+    def test_volatile_mode_reported_for_in_memory_trees(self):
+        fs = HFADFileSystem(btree_on_device=False)
+        assert fs.stats()["recovery"] == {"mode": "volatile"}
+
+    def test_wal_stats_present(self):
+        _, fs = make_fs()
+        fs.create(b"counted")
+        info = fs.stats()["recovery"]
+        assert info["mode"] == "wal"
+        assert info["transactions_committed"] >= 1
+        assert info["last_lsn"] >= 1
+
+
+class TestGroupCommitReuse:
+    def test_unsynced_delete_cannot_leak_its_chunks_to_a_new_object(self):
+        # Reviewer repro: delete A (marker buffered under group_commit),
+        # create B re-using A's chunk, crash before the sync — the
+        # resurrected A must still read back its own bytes.
+        device = BlockDevice(num_blocks=1 << 14, block_size=512)
+        fs = HFADFileSystem(
+            device=device, btree_on_device=True, durability="wal",
+            journal_blocks=127, cache_pages=64, group_commit=8,
+        )
+        a = fs.create(b"A" * 4096, path="/a.bin", index_content=False)
+        fs.checkpoint()
+        fs.delete(a)                     # marker buffered, free deferred
+        b = fs.create(b"B" * 4096, path="/b.bin", index_content=False)
+        # Crash before any sync: clone the device as-is.
+        mounted = HFADFileSystem.mount(clone(device))
+        if a in mounted.list_objects():  # the delete vanished in the crash
+            assert mounted.read(a) == b"A" * 4096
+        assert mounted.fsck()["clean"]
+
+
+class TestReviewRegressions:
+    def test_invalid_create_inputs_do_not_poison_the_filesystem(self):
+        from repro.errors import IndexStoreError, ReproError, UnknownTagError
+
+        device, fs = make_fs()
+        survivor = fs.create(b"already here")
+        with pytest.raises(UnknownTagError):
+            fs.create(b"x", tags=[("NOSUCHTAG", "v")])
+        with pytest.raises(ReproError):
+            fs.create(b"x", path="")
+        assert not fs.recovery.poisoned
+        # The filesystem keeps working, and nothing half-created leaks.
+        after = fs.create(b"still alive")
+        assert fs.read(survivor) == b"already here"
+        mounted = HFADFileSystem.mount(clone(device))
+        assert mounted.list_objects() == [survivor, after]
+
+    def test_unlinked_denormalized_path_stays_dead_after_remount(self):
+        device, fs = make_fs()
+        oid = fs.create(b"content")
+        fs.link_path("/a//b", oid)       # normalizes to /a/b
+        assert fs.unlink_path("/a/b") == oid
+        mounted = HFADFileSystem.mount(clone(device))
+        assert mounted.lookup_path("/a/b") is None
+        assert mounted.lookup_path("/a//b") is None
+
+    def test_directory_rename_survives_remount(self):
+        from repro.posix import PosixVFS
+
+        device, fs = make_fs()
+        vfs = PosixVFS(fs)
+        vfs.makedirs("/dir")
+        vfs.write_file("/dir/file.txt", b"contents")
+        vfs.rename("/dir", "/renamed")
+        mounted = HFADFileSystem.mount(clone(device))
+        assert mounted.lookup_path("/renamed/file.txt") is not None
+        assert mounted.lookup_path("/dir/file.txt") is None
+        assert mounted.read(mounted.lookup_path("/renamed/file.txt")) == b"contents"
+
+    def test_id_tag_and_oversized_names_rejected_before_logging(self):
+        from repro.errors import ObjectStoreError, UnknownTagError
+
+        device, fs = make_fs()
+        keeper = fs.create(b"keeper")
+        with pytest.raises(UnknownTagError):
+            fs.create(b"x", tags=[("ID", "7")])
+        with pytest.raises(ObjectStoreError):
+            fs.create(b"x", path="/" + "a" * 20000)
+        with pytest.raises(ObjectStoreError):
+            fs.tag(keeper, "UDEF", "v" * 20000)
+        assert not fs.recovery.poisoned
+        fs.tag(keeper, "UDEF", "still-works")
+        mounted = HFADFileSystem.mount(clone(device))
+        assert mounted.list_objects() == [keeper]
+
+    def test_rebinding_a_path_scrubs_the_displaced_objects_entry(self):
+        device, fs = make_fs()
+        first = fs.create(b"first owner", path="/x")
+        second = fs.create(b"second owner")
+        fs.link_path("/x", second)   # rebinds /x away from `first`
+        assert fs.lookup_path("/x") == second
+        mounted = HFADFileSystem.mount(clone(device))
+        assert mounted.lookup_path("/x") == second  # `first` must not win it back
+
+    def test_wal_without_a_pool_is_rejected_at_construction(self):
+        with pytest.raises(ValueError, match="buffer pool"):
+            make_fs(cache_pages=0)
+
+    def test_oversized_attributes_rejected_before_logging(self):
+        from repro.errors import ObjectStoreError
+
+        device, fs = make_fs()
+        oid = fs.create(b"object")
+        with pytest.raises(ObjectStoreError):
+            fs.set_attributes(oid, note="x" * 20000)
+        with pytest.raises(ObjectStoreError):
+            fs.create(b"y", attributes={"note": "x" * 20000})
+        assert not fs.recovery.poisoned
+        fs.set_attributes(oid, note="reasonable")  # still works
+        mounted = HFADFileSystem.mount(clone(device))
+        assert mounted.stat(oid).attributes["note"] == "reasonable"
+
+    def test_file_rename_is_one_durable_transaction(self):
+        from repro.posix import PosixVFS
+
+        device, fs = make_fs()
+        vfs = PosixVFS(fs)
+        vfs.write_file("/old.txt", b"renamed bytes")
+        before = fs.recovery.stats.transactions_committed
+        vfs.rename("/old.txt", "/new.txt")
+        assert fs.recovery.stats.transactions_committed == before + 1
+        mounted = HFADFileSystem.mount(clone(device))
+        oid = mounted.lookup_path("/new.txt")
+        assert oid is not None
+        assert mounted.lookup_path("/old.txt") is None
+        assert mounted.read(oid) == b"renamed bytes"

@@ -1,0 +1,73 @@
+"""Superblock round trips and corruption detection."""
+
+import pytest
+
+from repro.errors import RecoveryError
+from repro.recovery import SUPERBLOCK_BLOCK, Superblock
+from repro.storage import BlockDevice
+
+
+def make_superblock(**overrides):
+    fields = dict(
+        journal_start=1,
+        journal_blocks=63,
+        data_region_start=64,
+        master_root=4096,
+        next_oid=17,
+        page_blocks=4,
+        max_keys=32,
+        checkpoint_seq=3,
+    )
+    fields.update(overrides)
+    return Superblock(**fields)
+
+
+class TestRoundTrip:
+    def test_bytes_round_trip(self):
+        original = make_superblock()
+        assert Superblock.from_bytes(original.to_bytes()) == original
+
+    def test_device_round_trip(self):
+        device = BlockDevice(num_blocks=128, block_size=512)
+        original = make_superblock(master_root=99)
+        original.store(device)
+        assert Superblock.load(device) == original
+
+    def test_store_overwrites_previous(self):
+        device = BlockDevice(num_blocks=128, block_size=512)
+        make_superblock(checkpoint_seq=1).store(device)
+        make_superblock(checkpoint_seq=2).store(device)
+        assert Superblock.load(device).checkpoint_seq == 2
+
+
+class TestCorruption:
+    def test_blank_device_rejected(self):
+        device = BlockDevice(num_blocks=128, block_size=512)
+        with pytest.raises(RecoveryError, match="superblock"):
+            Superblock.load(device)
+
+    def test_bad_magic_rejected(self):
+        raw = bytearray(make_superblock().to_bytes())
+        raw[0] ^= 0xFF
+        with pytest.raises(RecoveryError):
+            Superblock.from_bytes(bytes(raw))
+
+    def test_payload_corruption_detected_by_crc(self):
+        raw = bytearray(make_superblock().to_bytes())
+        raw[-1] ^= 0x01  # flip a bit inside the JSON payload
+        with pytest.raises(RecoveryError, match="checksum"):
+            Superblock.from_bytes(bytes(raw))
+
+    def test_truncated_payload_detected(self):
+        raw = make_superblock().to_bytes()
+        with pytest.raises(RecoveryError):
+            Superblock.from_bytes(raw[: len(raw) - 4])
+
+    def test_torn_write_on_device_detected(self):
+        device = BlockDevice(num_blocks=128, block_size=512)
+        make_superblock().store(device)
+        raw = bytearray(device.read_block(SUPERBLOCK_BLOCK))
+        raw[20] ^= 0x40
+        device.write_block(SUPERBLOCK_BLOCK, bytes(raw))
+        with pytest.raises(RecoveryError):
+            Superblock.load(device)

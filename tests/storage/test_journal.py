@@ -171,6 +171,147 @@ class TestCrashInjection:
         assert device.read_block(150) == bytes(512)
 
 
+class TestTornRecords:
+    """CRC-per-record: scan stops cleanly at torn or corrupt bytes."""
+
+    def _committed_journal(self):
+        device, journal = make_journal()
+        txn = journal.begin()
+        txn.log_write(100, b"good record")
+        txn.commit()
+        return device, journal
+
+    def test_truncated_log_bytes_drop_the_tail_cleanly(self):
+        device, journal = self._committed_journal()
+        second = journal.begin()
+        second.log_write(101, b"to be torn")
+        second.commit()
+        # Tear the tail: zero the journal region from mid-second-transaction.
+        cut = journal.bytes_used - 10
+        raw = bytearray(device.read_blocks(0, 16))
+        raw[cut:] = bytes(len(raw) - cut)
+        device.write_blocks(0, bytes(raw), nblocks=16)
+        fresh = Journal(device, journal_start=0, journal_blocks=16)
+        assert len(fresh.scan()) == 1  # only the first transaction survives
+
+    def test_header_corruption_detected_not_just_payload(self):
+        device, journal = self._committed_journal()
+        # Flip a bit in the record *header* (the block field), leaving the
+        # payload untouched: a payload-only checksum would miss this.
+        raw = bytearray(device.read_blocks(0, 16))
+        raw[21] ^= 0x01  # inside the packed header, before the payload
+        device.write_blocks(0, bytes(raw), nblocks=16)
+        fresh = Journal(device, journal_start=0, journal_blocks=16)
+        assert fresh.scan() == []
+
+    def test_payload_corruption_detected(self):
+        device, journal = self._committed_journal()
+        raw = bytearray(device.read_blocks(0, 16))
+        raw[40] ^= 0x10  # inside the payload
+        device.write_blocks(0, bytes(raw), nblocks=16)
+        fresh = Journal(device, journal_start=0, journal_blocks=16)
+        assert fresh.scan() == []
+
+    def test_length_field_promising_missing_bytes_is_torn(self):
+        device, journal = self._committed_journal()
+        # Forge a record whose length points past the end of the region; it
+        # must read as a torn tail, not crash the scanner.
+        forged = journal._encode_record(1, 99, 50, b"x" * 40)
+        forged = forged[:30]  # cut the payload short
+        journal._write_log_region(journal.bytes_used, forged)
+        fresh = Journal(device, journal_start=0, journal_blocks=16)
+        assert len(fresh.scan()) == 1
+
+
+class TestCheckpointRecoverRoundTrips:
+    """checkpoint() and recover() compose in any order without data loss."""
+
+    def test_commit_checkpoint_commit_recover(self):
+        device, journal = make_journal()
+        first = journal.begin()
+        first.log_write(100, b"first epoch")
+        first.commit()
+        journal.checkpoint()
+        second = journal.begin()
+        second.log_write(101, b"second epoch")
+        second.commit()
+        device.discard(100)
+        device.discard(101)
+        fresh = Journal(device, journal_start=0, journal_blocks=16)
+        assert fresh.recover() == 1  # only the post-checkpoint transaction
+        assert device.read_block(100) == bytes(512)  # checkpointed: not replayed
+        assert device.read_block(101).startswith(b"second epoch")
+
+    def test_recover_then_commit_then_recover(self):
+        device, journal = make_journal()
+        txn = journal.begin()
+        txn.log_write(100, b"gen one")
+        txn.commit()
+        second_life = Journal(device, journal_start=0, journal_blocks=16)
+        assert second_life.recover() == 1
+        follow_up = second_life.begin()
+        follow_up.log_write(101, b"gen two")
+        follow_up.commit()
+        third_life = Journal(device, journal_start=0, journal_blocks=16)
+        assert third_life.recover() == 2
+        assert device.read_block(100).startswith(b"gen one")
+        assert device.read_block(101).startswith(b"gen two")
+
+    def test_recover_advances_txid_and_lsn_generators(self):
+        device, journal = make_journal()
+        for _ in range(3):
+            txn = journal.begin()
+            txn.log_write(100, b"x")
+            txn.commit()
+        fresh = Journal(device, journal_start=0, journal_blocks=16)
+        fresh.recover()
+        assert fresh.begin().txid > 3
+        assert fresh.last_lsn >= journal.last_lsn
+
+    def test_checkpoint_is_one_device_write(self):
+        device, journal = make_journal()
+        txn = journal.begin()
+        txn.log_write(100, b"x")
+        txn.commit()
+        before = device.stats.writes
+        journal.checkpoint()
+        assert device.stats.writes == before + 1
+
+
+class TestLsnsAndGroupCommit:
+    def test_lsns_are_monotonic_across_records(self):
+        from repro.storage.journal import TYPE_DATA
+
+        _, journal = make_journal()
+        lsns = [journal.append(TYPE_DATA, 1, 10 + i, b"p") for i in range(5)]
+        assert lsns == sorted(lsns)
+        assert len(set(lsns)) == 5
+
+    def test_buffered_records_become_durable_on_sync(self):
+        from repro.storage.journal import TYPE_DATA
+
+        device, journal = make_journal()
+        lsn = journal.append(TYPE_DATA, 1, 10, b"payload")
+        assert journal.durable_lsn < lsn
+        assert journal.bytes_unflushed > 0
+        journal.sync()
+        assert journal.durable_lsn >= lsn
+        assert journal.bytes_unflushed == 0
+
+    def test_group_commit_one_flush_covers_many_transactions(self):
+        from repro.storage.journal import TYPE_DATA
+
+        device, journal = make_journal()
+        for txid in (1, 2, 3):
+            journal.append(TYPE_DATA, txid, 100 + txid, b"data")
+            journal.commit_txid(txid, sync=False)
+        before = device.stats.writes
+        journal.sync()
+        assert device.stats.writes == before + 1  # one write, three commits
+        fresh = Journal(device, journal_start=0, journal_blocks=16)
+        assert len(fresh.scan()) == 3
+
+
 class TestJournalValidation:
     def test_journal_region_must_fit_device(self):
         device = BlockDevice(num_blocks=8, block_size=512)

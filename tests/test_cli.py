@@ -147,3 +147,36 @@ class TestEntryPoint:
             assert shell.execute("find KIND/photo") != "(no matches)"
         finally:
             shell.close()
+
+
+class TestDurabilityCommands:
+    def test_fsck_reports_clean_store(self, shell):
+        shell.execute("put /ok.txt some contents")
+        report = shell.execute("fsck")
+        assert "objects checked: " in report
+        assert "clean" in report
+
+    def test_recover_reports_mode_without_wal(self, shell):
+        # The default shell keeps its btrees in memory: no journal exists.
+        assert "volatile" in shell.execute("recover")
+
+    def test_recover_and_checkpoint_on_wal_shell(self):
+        shell = build_shell(on_device=True, durability="wal")
+        try:
+            shell.execute("put /durable.txt write ahead logged")
+            report = shell.execute("recover")
+            assert "durability mode: wal" in report
+            assert "committed" in report
+            checkpointed = shell.execute("checkpoint")
+            assert "checkpoint complete" in checkpointed
+            assert "clean" in shell.execute("fsck")
+        finally:
+            shell.close()
+
+    def test_main_accepts_durability_flags(self, capsys):
+        code = main([
+            "--on-device", "--durability", "wal",
+            "-c", "put /d.txt flagged", "-c", "recover",
+        ])
+        assert code == 0
+        assert "durability mode: wal" in capsys.readouterr().out
