@@ -17,7 +17,6 @@ where the object "lives".
 
 from __future__ import annotations
 
-import pytest
 
 from conftest import emit_table
 

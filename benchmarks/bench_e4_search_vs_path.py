@@ -17,7 +17,6 @@ under several POSIX names and several virtual directories at once.
 
 from __future__ import annotations
 
-import pytest
 
 from repro.semantic import VirtualDirectoryTree
 

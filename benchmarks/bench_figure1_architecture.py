@@ -10,7 +10,6 @@ that every box in the figure exists and is exercised.
 
 from __future__ import annotations
 
-import pytest
 
 from repro.core import HFADFileSystem
 from repro.posix import PosixVFS

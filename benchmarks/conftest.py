@@ -21,7 +21,7 @@ fixture (one plain call, no timing) keeps the modules importable.
 from __future__ import annotations
 
 import os
-from typing import Iterable, List, Sequence
+from typing import Iterable, Sequence
 
 import pytest
 
@@ -41,7 +41,7 @@ def scaled(full, smoke):
 
 
 try:  # pragma: no cover - depends on the environment
-    import pytest_benchmark  # noqa: F401
+    import pytest_benchmark  # noqa: F401 — probe only
 except ImportError:  # pragma: no cover
     class _OneShotBenchmark:
         """Fallback when pytest-benchmark is absent: run the callable once.

@@ -35,7 +35,7 @@ from repro.cache.buffer_pool import BufferPool, PoolConsumer
 from repro.errors import BTreeError
 from repro.storage.block_device import BlockDevice
 from repro.storage.buddy import BuddyAllocator
-from repro.btree.node import InnerNode, LeafNode, decode_node
+from repro.btree.node import decode_node
 
 
 class PageStore:

@@ -37,7 +37,7 @@ what write-back means.
 from __future__ import annotations
 
 import threading
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable, Dict, Hashable, Optional, Tuple
 
 from repro.errors import AllPagesPinnedError, CacheError

@@ -24,9 +24,10 @@ from typing import Dict, Iterable, List, Optional, Sequence, Union
 from repro.cache import BufferPool, QueryResultCache
 from repro.core.access import AccessInterface, ObjectHandle
 from repro.core.naming import NamingInterface, PairLike, as_pair
-from repro.core.query import Query, QueryPlanner, parse_query
+from repro.core.query import Query, QueryPlanner
 from repro.core.transactions import NamespaceTransaction, TransactionManager
 from repro.errors import DeviceError, NoSuchObjectError, RecoveryError
+from repro.fulltext.persistent_index import PersistentInvertedIndex
 from repro.index.path_index import normalize_path
 from repro.index import (
     TAG_APP,
@@ -39,6 +40,7 @@ from repro.index import (
     ImageIndexStore,
     IndexStoreRegistry,
     KeyValueIndexStore,
+    PersistentImageIndexStore,
     PosixPathIndexStore,
     TagValue,
 )
@@ -58,10 +60,11 @@ DURABILITY_MODES = ("wal", "writeback", "writethrough")
 
 # Durable-naming key/attribute vocabulary.  Manual names and POSIX paths are
 # persisted as *individual master-tree entries* (``ObjectStore.put_name``) so
-# a heavily-tagged object never grows an unbounded metadata record; the two
-# bounded-size facts below ride the metadata attributes.  Full-text postings
-# are re-derived on mount from the object's own bytes (persisting every
-# posting would explode the index into the metadata).
+# a heavily-tagged object never grows an unbounded metadata record.  With the
+# persistent index (the default for WAL devices), full-text postings and
+# image features live in their own on-device btrees and mounts re-attach
+# them; the attributes below are the legacy re-derive path for devices
+# formatted with ``persistent_index=False``.
 _NAME_ENTRY = "n:"       # "n:TAG/value" → the object carries this name
 _PATH_ENTRY = "p:"       # "p:/a/b"      → the object is linked at this path
 _ATTR_INDEXED = "hfad.ci"     # content-indexed flag
@@ -93,12 +96,22 @@ class HFADFileSystem:
         operation crash-atomic; re-open such a device with :meth:`mount`.
     :param journal_blocks: size of the WAL region in device blocks (the
         metadata prefix ``superblock + journal`` is rounded up to a power of
-        two and reserved out of the data allocator).
+        two and reserved out of the data allocator).  Must fit the largest
+        single transaction: with the persistent index, indexing one document
+        logs a btree page image per distinct term, so size the journal up
+        for workloads that ingest huge, vocabulary-rich documents.
     :param checkpoint_threshold: journal-fill fraction triggering automatic
         checkpoints.
     :param group_commit: commits batched per journal sync (``1`` = sync
         every commit; larger values trade a bounded loss window for
         throughput — see ``repro.recovery``).
+    :param persistent_index: store full-text postings and image features in
+        on-device btrees (WAL-covered like every other tree) so that
+        :meth:`mount` re-attaches them from their persisted roots instead of
+        re-reading and re-analyzing every object's bytes — O(metadata)
+        mounts.  Only meaningful with ``durability="wal"``; ``False`` keeps
+        the legacy re-derive-at-mount behaviour (the ablation path
+        ``benchmarks/bench_e12_mount_time.py`` measures against).
     """
 
     def __init__(
@@ -114,9 +127,10 @@ class HFADFileSystem:
         cache_policy: str = "lru",
         query_cache_entries: int = 256,
         durability: str = "wal",
-        journal_blocks: int = 255,
+        journal_blocks: int = 511,
         checkpoint_threshold: float = 0.5,
         group_commit: int = 1,
+        persistent_index: bool = True,
         _mounted: Optional[dict] = None,
     ) -> None:
         if durability not in DURABILITY_MODES:
@@ -135,6 +149,10 @@ class HFADFileSystem:
             else None
         )
         self.recovery: Optional[RecoveryManager] = None
+        #: on-device btrees backing the persistent full-text / image indexes
+        #: (None = in-memory indexes, re-derived at mount).
+        self._fulltext_tree = None
+        self._image_tree = None
         if _mounted is not None:
             # mount(): the recovery manager has already replayed the journal;
             # re-open the object store from the recovered on-device state.
@@ -146,6 +164,22 @@ class HFADFileSystem:
                 buffer_pool=self.buffer_pool,
                 cache_pages=cache_pages,
             )
+            # Re-attach the persistent index trees from their checkpointed
+            # (and replay-updated) roots.  Zero roots mean the device was
+            # formatted without them: the naming rebuild below re-derives
+            # those indexes the legacy way.
+            if self.recovery.state.get("fulltext_root", 0):
+                self._fulltext_tree = self.objects.open_index_tree(
+                    "index.fulltext",
+                    root_id=self.recovery.state["fulltext_root"],
+                    on_root_change=self._fulltext_root_moved,
+                )
+            if self.recovery.state.get("image_root", 0):
+                self._image_tree = self.objects.open_index_tree(
+                    "index.image",
+                    root_id=self.recovery.state["image_root"],
+                    on_root_change=self._image_root_moved,
+                )
         elif btree_on_device and durability == "wal":
             # mkfs: reserve the metadata prefix (superblock + journal) out of
             # the data allocator and write checkpoint zero.
@@ -182,12 +216,30 @@ class HFADFileSystem:
                 cache_pages=cache_pages,
                 recovery=self.recovery,
             )
+            if persistent_index:
+                # mkfs: the index trees are created alongside the master tree
+                # so checkpoint zero already records their roots.
+                self._fulltext_tree = self.objects.open_index_tree(
+                    "index.fulltext", on_root_change=self._fulltext_root_moved
+                )
+                self._image_tree = self.objects.open_index_tree(
+                    "index.image", on_root_change=self._image_root_moved
+                )
             self.recovery.initialize(
                 master_root=self.objects._master.root_id,
                 next_oid=self.objects._next_oid,
                 data_region_start=data_region_start,
                 page_blocks=self.objects.page_blocks,
                 max_keys=self.objects.max_keys,
+                # "is not None": an empty BPlusTree is falsy (len() == 0).
+                fulltext_root=(
+                    self._fulltext_tree.root_id
+                    if self._fulltext_tree is not None else 0
+                ),
+                image_root=(
+                    self._image_tree.root_id
+                    if self._image_tree is not None else 0
+                ),
             )
         else:
             self.objects = ObjectStore(
@@ -198,10 +250,27 @@ class HFADFileSystem:
                 write_back=(durability == "writeback") if btree_on_device else None,
             )
         # Index stores (Figure 1: the extensible collection of indices).
+        # With persistent index trees, the FULLTEXT store's engine and the
+        # image store write through to on-device btrees whose pages ride the
+        # same buffer pool and WAL as everything else.
         self.keyvalue_index = KeyValueIndexStore()
         self.path_index = PosixPathIndexStore()
-        self.fulltext_index = FullTextIndexStore(lazy=lazy_indexing, workers=index_workers)
-        self.image_index = ImageIndexStore()
+        if self._fulltext_tree is not None:
+            self.fulltext_index = FullTextIndexStore(
+                lazy=lazy_indexing,
+                workers=index_workers,
+                index=PersistentInvertedIndex(self._fulltext_tree, recovery=self.recovery),
+            )
+        else:
+            self.fulltext_index = FullTextIndexStore(lazy=lazy_indexing, workers=index_workers)
+        if self._image_tree is not None:
+            self.image_index = PersistentImageIndexStore(
+                self._image_tree,
+                recovery=self.recovery,
+                load=(_mounted is not None),
+            )
+        else:
+            self.image_index = ImageIndexStore()
         self.registry = IndexStoreRegistry()
         self.registry.register(self.keyvalue_index)
         self.registry.register(self.path_index)
@@ -238,6 +307,14 @@ class HFADFileSystem:
     # durability: mount, checkpoint, fsck
     # ------------------------------------------------------------------
 
+    def _fulltext_root_moved(self, root: int) -> None:
+        # Like the master root: nothing on the device points at an index
+        # tree's root, so journal it logically for the next mount.
+        self.recovery.log_meta({"fulltext_root": root})
+
+    def _image_root_moved(self, root: int) -> None:
+        self.recovery.log_meta({"image_root": root})
+
     @classmethod
     def mount(
         cls,
@@ -255,10 +332,15 @@ class HFADFileSystem:
 
         Recovery runs before any index is opened: the superblock is loaded,
         the journal's committed tail is replayed onto home locations, and
-        only then are the master tree, the extent trees and the in-memory
-        naming indexes rebuilt from the (now consistent) device state.
-        Every operation that completed before the crash is visible; every
-        operation that did not reach its commit marker has vanished whole.
+        only then are the master tree, the extent trees and the naming
+        indexes rebuilt from the (now consistent) device state.  Full-text
+        postings and image features re-attach from their persistent index
+        trees (recorded in the superblock) without reading any object
+        content — mounts cost O(metadata); devices formatted with
+        ``persistent_index=False`` fall back to re-deriving them from
+        object bytes.  Every operation that completed before the crash is
+        visible; every operation that did not reach its commit marker has
+        vanished whole.
         """
         superblock = Superblock.load(device)
         recovery = RecoveryManager.from_superblock(
@@ -285,9 +367,17 @@ class HFADFileSystem:
 
         Manual names and POSIX paths are persisted per entry in each
         object's metadata record (which lives in the master btree and is
-        therefore covered by the WAL); full-text postings and image features
-        are re-derived from the object's own bytes.
+        therefore covered by the WAL).  Full-text postings and image
+        features are already attached from their persistent index trees —
+        no object bytes are read — unless the device was formatted with
+        ``persistent_index=False``, in which case they are re-derived from
+        content (the legacy O(data) path).
         """
+        persistent_fulltext = self._fulltext_tree is not None
+        persistent_image = self._image_tree is not None
+        #: deferred index mutations planned by _plan_fulltext_heal — run
+        #: only after the rebuild walk so probes see a quiescent tree.
+        heal_actions: List = []
         inventory = self.objects.take_mount_inventory()
         if inventory is not None:
             # The mount walk already materialized every master-tree entry;
@@ -299,25 +389,100 @@ class HFADFileSystem:
             }
             names_by_oid = {oid: self.objects.names(oid) for oid in metadata_by_oid}
         for oid in sorted(metadata_by_oid):
+            manual_fulltext: List[TagValue] = []
             for entry in names_by_oid.get(oid, ()):
                 if entry.startswith(_NAME_ENTRY):
                     pair = TagValue.parse(entry[len(_NAME_ENTRY):])
+                    if pair.tag == TAG_FULLTEXT and persistent_fulltext:
+                        # Normally already in the posting tree — but kept
+                        # aside for the lazy-crash heal below.
+                        manual_fulltext.append(pair)
+                        continue
+                    if pair.tag == TAG_IMAGE and persistent_image:
+                        continue  # already in the on-device feature tree
                     self._ensure_tag_registered(pair.tag)
                     self.naming.add_name(oid, pair)
                 elif entry.startswith(_PATH_ENTRY):
                     self.path_index.link(entry[len(_PATH_ENTRY):], oid)
             attributes = metadata_by_oid[oid].attributes
-            if attributes.get(_ATTR_INDEXED) == "1":
+            content_indexed = attributes.get(_ATTR_INDEXED) == "1"
+            if content_indexed:
                 self._content_indexed.add(oid)
+            if persistent_fulltext:
+                self._plan_fulltext_heal(oid, content_indexed, manual_fulltext,
+                                         heal_actions)
+            elif content_indexed:
                 content = self.objects.read(oid)
                 if content:
                     self.fulltext_index.index_content(oid, content)
-            if _ATTR_HISTOGRAM in attributes:
+            if _ATTR_HISTOGRAM in attributes and not persistent_image:
                 self.image_index.index_histogram(
                     oid, json.loads(attributes[_ATTR_HISTOGRAM])
                 )
+        if persistent_fulltext:
+            # Scrub orphans: a deleted object's queued (lazy) content add may
+            # have applied — in its own WAL transaction — after the delete
+            # committed, leaving postings with no object behind them.
+            for doc_oid in self.fulltext_index.index.document_ids():
+                if doc_oid not in metadata_by_oid:
+                    heal_actions.append(
+                        lambda doomed=doc_oid: self.fulltext_index.drop_content(doomed)
+                    )
+            # Execute the planned heals only now: with lazy indexing the
+            # first submission starts worker threads, and the probes above
+            # must all run against a quiescent tree.
+            for action in heal_actions:
+                action()
         for tag in (TAG_POSIX, TAG_FULLTEXT, TAG_IMAGE):
             self.registry.touch(tag)
+
+    def _plan_fulltext_heal(self, oid: int, content_indexed: bool,
+                            manual_fulltext: List[TagValue],
+                            heal_actions: List) -> None:
+        """Reconcile one object's persisted postings with its committed names.
+
+        With synchronous indexing the posting tree can never disagree with
+        the master tree (they commit together).  Lazy indexing applies in
+        separate worker transactions, so a crash can strand three states,
+        each healed from durable metadata alone:
+
+        * flagged content-indexed but no document record — the content add
+          never applied: re-derive from the object's bytes (the only case
+          that reads content, and the probe costs one index lookup);
+        * committed manual FULLTEXT name entries on an object with *no*
+          document record — the whole apply chain was lost: re-add them
+          (after the content, preserving submission order).  When a record
+          exists the entries are left alone: an entry's terms being absent
+          then is not diagnostic (re-indexing an edited object already
+          replaces manual terms with content terms — a long-standing
+          facade-level quirk — and "healing" those would change answers on
+          perfectly clean mounts);
+        * a document record with no content flag and no manual names — a
+          ``disable_content_indexing``'s queued removal was lost: drop it.
+
+        Only *probes* run here; the mutations are appended to
+        ``heal_actions`` and executed after the whole rebuild walk, because
+        with lazy indexing the first submission starts worker threads whose
+        applies would race the remaining probes.
+        """
+        engine = self.fulltext_index.index
+        if oid not in engine:
+            if content_indexed:
+                content = self.objects.read(oid)
+                if content:
+                    heal_actions.append(
+                        lambda o=oid, c=content: self.fulltext_index.index_content(o, c)
+                    )
+            # Re-applied through the store so ordering stays FIFO with the
+            # content re-derive queued just above.
+            for pair in manual_fulltext:
+                heal_actions.append(
+                    lambda o=oid, p=pair: self.naming.add_name(o, p)
+                )
+        elif not content_indexed and not manual_fulltext:
+            heal_actions.append(
+                lambda o=oid: self.fulltext_index.drop_content(o)
+            )
 
     def _ensure_tag_registered(self, tag: str) -> None:
         """Serve ad-hoc tags met during a mount with on-the-fly kv stores."""
@@ -349,46 +514,30 @@ class HFADFileSystem:
     def fsck(self) -> Dict[str, object]:
         """Integrity audit of the on-device structures.
 
-        Walks every object's extent map and btree invariants, verifies the
-        persisted extent-tree roots match the live trees, checks the
-        allocator's internal consistency and scans the journal for a clean
-        (parseable) tail.  Returns a report dict with an ``errors`` list —
-        empty on a healthy filesystem.
+        The OSD audits its own objects (:meth:`ObjectStore.check_consistency`:
+        extent maps, btree invariants, persisted extent roots, master tree,
+        allocator); this facade aggregates that with the structures only it
+        knows about — the persistent index trees and the journal.  Returns a
+        report dict with an ``errors`` list — empty on a healthy filesystem.
         """
-        errors: List[str] = []
-        objects = 0
-        extents = 0
-        try:
-            live = self.objects.list_objects()
-        except Exception as error:  # noqa: BLE001 — fsck reports, never raises
-            errors.append(f"master tree walk: {error}")
-            live = []
-        for oid in live:
-            objects += 1
+        report: Dict[str, object] = self.objects.check_consistency()
+        errors: List[str] = report["errors"]
+        for label, tree, root_key in (
+            ("fulltext index", self._fulltext_tree, "fulltext_root"),
+            ("image index", self._image_tree, "image_root"),
+        ):
+            if tree is None:
+                continue
             try:
-                self.objects.check_object(oid)
-                extents += self.objects.extent_count(oid)
-                tree = self.objects._trees.get(oid)
-                if tree is not None:
-                    tree.check_invariants()
-                    persisted = self.objects.stat(oid).extent_root
-                    if persisted is not None and persisted != tree.root_id:
-                        errors.append(
-                            f"object {oid}: persisted extent root {persisted} "
-                            f"!= live root {tree.root_id}"
-                        )
+                tree.check_invariants()
+                persisted = self.recovery.state.get(root_key, 0)
+                if persisted != tree.root_id:
+                    errors.append(
+                        f"{label}: persisted root {persisted} != live root "
+                        f"{tree.root_id}"
+                    )
             except Exception as error:  # noqa: BLE001 — fsck reports, never raises
-                errors.append(f"object {oid}: {error}")
-        report: Dict[str, object] = {"objects": objects, "extents": extents,
-                                     "errors": errors}
-        try:
-            self.objects._master.check_invariants()
-        except Exception as error:  # noqa: BLE001
-            errors.append(f"master tree: {error}")
-        try:
-            self.objects.allocator.check_invariants()
-        except Exception as error:  # noqa: BLE001
-            errors.append(f"allocator: {error}")
+                errors.append(f"{label}: {error}")
         if self.recovery is not None:
             journal = self.recovery.journal
             try:
@@ -588,15 +737,17 @@ class HFADFileSystem:
 
     def enable_content_indexing(self, oid: int) -> None:
         """Start tracking (and immediately index) the object's content."""
-        self._content_indexed.add(oid)
-        self._persist_attr(oid, _ATTR_INDEXED, "1")
-        self.fulltext_index.index_content(oid, self.objects.read(oid))
+        with self._durable():
+            self._content_indexed.add(oid)
+            self._persist_attr(oid, _ATTR_INDEXED, "1")
+            self.fulltext_index.index_content(oid, self.objects.read(oid))
 
     def disable_content_indexing(self, oid: int) -> None:
         """Stop tracking the object's content and drop it from the index."""
-        self._content_indexed.discard(oid)
-        self._unpersist_attr(oid, _ATTR_INDEXED)
-        self.fulltext_index.drop_content(oid)
+        with self._durable():
+            self._content_indexed.discard(oid)
+            self._unpersist_attr(oid, _ATTR_INDEXED)
+            self.fulltext_index.drop_content(oid)
 
     # ------------------------------------------------------------------
     # naming interfaces
@@ -755,7 +906,10 @@ class HFADFileSystem:
         with self._durable():
             colour = self.image_index.index_histogram(oid, histogram)
             self.registry.touch(TAG_IMAGE)
-            self._persist_attr(oid, _ATTR_HISTOGRAM, json.dumps(list(histogram)))
+            if self._image_tree is None:
+                # Legacy format only: the persistent image tree (when
+                # present) already carries the histogram.
+                self._persist_attr(oid, _ATTR_HISTOGRAM, json.dumps(list(histogram)))
             return colour
 
     # ------------------------------------------------------------------
@@ -808,6 +962,19 @@ class HFADFileSystem:
             "object_count": self.object_count,
             "buffer_pool": self.buffer_pool.snapshot() if self.buffer_pool else None,
             "query_cache": self.query_cache.snapshot() if self.query_cache else None,
+            "persistent_index": (
+                {
+                    "fulltext_root": self._fulltext_tree.root_id,
+                    "fulltext_documents": self.fulltext_index.document_count,
+                    "image_root": (
+                        self._image_tree.root_id
+                        if self._image_tree is not None else 0
+                    ),
+                    "image_objects": self.image_index.indexed_count,
+                }
+                if self._fulltext_tree is not None
+                else None
+            ),
             "recovery": (
                 self.recovery.snapshot()
                 if self.recovery is not None

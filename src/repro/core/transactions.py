@@ -27,8 +27,8 @@ needs to unwind anything.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Callable, List, Optional
+from dataclasses import dataclass
+from typing import Callable, List
 
 from repro.errors import TransactionError
 

@@ -20,11 +20,13 @@ behaviourally relevant parts:
 from repro.fulltext.analyzer import Analyzer
 from repro.fulltext.inverted_index import InvertedIndex, SearchHit
 from repro.fulltext.lazy_indexer import LazyIndexer
+from repro.fulltext.persistent_index import PersistentInvertedIndex
 from repro.fulltext.postings import Posting, PostingList
 
 __all__ = [
     "Analyzer",
     "InvertedIndex",
+    "PersistentInvertedIndex",
     "SearchHit",
     "LazyIndexer",
     "Posting",

@@ -10,8 +10,8 @@ make "photos" match "photo" without pulling in a full Porter implementation).
 from __future__ import annotations
 
 import re
-from dataclasses import dataclass, field
-from typing import Iterable, List, Sequence, Tuple
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
 
 _TOKEN_RE = re.compile(r"[A-Za-z0-9_]+")
 

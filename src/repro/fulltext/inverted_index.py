@@ -20,9 +20,8 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import Dict, Iterable, List, Optional, Sequence
 
-from repro.errors import FullTextError
 from repro.fulltext.analyzer import Analyzer
 from repro.fulltext.postings import Posting, PostingList, intersect, union
 from repro.query.cursors import DocIdCursor, EmptyCursor, IntersectCursor, ScanCounter
@@ -98,6 +97,11 @@ class InvertedIndex:
     def update_document(self, doc_id: int, text) -> int:
         """Alias for :meth:`add_document` (which already replaces)."""
         return self.add_document(doc_id, text)
+
+    def append_terms(self, doc_id: int, text) -> int:
+        """Extend the document with ``text``'s terms (manual FULLTEXT tags)."""
+        existing = " ".join(self.terms_for(doc_id))
+        return self.add_document(doc_id, (existing + " " + str(text)).strip())
 
     # -------------------------------------------------------------- queries
 

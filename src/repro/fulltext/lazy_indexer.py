@@ -31,6 +31,8 @@ class IndexerStats:
     enqueued: int = 0
     indexed: int = 0
     removed: int = 0
+    #: worker applies that raised (the op is dropped, the worker survives).
+    failed: int = 0
     max_queue_depth: int = 0
 
 
@@ -61,6 +63,8 @@ class LazyIndexer:
         self.synchronous = synchronous
         self.on_apply = on_apply
         self.stats = IndexerStats()
+        #: the most recent worker-apply exception (None if none ever failed).
+        self.last_error: Optional[BaseException] = None
         self._lock = threading.Lock()
         self._queue: "queue.Queue" = queue.Queue(maxsize=max_queue)
         self._threads = []
@@ -124,6 +128,7 @@ class LazyIndexer:
         """Queue removal of ``doc_id`` from the index."""
         if self._closed:
             raise FullTextError("indexer is closed")
+        self.stats.enqueued += 1
         if self.synchronous:
             with self._lock:
                 self.index.remove_document(doc_id)
@@ -133,6 +138,29 @@ class LazyIndexer:
         if not self._started:
             self.start()
         self._queue.put(("remove", doc_id, None))
+
+    def submit_apply(self, fn) -> None:
+        """Queue an arbitrary index mutation (applied under the worker lock).
+
+        Used for mutations that must stay *ordered* with queued content —
+        e.g. a manual FULLTEXT tag on an object whose content add is still
+        in flight: applying it inline would read the index before the
+        content lands and the two would interleave arbitrarily.  Counted in
+        the enqueued/indexed stats so :meth:`flush` waits for it.
+        """
+        if self._closed:
+            raise FullTextError("indexer is closed")
+        self.stats.enqueued += 1
+        if self.synchronous:
+            with self._lock:
+                fn()
+            self.stats.indexed += 1
+            self._applied()
+            return
+        if not self._started:
+            self.start()
+        self._queue.put(("apply", None, fn))
+        self.stats.max_queue_depth = max(self.stats.max_queue_depth, self._queue.qsize())
 
     def _applied(self) -> None:
         if self.on_apply is not None:
@@ -156,15 +184,17 @@ class LazyIndexer:
 
     @property
     def pending(self) -> int:
-        """Number of submitted items not yet visible to queries."""
+        """Number of submitted items not yet applied (or dropped as failed).
+
+        Every submission path counts into ``enqueued``; every worker outcome
+        counts into exactly one of ``indexed``/``removed``/``failed`` — so
+        flush() now waits for removals too, and a failed apply can never
+        drive the balance negative.
+        """
         if self.synchronous:
             return 0
-        return self.stats.enqueued - self.stats.indexed + self._removals_pending()
-
-    def _removals_pending(self) -> int:
-        # Removals are rare; approximating pending work by queue size keeps
-        # the accounting simple while staying conservative.
-        return 0
+        return (self.stats.enqueued - self.stats.indexed
+                - self.stats.removed - self.stats.failed)
 
     def is_visible(self, doc_id: int) -> bool:
         """True once ``doc_id`` has actually been indexed."""
@@ -180,14 +210,26 @@ class LazyIndexer:
                 self._queue.task_done()
                 return
             try:
-                with self._lock:
-                    if operation == "add":
-                        self.index.add_document(doc_id, text)
-                        self.stats.indexed += 1
-                    elif operation == "remove":
-                        self.index.remove_document(doc_id)
-                        self.stats.removed += 1
-                self._applied()
+                try:
+                    with self._lock:
+                        if operation == "add":
+                            self.index.add_document(doc_id, text)
+                            self.stats.indexed += 1
+                        elif operation == "remove":
+                            self.index.remove_document(doc_id)
+                            self.stats.removed += 1
+                        elif operation == "apply":
+                            text()  # the queued mutation closure
+                            self.stats.indexed += 1
+                except Exception as error:  # noqa: BLE001 — the worker must
+                    # survive a failed apply (a persistent engine can raise
+                    # journal/space errors): record it and keep draining, or
+                    # every later flush() would block forever on a queue
+                    # nobody services.
+                    self.stats.failed += 1
+                    self.last_error = error
+                else:
+                    self._applied()
             finally:
                 self._queue.task_done()
 
@@ -202,3 +244,24 @@ class LazyIndexer:
         """Ranked search against whatever has been indexed so far."""
         with self._lock:
             return self.index.rank(query, limit=limit)
+
+    def document_frequency(self, term: str) -> int:
+        """Document frequency under the worker lock (safe vs live applies)."""
+        with self._lock:
+            return self.index.document_frequency(term)
+
+    def terms_for(self, doc_id: int):
+        """A document's terms under the worker lock (safe vs live applies)."""
+        with self._lock:
+            return self.index.terms_for(doc_id)
+
+    def mutation_lock(self):
+        """The worker lock, for foreground mutations of an engine that has
+        no serialization of its own (in-memory index, no WAL)."""
+        return self._lock
+
+    @property
+    def document_count(self) -> int:
+        """Indexed document count under the worker lock."""
+        with self._lock:
+            return self.index.document_count

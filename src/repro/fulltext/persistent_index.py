@@ -1,0 +1,438 @@
+"""The persistent inverted index: postings in an on-device B+-tree.
+
+Drop-in replacement for :class:`~repro.fulltext.inverted_index.InvertedIndex`
+whose state lives entirely in one B+-tree instead of Python dicts.  When the
+tree is device-backed (the :class:`~repro.btree.pages.DevicePageStore` the
+OSD hands out for index trees), every page write flows through the shared
+buffer pool and is WAL-logged by the recovery manager — so the full-text
+namespace gets the same crash-atomicity as every other btree, and a re-mount
+re-attaches the index from its persisted root instead of re-reading and
+re-analyzing every object's bytes (the O(data)-mount problem the ROADMAP
+flagged after PR 3).
+
+Key layout (one tree, four record kinds)::
+
+    S                          -> doc_count(8) | total_token_count(8)
+    F \x00 term                -> document_frequency(8)
+    D \x00 oid(8) \x00 seq(4)  -> chunk of: doc_length(4) | term \x00 term ...
+    T \x00 term \x00 oid(8)    -> tf(4) | npos(4) | position(4) * min(npos, 64)
+
+* ``T`` keys end in the big-endian oid, so a term's prefix range streams in
+  ascending object-id order — the exact contract of the PR-2 cursor
+  protocol.  Queries reuse the same B+-tree prefix-range cursor the
+  key/value index streams with; nothing is materialized.
+* ``F`` records make document-frequency (planner cardinality, rarest-first
+  ordering, BM25 idf) an O(log n) point lookup instead of a range count.
+* ``D`` records hold the per-document stats BM25 needs (token count) plus
+  the term list used to scrub postings on remove/update.  They are chunked
+  so a document with a huge vocabulary can never produce a single btree
+  entry larger than a page (single oversized entries cannot be split).
+* ``S`` is the corpus aggregate (document count, total token count) so the
+  BM25 average document length never needs a scan.
+
+Positions are capped at :data:`MAX_STORED_POSITIONS` per posting: term
+frequency stays exact (BM25 is unaffected) but phrase queries only consult
+the stored prefix of a pathologically long document's occurrence list.
+
+Mutations bracket themselves in a recovery-manager transaction, so an
+``add_document`` inside an enclosing filesystem operation *joins* that
+operation's WAL transaction (create = allocate + write + name + index is one
+commit marker), while a background (lazy-indexing) worker's application
+forms its own transaction — serialized against foreground transactions by
+the recovery manager's transaction lock.
+"""
+
+from __future__ import annotations
+
+import math
+import struct
+from contextlib import nullcontext
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.btree import BPlusTree
+from repro.errors import KeyNotFoundError
+from repro.fulltext.analyzer import Analyzer
+from repro.fulltext.inverted_index import SearchHit
+from repro.index.keyvalue_index import PrefixOidCursor
+from repro.query.cursors import DocIdCursor, EmptyCursor, IntersectCursor, ScanCounter, UnionCursor
+
+_OID = struct.Struct(">Q")
+_SEP = b"\x00"
+_STATS_KEY = b"S"
+_DF_PREFIX = b"F\x00"
+_DOC_PREFIX = b"D\x00"
+_TERM_PREFIX = b"T\x00"
+_U32 = struct.Struct(">I")
+_U64 = struct.Struct(">Q")
+_STATS = struct.Struct(">QQ")
+_POSTING_HEADER = struct.Struct(">II")
+
+#: positions stored per posting; term frequency stays exact beyond the cap.
+MAX_STORED_POSITIONS = 64
+#: bytes per ``D`` chunk — small enough that a chunk entry always fits even
+#: the smallest configured btree page.
+DOC_CHUNK_BYTES = 768
+
+
+def _encode_term(term: str) -> bytes:
+    # Analyzer tokens are lower-cased ``[a-z0-9_]`` runs, so the NUL
+    # separator can never appear inside an encoded term.
+    return term.encode("utf-8")
+
+
+class PersistentInvertedIndex:
+    """An inverted index stored in a B+-tree (optionally WAL-protected).
+
+    :param tree: the backing :class:`~repro.btree.BPlusTree`; device-backed
+        in the filesystem (shared pool, WAL logging), in-memory in tests.
+    :param recovery: optional recovery manager; mutations bracket themselves
+        in one of its transactions (joining any enclosing one).
+    :param analyzer: analysis pipeline (must match whatever indexed the
+        existing tree contents).
+    """
+
+    def __init__(
+        self,
+        tree: BPlusTree,
+        recovery=None,
+        analyzer: Optional[Analyzer] = None,
+    ) -> None:
+        self.analyzer = analyzer or Analyzer()
+        self._tree = tree
+        self._recovery = recovery
+        self.term_lookups = 0
+        self._scan = ScanCounter()
+
+    @property
+    def tree(self) -> BPlusTree:
+        """The backing tree (the facade persists/checks its root)."""
+        return self._tree
+
+    @property
+    def postings_scanned(self) -> int:
+        return self._scan.scanned
+
+    @postings_scanned.setter
+    def postings_scanned(self, value: int) -> None:
+        self._scan.scanned = value
+
+    def _txn(self):
+        if self._recovery is None:
+            return nullcontext()
+        return self._recovery.transaction()
+
+    # ---------------------------------------------------------------- keys
+
+    def _df_key(self, term: str) -> bytes:
+        return _DF_PREFIX + _encode_term(term)
+
+    def _doc_prefix(self, doc_id: int) -> bytes:
+        return _DOC_PREFIX + _OID.pack(doc_id) + _SEP
+
+    def _doc_key(self, doc_id: int, seq: int) -> bytes:
+        return self._doc_prefix(doc_id) + _U32.pack(seq)
+
+    def _posting_prefix(self, term: str) -> bytes:
+        return _TERM_PREFIX + _encode_term(term) + _SEP
+
+    def _posting_key(self, term: str, doc_id: int) -> bytes:
+        return self._posting_prefix(term) + _OID.pack(doc_id)
+
+    # ------------------------------------------------------------- records
+
+    def _read_stats(self) -> Tuple[int, int]:
+        raw = self._tree.get(_STATS_KEY)
+        return _STATS.unpack(raw) if raw is not None else (0, 0)
+
+    def _bump_stats(self, docs: int, tokens: int) -> None:
+        count, total = self._read_stats()
+        self._tree.put(_STATS_KEY, _STATS.pack(count + docs, total + tokens))
+
+    def _bump_df(self, term: str, delta: int) -> None:
+        key = self._df_key(term)
+        raw = self._tree.get(key)
+        current = _U64.unpack(raw)[0] if raw is not None else 0
+        updated = current + delta
+        if updated > 0:
+            self._tree.put(key, _U64.pack(updated))
+        elif raw is not None:
+            self._tree.delete(key)
+
+    def _term_df(self, term: str) -> int:
+        raw = self._tree.get(self._df_key(term))
+        return _U64.unpack(raw)[0] if raw is not None else 0
+
+    def _read_doc(self, doc_id: int) -> Optional[Tuple[int, List[str]]]:
+        """``(doc_length, terms)`` from the chunked ``D`` records."""
+        payload = b"".join(
+            value for _key, value in self._tree.cursor(prefix=self._doc_prefix(doc_id))
+        )
+        if not payload:
+            return None
+        length = _U32.unpack_from(payload, 0)[0]
+        body = payload[_U32.size:]
+        terms = [t.decode("utf-8") for t in body.split(_SEP)] if body else []
+        return length, terms
+
+    def _write_doc(self, doc_id: int, length: int, terms: List[str]) -> None:
+        payload = _U32.pack(length) + _SEP.join(_encode_term(t) for t in terms)
+        for seq in range(0, max(1, -(-len(payload) // DOC_CHUNK_BYTES))):
+            chunk = payload[seq * DOC_CHUNK_BYTES:(seq + 1) * DOC_CHUNK_BYTES]
+            self._tree.put(self._doc_key(doc_id, seq), chunk)
+
+    def _delete_doc_chunks(self, doc_id: int) -> None:
+        keys = [key for key, _value in self._tree.cursor(prefix=self._doc_prefix(doc_id))]
+        for key in keys:
+            self._tree.delete(key)
+
+    def _decode_posting(self, raw: bytes) -> Tuple[int, Tuple[int, ...]]:
+        tf, npos = _POSTING_HEADER.unpack_from(raw, 0)
+        positions = struct.unpack_from(f">{npos}I", raw, _POSTING_HEADER.size)
+        return tf, positions
+
+    # ------------------------------------------------------------- mutation
+
+    def add_document(self, doc_id: int, text) -> int:
+        """Index ``text`` under ``doc_id``; returns the number of terms stored.
+
+        Re-adding an existing document replaces its previous contents.  The
+        whole replace is one WAL transaction (or joins an enclosing one).
+        """
+        with self._txn():
+            self.remove_document(doc_id)
+            analyzed = self.analyzer.analyze_with_positions(text)
+            occurrences: Dict[str, List[int]] = {}
+            for term, position in analyzed:
+                occurrences.setdefault(term, []).append(position)
+            for term, positions in occurrences.items():
+                stored = positions[:MAX_STORED_POSITIONS]
+                value = _POSTING_HEADER.pack(len(positions), len(stored))
+                value += struct.pack(f">{len(stored)}I", *stored)
+                self._tree.put(self._posting_key(term, doc_id), value)
+                self._bump_df(term, +1)
+            self._write_doc(doc_id, len(analyzed), list(occurrences))
+            self._bump_stats(docs=+1, tokens=len(analyzed))
+            return len(occurrences)
+
+    def remove_document(self, doc_id: int) -> bool:
+        """Remove every posting of ``doc_id``; returns True if it was indexed.
+
+        The existence probe runs *inside* the transaction: the recovery
+        manager's transaction lock then serializes check-and-delete, so two
+        racing removals (a lazy worker vs a foreground delete) cannot both
+        pass the probe and double-decrement the corpus stats.
+        """
+        with self._txn():
+            doc = self._read_doc(doc_id)
+            if doc is None:
+                return False
+            length, terms = doc
+            for term in terms:
+                try:
+                    self._tree.delete(self._posting_key(term, doc_id))
+                except KeyNotFoundError:
+                    continue
+                self._bump_df(term, -1)
+            self._delete_doc_chunks(doc_id)
+            self._bump_stats(docs=-1, tokens=-length)
+            return True
+
+    def update_document(self, doc_id: int, text) -> int:
+        """Alias for :meth:`add_document` (which already replaces)."""
+        return self.add_document(doc_id, text)
+
+    def append_terms(self, doc_id: int, text) -> int:
+        """Extend the document with ``text``'s terms (manual FULLTEXT tags).
+
+        The read (current terms) and the replace are one WAL transaction,
+        so the read cannot race another thread's structural tree mutation —
+        the transaction lock serializes both.
+        """
+        with self._txn():
+            existing = " ".join(self.terms_for(doc_id))
+            return self.add_document(doc_id, (existing + " " + str(text)).strip())
+
+    # -------------------------------------------------------------- queries
+
+    @property
+    def document_count(self) -> int:
+        return self._read_stats()[0]
+
+    @property
+    def term_count(self) -> int:
+        return sum(1 for _ in self._tree.cursor(prefix=_DF_PREFIX))
+
+    def __contains__(self, doc_id: int) -> bool:
+        return self._tree.get(self._doc_key(doc_id, 0)) is not None
+
+    def document_frequency(self, term: str) -> int:
+        """Number of documents containing ``term`` (after analysis)."""
+        analyzed = self.analyzer.analyze_query(term)
+        if not analyzed:
+            return 0
+        return self._term_df(analyzed[0])
+
+    def _term_cursor(self, term: str, df: int,
+                     counter: Optional[ScanCounter] = None) -> DocIdCursor:
+        return PrefixOidCursor(
+            self._tree,
+            self._posting_prefix(term),
+            cardinality=lambda: df,
+            counter=counter if counter is not None else self._scan,
+        )
+
+    def _query_dfs(self, terms: List[str]) -> Optional[List[Tuple[int, str]]]:
+        """``(df, term)`` per query term, ``None`` if any term is absent.
+
+        Mirrors the in-memory index's ``_posting_lists`` accounting: one
+        term lookup is charged per term until the first missing one empties
+        the conjunction.
+        """
+        infos: List[Tuple[int, str]] = []
+        for term in terms:
+            self.term_lookups += 1
+            df = self._term_df(term)
+            if df == 0:
+                return None
+            infos.append((df, term))
+        return infos
+
+    def cursor(self, query, counter: Optional[ScanCounter] = None) -> DocIdCursor:
+        """A streaming cursor over the conjunctive matches of ``query``.
+
+        Multi-term values become a rarest-first leapfrog intersection of
+        B+-tree prefix-range cursors; seeks re-descend the tree in O(log n),
+        so huge common terms are probed, never scanned end to end.
+        """
+        terms = self.analyzer.analyze_query(query)
+        if not terms:
+            return EmptyCursor()
+        infos = self._query_dfs(terms)
+        if infos is None:
+            return EmptyCursor()
+        infos.sort(key=lambda info: info[0])  # stable: ties keep query order
+        cursors = [self._term_cursor(term, df, counter=counter) for df, term in infos]
+        if len(cursors) == 1:
+            return cursors[0]
+        return IntersectCursor(cursors)
+
+    def search(self, query) -> List[int]:
+        """Conjunctive search: doc ids containing *all* query terms."""
+        return list(self.cursor(query))
+
+    def search_all(self, terms: Iterable[str]) -> List[int]:
+        """Conjunctive search over pre-split terms."""
+        return self.search(" ".join(terms))
+
+    def search_any(self, query) -> List[int]:
+        """Disjunctive search: doc ids containing *any* query term."""
+        terms = self.analyzer.analyze_query(query)
+        cursors = []
+        for term in terms:
+            self.term_lookups += 1
+            df = self._term_df(term)
+            if df:
+                cursors.append(self._term_cursor(term, df))
+        if not cursors:
+            return []
+        if len(cursors) == 1:
+            return list(cursors[0])
+        return list(UnionCursor(cursors))
+
+    def search_phrase(self, phrase) -> List[int]:
+        """Documents containing the exact (analyzed) phrase, in order.
+
+        Only the stored position prefix (:data:`MAX_STORED_POSITIONS`) of
+        each posting is consulted.
+        """
+        analyzed = self.analyzer.analyze_with_positions(phrase)
+        terms = [term for term, _pos in analyzed]
+        if not terms:
+            return []
+        candidates = self.search_all(terms)
+        if len(terms) == 1:
+            return candidates
+        results: List[int] = []
+        for doc_id in candidates:
+            positions: List[set] = []
+            for term in terms:
+                raw = self._tree.get(self._posting_key(term, doc_id))
+                positions.append(set(self._decode_posting(raw)[1] if raw else ()))
+            first_positions = positions[0]
+            if any(
+                all((start + offset) in positions[offset] for offset in range(1, len(terms)))
+                for start in first_positions
+            ):
+                results.append(doc_id)
+        return results
+
+    # -------------------------------------------------------------- ranking
+
+    def rank(self, query, limit: Optional[int] = 10, k1: float = 1.5, b: float = 0.75) -> List[SearchHit]:
+        """BM25-ranked disjunctive retrieval.
+
+        Bit-identical to the in-memory index given the same corpus: the same
+        per-term, ascending-doc-id accumulation order, the same integer
+        document-length bookkeeping, the same tie-break.
+        """
+        terms = self.analyzer.analyze_query(query)
+        total_docs, total_tokens = self._read_stats()
+        if not terms or not total_docs:
+            return []
+        average_length = total_tokens / total_docs
+        scores: Dict[int, float] = {}
+        lengths: Dict[int, int] = {}
+        for term in terms:
+            df = self._term_df(term)
+            if df == 0:
+                continue
+            self.term_lookups += 1
+            idf = math.log(1.0 + (total_docs - df + 0.5) / (df + 0.5))
+            for key, raw in self._tree.cursor(prefix=self._posting_prefix(term)):
+                self.postings_scanned += 1
+                doc_id = _OID.unpack(key[-_OID.size:])[0]
+                if doc_id not in lengths:
+                    # Only the length header is needed — chunk 0 carries it,
+                    # so skip decoding the (possibly multi-chunk) term list.
+                    head = self._tree.get(self._doc_key(doc_id, 0))
+                    lengths[doc_id] = _U32.unpack_from(head, 0)[0] if head else 0
+                doc_length = lengths[doc_id] or 1
+                tf = _POSTING_HEADER.unpack_from(raw, 0)[0]
+                denominator = tf + k1 * (1 - b + b * doc_length / average_length)
+                scores[doc_id] = scores.get(doc_id, 0.0) + idf * (tf * (k1 + 1)) / denominator
+        hits = [SearchHit(doc_id=doc_id, score=score) for doc_id, score in scores.items()]
+        hits.sort(key=lambda hit: (-hit.score, hit.doc_id))
+        if limit is not None:
+            hits = hits[:limit]
+        return hits
+
+    # ------------------------------------------------------------ inspection
+
+    def terms_for(self, doc_id: int) -> List[str]:
+        """The analyzed terms stored for ``doc_id`` (empty if not indexed)."""
+        doc = self._read_doc(doc_id)
+        return doc[1] if doc is not None else []
+
+    def document_ids(self) -> List[int]:
+        """Every indexed document id, ascending (one ``D``-prefix walk).
+
+        The mount path uses this to scrub orphans: documents whose object
+        was deleted while their (lazy) index application was still queued.
+        """
+        ids: List[int] = []
+        for key, _value in self._tree.cursor(prefix=_DOC_PREFIX):
+            doc_id = _OID.unpack_from(key, len(_DOC_PREFIX))[0]
+            if not ids or ids[-1] != doc_id:  # chunks of one doc are adjacent
+                ids.append(doc_id)
+        return ids
+
+    def vocabulary(self) -> List[str]:
+        """All indexed terms, sorted (``F`` keys are already in term order)."""
+        return [
+            key[len(_DF_PREFIX):].decode("utf-8")
+            for key, _value in self._tree.cursor(prefix=_DF_PREFIX)
+        ]
+
+    def reset_counters(self) -> None:
+        self.term_lookups = 0
+        self._scan.reset()

@@ -10,7 +10,7 @@ I/O, the cost hFAD's single POSIX-tag lookup avoids.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, Optional
 
 from repro.errors import FileExists, FileNotFound, InvalidArgument
 from repro.hierarchical.inode import Inode, InodeTable

@@ -11,7 +11,7 @@ hFAD's flat tag lookups.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Tuple
+from typing import List, Optional, Tuple
 
 from repro.errors import (
     DirectoryNotEmpty,

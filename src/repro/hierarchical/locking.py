@@ -22,10 +22,9 @@ used per index/object — no shared ancestors, hence no hotspot.
 
 from __future__ import annotations
 
-import threading
 from collections import defaultdict
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+from typing import Dict, List, Sequence, Tuple
 
 from repro.concurrency.lock_manager import LockManager, LockMode
 from repro.index.path_index import normalize_path

@@ -36,10 +36,11 @@ from repro.index.tags import (
     TagValue,
 )
 from repro.index.store import IndexStore, IndexStoreRegistry
-from repro.index.keyvalue_index import KeyValueIndexStore
+from repro.index.keyvalue_index import KeyValueIndexStore, PrefixOidCursor
 from repro.index.path_index import PosixPathIndexStore
 from repro.index.fulltext_index import FullTextIndexStore
 from repro.index.image_index import ImageIndexStore
+from repro.index.persistent import PersistentImageIndexStore
 
 __all__ = [
     "TAG_POSIX",
@@ -54,7 +55,9 @@ __all__ = [
     "IndexStore",
     "IndexStoreRegistry",
     "KeyValueIndexStore",
+    "PrefixOidCursor",
     "PosixPathIndexStore",
     "FullTextIndexStore",
     "ImageIndexStore",
+    "PersistentImageIndexStore",
 ]

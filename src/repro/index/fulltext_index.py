@@ -13,11 +13,13 @@ E6 measures the difference.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence
+from contextlib import nullcontext
+from typing import List, Optional, Sequence
 
 from repro.fulltext import Analyzer, InvertedIndex, LazyIndexer
 from repro.index.store import IndexStore
 from repro.index.tags import TAG_FULLTEXT, TagValue
+from repro.query.cursors import ListCursor
 
 
 class FullTextIndexStore(IndexStore):
@@ -30,9 +32,23 @@ class FullTextIndexStore(IndexStore):
         analyzer: Optional[Analyzer] = None,
         lazy: bool = False,
         workers: int = 1,
+        index: Optional[InvertedIndex] = None,
+        max_queue: int = 1024,
     ) -> None:
-        self.index = InvertedIndex(analyzer=analyzer)
+        #: the engine: the in-memory inverted index by default, or a
+        #: :class:`~repro.fulltext.persistent_index.PersistentInvertedIndex`
+        #: when the filesystem persists postings in an on-device btree.
+        self.index = index if index is not None else InvertedIndex(analyzer=analyzer)
         self.lazy = lazy
+        #: a WAL-bracketed engine serializes its own mutations under the
+        #: recovery manager's transaction lock; an in-memory engine has only
+        #: the worker lock to hide behind.
+        self._engine_wal_serialized = getattr(self.index, "_recovery", None) is not None
+        if self._engine_wal_serialized:
+            # A bounded queue's blocking enqueue could deadlock against the
+            # transaction lock: the submitter (inside a WAL transaction)
+            # holds the lock the worker needs in order to drain.
+            max_queue = 0
         #: optional callable invoked whenever the inverted index actually
         #: changes (content indexed or dropped, possibly on a worker thread);
         #: the file-system facade points this at the registry's generation
@@ -43,11 +59,24 @@ class FullTextIndexStore(IndexStore):
             workers=workers,
             synchronous=not lazy,
             on_apply=self._notify_mutation,
+            max_queue=max_queue,
         )
 
     def _notify_mutation(self) -> None:
         if self.on_mutation is not None:
             self.on_mutation()
+
+    def _foreground_mutation_guard(self):
+        """Serialize a foreground index mutation against lazy workers.
+
+        With a WAL-bracketed engine the mutation's own transaction already
+        excludes the workers (taking the worker lock here would invert the
+        worker's lock → transaction-lock order and deadlock).  An in-memory
+        engine has no such serialization, so the worker lock is taken.
+        """
+        if self.lazy and not self._engine_wal_serialized:
+            return self.indexer.mutation_lock()
+        return nullcontext()
 
     def tags(self) -> Sequence[str]:
         return (TAG_FULLTEXT,)
@@ -74,22 +103,35 @@ class FullTextIndexStore(IndexStore):
     def insert(self, tag: str, value: str, oid: int) -> None:
         # Naming an object with FULLTEXT/term directly (rather than via
         # content indexing) adds just that term — useful for manual keywords.
-        existing = " ".join(self.index.terms_for(oid))
-        self.index.add_document(oid, (existing + " " + str(value)).strip())
+        # In lazy mode the mutation rides the worker queue so it stays FIFO
+        # with any in-flight content add for the same object (applying it
+        # inline would read — and then clobber or be clobbered by — index
+        # state the queued content has not reached yet).  append_terms makes
+        # the read-modify-write atomic inside the engine.
+        if self.lazy:
+            self.indexer.submit_apply(lambda: self.index.append_terms(oid, value))
+            return
+        self.index.append_terms(oid, value)
 
     def remove(self, tag: str, value: str, oid: int) -> bool:
-        terms = self.index.analyzer.analyze_query(value)
-        existing = self.index.terms_for(oid)
-        if not existing or not any(term in existing for term in terms):
-            return False
-        remaining = [term for term in existing if term not in terms]
-        if remaining:
-            self.index.add_document(oid, " ".join(remaining))
-        else:
-            self.index.remove_document(oid)
-        return True
+        # Removals stay foreground-synchronous: the boolean result feeds the
+        # naming layer's bookkeeping, so they jump the worker queue (the
+        # documented visibility-lag semantics of lazy mode).
+        with self._foreground_mutation_guard():
+            terms = self.index.analyzer.analyze_query(value)
+            existing = self.index.terms_for(oid)
+            if not existing or not any(term in existing for term in terms):
+                return False
+            remaining = [term for term in existing if term not in terms]
+            if remaining:
+                self.index.add_document(oid, " ".join(remaining))
+            else:
+                self.index.remove_document(oid)
+            return True
 
     def lookup(self, tag: str, value: str) -> List[int]:
+        if self.lazy:
+            return self.indexer.search(value)
         return self.index.search(value)
 
     def open_cursor(self, tag: str, value: str):
@@ -98,23 +140,45 @@ class FullTextIndexStore(IndexStore):
         A multi-term value becomes a rarest-first leapfrog intersection of
         posting cursors inside the inverted index; "postings scanned" then
         counts only the postings the merge actually touches.
+
+        In lazy mode the result is materialized under the worker lock
+        instead: a live cursor would read the index (for the persistent
+        engine: a multi-page btree traversal) concurrently with a worker
+        thread structurally mutating it.
         """
+        if self.lazy:
+            return ListCursor(self.indexer.search(value))
         return self.index.cursor(value)
 
     def remove_object(self, oid: int) -> int:
-        had_terms = len(self.index.terms_for(oid))
-        self.index.remove_document(oid)
-        return 1 if had_terms else 0
+        with self._foreground_mutation_guard():
+            had_terms = len(self.index.terms_for(oid))
+            self.index.remove_document(oid)
+            return 1 if had_terms else 0
 
     def values_for(self, oid: int) -> List[TagValue]:
-        return [TagValue(tag=TAG_FULLTEXT, value=term) for term in sorted(self.index.terms_for(oid))]
+        # Callers hold no transaction lock here, so in lazy mode the read
+        # goes through the worker lock.
+        terms = self.indexer.terms_for(oid) if self.lazy else self.index.terms_for(oid)
+        return [TagValue(tag=TAG_FULLTEXT, value=term) for term in sorted(terms)]
+
+    @property
+    def document_count(self) -> int:
+        """Indexed documents (worker-lock-safe in lazy mode; for stats)."""
+        if self.lazy:
+            return self.indexer.document_count
+        return self.index.document_count
 
     # -------------------------------------------------------------- extras
 
     def cardinality(self, tag: str, value: str) -> int:
         """Document frequency of the (analyzed) term — used by the planner."""
+        if self.lazy:
+            return self.indexer.document_frequency(value)
         return self.index.document_frequency(value)
 
     def rank(self, query: str, limit: Optional[int] = 10):
         """BM25-ranked hits; convenience for examples and the semantic layer."""
+        if self.lazy:
+            return self.indexer.rank(query, limit=limit)
         return self.index.rank(query, limit=limit)

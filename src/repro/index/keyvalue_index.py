@@ -41,13 +41,15 @@ def _encode_text(text: str) -> bytes:
     return encoded
 
 
-class _PrefixOidCursor(DocIdCursor):
-    """Streams the oids of one forward-prefix range straight off the B+-tree.
+class PrefixOidCursor(DocIdCursor):
+    """Streams the oids of one key-prefix range straight off a B+-tree.
 
-    Keys under ``F\\0tag\\0value\\0`` end in the big-endian oid, so key order
-    *is* ascending oid order and no sort or materialization is needed.
-    ``seek`` maps an oid target onto a tree re-descent (O(log n)), which is
-    what lets leapfrog intersections skip most of a huge tag's entries.
+    Works for any key layout whose keys end in the big-endian oid (this
+    store's ``F\\0tag\\0value\\0<oid>`` entries, the persistent inverted
+    index's ``T\\0term\\0<oid>`` postings): key order *is* ascending oid
+    order, so no sort or materialization is needed.  ``seek`` maps an oid
+    target onto a tree re-descent (O(log n)), which is what lets leapfrog
+    intersections skip most of a huge tag's entries.
     """
 
     def __init__(self, tree, prefix: bytes, cardinality, counter: ScanCounter) -> None:
@@ -159,7 +161,7 @@ class KeyValueIndexStore(IndexStore):
         """Stream matches straight from the B+-tree prefix range."""
         tag = normalize_tag(tag)
         prefix = self._forward_prefix(tag, value)
-        return _PrefixOidCursor(
+        return PrefixOidCursor(
             self._tree,
             prefix,
             cardinality=lambda: self.cardinality(tag, value),

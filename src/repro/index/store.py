@@ -11,7 +11,7 @@ itself: an ``ID`` lookup never consults an index at all.
 from __future__ import annotations
 
 import threading
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, Iterable, List, Optional, Sequence, Set
 
 from repro.errors import DuplicateIndexError, IndexStoreError, UnknownTagError

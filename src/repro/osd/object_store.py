@@ -20,7 +20,7 @@ from __future__ import annotations
 
 import struct
 from contextlib import nullcontext
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Set
 
 from repro.btree import BPlusTree, DevicePageStore, InMemoryPageStore
@@ -106,10 +106,48 @@ class ObjectStore:
             allocator = BuddyAllocator(
                 total_blocks=device.num_blocks - data_region_start, base=data_region_start
             )
+        self._init_shared_state(
+            device,
+            btree_on_device=btree_on_device,
+            max_keys=max_keys,
+            max_extent_blocks=max_extent_blocks,
+            page_blocks=page_blocks,
+            buffer_pool=buffer_pool,
+            cache_pages=cache_pages,
+            recovery=recovery,
+            write_back=write_back,
+        )
+        self.allocator = allocator
+        self._master = BPlusTree(
+            store=self._new_page_store("osd.master"),
+            max_keys=max_keys,
+            on_root_change=self._master_root_moved,
+        )
+
+    def _init_shared_state(
+        self,
+        device: BlockDevice,
+        *,
+        btree_on_device: bool,
+        max_keys: int,
+        max_extent_blocks: int,
+        page_blocks: int,
+        buffer_pool: Optional[BufferPool],
+        cache_pages: int,
+        recovery,
+        write_back: Optional[bool],
+    ) -> None:
+        """Field initialization shared by ``__init__`` and :meth:`mount`.
+
+        The two construction paths used to duplicate ~15 assignments and had
+        started to diverge; everything that must be identical between a
+        fresh store and a re-mounted one lives here.  The allocator and the
+        master tree stay with the callers — those are exactly what mkfs and
+        mount build differently.
+        """
         if max_extent_blocks <= 0:
             raise ValueError("max_extent_blocks must be positive")
         self.device = device
-        self.allocator = allocator
         self.btree_on_device = btree_on_device
         self.max_keys = max_keys
         self.max_extent_blocks = max_extent_blocks
@@ -121,11 +159,6 @@ class ObjectStore:
         self.cache_pages = cache_pages
         self.recovery = recovery if btree_on_device else None
         self.write_back = write_back
-        self._master = BPlusTree(
-            store=self._new_page_store("osd.master"),
-            max_keys=max_keys,
-            on_root_change=self._master_root_moved,
-        )
         self._trees: Dict[int, BPlusTree] = {}
         self._chunks: Dict[int, Set[int]] = {}
         self._next_oid = 1
@@ -157,25 +190,20 @@ class ObjectStore:
         """
         state = recovery.state
         store = cls.__new__(cls)
-        store.device = device
-        store.btree_on_device = True
-        store.max_keys = state["max_keys"]
-        store.max_extent_blocks = max_extent_blocks
-        store.page_blocks = state["page_blocks"]
-        store.stats = ObjectStoreStats()
-        if buffer_pool is None and cache_pages:
-            buffer_pool = BufferPool(capacity=cache_pages)
-        store.buffer_pool = buffer_pool
-        store.cache_pages = cache_pages
-        store.recovery = recovery
-        store.write_back = None  # WAL-protected: write-back on
+        store._init_shared_state(
+            device,
+            btree_on_device=True,
+            max_keys=state["max_keys"],
+            max_extent_blocks=max_extent_blocks,
+            page_blocks=state["page_blocks"],
+            buffer_pool=buffer_pool,
+            cache_pages=cache_pages,
+            recovery=recovery,
+            write_back=None,  # WAL-protected: write-back on
+        )
         store.allocator = BuddyAllocator(total_blocks=device.num_blocks, base=0)
         if state["data_region_start"]:
             store.allocator.reserve(0, state["data_region_start"])
-        store._trees = {}
-        store._chunks = {}
-        store._clock = 0
-        store._pending_atime = {}
         # One walk per tree does triple duty: reserve every reachable page
         # in the allocator, rebuild the element count (so BPlusTree skips
         # its own counting walk), and surface the leaf entries (metadata
@@ -270,6 +298,73 @@ class ObjectStore:
             else:
                 stack.extend(node.children)
         return count, entries
+
+    def open_index_tree(self, name: str, root_id: Optional[int] = None,
+                        on_root_change=None) -> BPlusTree:
+        """Open an auxiliary on-device btree (the persistent index trees).
+
+        The tree shares this store's device, allocator, buffer pool and
+        recovery manager, so its page writes are cached and WAL-logged
+        exactly like the master tree's.  With ``root_id`` the tree is
+        re-attached to an existing root (the mount path): its reachable
+        pages are re-reserved in the allocator — which the mount walk
+        rebuilt from reachable structures only — and the element count is
+        taken from the same walk instead of a second counting pass.
+        """
+        if not self.btree_on_device:
+            raise ObjectStoreError("index trees require btree_on_device=True")
+        page_store = self._new_page_store(name)
+        if root_id is None:
+            return BPlusTree(store=page_store, max_keys=self.max_keys,
+                             on_root_change=on_root_change)
+        tree = BPlusTree(store=page_store, max_keys=self.max_keys,
+                         root_id=root_id, count=0, on_root_change=on_root_change)
+        count, _entries = self._reserve_tree_pages(tree)
+        tree._count = count
+        return tree
+
+    def check_consistency(self) -> Dict[str, object]:
+        """The per-object half of fsck: audit the on-device OSD structures.
+
+        Walks every object's extent map and btree invariants, verifies the
+        persisted extent-tree roots match the live trees, and checks the
+        master tree and the allocator.  Returns ``{"objects", "extents",
+        "errors"}`` — the filesystem facade aggregates this with its own
+        journal and index-tree checks.  Never raises: fsck reports.
+        """
+        errors: List[str] = []
+        objects = 0
+        extents = 0
+        try:
+            live = self.list_objects()
+        except Exception as error:  # noqa: BLE001 — fsck reports, never raises
+            errors.append(f"master tree walk: {error}")
+            live = []
+        for oid in live:
+            objects += 1
+            try:
+                self.check_object(oid)
+                extents += self.extent_count(oid)
+                tree = self._trees.get(oid)
+                if tree is not None:
+                    tree.check_invariants()
+                    persisted = self.stat(oid).extent_root
+                    if persisted is not None and persisted != tree.root_id:
+                        errors.append(
+                            f"object {oid}: persisted extent root {persisted} "
+                            f"!= live root {tree.root_id}"
+                        )
+            except Exception as error:  # noqa: BLE001 — fsck reports, never raises
+                errors.append(f"object {oid}: {error}")
+        try:
+            self._master.check_invariants()
+        except Exception as error:  # noqa: BLE001
+            errors.append(f"master tree: {error}")
+        try:
+            self.allocator.check_invariants()
+        except Exception as error:  # noqa: BLE001
+            errors.append(f"allocator: {error}")
+        return {"objects": objects, "extents": extents, "errors": errors}
 
     # ------------------------------------------------------------ internals
 

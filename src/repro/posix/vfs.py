@@ -32,8 +32,7 @@ from repro.errors import (
     IsADirectory,
     NotADirectory,
 )
-from repro.index.path_index import basename_of, normalize_path, parent_of
-from repro.index.tags import TAG_POSIX
+from repro.index.path_index import normalize_path, parent_of
 
 #: open(2)-style flags (values mirror the common Linux ones).
 O_RDONLY = 0x0

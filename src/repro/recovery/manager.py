@@ -42,8 +42,9 @@ anything (input validation failures) are clean no-ops.
 from __future__ import annotations
 
 import json
+import threading
 from contextlib import contextmanager
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Set, Tuple
 
 from repro.errors import CacheError, RecoveryError
@@ -122,6 +123,8 @@ class RecoveryManager:
             "page_blocks": 4,
             "max_keys": 32,
             "checkpoint_seq": 0,
+            "fulltext_root": 0,
+            "image_root": 0,
         }
         self.pool = None  # the shared BufferPool, once attached
         self.poisoned = False
@@ -135,6 +138,13 @@ class RecoveryManager:
         #: commit marker to reach the device (group commit defers the sync).
         self._deferred_until_durable: List[Tuple[int, object]] = []
         self._unsynced_commits = 0
+        # Serializes WAL transactions across threads: a lazy-indexing worker
+        # applying postings must not interleave its records with a foreground
+        # transaction's.  Acquired once per begin() (re-entrantly for nested
+        # begins) and released once per commit()/abort(), so the lock is held
+        # for exactly the outermost transaction's lifetime; autocommitting
+        # records take it around their append+commit pair.
+        self._txn_lock = threading.RLock()
 
     # ------------------------------------------------------------ wiring
 
@@ -165,8 +175,16 @@ class RecoveryManager:
 
         Nesting is flat: inner begin/commit pairs join the outermost
         transaction, and only the outermost commit writes the commit marker.
+        A thread beginning while another thread's transaction is open blocks
+        until that transaction resolves (lazy-indexing workers vs the
+        foreground namespace).
         """
-        self._check_usable()
+        self._txn_lock.acquire()
+        try:
+            self._check_usable()
+        except BaseException:
+            self._txn_lock.release()
+            raise
         self._depth += 1
         if self._depth == 1:
             self._txid = self.journal.allocate_txid()
@@ -179,38 +197,42 @@ class RecoveryManager:
         """Close one nesting level; the outermost close commits the group."""
         if self._depth <= 0:
             raise RecoveryError("commit without a matching begin")
-        self._depth -= 1
-        if self._depth > 0:
-            return
-        marker_lsn = None
-        if self._txn_records:
-            try:
-                sync_now = self._unsynced_commits + 1 >= self.group_commit
-                marker_lsn = self.journal.commit_txid(self._txid, sync=sync_now)
-            except BaseException:
-                # The commit marker never became durable (journal full, device
-                # fault): the transaction effectively aborted after logging —
-                # same fail-stop state as an explicit abort-after-logging.
-                self._fail_open_transaction()
-                self.stats.transactions_aborted += 1
-                raise
-            self._unsynced_commits = 0 if sync_now else self._unsynced_commits + 1
-        self._release_pins()
-        actions, self._txn_on_commit = self._txn_on_commit, []
-        if marker_lsn is not None and marker_lsn > self.journal.durable_lsn:
-            # Group commit left the marker buffered: the transaction can
-            # still vanish in a crash, so its irreversible actions (chunk
-            # and page frees) must wait for the covering sync.
-            self._deferred_until_durable.extend(
-                (marker_lsn, action) for action in actions
-            )
-        else:
-            for action in actions:
-                action()
-        self._txid = None
-        self.stats.transactions_committed += 1
-        self._run_durable_actions()
-        self.maybe_checkpoint()
+        try:
+            self._depth -= 1
+            if self._depth > 0:
+                return
+            marker_lsn = None
+            if self._txn_records:
+                try:
+                    sync_now = self._unsynced_commits + 1 >= self.group_commit
+                    marker_lsn = self.journal.commit_txid(self._txid, sync=sync_now)
+                except BaseException:
+                    # The commit marker never became durable (journal full,
+                    # device fault): the transaction effectively aborted after
+                    # logging — same fail-stop state as an explicit
+                    # abort-after-logging.
+                    self._fail_open_transaction()
+                    self.stats.transactions_aborted += 1
+                    raise
+                self._unsynced_commits = 0 if sync_now else self._unsynced_commits + 1
+            self._release_pins()
+            actions, self._txn_on_commit = self._txn_on_commit, []
+            if marker_lsn is not None and marker_lsn > self.journal.durable_lsn:
+                # Group commit left the marker buffered: the transaction can
+                # still vanish in a crash, so its irreversible actions (chunk
+                # and page frees) must wait for the covering sync.
+                self._deferred_until_durable.extend(
+                    (marker_lsn, action) for action in actions
+                )
+            else:
+                for action in actions:
+                    action()
+            self._txid = None
+            self.stats.transactions_committed += 1
+            self._run_durable_actions()
+            self.maybe_checkpoint()
+        finally:
+            self._txn_lock.release()
 
     def abort(self) -> None:
         """Close one nesting level abnormally.
@@ -223,13 +245,17 @@ class RecoveryManager:
         """
         if self._depth <= 0:
             raise RecoveryError("abort without a matching begin")
-        self._depth -= 1
-        if self._depth > 0:
-            # Let the outermost frame decide; the exception unwinding through
-            # the outer context managers will abort the whole group.
-            return
-        self._fail_open_transaction()
-        self.stats.transactions_aborted += 1
+        try:
+            self._depth -= 1
+            if self._depth > 0:
+                # Let the outermost frame decide; the exception unwinding
+                # through the outer context managers will abort the whole
+                # group.
+                return
+            self._fail_open_transaction()
+            self.stats.transactions_aborted += 1
+        finally:
+            self._txn_lock.release()
 
     def _fail_open_transaction(self) -> None:
         """Dispose of the outermost transaction's state after a failure.
@@ -283,19 +309,22 @@ class RecoveryManager:
 
         Inside a transaction the record joins it; outside, it forms a
         self-committing transaction that is immediately durable (the
-        uncached/write-through path).
+        uncached/write-through path).  The transaction lock is taken so a
+        record logged from one thread can never interleave with (or join)
+        another thread's open transaction.
         """
-        self._check_usable()
-        self._reserve_log_space(len(payload))
-        if self._depth > 0:
-            self._txn_records += 1
-            return self.journal.append(rtype, self._txid, block, payload)
-        txid = self.journal.allocate_txid()
-        lsn = self.journal.append(rtype, txid, block, payload)
-        self.journal.commit_txid(txid, sync=True)
-        self.stats.autocommits += 1
-        self.maybe_checkpoint()
-        return lsn
+        with self._txn_lock:
+            self._check_usable()
+            self._reserve_log_space(len(payload))
+            if self._depth > 0:
+                self._txn_records += 1
+                return self.journal.append(rtype, self._txid, block, payload)
+            txid = self.journal.allocate_txid()
+            lsn = self.journal.append(rtype, txid, block, payload)
+            self.journal.commit_txid(txid, sync=True)
+            self.stats.autocommits += 1
+            self.maybe_checkpoint()
+            return lsn
 
     def log_page(self, block: int, payload: bytes) -> int:
         """Log a physical page image; returns the record's LSN."""
@@ -383,12 +412,19 @@ class RecoveryManager:
             action()
 
     def ensure_durable(self, lsn: Optional[int]) -> None:
-        """The WAL rule: flush the log through ``lsn`` before a page write."""
+        """The WAL rule: flush the log through ``lsn`` before a page write.
+
+        Called from the buffer pool's eviction path while the pool lock is
+        held — possibly on a different thread than an open transaction — so
+        it deliberately takes no transaction lock (lock-order inversion with
+        the pool) and touches only the journal, which serializes internally.
+        Deferred frees are swept at the next commit or checkpoint instead;
+        running them later than their covering sync is always safe.
+        """
         if lsn is None or lsn <= self.journal.durable_lsn:
             return
         self.journal.sync()
         self.stats.wal_forced_syncs += 1
-        self._run_durable_actions()
 
     # ------------------------------------------------------------ checkpoints
 
@@ -405,18 +441,19 @@ class RecoveryManager:
         describing the same state — replay after a new superblock merely
         rewrites page images the flush already made home (idempotent).
         """
-        self._check_usable()
-        if self._depth > 0:
-            raise RecoveryError("cannot checkpoint inside an open transaction")
-        flushed = self.pool.flush() if self.pool is not None else 0
-        self.journal.sync()  # buffered group-commit markers become durable
-        self._run_durable_actions()
-        self.state["checkpoint_seq"] = self.state.get("checkpoint_seq", 0) + 1
-        self.write_superblock()
-        self.journal.checkpoint()
-        self._unsynced_commits = 0
-        self.stats.checkpoints += 1
-        return flushed
+        with self._txn_lock:
+            self._check_usable()
+            if self._depth > 0:
+                raise RecoveryError("cannot checkpoint inside an open transaction")
+            flushed = self.pool.flush() if self.pool is not None else 0
+            self.journal.sync()  # buffered group-commit markers become durable
+            self._run_durable_actions()
+            self.state["checkpoint_seq"] = self.state.get("checkpoint_seq", 0) + 1
+            self.write_superblock()
+            self.journal.checkpoint()
+            self._unsynced_commits = 0
+            self.stats.checkpoints += 1
+            return flushed
 
     def maybe_checkpoint(self) -> bool:
         """Checkpoint when the journal fill passes the threshold (and no
@@ -439,12 +476,15 @@ class RecoveryManager:
             page_blocks=self.state["page_blocks"],
             max_keys=self.state["max_keys"],
             checkpoint_seq=self.state["checkpoint_seq"],
+            fulltext_root=self.state.get("fulltext_root", 0),
+            image_root=self.state.get("image_root", 0),
         ).store(self.device, self.superblock_block)
 
     # ------------------------------------------------------------ lifecycle
 
     def initialize(self, master_root: int, next_oid: int,
-                   data_region_start: int, page_blocks: int, max_keys: int) -> None:
+                   data_region_start: int, page_blocks: int, max_keys: int,
+                   fulltext_root: int = 0, image_root: int = 0) -> None:
         """mkfs: record the freshly created roots and write checkpoint zero."""
         self.state.update(
             master_root=master_root,
@@ -452,6 +492,8 @@ class RecoveryManager:
             data_region_start=data_region_start,
             page_blocks=page_blocks,
             max_keys=max_keys,
+            fulltext_root=fulltext_root,
+            image_root=image_root,
         )
         self.checkpoint()
 
@@ -474,6 +516,8 @@ class RecoveryManager:
             page_blocks=superblock.page_blocks,
             max_keys=superblock.max_keys,
             checkpoint_seq=superblock.checkpoint_seq,
+            fulltext_root=superblock.fulltext_root,
+            image_root=superblock.image_root,
         )
         return manager
 

@@ -52,6 +52,11 @@ class Superblock:
     max_keys: int = 32
     #: monotonically increasing checkpoint counter (diagnostics).
     checkpoint_seq: int = 0
+    #: root pages of the persistent full-text / image index btrees; ``0``
+    #: means the device was formatted without them (mounts then re-derive
+    #: those indexes from object bytes, the pre-persistent behaviour).
+    fulltext_root: int = 0
+    image_root: int = 0
 
     # -- serialization --------------------------------------------------------
 

@@ -18,7 +18,7 @@ The device exposes classic block semantics:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, Optional
+from typing import Dict, Optional
 
 from repro.errors import DeviceError, OutOfSpaceError
 from repro.storage.latency import LatencyModel, NullLatencyModel

@@ -41,6 +41,7 @@ corrupt records surgically.
 from __future__ import annotations
 
 import struct
+import threading
 import zlib
 from dataclasses import dataclass
 from typing import List, Optional, Tuple
@@ -177,6 +178,11 @@ class Journal:
         self.replayed_transactions = 0
         self.last_replay_applied = 0
         self.last_replay_revoked = 0
+        # Serializes append/sync/truncate across threads: the recovery
+        # manager's transaction lock orders *transactions*, but the buffer
+        # pool's eviction path may force a sync from any thread (the WAL
+        # rule), and that sync must not race a concurrent append.
+        self._mutex = threading.RLock()
 
     # -- transaction lifecycle ------------------------------------------------
 
@@ -186,9 +192,10 @@ class Journal:
 
     def allocate_txid(self) -> int:
         """Hand out the next transaction id (shared with the recovery layer)."""
-        txid = self._next_txid
-        self._next_txid += 1
-        return txid
+        with self._mutex:
+            txid = self._next_txid
+            self._next_txid += 1
+            return txid
 
     # -- encoding -------------------------------------------------------------
 
@@ -225,11 +232,12 @@ class Journal:
         if rtype not in _KNOWN_TYPES:
             raise JournalError(f"unknown record type {rtype}")
         payload = bytes(payload)
-        self._require_capacity(self._record_size(payload))
-        lsn = self._take_lsn()
-        self._log += self._encode_record(rtype, txid, block, payload, lsn=lsn)
-        self.records_appended += 1
-        return lsn
+        with self._mutex:
+            self._require_capacity(self._record_size(payload))
+            lsn = self._take_lsn()
+            self._log += self._encode_record(rtype, txid, block, payload, lsn=lsn)
+            self.records_appended += 1
+            return lsn
 
     def commit_txid(self, txid: int, sync: bool = True) -> int:
         """Append the commit marker for ``txid``; optionally flush the log.
@@ -238,11 +246,12 @@ class Journal:
         covers every record buffered since the last flush, including other
         transactions' records and commit markers.
         """
-        lsn = self.append(TYPE_COMMIT, txid, 0, b"")
-        self.commits += 1
-        if sync:
-            self.sync()
-        return lsn
+        with self._mutex:
+            lsn = self.append(TYPE_COMMIT, txid, 0, b"")
+            self.commits += 1
+            if sync:
+                self.sync()
+            return lsn
 
     def sync(self) -> int:
         """Flush buffered records to the journal region; returns bytes written.
@@ -250,15 +259,16 @@ class Journal:
         After a successful sync every record appended so far is durable
         (``durable_lsn == last_lsn``).
         """
-        pending = len(self._log) - self._flushed
-        if pending <= 0:
+        with self._mutex:
+            pending = len(self._log) - self._flushed
+            if pending <= 0:
+                self.durable_lsn = self.last_lsn
+                return 0
+            self._write_log_region(self._flushed, bytes(self._log[self._flushed:]))
+            self._flushed = len(self._log)
             self.durable_lsn = self.last_lsn
-            return 0
-        self._write_log_region(self._flushed, bytes(self._log[self._flushed:]))
-        self._flushed = len(self._log)
-        self.durable_lsn = self.last_lsn
-        self.syncs += 1
-        return pending
+            self.syncs += 1
+            return pending
 
     # -- block-level transaction commit ---------------------------------------
 
@@ -405,11 +415,12 @@ class Journal:
         never as a resurrected stale record.  (Callers persist their
         checkpoint state *before* truncating; see RecoveryManager.)
         """
-        self.device.write_blocks(self.journal_start, b"", nblocks=self.journal_blocks)
-        self._log = bytearray()
-        self._flushed = 0
-        self.durable_lsn = self.last_lsn
-        self.checkpoints += 1
+        with self._mutex:
+            self.device.write_blocks(self.journal_start, b"", nblocks=self.journal_blocks)
+            self._log = bytearray()
+            self._flushed = 0
+            self.durable_lsn = self.last_lsn
+            self.checkpoints += 1
 
     # -- introspection --------------------------------------------------------
 

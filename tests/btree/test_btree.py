@@ -4,7 +4,7 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.btree import BPlusTree, DevicePageStore, InMemoryPageStore
+from repro.btree import BPlusTree, DevicePageStore
 from repro.errors import BTreeError, KeyNotFoundError
 from repro.storage import BlockDevice, BuddyAllocator
 

@@ -4,7 +4,7 @@ end-to-end behaviour through the registry and the file-system facade."""
 import pytest
 
 from repro.cache import QueryResultCache, canonical_key, query_tags
-from repro.core.query import And, Not, Or, TagTerm, parse_query
+from repro.core.query import And, Or, TagTerm, parse_query
 from repro.errors import CacheError
 from repro.index import IndexStoreRegistry, KeyValueIndexStore
 

@@ -1,6 +1,5 @@
 """Tests for the inverted index and posting lists."""
 
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 

@@ -6,7 +6,7 @@ from hypothesis import strategies as st
 
 from repro.errors import InvalidRangeError
 from repro.hierarchical import CylinderGroupAllocator, InodeTable
-from repro.hierarchical.inode import DIRECT_POINTERS, FILE_TYPE_DIRECTORY
+from repro.hierarchical.inode import FILE_TYPE_DIRECTORY
 from repro.storage import BlockDevice
 
 

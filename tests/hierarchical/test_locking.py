@@ -2,7 +2,6 @@
 
 import threading
 
-import pytest
 
 from repro.concurrency import LockManager, LockMode, home_directory_workload
 from repro.concurrency.workload import metadata_scan_workload, shared_project_workload

@@ -10,7 +10,7 @@ from repro.index import (
     ImageIndexStore,
     TagValue,
 )
-from repro.index.image_index import COLOR_NAMES, cosine_similarity
+from repro.index.image_index import cosine_similarity
 
 
 class TestFullTextIndexStore:

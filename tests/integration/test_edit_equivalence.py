@@ -6,7 +6,6 @@ differ — that is experiment E3).  Hypothesis drives both against a bytearray
 model, and compaction must never change observable contents.
 """
 
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 

@@ -4,7 +4,6 @@ import pytest
 
 from repro.core import HFADFileSystem
 from repro.errors import DeviceError
-from repro.index import TagValue
 from repro.storage import BlockDevice, FaultPlan, Journal
 from repro.workloads import load_into_hfad, mixed_corpus
 

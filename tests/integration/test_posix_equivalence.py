@@ -9,7 +9,6 @@ scripts; both systems execute them and every observable result is compared.
 
 from __future__ import annotations
 
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 

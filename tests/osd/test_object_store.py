@@ -6,7 +6,7 @@ from hypothesis import strategies as st
 
 from repro.errors import InvalidRangeError, NoSuchObjectError
 from repro.osd import ObjectStore
-from repro.storage import BlockDevice, BuddyAllocator
+from repro.storage import BlockDevice
 
 
 def make_store(**kwargs):

@@ -200,7 +200,7 @@ class TestGroupCommitReuse:
 
 class TestReviewRegressions:
     def test_invalid_create_inputs_do_not_poison_the_filesystem(self):
-        from repro.errors import IndexStoreError, ReproError, UnknownTagError
+        from repro.errors import ReproError, UnknownTagError
 
         device, fs = make_fs()
         survivor = fs.create(b"already here")

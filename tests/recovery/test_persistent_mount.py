@@ -1,0 +1,209 @@
+"""Mounts with a persisted index read zero object content.
+
+The acceptance gate for ``repro.index`` persistence: re-opening a device
+must re-attach the full-text and image indexes from their on-device btrees
+— the only reads a mount issues are metadata reads (superblock, journal,
+btree pages), never object-content byte ranges — and the answers must be
+byte-identical to the pre-unmount instance.  A control test runs the same
+corpus on the legacy ``persistent_index=False`` format to prove the read
+tracker actually bites.
+"""
+
+import random
+
+from repro.core import HFADFileSystem
+from repro.storage import BlockDevice
+
+WORDS = (
+    "anchor beacon copper dynamo escrow fathom gutter hammer island jumper "
+    "kettle lumber marrow needle oxbow packet quiver ribbon shovel timber"
+).split()
+
+NUM_DOCS = 40
+
+
+class ContentReadTracker(BlockDevice):
+    """Counts byte-granularity reads — the object-content read path.
+
+    Every object-content read goes through :meth:`read_bytes` (extent data
+    is addressed by byte range within a chunk); all metadata — superblock,
+    journal, btree pages — is read with whole-block requests.  So a nonzero
+    ``content_reads`` during a mount means object bytes were re-read.
+    """
+
+    def __init__(self, *args, **kwargs):
+        super().__init__(*args, **kwargs)
+        self.content_reads = 0
+        self.tracking = False
+
+    def read_bytes(self, block, offset, length):
+        if self.tracking:
+            self.content_reads += 1
+        return super().read_bytes(block, offset, length)
+
+
+def build_corpus(fs, rng):
+    oids = []
+    for serial in range(NUM_DOCS):
+        words = " ".join(rng.choice(WORDS) for _ in range(rng.randint(8, 40)))
+        oid = fs.create(words.encode(), path=f"/corpus/d{serial}.txt",
+                        annotations=[f"doc{serial}"])
+        oids.append(oid)
+        if serial % 4 == 0:
+            fs.index_image(oid, [rng.random() + 0.01 for _ in range(8)])
+    return oids
+
+
+def snapshot_answers(fs):
+    return {
+        "objects": fs.list_objects(),
+        "search": {word: fs.search_text(word) for word in WORDS},
+        "rank": {word: fs.rank_text(word, limit=None) for word in WORDS[:8]},
+        "pairs": fs.search_text(f"{WORDS[0]} {WORDS[1]}"),
+        "image": {c: fs.query(f"IMAGE/color:{c}")
+                  for c in ("red", "green", "blue", "gray")},
+    }
+
+
+def make_fs(device, persistent=True):
+    return HFADFileSystem(
+        device=device,
+        btree_on_device=True,
+        durability="wal",
+        query_cache_entries=0,
+        persistent_index=persistent,
+    )
+
+
+def test_persistent_mount_reads_no_object_content():
+    device = ContentReadTracker(num_blocks=1 << 16)
+    fs = make_fs(device)
+    build_corpus(fs, random.Random(5))
+    expected = snapshot_answers(fs)
+    fs.close()
+
+    device.tracking = True
+    mounted = HFADFileSystem.mount(device, query_cache_entries=0)
+    mount_content_reads = device.content_reads
+    device.tracking = False
+
+    assert mount_content_reads == 0, (
+        f"mount re-read object content {mount_content_reads} times despite "
+        "the persisted index"
+    )
+    assert snapshot_answers(mounted) == expected
+    assert mounted.fsck()["clean"]
+    mounted.close()
+
+
+def test_rederive_mount_does_read_content():
+    """Control: the legacy format re-reads every indexed object's bytes."""
+    device = ContentReadTracker(num_blocks=1 << 16)
+    fs = make_fs(device, persistent=False)
+    build_corpus(fs, random.Random(5))
+    fs.close()
+
+    device.tracking = True
+    mounted = HFADFileSystem.mount(device, query_cache_entries=0)
+    device.tracking = False
+
+    assert device.content_reads >= NUM_DOCS  # one read per indexed object
+    # Search still works — re-derive is slower, not wrong.
+    assert mounted.search_text(WORDS[0]) == fs.search_text(WORDS[0])
+    mounted.close()
+
+
+def test_mount_heals_indexed_flag_without_postings():
+    """Content-indexed objects missing from the posting tree re-derive.
+
+    A crash can land between a committed create and a *lazy* worker's
+    posting apply (the worker's WAL transaction is its own): the object is
+    durably flagged content-indexed but has no persisted postings.  The
+    mount probe must catch exactly those objects and re-index their content
+    — and only theirs (the probe is an index lookup, not a content read).
+    """
+    device = ContentReadTracker(num_blocks=1 << 16)
+    fs = make_fs(device)
+    healthy = fs.create(b"anchor beacon copper", path="/ok.txt")
+    # Emulate the crash state: flagged as indexed, no postings ever applied.
+    orphan = fs.create(b"zanzibar expedition journal", index_content=False)
+    fs.objects.set_attributes(orphan, **{"hfad.ci": "1"})
+    fs.close()
+
+    device.tracking = True
+    mounted = HFADFileSystem.mount(device, query_cache_entries=0)
+    device.tracking = False
+    assert mounted.search_text("zanzibar") == [orphan]
+    assert mounted.search_text("anchor") == [healthy]
+    # Exactly one content read: the orphan's; healthy objects stay probed-only.
+    assert device.content_reads == 1
+    mounted.close()
+
+
+def test_mount_heals_lost_manual_fulltext_tag():
+    """Committed FULLTEXT name entries on a lost document are re-applied.
+
+    Lazy mode commits ``n:FULLTEXT/...`` master-tree entries in the tagging
+    transaction while posting applies ride the worker queue; a crash before
+    *any* apply leaves names durable, postings absent.  (With a surviving
+    document record the entries are deliberately left alone — see
+    ``_heal_fulltext``.)
+    """
+    device = BlockDevice(num_blocks=1 << 16)
+    fs = make_fs(device)
+    oid = fs.create(b"", index_content=False, path="/t.txt")
+    # Emulate the crash state: the name entry committed, no document record.
+    fs.objects.put_name(oid, "n:FULLTEXT/zephyrine")
+    fs.close()
+    mounted = HFADFileSystem.mount(device, query_cache_entries=0)
+    assert mounted.search_text("zephyrine") == [oid]
+    mounted.close()
+
+
+def test_mount_heals_orphaned_disable_and_deleted_docs():
+    """Postings with no committed justification are scrubbed at mount.
+
+    Two lazy-crash leftovers: (a) ``disable_content_indexing`` committed its
+    attribute removal but the queued posting drop was lost; (b) a deleted
+    object's queued content add applied after the delete committed.
+    """
+    device = BlockDevice(num_blocks=1 << 16)
+    fs = make_fs(device)
+    disabled = fs.create(b"copper dynamo escrow", path="/d.txt")
+    # (a) attribute gone, postings still present:
+    fs.objects.remove_attributes(disabled, "hfad.ci")
+    # (b) postings for an object id that was never (or no longer is) live:
+    fs.fulltext_index.index_content(999, b"ghostly phantom words")
+    fs.close()
+    mounted = HFADFileSystem.mount(device, query_cache_entries=0)
+    assert mounted.search_text("copper") == []
+    assert mounted.search_text("ghostly") == []
+    assert 999 not in mounted.fulltext_index.index.document_ids()
+    assert mounted.fsck()["clean"]
+    mounted.close()
+
+
+def test_persistent_mount_metadata_cost_independent_of_content_size():
+    """Doubling content bytes must not grow a persisted mount's reads.
+
+    Two corpora with identical term structure but ~32x different content
+    volume (padding repeats the same words) mount with essentially the same
+    device read traffic: the index trees scale with distinct postings, not
+    with object bytes.
+    """
+    reads = {}
+    for label, repeats in (("small", 1), ("large", 32)):
+        device = BlockDevice(num_blocks=1 << 18)
+        fs = make_fs(device)
+        rng = random.Random(9)
+        for serial in range(12):
+            words = " ".join(rng.choice(WORDS) for _ in range(12))
+            fs.create((words + " ") .encode() * repeats, path=f"/c/{serial}.txt")
+        fs.close()
+        before = device.stats.reads
+        mounted = HFADFileSystem.mount(device, query_cache_entries=0)
+        reads[label] = device.stats.reads - before
+        mounted.close()
+    # Identical index shape: the mount read budget stays flat (the data
+    # region holds 32x the bytes; allow slack for extent-tree geometry).
+    assert reads["large"] <= reads["small"] * 1.5, reads

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.btree import BPlusTree, DevicePageStore
+from repro.btree import DevicePageStore
 from repro.btree.node import LeafNode
 from repro.cache import BufferPool
 from repro.errors import RecoveryError

@@ -28,6 +28,9 @@ from repro.recovery import CrashError, CrashingBlockDevice
 SEEDS = [int(s) for s in os.environ.get("TORTURE_SEEDS", "1,2,3,4").split(",")]
 POINTS_PER_SEED = int(os.environ.get("TORTURE_POINTS", "55"))
 NUM_OPS = 48
+#: audit full-text search (and a BM25 spot check) after every re-mount —
+#: committed content must stay searchable through the persisted index.
+AUDIT_SEARCH = os.environ.get("TORTURE_SEARCH", "1") not in ("", "0")
 
 WORDS = (
     "alpha bravo charlie delta echo foxtrot golf hotel india juliet kilo "
@@ -36,11 +39,15 @@ WORDS = (
 
 
 def build_fs(device):
+    # The journal must fit the largest single transaction.  With the
+    # persistent index, a create/edit logs its posting-tree pages inside the
+    # same transaction as the extent and master-tree pages, so the region is
+    # sized up from the pre-persistent 127 blocks.
     return HFADFileSystem(
         device=device,
         btree_on_device=True,
         durability="wal",
-        journal_blocks=127,
+        journal_blocks=511,
         cache_pages=48,
         query_cache_entries=0,
     )
@@ -227,6 +234,27 @@ def verify(fs, model):
     found = set(fs.query("USER/root"))
     expected = set(model.objects) - pending_oids
     assert expected <= found <= live | pending_oids
+
+    # The persisted full-text index answers consistently too: every
+    # committed object's content is still searchable, and BM25 ranking sees
+    # the same postings (spot-checked on one object to bound audit cost).
+    if AUDIT_SEARCH:
+        ranked_probe_done = False
+        for oid in sorted(model.objects):
+            if oid in pending_oids:
+                continue
+            words = model.objects[oid]["content"].decode().split()
+            if not words:
+                continue
+            assert oid in fs.search_text(words[0]), (
+                f"committed content of object {oid} not searchable after remount"
+            )
+            if not ranked_probe_done:
+                hits = {hit.doc_id for hit in fs.rank_text(words[0], limit=None)}
+                assert oid in hits, (
+                    f"object {oid} missing from BM25 results for {words[0]!r}"
+                )
+                ranked_probe_done = True
 
     report = fs.fsck()
     assert report["clean"], f"fsck after remount: {report['errors']}"

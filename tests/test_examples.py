@@ -8,7 +8,6 @@ reader.
 
 import importlib.util
 import pathlib
-import sys
 
 import pytest
 

@@ -1,6 +1,5 @@
 """Tests for the synthetic corpus generators and loaders."""
 
-import pytest
 
 from repro.core import HFADFileSystem
 from repro.hierarchical import FFSFileSystem
