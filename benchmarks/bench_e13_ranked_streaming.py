@@ -1,0 +1,153 @@
+"""E13 — ranked streaming (WAND/block-max top-k) vs. exhaustive BM25.
+
+PR 2 taught *boolean* queries to stop early; ``rank()`` still scored every
+document containing any query term.  The scored-cursor pipeline
+(repro.query.scored) closes that gap: per-term cursors carry upper-bound
+scores (persisted in the ``F``/``B`` records for the on-device index), and
+the WAND merge skips documents — and with block-max records, whole posting
+blocks — that provably cannot reach the top k.
+
+This benchmark builds the same kind of deliberately skewed corpus E10 used
+— one term in every document, a rare high-signal term in a sliver of them —
+and asks for the top 10 both ways on both engines:
+
+* ``exhaustive`` — score every matching document, sort, cut (the seed
+  behaviour and the ``limit=None`` path);
+* ``wand limit=10`` — the streamed top-k.
+
+Expected shape: identical hits (scores and order, bit for bit — the
+differential harness's invariant) while WAND scores ≥ 5× fewer documents,
+with correspondingly lower latency.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.btree import BPlusTree
+from repro.fulltext.inverted_index import InvertedIndex
+from repro.fulltext.persistent_index import PersistentInvertedIndex
+
+from conftest import emit_table, scaled
+
+#: documents in the skewed corpus ("common" appears in all of them).
+CORPUS_SIZE = scaled(4000, 400)
+#: documents also carrying the rare term (spread evenly through the id space
+#: — the worst case for early termination, since the good docs come late).
+RARE_SIZE = scaled(25, 8)
+#: latency-measurement repetitions.
+REPEATS = scaled(30, 5)
+TOP_K = 10
+
+QUERIES = [
+    ("rare ∨ common", "rare common"),
+    ("rare only", "rare"),
+    ("two common", "common filler"),
+]
+
+
+def build_engines():
+    memory = InvertedIndex()
+    persistent = PersistentInvertedIndex(BPlusTree())
+    stride = CORPUS_SIZE // RARE_SIZE
+    for doc_id in range(CORPUS_SIZE):
+        text = "common filler text"
+        if doc_id % stride == 0 and doc_id // stride < RARE_SIZE:
+            text += " rare rare rare"
+        memory.add_document(doc_id, text)
+        persistent.add_document(doc_id, text)
+    return memory, persistent
+
+
+@pytest.fixture(scope="module")
+def engines():
+    return build_engines()
+
+
+def timed(fn, repeats):
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def test_e13_wand_scores_fewer_documents(engines):
+    memory, persistent = engines
+    rows = []
+    for engine_name, engine in (("memory", memory), ("persistent", persistent)):
+        for label, query in QUERIES:
+            engine.reset_counters()
+            exhaustive = engine.rank_exhaustive(query, limit=TOP_K)
+            scored_exhaustive = engine.ranked.documents_scored
+
+            engine.reset_counters()
+            streamed = engine.rank(query, limit=TOP_K)
+            stats = engine.ranked.snapshot()
+
+            # Correctness first: pruning changes cost, never answers.
+            assert streamed == exhaustive, f"{engine_name}/{label}: WAND diverged"
+
+            ratio = scored_exhaustive / max(1, stats["documents_scored"])
+            if label == "rare ∨ common":
+                # Acceptance: the headline query scores >= 5x fewer docs.
+                assert ratio >= 5.0, (
+                    f"{engine_name}/{label}: only {ratio:.1f}x fewer documents scored"
+                )
+
+            latency_exhaustive = timed(
+                lambda q=query: engine.rank_exhaustive(q, limit=TOP_K), REPEATS
+            )
+            latency_wand = timed(lambda q=query: engine.rank(q, limit=TOP_K), REPEATS)
+
+            rows.append(
+                (
+                    engine_name,
+                    label,
+                    scored_exhaustive,
+                    stats["documents_scored"],
+                    stats["candidates_pruned"],
+                    stats["blocks_skipped"],
+                    f"{ratio:.1f}x",
+                    f"{latency_exhaustive * 1e6:.0f}",
+                    f"{latency_wand * 1e6:.0f}",
+                    f"{latency_exhaustive / max(latency_wand, 1e-9):.1f}x",
+                )
+            )
+    emit_table(
+        f"E13 — ranked streaming at limit={TOP_K} "
+        f"({CORPUS_SIZE} docs, rare={RARE_SIZE})",
+        (
+            "engine",
+            "query",
+            "scored:exh",
+            "scored:wand",
+            "pruned",
+            "blk-skip",
+            "score-gain",
+            "lat:exh(us)",
+            "lat:wand(us)",
+            "lat-gain",
+        ),
+        rows,
+    )
+
+
+def test_e13_headline_latency_beats_exhaustive(engines):
+    """The headline query must also be measurably faster, not just cheaper."""
+    memory, _persistent = engines
+    query = "rare common"
+    latency_exhaustive = timed(lambda: memory.rank_exhaustive(query, limit=TOP_K), REPEATS)
+    latency_wand = timed(lambda: memory.rank(query, limit=TOP_K), REPEATS)
+    assert latency_wand < latency_exhaustive, (
+        f"WAND ({latency_wand * 1e6:.0f}us) not faster than "
+        f"exhaustive ({latency_exhaustive * 1e6:.0f}us)"
+    )
+
+
+def test_e13_rank_latency(benchmark, engines):
+    memory, _persistent = engines
+    benchmark(lambda: memory.rank("rare common", limit=TOP_K))

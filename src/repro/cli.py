@@ -67,6 +67,7 @@ class HFADShell:
             "find": self.cmd_find,
             "query": self.cmd_query,
             "search": self.cmd_search,
+            "rank": self.cmd_rank,
             "savequery": self.cmd_savequery,
             "queries": self.cmd_queries,
             "cd": self.cmd_cd,
@@ -148,7 +149,8 @@ class HFADShell:
             "                 insert PATH|OID OFFSET TEXT | cut PATH|OID OFFSET LENGTH\n"
             "naming commands: tag TARGET TAG VALUE | untag TARGET TAG VALUE | names TARGET |\n"
             "                 find [--limit N] TAG/VALUE... | query [--limit N] EXPR |\n"
-            "                 search [--limit N] TEXT | savequery NAME EXPR | queries\n"
+            "                 search [--limit N] TEXT | rank [--limit N] TEXT |\n"
+            "                 savequery NAME EXPR | queries\n"
             "navigation:      cd TAG/VALUE | up | pwd | suggest\n"
             "durability:      fsck | recover | checkpoint"
         )
@@ -272,6 +274,23 @@ class HFADShell:
         limit, args = self._parse_limit(args, usage)
         self._require(args, 1, usage)
         return self._render_oids(self.fs.search_text(" ".join(args), limit=limit))
+
+    def cmd_rank(self, args: List[str]) -> str:
+        """BM25-ranked search: best hits first, with their scores.
+
+        The default top-10 streams through the WAND pruner instead of
+        scoring the whole corpus; ``--limit N`` adjusts k.
+        """
+        usage = "rank [--limit N] TEXT..."
+        limit, args = self._parse_limit(args, usage)
+        self._require(args, 1, usage)
+        hits = self.fs.rank(" ".join(args), limit=10 if limit is None else limit)
+        lines = []
+        for hit in hits:
+            paths = self.fs.paths_for(hit.doc_id)
+            label = paths[0] if paths else "(no path)"
+            lines.append(f"{hit.doc_id}\t{hit.score:.4f}\t{label}")
+        return "\n".join(lines) if lines else "(no matches)"
 
     def cmd_savequery(self, args: List[str]) -> str:
         self._require(args, 2, "savequery NAME EXPR")

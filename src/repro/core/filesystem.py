@@ -814,9 +814,22 @@ class HFADFileSystem:
             return []
         return self.find(*[TagValue("FULLTEXT", term) for term in terms], limit=limit)
 
+    def rank(self, text: str, limit: Optional[int] = 10):
+        """BM25-ranked full-text search, best hit first.
+
+        With a ``limit`` the ranking streams through the WAND/block-max
+        scored-cursor pipeline: documents whose term upper bounds cannot
+        beat the current top-``limit`` are pruned unscored, so a top-10 ask
+        on a large corpus touches a fraction of the matching documents.
+        Results (scores *and* order) are identical to exhaustive BM25 —
+        ``fs.stats()["ranked"]`` reports the work saved.  ``limit=None``
+        ranks every matching document.
+        """
+        return self.naming.rank(text, limit=limit)
+
     def rank_text(self, text: str, limit: Optional[int] = 10):
-        """BM25-ranked full-text search."""
-        return self.fulltext_index.rank(text, limit=limit)
+        """Alias of :meth:`rank` (the historical spelling)."""
+        return self.rank(text, limit=limit)
 
     # POSIX-path conveniences (the veneer in repro.posix builds on these).
 
@@ -959,6 +972,7 @@ class HFADFileSystem:
             "keyvalue_entries_scanned": self.keyvalue_index.scan_stats.scanned,
             "fulltext_term_lookups": self.fulltext_index.index.term_lookups,
             "fulltext_postings_scanned": self.fulltext_index.index.postings_scanned,
+            "ranked": self.fulltext_index.ranked_stats.snapshot(),
             "object_count": self.object_count,
             "buffer_pool": self.buffer_pool.snapshot() if self.buffer_pool else None,
             "query_cache": self.query_cache.snapshot() if self.query_cache else None,

@@ -20,7 +20,7 @@ from typing import Iterable, List, Optional, Sequence, Union
 
 from repro.errors import NamingError, NoMatchError, QueryError
 from repro.index.store import IndexStoreRegistry
-from repro.index.tags import TagValue
+from repro.index.tags import TAG_FULLTEXT, TagValue
 from repro.core.query import And, Query, QueryPlanner, TagTerm, parse_query
 from repro.query.cursors import materialize
 
@@ -49,6 +49,8 @@ class NamingStats:
     queries: int = 0
     #: queries/resolves answered with top-k early exit (``limit=`` given).
     limited_queries: int = 0
+    #: BM25-ranked retrievals routed through :meth:`NamingInterface.rank`.
+    ranked_queries: int = 0
     names_added: int = 0
     names_removed: int = 0
     cached_results: int = 0
@@ -202,3 +204,17 @@ class NamingInterface:
             query = parse_query(query)
         self.stats.queries += 1
         return self._evaluate(query, limit=limit)
+
+    def rank(self, text: str, limit: Optional[int] = 10):
+        """BM25-ranked full-text retrieval over the FULLTEXT store.
+
+        Ranked results are *ordered* (best first), unlike the unordered
+        naming operations above, and with a ``limit`` they stream through
+        the WAND scored-cursor merge — documents that provably cannot reach
+        the top k are skipped without being scored.  Results bypass the
+        query cache (scores depend on corpus-wide statistics, so per-tag
+        generations cannot invalidate them precisely).
+        """
+        store = self.registry.store_for(TAG_FULLTEXT)
+        self.stats.ranked_queries += 1
+        return store.rank(text, limit=limit)

@@ -18,13 +18,20 @@ desktop-search-over-hierarchical-FS path.
 
 from __future__ import annotations
 
-import math
 from dataclasses import dataclass
 from typing import Dict, Iterable, List, Optional, Sequence
 
 from repro.fulltext.analyzer import Analyzer
 from repro.fulltext.postings import Posting, PostingList, intersect, union
 from repro.query.cursors import DocIdCursor, EmptyCursor, IntersectCursor, ScanCounter
+from repro.query.scored import (
+    ListScoredCursor,
+    RankStats,
+    WandCursor,
+    bm25_idf,
+    bm25_scorer,
+    bm25_upper_bound,
+)
 
 
 @dataclass(frozen=True)
@@ -43,11 +50,18 @@ class InvertedIndex:
         self._terms: Dict[str, PostingList] = {}
         self._doc_lengths: Dict[int, int] = {}
         self._doc_terms: Dict[int, List[str]] = {}
+        # Per-term minimum document length: the second WAND upper-bound
+        # input (shortest doc = largest length-normalized contribution).
+        # Maintained monotonically — adds lower it, removes leave it — so it
+        # can only be conservative, like the persisted engine's bound field.
+        self._term_min_length: Dict[str, int] = {}
         # work counters for the index-traversal experiments; postings_scanned
         # counts postings actually *touched* — a galloping seek that leaps
         # over a run of postings does not inflate it.
         self.term_lookups = 0
         self._scan = ScanCounter()
+        #: ranked-retrieval work counters (``fs.stats()["ranked"]``).
+        self.ranked = RankStats()
 
     @property
     def postings_scanned(self) -> int:
@@ -75,6 +89,9 @@ class InvertedIndex:
             posting_list.add(
                 Posting(doc_id=doc_id, term_frequency=len(positions), positions=tuple(positions))
             )
+            self._term_min_length[term] = min(
+                self._term_min_length.get(term, len(analyzed)), len(analyzed)
+            )
         self._doc_lengths[doc_id] = len(analyzed)
         self._doc_terms[doc_id] = list(occurrences)
         return len(occurrences)
@@ -91,6 +108,7 @@ class InvertedIndex:
             posting_list.remove(doc_id)
             if not posting_list:
                 del self._terms[term]
+                self._term_min_length.pop(term, None)
         del self._doc_lengths[doc_id]
         return True
 
@@ -206,10 +224,59 @@ class InvertedIndex:
     # -------------------------------------------------------------- ranking
 
     def rank(self, query, limit: Optional[int] = 10, k1: float = 1.5, b: float = 0.75) -> List[SearchHit]:
-        """BM25-ranked disjunctive retrieval."""
+        """BM25-ranked disjunctive retrieval.
+
+        With a ``limit`` the query streams through a WAND top-k merge
+        (:class:`~repro.query.scored.WandCursor`): documents whose summed
+        term upper bounds cannot beat the current k-th best score are
+        skipped without being scored.  The result is identical — same
+        floating-point scores, same order — to :meth:`rank_exhaustive`;
+        only the work differs.  ``limit=None`` ranks exhaustively (every
+        matching document is wanted anyway).
+        """
+        if limit is None:
+            return self.rank_exhaustive(query, limit=None, k1=k1, b=b)
+        terms = self.analyzer.analyze_query(query)
+        if not terms or not self._doc_lengths or limit <= 0:
+            return []
+        self.ranked.queries += 1
+        average_length = sum(self._doc_lengths.values()) / len(self._doc_lengths)
+        total_docs = self.document_count
+        cursors = []
+        for term in terms:
+            posting_list = self._terms.get(term)
+            if posting_list is None:
+                continue
+            self.term_lookups += 1
+            idf = bm25_idf(total_docs, posting_list.document_frequency)
+            cursors.append(
+                ListScoredCursor(
+                    posting_list.doc_ids(),
+                    lambda doc, plist=posting_list: plist.get(doc).term_frequency,
+                    bm25_scorer(idf, k1, b, average_length,
+                                lambda doc: self._doc_lengths.get(doc, 0)),
+                    bm25_upper_bound(
+                        idf, k1, b, posting_list.max_term_frequency,
+                        self._term_min_length.get(term, 0), average_length,
+                    ),
+                    counter=self._scan,
+                )
+            )
+        top = WandCursor(cursors, limit, stats=self.ranked).top_k()
+        return [SearchHit(doc_id=doc_id, score=score) for doc_id, score in top]
+
+    def rank_exhaustive(
+        self, query, limit: Optional[int] = None, k1: float = 1.5, b: float = 0.75
+    ) -> List[SearchHit]:
+        """BM25 ranking that scores every matching document (no pruning).
+
+        The reference the differential harness holds :meth:`rank` against,
+        and the ``limit=None`` execution path.
+        """
         terms = self.analyzer.analyze_query(query)
         if not terms or not self._doc_lengths:
             return []
+        self.ranked.exhaustive_queries += 1
         average_length = sum(self._doc_lengths.values()) / len(self._doc_lengths)
         scores: Dict[int, float] = {}
         total_docs = self.document_count
@@ -218,19 +285,52 @@ class InvertedIndex:
             if posting_list is None:
                 continue
             self.term_lookups += 1
-            df = posting_list.document_frequency
-            idf = math.log(1.0 + (total_docs - df + 0.5) / (df + 0.5))
+            idf = bm25_idf(total_docs, posting_list.document_frequency)
+            score = bm25_scorer(idf, k1, b, average_length,
+                                lambda doc: self._doc_lengths.get(doc, 0))
             for posting in posting_list:
                 self.postings_scanned += 1
-                doc_length = self._doc_lengths.get(posting.doc_id, 0) or 1
-                tf = posting.term_frequency
-                denominator = tf + k1 * (1 - b + b * doc_length / average_length)
-                scores[posting.doc_id] = scores.get(posting.doc_id, 0.0) + idf * (tf * (k1 + 1)) / denominator
+                scores[posting.doc_id] = (
+                    scores.get(posting.doc_id, 0.0)
+                    + score(posting.doc_id, posting.term_frequency)
+                )
+        self.ranked.documents_scored += len(scores)
         hits = [SearchHit(doc_id=doc_id, score=score) for doc_id, score in scores.items()]
         hits.sort(key=lambda hit: (-hit.score, hit.doc_id))
         if limit is not None:
             hits = hits[:limit]
         return hits
+
+    def bound_violations(self, k1: float = 1.5, b: float = 0.75) -> List[str]:
+        """Postings whose actual BM25 contribution exceeds the term bound.
+
+        The WAND safety invariant: for every live posting, the term's upper
+        bound (from :attr:`PostingList.max_term_frequency`) must dominate
+        the posting's real contribution.  Returns human-readable violations
+        (empty = invariant holds); the property test and the crash-torture
+        audit call this.
+        """
+        violations: List[str] = []
+        if not self._doc_lengths:
+            return violations
+        average_length = sum(self._doc_lengths.values()) / len(self._doc_lengths)
+        total_docs = self.document_count
+        for term, posting_list in self._terms.items():
+            idf = bm25_idf(total_docs, posting_list.document_frequency)
+            bound = bm25_upper_bound(
+                idf, k1, b, posting_list.max_term_frequency,
+                self._term_min_length.get(term, 0), average_length,
+            )
+            score = bm25_scorer(idf, k1, b, average_length,
+                                lambda doc: self._doc_lengths.get(doc, 0))
+            for posting in posting_list:
+                actual = score(posting.doc_id, posting.term_frequency)
+                if actual > bound:
+                    violations.append(
+                        f"term {term!r} doc {posting.doc_id}: "
+                        f"contribution {actual} exceeds bound {bound}"
+                    )
+        return violations
 
     # ------------------------------------------------------------ inspection
 
@@ -245,3 +345,4 @@ class InvertedIndex:
     def reset_counters(self) -> None:
         self.term_lookups = 0
         self._scan.reset()
+        self.ranked.reset()

@@ -245,6 +245,11 @@ class LazyIndexer:
         with self._lock:
             return self.index.rank(query, limit=limit)
 
+    def rank_exhaustive(self, query, limit: Optional[int] = None):
+        """Unpruned ranked search (the differential-test reference)."""
+        with self._lock:
+            return self.index.rank_exhaustive(query, limit=limit)
+
     def document_frequency(self, term: str) -> int:
         """Document frequency under the worker lock (safe vs live applies)."""
         with self._lock:

@@ -10,12 +10,13 @@ re-attaches the index from its persisted root instead of re-reading and
 re-analyzing every object's bytes (the O(data)-mount problem the ROADMAP
 flagged after PR 3).
 
-Key layout (one tree, four record kinds)::
+Key layout (one tree, five record kinds)::
 
     S                          -> doc_count(8) | total_token_count(8)
-    F \x00 term                -> document_frequency(8)
+    F \x00 term                -> document_frequency(8) | max_tf(8) | min_len(8)
     D \x00 oid(8) \x00 seq(4)  -> chunk of: doc_length(4) | term \x00 term ...
     T \x00 term \x00 oid(8)    -> tf(4) | npos(4) | position(4) * min(npos, 64)
+    B \x00 term \x00 block(8)  -> max_tf(8) for oids in [block << 7, ...)
 
 * ``T`` keys end in the big-endian oid, so a term's prefix range streams in
   ascending object-id order — the exact contract of the PR-2 cursor
@@ -23,6 +24,22 @@ Key layout (one tree, four record kinds)::
   key/value index streams with; nothing is materialized.
 * ``F`` records make document-frequency (planner cardinality, rarest-first
   ordering, BM25 idf) an O(log n) point lookup instead of a range count.
+  The trailing ``max_tf``/``min_len`` fields are the term's WAND
+  upper-bound inputs: the largest term frequency and the smallest document
+  length ever stored for the term (the shortest document maximizes the
+  length-normalized contribution).  Both are maintained *monotonically*
+  (adds tighten them, removes leave them) so they can only ever be
+  conservative — a stale bound costs pruning power, never correctness —
+  and they ride the same WAL transactions as the postings, so bounds
+  survive crashes and remounts.  Devices formatted before these fields
+  existed carry 8-byte legacy records; their bounds are recomputed from
+  the live postings on first use (queries scan, the first mutation
+  upgrades the record in place).
+* ``B`` records are the block-max refinement: per-term maximum frequency
+  over fixed aligned doc-id blocks of :data:`BLOCK_SPAN` oids, also
+  maintained monotonically.  A WAND pivot that survives the global bound
+  test is re-tested against the (much tighter) block bounds, and a whole
+  block whose summed bounds cannot beat the heap is leapt over in one seek.
 * ``D`` records hold the per-document stats BM25 needs (token count) plus
   the term list used to scrub postings on remove/update.  They are chunked
   so a document with a huge vocabulary can never produce a single btree
@@ -44,10 +61,9 @@ the recovery manager's transaction lock.
 
 from __future__ import annotations
 
-import math
 import struct
 from contextlib import nullcontext
-from typing import Dict, Iterable, List, Optional, Tuple
+from typing import Callable, Dict, Iterable, List, Optional, Tuple
 
 from repro.btree import BPlusTree
 from repro.errors import KeyNotFoundError
@@ -55,6 +71,14 @@ from repro.fulltext.analyzer import Analyzer
 from repro.fulltext.inverted_index import SearchHit
 from repro.index.keyvalue_index import PrefixOidCursor
 from repro.query.cursors import DocIdCursor, EmptyCursor, IntersectCursor, ScanCounter, UnionCursor
+from repro.query.scored import (
+    RankStats,
+    ScoredCursor,
+    WandCursor,
+    bm25_idf,
+    bm25_scorer,
+    bm25_upper_bound,
+)
 
 _OID = struct.Struct(">Q")
 _SEP = b"\x00"
@@ -62,22 +86,97 @@ _STATS_KEY = b"S"
 _DF_PREFIX = b"F\x00"
 _DOC_PREFIX = b"D\x00"
 _TERM_PREFIX = b"T\x00"
+_BLOCK_PREFIX = b"B\x00"
 _U32 = struct.Struct(">I")
 _U64 = struct.Struct(">Q")
 _STATS = struct.Struct(">QQ")
 _POSTING_HEADER = struct.Struct(">II")
+#: the modern ``F`` record: document frequency + the WAND bound inputs
+#: (max term frequency, min document length).
+_DF_RECORD = struct.Struct(">QQQ")
 
 #: positions stored per posting; term frequency stays exact beyond the cap.
 MAX_STORED_POSITIONS = 64
 #: bytes per ``D`` chunk — small enough that a chunk entry always fits even
 #: the smallest configured btree page.
 DOC_CHUNK_BYTES = 768
+#: aligned doc-id block geometry for the ``B`` block-max records: block id
+#: is ``oid >> BLOCK_SHIFT``, so every block spans BLOCK_SPAN object ids.
+BLOCK_SHIFT = 7
+BLOCK_SPAN = 1 << BLOCK_SHIFT
 
 
 def _encode_term(term: str) -> bytes:
     # Analyzer tokens are lower-cased ``[a-z0-9_]`` runs, so the NUL
     # separator can never appear inside an encoded term.
     return term.encode("utf-8")
+
+
+class _PostingScoredCursor(ScoredCursor):
+    """Scored cursor over one term's persisted ``T`` prefix range.
+
+    Streams ``(oid, tf)`` straight off the posting records; ``seek``
+    re-descends the tree in O(log n) (clamped at the current position, per
+    the scored-cursor contract).  ``block_max``/``block_end`` expose the
+    persisted ``B`` block-max records through the engine-supplied resolver.
+    """
+
+    def __init__(
+        self,
+        tree_cursor,
+        prefix: bytes,
+        scorer: Callable[[int, int], float],
+        upper: float,
+        block_upper: Callable[[int], float],
+        counter: Optional[ScanCounter] = None,
+    ) -> None:
+        self._cursor = tree_cursor
+        self._prefix = prefix
+        self._scorer = scorer
+        self._upper = upper
+        self._block_upper = block_upper
+        self._counter = counter
+        self._doc: Optional[int] = None
+        self._tf = 0
+        self._accept(self._cursor.next_item())
+
+    def _accept(self, item) -> Optional[int]:
+        if item is None:
+            self._doc = None
+            return None
+        key, raw = item
+        self._doc = _OID.unpack(key[len(self._prefix):])[0]
+        self._tf = _POSTING_HEADER.unpack_from(raw, 0)[0]
+        if self._counter is not None:
+            self._counter.scanned += 1
+        return self._doc
+
+    def doc(self) -> Optional[int]:
+        return self._doc
+
+    def score(self) -> float:
+        return self._scorer(self._doc, self._tf)
+
+    def next(self) -> Optional[int]:
+        if self._doc is None:
+            return None
+        return self._accept(self._cursor.next_item())
+
+    def seek(self, target: int) -> Optional[int]:
+        if self._doc is None or target <= self._doc:
+            return self._doc
+        if self._counter is not None:
+            self._counter.seeks += 1
+        return self._accept(self._cursor.seek(self._prefix + _OID.pack(target)))
+
+    def max_score(self) -> float:
+        return self._upper
+
+    def block_max(self, doc: int) -> float:
+        return self._block_upper(doc)
+
+    def block_end(self, doc: int) -> int:
+        return (((doc >> BLOCK_SHIFT) + 1) << BLOCK_SHIFT) - 1
 
 
 class PersistentInvertedIndex:
@@ -102,6 +201,8 @@ class PersistentInvertedIndex:
         self._recovery = recovery
         self.term_lookups = 0
         self._scan = ScanCounter()
+        #: ranked-retrieval work counters (``fs.stats()["ranked"]``).
+        self.ranked = RankStats()
 
     @property
     def tree(self) -> BPlusTree:
@@ -138,6 +239,12 @@ class PersistentInvertedIndex:
     def _posting_key(self, term: str, doc_id: int) -> bytes:
         return self._posting_prefix(term) + _OID.pack(doc_id)
 
+    def _block_prefix(self, term: str) -> bytes:
+        return _BLOCK_PREFIX + _encode_term(term) + _SEP
+
+    def _block_key(self, term: str, block: int) -> bytes:
+        return self._block_prefix(term) + _U64.pack(block)
+
     # ------------------------------------------------------------- records
 
     def _read_stats(self) -> Tuple[int, int]:
@@ -148,19 +255,119 @@ class PersistentInvertedIndex:
         count, total = self._read_stats()
         self._tree.put(_STATS_KEY, _STATS.pack(count + docs, total + tokens))
 
-    def _bump_df(self, term: str, delta: int) -> None:
-        key = self._df_key(term)
-        raw = self._tree.get(key)
-        current = _U64.unpack(raw)[0] if raw is not None else 0
-        updated = current + delta
-        if updated > 0:
-            self._tree.put(key, _U64.pack(updated))
-        elif raw is not None:
-            self._tree.delete(key)
+    def _df_record(self, term: str) -> Tuple[int, Optional[Tuple[int, int]]]:
+        """``(document_frequency, (max_tf, min_len) or None)``.
+
+        The bound pair is ``None`` on legacy 8-byte records (devices
+        formatted before the bound fields existed).
+        """
+        raw = self._tree.get(self._df_key(term))
+        if raw is None:
+            return 0, None
+        if len(raw) == _DF_RECORD.size:
+            df, max_tf, min_len = _DF_RECORD.unpack(raw)
+            return df, (max_tf, min_len)
+        return _U64.unpack(raw)[0], None
 
     def _term_df(self, term: str) -> int:
-        raw = self._tree.get(self._df_key(term))
-        return _U64.unpack(raw)[0] if raw is not None else 0
+        return self._df_record(term)[0]
+
+    def _walk_bounds(
+        self, term: str, skip_doc: Optional[int] = None
+    ) -> Tuple[int, int, Dict[int, int]]:
+        """One posting walk computing ``(max_tf, min_len, per-block max)``.
+
+        ``skip_doc`` excludes an in-flight document whose ``D`` record is
+        not written yet (its length would read as the 1-token minimum and
+        pin ``min_len`` forever); the caller folds its real stats in.
+        """
+        max_tf, min_len = 0, 0
+        block_max: Dict[int, int] = {}
+        length_for = self._length_memo()
+        prefix = self._posting_prefix(term)
+        for key, raw in self._tree.cursor(prefix=prefix):
+            doc_id = _OID.unpack(key[len(prefix):])[0]
+            if doc_id == skip_doc:
+                continue
+            tf = _POSTING_HEADER.unpack_from(raw, 0)[0]
+            max_tf = max(max_tf, tf)
+            length = length_for(doc_id) or 1
+            min_len = length if min_len == 0 else min(min_len, length)
+            block = doc_id >> BLOCK_SHIFT
+            block_max[block] = max(block_max.get(block, 0), tf)
+        return max_tf, min_len, block_max
+
+    def _scan_bounds(self, term: str) -> Tuple[int, int]:
+        """Recompute ``(max_tf, min_len)`` from the live postings — the
+        query-path fallback for legacy records (no writes)."""
+        max_tf, min_len, _blocks = self._walk_bounds(term)
+        return max_tf, min_len
+
+    def _term_bounds(
+        self, term: str, df: int, stored: Optional[Tuple[int, int]]
+    ) -> Tuple[int, int]:
+        """The term's upper-bound inputs; scans when the fields are absent."""
+        if df == 0:
+            return 0, 0
+        return stored if stored is not None else self._scan_bounds(term)
+
+    def _upgrade_legacy_bounds(self, term: str, in_flight: int) -> Tuple[int, int]:
+        """Backfill block-max records for a legacy term; returns its bounds.
+
+        A legacy device carries postings with neither the ``F`` bound
+        fields nor ``B`` block records.  Before the first new posting lands
+        on such a term, every *existing* posting must be covered —
+        otherwise the new posting's block record could under-bound an old
+        posting in the same block and let WAND prune a true result.  One
+        prefix walk computes the term bounds and writes every block maximum
+        (WAL-covered, since this runs inside the caller's mutation
+        transaction).  The ``in_flight`` document — whose posting is
+        already in the tree but whose stats the caller accounts separately
+        — is excluded from the walk.
+        """
+        max_tf, min_len, block_max = self._walk_bounds(term, skip_doc=in_flight)
+        for block, tf in block_max.items():
+            self._tree.put(self._block_key(term, block), _U64.pack(tf))
+        return max_tf, min_len
+
+    def _record_term_added(self, term: str, doc_id: int, tf: int, doc_len: int) -> None:
+        """Account one new posting: df + 1, term and block bounds tightened."""
+        df, stored = self._df_record(term)
+        if stored is None and df > 0:
+            stored = self._upgrade_legacy_bounds(term, in_flight=doc_id)
+        max_tf, min_len = stored if stored is not None else (0, 0)
+        self._tree.put(
+            self._df_key(term),
+            _DF_RECORD.pack(
+                df + 1,
+                max(max_tf, tf),
+                doc_len if min_len == 0 else min(min_len, doc_len),
+            ),
+        )
+        block_key = self._block_key(term, doc_id >> BLOCK_SHIFT)
+        raw = self._tree.get(block_key)
+        if raw is None or _U64.unpack(raw)[0] < tf:
+            self._tree.put(block_key, _U64.pack(tf))
+
+    def _record_term_removed(self, term: str) -> None:
+        """Account one dropped posting: df - 1; bounds stay (conservative).
+
+        A removed document can strand a too-loose bound — harmless (pruning
+        only gets less aggressive).  When the term's last posting goes, the
+        frequency record and every block record are scrubbed with it.
+        """
+        df, stored = self._df_record(term)
+        if df <= 1:
+            if df == 1:
+                self._tree.delete(self._df_key(term))
+            doomed = [key for key, _value in self._tree.cursor(prefix=self._block_prefix(term))]
+            for key in doomed:
+                self._tree.delete(key)
+            return
+        if stored is None:
+            self._tree.put(self._df_key(term), _U64.pack(df - 1))  # stays legacy
+        else:
+            self._tree.put(self._df_key(term), _DF_RECORD.pack(df - 1, *stored))
 
     def _read_doc(self, doc_id: int) -> Optional[Tuple[int, List[str]]]:
         """``(doc_length, terms)`` from the chunked ``D`` records."""
@@ -209,7 +416,7 @@ class PersistentInvertedIndex:
                 value = _POSTING_HEADER.pack(len(positions), len(stored))
                 value += struct.pack(f">{len(stored)}I", *stored)
                 self._tree.put(self._posting_key(term, doc_id), value)
-                self._bump_df(term, +1)
+                self._record_term_added(term, doc_id, len(positions), len(analyzed))
             self._write_doc(doc_id, len(analyzed), list(occurrences))
             self._bump_stats(docs=+1, tokens=len(analyzed))
             return len(occurrences)
@@ -232,7 +439,7 @@ class PersistentInvertedIndex:
                     self._tree.delete(self._posting_key(term, doc_id))
                 except KeyNotFoundError:
                     continue
-                self._bump_df(term, -1)
+                self._record_term_removed(term)
             self._delete_doc_chunks(doc_id)
             self._bump_stats(docs=-1, tokens=-length)
             return True
@@ -368,43 +575,176 @@ class PersistentInvertedIndex:
 
     # -------------------------------------------------------------- ranking
 
+    def _length_memo(self) -> Callable[[int], int]:
+        """A memoized doc-length resolver (chunk-0 header reads only)."""
+        lengths: Dict[int, int] = {}
+
+        def length_for(doc_id: int) -> int:
+            if doc_id not in lengths:
+                # Only the length header is needed — chunk 0 carries it,
+                # so skip decoding the (possibly multi-chunk) term list.
+                head = self._tree.get(self._doc_key(doc_id, 0))
+                lengths[doc_id] = _U32.unpack_from(head, 0)[0] if head else 0
+            return lengths[doc_id]
+
+        return length_for
+
+    def _block_bound_factory(
+        self,
+        term: str,
+        idf: float,
+        k1: float,
+        b: float,
+        term_upper: float,
+        min_len: int,
+        average_length: float,
+    ) -> Callable[[int], float]:
+        """Per-block upper-bound scores for ``term`` (memoized per query).
+
+        Block records store frequencies only, so the term-level minimum
+        length feeds the length term (a block's shortest doc can only be
+        longer — looser, never unsafe).  Blocks without a ``B`` record
+        (legacy postings) fall back to the term-level bound entirely.
+        """
+        cache: Dict[int, float] = {}
+
+        def block_upper(doc_id: int) -> float:
+            block = doc_id >> BLOCK_SHIFT
+            if block not in cache:
+                raw = self._tree.get(self._block_key(term, block))
+                if raw is None:
+                    cache[block] = term_upper
+                else:
+                    cache[block] = bm25_upper_bound(
+                        idf, k1, b, _U64.unpack(raw)[0], min_len, average_length
+                    )
+            return cache[block]
+
+        return block_upper
+
     def rank(self, query, limit: Optional[int] = 10, k1: float = 1.5, b: float = 0.75) -> List[SearchHit]:
         """BM25-ranked disjunctive retrieval.
 
         Bit-identical to the in-memory index given the same corpus: the same
         per-term, ascending-doc-id accumulation order, the same integer
-        document-length bookkeeping, the same tie-break.
+        document-length bookkeeping, the same tie-break.  With a ``limit``
+        the query streams through the same WAND merge the in-memory engine
+        uses, refined here by the persisted block-max records; ``limit=None``
+        ranks exhaustively.
         """
+        if limit is None:
+            return self.rank_exhaustive(query, limit=None, k1=k1, b=b)
+        terms = self.analyzer.analyze_query(query)
+        total_docs, total_tokens = self._read_stats()
+        if not terms or not total_docs or limit <= 0:
+            return []
+        self.ranked.queries += 1
+        average_length = total_tokens / total_docs
+        length_for = self._length_memo()
+        cursors = []
+        for term in terms:
+            df, stored = self._df_record(term)
+            if df == 0:
+                continue
+            self.term_lookups += 1
+            idf = bm25_idf(total_docs, df)
+            max_tf, min_len = self._term_bounds(term, df, stored)
+            upper = bm25_upper_bound(idf, k1, b, max_tf, min_len, average_length)
+            cursors.append(
+                _PostingScoredCursor(
+                    self._tree.cursor(prefix=self._posting_prefix(term)),
+                    self._posting_prefix(term),
+                    bm25_scorer(idf, k1, b, average_length, length_for),
+                    upper,
+                    self._block_bound_factory(
+                        term, idf, k1, b, upper, min_len, average_length
+                    ),
+                    counter=self._scan,
+                )
+            )
+        top = WandCursor(cursors, limit, stats=self.ranked).top_k()
+        return [SearchHit(doc_id=doc_id, score=score) for doc_id, score in top]
+
+    def rank_exhaustive(
+        self, query, limit: Optional[int] = None, k1: float = 1.5, b: float = 0.75
+    ) -> List[SearchHit]:
+        """BM25 ranking that scores every matching document (no pruning)."""
         terms = self.analyzer.analyze_query(query)
         total_docs, total_tokens = self._read_stats()
         if not terms or not total_docs:
             return []
+        self.ranked.exhaustive_queries += 1
         average_length = total_tokens / total_docs
+        length_for = self._length_memo()
         scores: Dict[int, float] = {}
-        lengths: Dict[int, int] = {}
         for term in terms:
             df = self._term_df(term)
             if df == 0:
                 continue
             self.term_lookups += 1
-            idf = math.log(1.0 + (total_docs - df + 0.5) / (df + 0.5))
+            idf = bm25_idf(total_docs, df)
+            score = bm25_scorer(idf, k1, b, average_length, length_for)
             for key, raw in self._tree.cursor(prefix=self._posting_prefix(term)):
                 self.postings_scanned += 1
                 doc_id = _OID.unpack(key[-_OID.size:])[0]
-                if doc_id not in lengths:
-                    # Only the length header is needed — chunk 0 carries it,
-                    # so skip decoding the (possibly multi-chunk) term list.
-                    head = self._tree.get(self._doc_key(doc_id, 0))
-                    lengths[doc_id] = _U32.unpack_from(head, 0)[0] if head else 0
-                doc_length = lengths[doc_id] or 1
                 tf = _POSTING_HEADER.unpack_from(raw, 0)[0]
-                denominator = tf + k1 * (1 - b + b * doc_length / average_length)
-                scores[doc_id] = scores.get(doc_id, 0.0) + idf * (tf * (k1 + 1)) / denominator
+                scores[doc_id] = scores.get(doc_id, 0.0) + score(doc_id, tf)
+        self.ranked.documents_scored += len(scores)
         hits = [SearchHit(doc_id=doc_id, score=score) for doc_id, score in scores.items()]
         hits.sort(key=lambda hit: (-hit.score, hit.doc_id))
         if limit is not None:
             hits = hits[:limit]
         return hits
+
+    def bound_violations(self, k1: float = 1.5, b: float = 0.75) -> List[str]:
+        """Postings whose actual BM25 contribution escapes the stored bounds.
+
+        The persisted-bound safety invariant — checked by the property test
+        and the crash-torture audit after every recovery:
+
+        * the ``F`` record's max tf (when present) dominates every live
+          posting's term frequency;
+        * every ``B`` block record dominates the frequencies of the live
+          postings in its block (the query path trusts a block record
+          whenever one exists);
+        * the derived upper-bound *score* dominates every live posting's
+          actual contribution under the current corpus statistics.
+
+        Returns human-readable violations; empty means the invariant holds.
+        """
+        violations: List[str] = []
+        total_docs, total_tokens = self._read_stats()
+        if not total_docs:
+            return violations
+        average_length = total_tokens / total_docs
+        length_for = self._length_memo()
+        for term in self.vocabulary():
+            df, stored = self._df_record(term)
+            term_max, term_min_len = self._term_bounds(term, df, stored)
+            idf = bm25_idf(total_docs, df)
+            term_bound = bm25_upper_bound(idf, k1, b, term_max, term_min_len, average_length)
+            score = bm25_scorer(idf, k1, b, average_length, length_for)
+            prefix = self._posting_prefix(term)
+            for key, raw in self._tree.cursor(prefix=prefix):
+                doc_id = _OID.unpack(key[len(prefix):])[0]
+                tf = _POSTING_HEADER.unpack_from(raw, 0)[0]
+                if tf > term_max:
+                    violations.append(
+                        f"term {term!r} doc {doc_id}: stored max tf {term_max} < tf {tf}"
+                    )
+                block_raw = self._tree.get(self._block_key(term, doc_id >> BLOCK_SHIFT))
+                if block_raw is not None and _U64.unpack(block_raw)[0] < tf:
+                    violations.append(
+                        f"term {term!r} doc {doc_id}: block bound "
+                        f"{_U64.unpack(block_raw)[0]} < tf {tf}"
+                    )
+                actual = score(doc_id, tf)
+                if actual > term_bound:
+                    violations.append(
+                        f"term {term!r} doc {doc_id}: contribution {actual} "
+                        f"exceeds bound {term_bound}"
+                    )
+        return violations
 
     # ------------------------------------------------------------ inspection
 
@@ -436,3 +776,4 @@ class PersistentInvertedIndex:
     def reset_counters(self) -> None:
         self.term_lookups = 0
         self._scan.reset()
+        self.ranked.reset()

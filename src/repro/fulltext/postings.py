@@ -41,6 +41,10 @@ class PostingList:
     def __init__(self) -> None:
         self._postings: Dict[int, Posting] = {}
         self._sorted_ids: Optional[Tuple[int, ...]] = ()
+        # Largest term frequency in the list — the WAND upper-bound input.
+        # Maintained incrementally on inserts, recomputed lazily after a
+        # remove or replace (either can retire the current maximum).
+        self._max_tf: Optional[int] = 0
 
     def __len__(self) -> int:
         return len(self._postings)
@@ -52,6 +56,10 @@ class PostingList:
         """Insert or replace the posting for ``posting.doc_id``."""
         if posting.doc_id not in self._postings:
             self._sorted_ids = None  # re-sort lazily
+            if self._max_tf is not None:
+                self._max_tf = max(self._max_tf, posting.term_frequency)
+        else:
+            self._max_tf = None  # a replace may retire the old maximum
         self._postings[posting.doc_id] = posting
 
     def remove(self, doc_id: int) -> bool:
@@ -59,6 +67,7 @@ class PostingList:
         if doc_id in self._postings:
             del self._postings[doc_id]
             self._sorted_ids = None
+            self._max_tf = None
             return True
         return False
 
@@ -83,6 +92,16 @@ class PostingList:
     def document_frequency(self) -> int:
         """Number of documents containing the term."""
         return len(self._postings)
+
+    @property
+    def max_term_frequency(self) -> int:
+        """Largest term frequency in the list (exact; 0 when empty)."""
+        if self._max_tf is None:
+            self._max_tf = max(
+                (posting.term_frequency for posting in self._postings.values()),
+                default=0,
+            )
+        return self._max_tf
 
 
 def intersect(lists: List[PostingList], counter: Optional[ScanCounter] = None) -> List[int]:

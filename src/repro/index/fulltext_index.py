@@ -178,7 +178,18 @@ class FullTextIndexStore(IndexStore):
         return self.index.document_frequency(value)
 
     def rank(self, query: str, limit: Optional[int] = 10):
-        """BM25-ranked hits; convenience for examples and the semantic layer."""
+        """BM25-ranked hits (WAND top-k pruning when ``limit`` is set)."""
         if self.lazy:
             return self.indexer.rank(query, limit=limit)
         return self.index.rank(query, limit=limit)
+
+    def rank_exhaustive(self, query: str, limit: Optional[int] = None):
+        """BM25 ranking with no pruning — the differential-test reference."""
+        if self.lazy:
+            return self.indexer.rank_exhaustive(query, limit=limit)
+        return self.index.rank_exhaustive(query, limit=limit)
+
+    @property
+    def ranked_stats(self):
+        """The engine's :class:`~repro.query.scored.RankStats` counters."""
+        return self.index.ranked

@@ -19,15 +19,33 @@ from repro.query.cursors import (
     UnionCursor,
     materialize,
 )
+from repro.query.scored import (
+    UNBOUNDED_BLOCK_END,
+    ListScoredCursor,
+    RankStats,
+    ScoredCursor,
+    WandCursor,
+    bm25_idf,
+    bm25_scorer,
+    bm25_upper_bound,
+)
 
 __all__ = [
     "UNKNOWN_ESTIMATE",
+    "UNBOUNDED_BLOCK_END",
     "DifferenceCursor",
     "DocIdCursor",
     "EmptyCursor",
     "IntersectCursor",
     "ListCursor",
+    "ListScoredCursor",
+    "RankStats",
     "ScanCounter",
+    "ScoredCursor",
     "UnionCursor",
+    "WandCursor",
+    "bm25_idf",
+    "bm25_scorer",
+    "bm25_upper_bound",
     "materialize",
 ]

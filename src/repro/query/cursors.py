@@ -52,6 +52,25 @@ from typing import Iterator, List, Optional, Sequence, Tuple
 UNKNOWN_ESTIMATE = 1 << 30
 
 
+def gallop_to(ids: Sequence[int], low: int, target: int) -> int:
+    """Index of the first ``ids[i] >= target`` with ``i > low``.
+
+    Precondition: ``ids[low] < target``.  Probes exponentially growing
+    steps from ``low``, then bisects inside the bracketing window — O(1)
+    near the current position, O(log distance) for a long jump.  Shared by
+    the boolean and scored list cursors so their seek behaviour cannot
+    drift apart.
+    """
+    size = len(ids)
+    step = 1
+    high = low + 1
+    while high < size and ids[high] < target:
+        low = high
+        step <<= 1
+        high = low + step
+    return bisect_left(ids, target, low + 1, min(high, size))
+
+
 class ScanCounter:
     """Counts index entries actually touched by leaf cursors.
 
@@ -146,15 +165,7 @@ class ListCursor(DocIdCursor):
         if self._counter is not None:
             self._counter.seeks += 1
         if ids[low] < target:
-            # Gallop: double the step until we bracket the target, then bisect
-            # within [low, high).
-            step = 1
-            high = low + 1
-            while high < size and ids[high] < target:
-                low = high
-                step <<= 1
-                high = low + step
-            low = bisect_left(ids, target, low + 1, min(high, size))
+            low = gallop_to(ids, low, target)
         self._index = low
         return self.next()
 

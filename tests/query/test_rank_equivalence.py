@@ -1,0 +1,261 @@
+"""Differential harness: WAND top-k BM25 must equal exhaustive BM25 exactly.
+
+The safety contract of the ranked-streaming pipeline is *exact* top-k:
+``rank(query, limit=k)`` — WAND/block-max pruning, scored cursors, persisted
+bounds — must return bit-identical results (same floating-point scores, same
+order) to scoring every matching document and sorting.  Anything less means
+pruning dropped a true result.
+
+Locked down here across every axis that could break it:
+
+* randomized seeded corpora with churn (removes, rewrites, appends) on both
+  engines — the in-memory index and the persisted B+-tree index;
+* the full filesystem stack on a WAL device, before and after a re-mount,
+  and after unlink/rename/rewrite churn on the re-mounted instance;
+* limits ``{1, k, n, > n}`` (heap never full, exactly full, overfull);
+* equal-score ties (order must be deterministic: ascending object id);
+* legacy ``F`` records without the bound fields (the recompute fallback).
+
+Seeds come from ``RANK_SEEDS`` so CI can widen the sweep.
+"""
+
+import os
+import random
+
+import pytest
+
+from repro.btree import BPlusTree
+from repro.core import HFADFileSystem
+from repro.fulltext.inverted_index import InvertedIndex
+from repro.fulltext.persistent_index import _DF_PREFIX, PersistentInvertedIndex
+from repro.storage import BlockDevice
+
+SEEDS = [int(s) for s in os.environ.get("RANK_SEEDS", "11,23").split(",")]
+
+#: skewed vocabulary — low indices are drawn far more often, so corpora get
+#: a realistic mix of stop-word-like terms and rare discriminating ones.
+WORDS = [f"term{i:02d}" for i in range(24)]
+
+
+def skewed_text(rng, min_words=3, max_words=30):
+    count = rng.randint(min_words, max_words)
+    return " ".join(
+        WORDS[min(rng.randrange(1 + rng.randrange(len(WORDS))), len(WORDS) - 1)]
+        for _ in range(count)
+    )
+
+
+def build_engines(seed, docs=70, churn=30):
+    """Identical randomized corpus + churn applied to both engines."""
+    rng = random.Random(seed)
+    memory = InvertedIndex()
+    persistent = PersistentInvertedIndex(BPlusTree())
+    live = {}
+    for doc_id in range(docs):
+        text = skewed_text(rng)
+        live[doc_id] = text
+        memory.add_document(doc_id, text)
+        persistent.add_document(doc_id, text)
+    for _ in range(churn):
+        doc_id = rng.choice(sorted(live))
+        roll = rng.random()
+        if roll < 0.3 and len(live) > 5:
+            memory.remove_document(doc_id)
+            persistent.remove_document(doc_id)
+            del live[doc_id]
+        elif roll < 0.65:
+            text = skewed_text(rng)
+            live[doc_id] = text
+            memory.update_document(doc_id, text)
+            persistent.update_document(doc_id, text)
+        else:
+            extra = rng.choice(WORDS)
+            memory.append_terms(doc_id, extra)
+            persistent.append_terms(doc_id, extra)
+            live[doc_id] += " " + extra
+    return memory, persistent
+
+
+def probe_queries(rng):
+    single = [rng.choice(WORDS) for _ in range(4)]
+    multi = [" ".join(rng.choice(WORDS) for _ in range(n)) for n in (2, 3, 5)]
+    duplicated = [f"{WORDS[0]} {WORDS[0]} {WORDS[3]}"]  # repeated query term
+    missing = [f"{WORDS[1]} nosuchterm", "nosuchterm"]
+    return single + multi + duplicated + missing
+
+
+def assert_rank_equivalent(engine, reference_hits, query, limit):
+    hits = engine.rank(query, limit=limit)
+    assert hits == reference_hits, (
+        f"WAND != exhaustive for {query!r} limit={limit}: "
+        f"{hits[:3]} vs {reference_hits[:3]}"
+    )
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_engines_match_exhaustive_at_every_limit(seed):
+    memory, persistent = build_engines(seed)
+    rng = random.Random(seed * 13)
+    n = memory.document_count
+    assert n == persistent.document_count
+    for query in probe_queries(rng):
+        for limit in (1, 5, n, n + 7):
+            expected = memory.rank_exhaustive(query, limit=limit)
+            assert_rank_equivalent(memory, expected, query, limit)
+            # Cross-engine: the persisted index must agree score for score.
+            assert_rank_equivalent(persistent, expected, query, limit)
+            assert persistent.rank_exhaustive(query, limit=limit) == expected
+        # limit=None is the exhaustive path on both engines by definition.
+        assert memory.rank(query, limit=None) == persistent.rank(query, limit=None)
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_wand_actually_prunes_on_skewed_corpora(seed):
+    """The harness must not pass vacuously: top-k at small limits has to do
+    measurably less scoring work than the exhaustive reference."""
+    memory, persistent = build_engines(seed, docs=300, churn=0)
+    query = f"{WORDS[0]} {WORDS[20]}"  # one common term, one rare term
+    for engine in (memory, persistent):
+        engine.reset_counters()
+        exhaustive = engine.rank_exhaustive(query, limit=10)
+        scored_exhaustive = engine.ranked.documents_scored
+        engine.reset_counters()
+        assert engine.rank(query, limit=10) == exhaustive
+        scored_wand = engine.ranked.documents_scored
+        assert scored_wand < scored_exhaustive, (
+            f"WAND scored {scored_wand} of {scored_exhaustive} documents — no pruning"
+        )
+
+
+def test_tie_breaking_is_deterministic_by_doc_id():
+    """Equal-score documents order by ascending id — in both engines, at
+    every limit, including limits that cut through the tie group."""
+    memory = InvertedIndex()
+    persistent = PersistentInvertedIndex(BPlusTree())
+    for doc_id in (9, 3, 7, 1, 5):  # insertion order deliberately shuffled
+        for engine in (memory, persistent):
+            engine.add_document(doc_id, "identical tie content")
+    for engine in (memory, persistent):
+        for limit in (2, 5, None):
+            hits = engine.rank("tie content", limit=limit)
+            expected_ids = [1, 3, 5, 7, 9][: limit if limit is not None else 5]
+            assert [hit.doc_id for hit in hits] == expected_ids
+            assert len({hit.score for hit in hits}) == 1  # truly tied
+        assert engine.rank("tie", limit=3) == engine.rank_exhaustive("tie", limit=3)
+
+
+def test_legacy_frequency_records_fall_back_to_recompute():
+    """8-byte ``F`` records (pre-bound devices): ranking recomputes bounds
+    from live postings, and the first mutation upgrades the records."""
+    engine = PersistentInvertedIndex(BPlusTree())
+    rng = random.Random(7)
+    for doc_id in range(40):
+        engine.add_document(doc_id, skewed_text(rng))
+    # Strip every F record down to the legacy 8-byte layout and drop the
+    # block-max records, simulating a device formatted before this PR.
+    tree = engine.tree
+    legacy = [(key, value[:8]) for key, value in tree.cursor(prefix=_DF_PREFIX)]
+    for key, value in legacy:
+        tree.put(key, value)
+    doomed = [key for key, _value in tree.cursor(prefix=b"B\x00")]
+    for key in doomed:
+        tree.delete(key)
+
+    query = f"{WORDS[1]} {WORDS[2]}"
+    for limit in (1, 5, None):
+        assert engine.rank(query, limit=limit) == engine.rank_exhaustive(query, limit=limit)
+    assert not engine.bound_violations()
+
+    # A mutation on a legacy term must upgrade its record and backfill the
+    # block maxima so the new posting cannot under-bound its older siblings.
+    engine.add_document(99, " ".join(WORDS))
+    assert not engine.bound_violations()
+    for limit in (1, 5):
+        assert engine.rank(query, limit=limit) == engine.rank_exhaustive(query, limit=limit)
+    # The upgrade must not pin min_len at the 1-token floor (the in-flight
+    # document's not-yet-written length record must be excluded from the
+    # walk): every corpus document here is >= 3 tokens long.
+    df, bounds = engine._df_record(WORDS[1])
+    assert df > 0 and bounds is not None
+    assert bounds[1] >= 3, f"legacy upgrade pinned min_len to {bounds[1]}"
+
+
+# ---------------------------------------------------------------------------
+# full-stack: WAL device, remount, churn
+# ---------------------------------------------------------------------------
+
+
+def fs_ops(rng, fs, oids, serial):
+    """One batch of unlink/rename/rewrite churn against the live objects."""
+    for _ in range(12):
+        roll = rng.random()
+        if not oids or roll < 0.3:
+            serial += 1
+            oid = fs.create(skewed_text(rng).encode(), path=f"/d{serial}.txt")
+            oids.append(oid)
+        elif roll < 0.45:
+            oid = rng.choice(oids)
+            paths = fs.paths_for(oid)
+            if paths:
+                fs.unlink_path(paths[0])
+        elif roll < 0.6:
+            oid = rng.choice(oids)
+            paths = fs.paths_for(oid)
+            if paths:
+                serial += 1
+                fs.rename_path(paths[0], f"/moved{serial}.txt")
+        elif roll < 0.8:
+            oid = rng.choice(oids)
+            # rewrite: truncate the whole body, then append fresh content
+            fs.truncate(oid, 0, fs.stat(oid).size)
+            fs.append(oid, skewed_text(rng).encode())
+        else:
+            oid = oids.pop(rng.randrange(len(oids)))
+            fs.delete(oid)
+    return serial
+
+
+def assert_fs_rank_matches_exhaustive(fs, rng):
+    engine = fs.fulltext_index.index
+    n = engine.document_count
+    for query in probe_queries(rng):
+        for limit in (1, 5, n, n + 3):
+            expected = engine.rank_exhaustive(query, limit=limit)
+            assert fs.rank(query, limit=limit) == expected, (query, limit)
+    assert not engine.bound_violations()
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_fs_rank_equivalence_across_remount_and_churn(seed):
+    rng = random.Random(seed * 31)
+    device = BlockDevice(num_blocks=1 << 16)
+    fs = HFADFileSystem(
+        device=device, btree_on_device=True, durability="wal", query_cache_entries=0
+    )
+    oids, serial = [], 0
+    serial = fs_ops(rng, fs, oids, serial)
+    serial = fs_ops(rng, fs, oids, serial)
+    assert_fs_rank_matches_exhaustive(fs, rng)
+    stats = fs.stats()["ranked"]
+    assert stats["queries"] > 0 and stats["documents_scored"] > 0
+
+    # Persisted bounds must survive the unmount/mount cycle intact.
+    fs.close()
+    mounted = HFADFileSystem.mount(device, query_cache_entries=0)
+    assert_fs_rank_matches_exhaustive(mounted, rng)
+
+    # ... and keep absorbing churn on the re-mounted instance.
+    serial = fs_ops(rng, mounted, oids, serial)
+    assert_fs_rank_matches_exhaustive(mounted, rng)
+    mounted.close()
+
+
+def test_rank_limit_edge_cases():
+    fs = HFADFileSystem(query_cache_entries=0)
+    fs.create(b"alpha beta gamma", path="/x.txt")
+    assert fs.rank("alpha", limit=0) == []
+    assert fs.rank("", limit=5) == []
+    assert fs.rank("nosuchterm", limit=5) == []
+    assert fs.rank_text("alpha") == fs.rank("alpha")  # alias stays wired
+    assert fs.naming.stats.ranked_queries == 5
+    fs.close()

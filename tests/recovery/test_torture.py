@@ -254,7 +254,22 @@ def verify(fs, model):
                 assert oid in hits, (
                     f"object {oid} missing from BM25 results for {words[0]!r}"
                 )
+                # Ranked streaming after recovery: WAND top-k over the
+                # replayed index must equal exhaustive BM25 exactly.
+                engine = fs.fulltext_index.index
+                assert fs.rank(words[0], limit=5) == engine.rank_exhaustive(
+                    words[0], limit=5
+                ), f"WAND != exhaustive for {words[0]!r} after recovery"
                 ranked_probe_done = True
+        # The persisted max-score bounds must never be stale-low after a
+        # replay: for every term, bound >= the true max contribution of
+        # every live posting (a stale bound lets WAND drop true results).
+        engine = fs.fulltext_index.index
+        if hasattr(engine, "bound_violations"):
+            violations = engine.bound_violations()
+            assert not violations, (
+                f"stale persisted rank bounds after recovery: {violations[:3]}"
+            )
 
     report = fs.fsck()
     assert report["clean"], f"fsck after remount: {report['errors']}"
