@@ -20,19 +20,74 @@ fixture (one plain call, no timing) keeps the modules importable.
 
 from __future__ import annotations
 
+import json
 import os
-from typing import Iterable, Sequence
+import time
+from typing import Dict, Iterable, Sequence
 
 import pytest
 
 from repro.core import HFADFileSystem
 from repro.hierarchical import DesktopSearchEngine, FFSFileSystem
+from repro.telemetry import to_jsonable
 from repro.workloads import load_into_ffs, load_into_hfad, mixed_corpus
 
 RESULTS_PATH = os.path.join(os.path.dirname(__file__), "results.txt")
+#: per-run JSON metric snapshots land next to the repo root as
+#: ``BENCH_<experiment>.json`` (one file per bench module) so successive
+#: runs leave a comparable trajectory of numbers, not just prose tables.
+SNAPSHOT_DIR = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
 
 #: reduced-size mode for CI smoke runs (see module docstring).
 SMOKE = os.environ.get("BENCH_SMOKE", "") not in ("", "0")
+
+#: bench-module stem (e.g. ``e10_streaming_exec``) -> its snapshot record.
+_BENCH_RECORDS: Dict[str, dict] = {}
+_CURRENT_STEM: list = [None]
+
+
+def _record_for(stem: str) -> dict:
+    record = _BENCH_RECORDS.get(stem)
+    if record is None:
+        record = {"experiment": stem, "smoke": SMOKE,
+                  "metrics": {}, "tables": [], "tests": {}}
+        _BENCH_RECORDS[stem] = record
+    return record
+
+
+def record_metric(name: str, value) -> None:
+    """Record one named number (or JSON-able structure) for the running
+    bench module's ``BENCH_<experiment>.json`` snapshot."""
+    stem = _CURRENT_STEM[0]
+    if stem is None:
+        return
+    _record_for(stem)["metrics"][name] = to_jsonable(value)
+
+
+def pytest_runtest_setup(item):
+    stem = os.path.splitext(os.path.basename(str(item.fspath)))[0]
+    if stem.startswith("bench_"):
+        _CURRENT_STEM[0] = stem[len("bench_"):]
+
+
+def pytest_runtest_logreport(report):
+    stem = _CURRENT_STEM[0]
+    if stem is None or report.when != "call":
+        return
+    test_name = report.nodeid.rsplit("::", 1)[-1]
+    _record_for(stem)["tests"][test_name] = {
+        "outcome": report.outcome,
+        "duration_s": round(report.duration, 6),
+    }
+
+
+def pytest_sessionfinish(session):
+    for stem, record in _BENCH_RECORDS.items():
+        record["written_at"] = time.strftime("%Y-%m-%dT%H:%M:%S")
+        path = os.path.join(SNAPSHOT_DIR, f"BENCH_{stem}.json")
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump(record, handle, indent=2, sort_keys=True)
+            handle.write("\n")
 
 
 def scaled(full, smoke):
@@ -77,6 +132,13 @@ def emit_table(title: str, headers: Sequence[str], rows: Iterable[Sequence[objec
     print(text)
     with open(RESULTS_PATH, "a", encoding="utf-8") as handle:
         handle.write(text)
+    stem = _CURRENT_STEM[0]
+    if stem is not None:
+        _record_for(stem)["tables"].append({
+            "title": title,
+            "headers": list(headers),
+            "rows": rows,
+        })
     return text
 
 

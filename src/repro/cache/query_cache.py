@@ -31,7 +31,7 @@ a prefix.  A truncated top-k result is stored under a separate
 from __future__ import annotations
 
 import threading
-from collections import OrderedDict
+from collections import OrderedDict, deque
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Set, Tuple
 
@@ -102,6 +102,12 @@ class QueryCacheStats:
     evictions: int = 0
     #: stores skipped because a mutation raced the evaluation.
     racy_skips: int = 0
+    #: admissions of complete (exhausted) result sets / of truncated top-k
+    #: results stored under limit-qualified keys.
+    admitted_full: int = 0
+    admitted_limited: int = 0
+    #: stores an admission policy declined (see QueryResultCache.store).
+    policy_rejects: int = 0
 
     @property
     def hit_ratio(self) -> float:
@@ -116,6 +122,9 @@ class QueryCacheStats:
             "stores": self.stores,
             "evictions": self.evictions,
             "racy_skips": self.racy_skips,
+            "admitted_full": self.admitted_full,
+            "admitted_limited": self.admitted_limited,
+            "policy_rejects": self.policy_rejects,
             "hit_ratio": round(self.hit_ratio, 4),
         }
 
@@ -127,12 +136,20 @@ class QueryResultCache:
     :param capacity: maximum number of cached result sets (LRU-bounded).
     """
 
-    def __init__(self, registry, capacity: int = 256) -> None:
+    def __init__(self, registry, capacity: int = 256,
+                 admission_policy=None, admission_log: int = 32) -> None:
         if capacity < 1:
             raise CacheError("query cache capacity must be at least 1 entry")
         self.registry = registry
         self.capacity = capacity
         self.stats = QueryCacheStats()
+        #: optional ``fn(key, result, limited) -> bool`` consulted before a
+        #: store; returning False rejects admission (counted in
+        #: ``policy_rejects``).  Groundwork for cost-aware admission.
+        self.admission_policy = admission_policy
+        #: ring of recent admission decisions, newest last:
+        #: ``(key, rows, "full"|"limited"|"rejected"|"racy")``.
+        self.admissions: "deque[Tuple[str, int, str]]" = deque(maxlen=admission_log)
         #: key -> (result tuple, {tag: generation at store time})
         self._entries: "OrderedDict[str, Tuple[Tuple[int, ...], Dict[str, int]]]" = OrderedDict()
         self._lock = threading.Lock()
@@ -178,12 +195,19 @@ class QueryResultCache:
 
     def store(self, query, result: List[int],
               snapshot: Optional[Dict[str, int]] = None,
-              key: Optional[str] = None) -> None:
+              key: Optional[str] = None,
+              limited: bool = False) -> None:
         """Record ``result`` for ``query`` under the current generations.
 
         When ``snapshot`` (from :meth:`generations_for`, taken before the
         evaluation) is given and any tag has since moved on, the result may
         already be stale and is not cached.
+
+        ``limited`` marks a truncated top-k result (stored under a
+        limit-qualified key by the naming layer); it only affects the
+        admission bookkeeping, never correctness.  Every decision — admit
+        full, admit limited, policy reject, racy skip — is appended to
+        :attr:`admissions` for the telemetry layer to surface.
         """
         if key is None:
             key = canonical_key(query)
@@ -193,11 +217,25 @@ class QueryResultCache:
             for tag, generation in snapshot.items():
                 if self.registry.generation(tag) != generation:
                     self.stats.racy_skips += 1
+                    self.admissions.append((key, len(result), "racy"))
                     return
+        if self.admission_policy is not None and not self.admission_policy(
+            key, result, limited
+        ):
+            self.stats.policy_rejects += 1
+            self.admissions.append((key, len(result), "rejected"))
+            return
         with self._lock:
             self._entries[key] = (tuple(result), snapshot)
             self._entries.move_to_end(key)
             self.stats.stores += 1
+            if limited:
+                self.stats.admitted_limited += 1
+            else:
+                self.stats.admitted_full += 1
+            self.admissions.append(
+                (key, len(result), "limited" if limited else "full")
+            )
             while len(self._entries) > self.capacity:
                 self._entries.popitem(last=False)
                 self.stats.evictions += 1

@@ -79,6 +79,9 @@ class HFADShell:
             "fsck": self.cmd_fsck,
             "recover": self.cmd_recover,
             "checkpoint": self.cmd_checkpoint,
+            "explain": self.cmd_explain,
+            "stats": self.cmd_stats,
+            "trace": self.cmd_trace,
         }
 
     # ------------------------------------------------------------------
@@ -152,7 +155,9 @@ class HFADShell:
             "                 search [--limit N] TEXT | rank [--limit N] TEXT |\n"
             "                 savequery NAME EXPR | queries\n"
             "navigation:      cd TAG/VALUE | up | pwd | suggest\n"
-            "durability:      fsck | recover | checkpoint"
+            "durability:      fsck | recover | checkpoint\n"
+            "observability:   explain [--analyze] [--limit N] EXPR |\n"
+            "                 stats [--format json|prom|text] | trace [--limit N]"
         )
 
     def cmd_put(self, args: List[str]) -> str:
@@ -345,6 +350,80 @@ class HFADShell:
         """Force a checkpoint (flush dirty pages, truncate the journal)."""
         flushed = self.fs.checkpoint()
         return f"checkpoint complete: {flushed} dirty page(s) flushed"
+
+    # ------------------------------------------------------------------
+    # commands: observability
+    # ------------------------------------------------------------------
+
+    def cmd_explain(self, args: List[str]) -> str:
+        """Show a query's plan (``--analyze`` runs it and reports actuals)."""
+        usage = "explain [--analyze] [--limit N] EXPR"
+        analyze = False
+        if args and args[0] == "--analyze":
+            analyze = True
+            args = args[1:]
+        limit, args = self._parse_limit(args, usage)
+        self._require(args, 1, usage)
+        expression = " ".join(args)
+        if analyze:
+            return str(self.fs.explain_analyze(expression, limit=limit))
+        return str(self.fs.explain(expression))
+
+    def cmd_stats(self, args: List[str]) -> str:
+        """Dump runtime stats (``--format json`` / ``prom`` / ``text``)."""
+        usage = "stats [--format json|prom|text]"
+        fmt = "text"
+        if args:
+            if args[0] != "--format" or len(args) < 2:
+                raise ShellError(f"usage: {usage}")
+            fmt = args[1]
+        stats = self.fs.stats()
+        if fmt == "json":
+            from repro.telemetry import stats_to_json
+
+            return stats_to_json(stats)
+        if fmt == "prom":
+            from repro.telemetry import prometheus_text
+
+            return prometheus_text(stats).rstrip("\n")
+        if fmt != "text":
+            raise ShellError(f"usage: {usage}")
+        naming = stats["naming"]
+        lines = [
+            f"objects: {stats['object_count']}",
+            f"naming: {naming.naming_operations} operation(s), "
+            f"{naming.queries} quer(y/ies), {naming.ranked_queries} ranked",
+            f"keyvalue entries scanned: {stats['keyvalue_entries_scanned']}",
+            f"fulltext postings scanned: {stats['fulltext_postings_scanned']}",
+            f"indexer backlog: {stats['indexer']}",
+        ]
+        if stats["query_cache"] is not None:
+            cache = stats["query_cache"]
+            lines.append(
+                f"query cache: {cache['hits']} hit(s), {cache['misses']} "
+                f"miss(es), hit ratio {cache['hit_ratio']}"
+            )
+        if stats["buffer_pool"] is not None:
+            lines.append(f"buffer pool: {stats['buffer_pool']}")
+        lines.append(f"recovery: {stats['recovery'].get('mode')}")
+        return "\n".join(lines)
+
+    def cmd_trace(self, args: List[str]) -> str:
+        """The last-N completed query traces, newest first."""
+        usage = "trace [--limit N]"
+        limit, args = self._parse_limit(args, usage)
+        if args:
+            raise ShellError(f"usage: {usage}")
+        traces = self.fs.trace(10 if limit is None else limit)
+        if not traces:
+            return "(no traces)"
+        lines = []
+        for trace in traces:
+            lines.append(
+                f"#{trace.seq}\t{trace.kind}\t{trace.text}\t"
+                f"{trace.rows} row(s) in {trace.elapsed * 1e3:.3f} ms"
+            )
+        return "\n".join(lines)
 
     # ------------------------------------------------------------------
     # commands: refinement navigation

@@ -49,6 +49,13 @@ from repro.osd.object_store import ObjectStore
 from repro.recovery import RecoveryManager, Superblock
 from repro.storage import BlockDevice
 from repro.storage.latency import LatencyModel
+from repro.telemetry import (
+    ExplainReport,
+    QueryTrace,
+    Telemetry,
+    explain_analyze_query,
+    explain_query,
+)
 
 #: durability modes for on-device btrees (``btree_on_device=True``):
 #: ``"wal"`` — write-back caching protected by write-ahead logging and
@@ -112,6 +119,13 @@ class HFADFileSystem:
         mounts.  Only meaningful with ``durability="wal"``; ``False`` keeps
         the legacy re-derive-at-mount behaviour (the ablation path
         ``benchmarks/bench_e12_mount_time.py`` measures against).
+    :param telemetry: enable the observability subsystem
+        (``repro.telemetry``): native instruments (latency histograms, WAL
+        batch sizes) record, queries leave traces in the last-N ring, and
+        ``stats()`` grows a ``"telemetry"`` key.  ``False`` swaps every
+        instrument for a shared no-op and drops the tracer — the hot paths
+        then pay only ``is not None`` checks — while ``stats()`` keeps its
+        full legacy shape (collectors run regardless).
     """
 
     def __init__(
@@ -131,6 +145,7 @@ class HFADFileSystem:
         checkpoint_threshold: float = 0.5,
         group_commit: int = 1,
         persistent_index: bool = True,
+        telemetry: bool = True,
         _mounted: Optional[dict] = None,
     ) -> None:
         if durability not in DURABILITY_MODES:
@@ -139,6 +154,12 @@ class HFADFileSystem:
             device = BlockDevice(num_blocks=num_blocks, latency_model=latency_model)
         self.device = device
         self.durability = durability if btree_on_device else "volatile"
+        #: the observability subsystem: a metrics registry every layer's
+        #: stats migrate onto (via pull collectors — see
+        #: :meth:`_register_telemetry`) plus the last-N query-trace ring.
+        #: ``telemetry=False`` degrades every instrument to a shared no-op;
+        #: ``stats()`` is identical either way because collectors still run.
+        self.telemetry = Telemetry(enabled=telemetry)
         # The shared memory hierarchy between the btrees and the device.
         # Only on-device btrees consume pool pages, so an in-memory
         # configuration gets no pool (stats() then reports it as absent
@@ -291,9 +312,16 @@ class HFADFileSystem:
             self.registry,
             planner=QueryPlanner(enabled=enable_planner),
             query_cache=self.query_cache,
+            telemetry=self.telemetry,
         )
         self.access = AccessInterface(self.objects)
         self.transactions = TransactionManager(recovery=self.recovery)
+        if self.recovery is not None and self.telemetry.enabled:
+            self.recovery.commit_batch_sizes = self.telemetry.metrics.histogram(
+                "wal.group_commit.batch_size",
+                "commit markers covered by each journal sync",
+            )
+        self._register_telemetry()
         #: objects whose full-text index entry tracks their content.
         self._content_indexed: set = set()
         #: index stores registered on the fly for tags met during a mount.
@@ -327,6 +355,7 @@ class HFADFileSystem:
         index_workers: int = 1,
         checkpoint_threshold: float = 0.5,
         group_commit: int = 1,
+        telemetry: bool = True,
     ) -> "HFADFileSystem":
         """Re-open a device formatted with ``durability="wal"``.
 
@@ -359,6 +388,7 @@ class HFADFileSystem:
             lazy_indexing=lazy_indexing,
             index_workers=index_workers,
             durability="wal",
+            telemetry=telemetry,
             _mounted={"recovery": recovery},
         )
 
@@ -937,6 +967,11 @@ class HFADFileSystem:
         """Wait for lazy full-text indexing to catch up."""
         return self.fulltext_index.flush(timeout=timeout)
 
+    def wait_for_indexing(self, timeout: Optional[float] = None) -> bool:
+        """Alias of :meth:`flush_indexing`; afterwards the telemetry backlog
+        gauges (``indexer.queued`` / ``indexer.in_flight``) read zero."""
+        return self.flush_indexing(timeout=timeout)
+
     def close(self) -> None:
         """Stop background indexing threads and checkpoint (clean unmount).
 
@@ -961,37 +996,159 @@ class HFADFileSystem:
     # introspection
     # ------------------------------------------------------------------
 
-    def stats(self) -> Dict[str, object]:
-        """A snapshot of work counters across every layer (for benchmarks)."""
+    #: ``stats()`` keys, in the legacy order; each is a registry collector.
+    _STAT_KEYS = (
+        "device",
+        "objects",
+        "naming",
+        "registry",
+        "planner",
+        "keyvalue_entries_scanned",
+        "fulltext_term_lookups",
+        "fulltext_postings_scanned",
+        "ranked",
+        "indexer",
+        "object_count",
+        "buffer_pool",
+        "query_cache",
+        "persistent_index",
+        "recovery",
+    )
+
+    def _persistent_index_snapshot(self) -> Optional[Dict[str, object]]:
+        if self._fulltext_tree is None:
+            return None
         return {
-            "device": self.device.stats.snapshot(),
-            "objects": self.objects.stats,
-            "naming": self.naming.stats,
-            "registry": self.registry.stats,
-            "planner": self.naming.planner.snapshot(),
-            "keyvalue_entries_scanned": self.keyvalue_index.scan_stats.scanned,
-            "fulltext_term_lookups": self.fulltext_index.index.term_lookups,
-            "fulltext_postings_scanned": self.fulltext_index.index.postings_scanned,
-            "ranked": self.fulltext_index.ranked_stats.snapshot(),
-            "object_count": self.object_count,
-            "buffer_pool": self.buffer_pool.snapshot() if self.buffer_pool else None,
-            "query_cache": self.query_cache.snapshot() if self.query_cache else None,
-            "persistent_index": (
-                {
-                    "fulltext_root": self._fulltext_tree.root_id,
-                    "fulltext_documents": self.fulltext_index.document_count,
-                    "image_root": (
-                        self._image_tree.root_id
-                        if self._image_tree is not None else 0
-                    ),
-                    "image_objects": self.image_index.indexed_count,
-                }
-                if self._fulltext_tree is not None
-                else None
+            "fulltext_root": self._fulltext_tree.root_id,
+            "fulltext_documents": self.fulltext_index.document_count,
+            "image_root": (
+                self._image_tree.root_id if self._image_tree is not None else 0
             ),
-            "recovery": (
-                self.recovery.snapshot()
-                if self.recovery is not None
-                else {"mode": self.durability}
-            ),
+            "image_objects": self.image_index.indexed_count,
         }
+
+    def _register_telemetry(self) -> None:
+        """Migrate every layer's stats onto the metrics registry.
+
+        Each legacy ``stats()`` key becomes a pull collector: the hot paths
+        keep bumping their own slots/dataclass counters and the registry
+        reads them only when a snapshot is asked for — migrating costs the
+        hot paths nothing, and collectors work even with telemetry disabled
+        (which is what keeps ``stats()`` shape-identical either way).
+        Callback gauges expose the lazy-indexer backlog as live values.
+        """
+        metrics = self.telemetry.metrics
+        for name, fn in (
+            ("device", lambda: self.device.stats.snapshot()),
+            ("objects", lambda: self.objects.stats),
+            ("naming", lambda: self.naming.stats),
+            ("registry", lambda: self.registry.stats),
+            ("planner", lambda: self.naming.planner.snapshot()),
+            ("keyvalue_entries_scanned", self._keyvalue_entries_scanned),
+            ("fulltext_term_lookups",
+             lambda: self.fulltext_index.index.term_lookups),
+            ("fulltext_postings_scanned",
+             lambda: self.fulltext_index.index.postings_scanned),
+            ("ranked", lambda: self.fulltext_index.ranked_stats.snapshot()),
+            ("indexer", lambda: self.fulltext_index.indexer.backlog()),
+            ("object_count", lambda: self.object_count),
+            ("buffer_pool",
+             lambda: self.buffer_pool.snapshot() if self.buffer_pool else None),
+            ("query_cache",
+             lambda: self.query_cache.snapshot() if self.query_cache else None),
+            ("persistent_index", self._persistent_index_snapshot),
+            ("recovery",
+             lambda: (self.recovery.snapshot() if self.recovery is not None
+                      else {"mode": self.durability})),
+        ):
+            metrics.register_collector(name, fn)
+        backlog = self.fulltext_index.indexer.backlog
+        metrics.gauge("indexer.queued",
+                      "submitted index work not yet picked up by a worker",
+                      fn=lambda: backlog()["queued"])
+        metrics.gauge("indexer.in_flight",
+                      "index work dequeued but not yet applied",
+                      fn=lambda: backlog()["in_flight"])
+        metrics.gauge("indexer.completed",
+                      "index applies finished (adds + removals)",
+                      fn=lambda: backlog()["completed"])
+
+    def stats(self) -> Dict[str, object]:
+        """A snapshot of work counters across every layer (for benchmarks).
+
+        Assembled from the metrics registry's collectors — same keys, same
+        shapes as always; with telemetry enabled a ``"telemetry"`` key is
+        appended with the native instruments (latency histograms, WAL batch
+        sizes, backlog gauges).
+        """
+        metrics = self.telemetry.metrics
+        snapshot: Dict[str, object] = {
+            name: metrics.collect(name) for name in self._STAT_KEYS
+        }
+        if self.telemetry.enabled:
+            snapshot["telemetry"] = metrics.snapshot(include_collected=False)
+        return snapshot
+
+    # ------------------------------------------------------------------
+    # observability: explain / explain analyze / trace
+    # ------------------------------------------------------------------
+
+    def _keyvalue_entries_scanned(self) -> int:
+        """Entries scanned across *every* keyvalue store — the primary one
+        plus any ad-hoc per-tag stores registered later (mount healing,
+        user-invented tags), so the analyze differential holds for those
+        leaves too."""
+        total = self.keyvalue_index.scan_stats.scanned
+        for store in self.registry.stores:
+            if (isinstance(store, KeyValueIndexStore)
+                    and store is not self.keyvalue_index):
+                total += store.scan_stats.scanned
+        return total
+
+    def _analyze_counters(self):
+        return (
+            ("pages_read", lambda: self.device.stats.reads),
+            ("keyvalue_entries_scanned", self._keyvalue_entries_scanned),
+            ("fulltext_postings_scanned",
+             lambda: self.fulltext_index.index.postings_scanned),
+        )
+
+    def explain(self, query: Union[str, Query]) -> ExplainReport:
+        """Compile ``query`` (planner and all) and report the operator tree
+        with per-node cardinality estimates — without running it."""
+        return explain_query(query, self.registry, planner=self.naming.planner)
+
+    def explain_analyze(
+        self, query: Union[str, Query], limit: Optional[int] = None
+    ) -> ExplainReport:
+        """Run ``query`` through a traced pipeline and report actuals.
+
+        Every plan node is annotated with ids produced, ``next``/``seek``
+        calls and wall time; the summary adds device pages read and
+        store-level scan deltas.  Bypasses the query-result cache on
+        purpose — a memoised answer would have nothing to say about
+        execution.  Available regardless of the ``telemetry`` switch (the
+        tracing cost is paid only by this call).
+        """
+        report = explain_analyze_query(
+            query,
+            self.registry,
+            planner=self.naming.planner,
+            limit=limit,
+            counters=self._analyze_counters(),
+        )
+        tracer = self.telemetry.tracer
+        if tracer is not None:
+            tracer.record("explain_analyze", str(report.query), report.elapsed,
+                          len(report.results), span=report.root)
+        return report
+
+    def trace(self, n: Optional[int] = 10) -> List[QueryTrace]:
+        """The most recent completed query traces, newest first.
+
+        Empty when telemetry is disabled (nothing records into the ring).
+        """
+        tracer = self.telemetry.tracer
+        if tracer is None:
+            return []
+        return tracer.last(n)

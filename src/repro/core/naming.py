@@ -16,6 +16,7 @@ point, and keeps the traversal counters experiment E1 reports.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from time import perf_counter
 from typing import Iterable, List, Optional, Sequence, Union
 
 from repro.errors import NamingError, NoMatchError, QueryError
@@ -23,6 +24,8 @@ from repro.index.store import IndexStoreRegistry
 from repro.index.tags import TAG_FULLTEXT, TagValue
 from repro.core.query import And, Query, QueryPlanner, TagTerm, parse_query
 from repro.query.cursors import materialize
+from repro.telemetry.registry import NULL_HISTOGRAM
+from repro.telemetry.tracing import Span
 
 #: things accepted wherever a tag/value pair is expected.
 PairLike = Union[TagValue, "TagTerm", tuple, str]
@@ -70,11 +73,28 @@ class NamingInterface:
         registry: IndexStoreRegistry,
         planner: Optional[QueryPlanner] = None,
         query_cache=None,
+        telemetry=None,
     ) -> None:
         self.registry = registry
         self.planner = planner if planner is not None else QueryPlanner()
         self.query_cache = query_cache
         self.stats = NamingStats()
+        # ``telemetry`` is a repro.telemetry.Telemetry bundle (or None).  The
+        # tracer doubles as the enabled/disabled switch for the timed paths:
+        # with it None each entry point costs one extra ``is not None`` check.
+        self._tracer = telemetry.tracer if telemetry is not None else None
+        if telemetry is not None:
+            metrics = telemetry.metrics
+            self._naming_latency = metrics.histogram(
+                "naming.latency_us", "resolve() wall time (microseconds)")
+            self._query_latency = metrics.histogram(
+                "query.latency_us", "boolean query wall time (microseconds)")
+            self._rank_latency = metrics.histogram(
+                "rank.latency_us", "ranked retrieval wall time (microseconds)")
+        else:
+            self._naming_latency = NULL_HISTOGRAM
+            self._query_latency = NULL_HISTOGRAM
+            self._rank_latency = NULL_HISTOGRAM
 
     def _evaluate(self, query: Query, limit: Optional[int] = None) -> List[int]:
         """Evaluate through the query cache when one is configured.
@@ -123,7 +143,8 @@ class NamingInterface:
         # An exhausted stream is the complete answer even when a limit was
         # set, so it may serve unlimited repeats too.
         store_key = key if exhausted else limited_key
-        self.query_cache.store(query, results, snapshot=snapshot, key=store_key)
+        self.query_cache.store(query, results, snapshot=snapshot, key=store_key,
+                               limited=not exhausted)
         return results
 
     # ------------------------------------------------------------- naming
@@ -179,7 +200,14 @@ class NamingInterface:
         # last_plan) even for a single pair; the query cache normalizes
         # single-child conjunctions, so And([t]) and a bare t share a key.
         query = And([TagTerm.from_pair(pair) for pair in coerced])
-        return self._evaluate(query, limit=limit)
+        if self._tracer is None:
+            return self._evaluate(query, limit=limit)
+        started = perf_counter()
+        results = self._evaluate(query, limit=limit)
+        elapsed = perf_counter() - started
+        self._naming_latency.observe(elapsed * 1e6)
+        self._tracer.record("naming", query, elapsed, len(results))
+        return results
 
     def resolve_one(self, pairs: Union[PairLike, Sequence[PairLike]]) -> int:
         """Resolve and insist on at least one match (returning the first).
@@ -203,7 +231,14 @@ class NamingInterface:
         if isinstance(query, str):
             query = parse_query(query)
         self.stats.queries += 1
-        return self._evaluate(query, limit=limit)
+        if self._tracer is None:
+            return self._evaluate(query, limit=limit)
+        started = perf_counter()
+        results = self._evaluate(query, limit=limit)
+        elapsed = perf_counter() - started
+        self._query_latency.observe(elapsed * 1e6)
+        self._tracer.record("boolean", query, elapsed, len(results))
+        return results
 
     def rank(self, text: str, limit: Optional[int] = 10):
         """BM25-ranked full-text retrieval over the FULLTEXT store.
@@ -217,4 +252,12 @@ class NamingInterface:
         """
         store = self.registry.store_for(TAG_FULLTEXT)
         self.stats.ranked_queries += 1
-        return store.rank(text, limit=limit)
+        if self._tracer is None:
+            return store.rank(text, limit=limit)
+        span = Span("wand", detail=text)
+        started = perf_counter()
+        results = store.rank(text, limit=limit, span=span)
+        elapsed = perf_counter() - started
+        self._rank_latency.observe(elapsed * 1e6)
+        self._tracer.record("ranked", text, elapsed, len(results), span=span)
+        return results

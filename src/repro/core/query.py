@@ -63,9 +63,19 @@ class Query:
     """Base class of the query algebra."""
 
     def cursor(
-        self, registry: IndexStoreRegistry, planner: Optional["QueryPlanner"] = None
+        self,
+        registry: IndexStoreRegistry,
+        planner: Optional["QueryPlanner"] = None,
+        trace=None,
     ) -> DocIdCursor:
-        """Compile this query into a streaming cursor over matching ids."""
+        """Compile this query into a streaming cursor over matching ids.
+
+        ``trace`` (an :class:`~repro.telemetry.tracing.ExplainTracer`, duck-
+        typed to keep this layer free of telemetry imports) wraps every
+        compiled node in a span-charging cursor; the resulting span tree
+        mirrors the *compiled* plan — planner ordering and all — which is
+        what ``fs.explain`` / ``fs.explain_analyze`` render.
+        """
         raise NotImplementedError
 
     def evaluate(
@@ -112,9 +122,15 @@ class TagTerm(Query):
         return TagValue(tag=self.tag, value=self.value)
 
     def cursor(
-        self, registry: IndexStoreRegistry, planner: Optional["QueryPlanner"] = None
+        self,
+        registry: IndexStoreRegistry,
+        planner: Optional["QueryPlanner"] = None,
+        trace=None,
     ) -> DocIdCursor:
-        return _registry_cursor(registry, self.tag, self.value)
+        cursor = _registry_cursor(registry, self.tag, self.value)
+        if trace is not None:
+            return trace.leaf(cursor, "term", str(self))
+        return cursor
 
     def __str__(self) -> str:
         return f"{self.tag}/{self.value}"
@@ -127,7 +143,10 @@ class And(Query):
     children: List[Query] = field(default_factory=list)
 
     def cursor(
-        self, registry: IndexStoreRegistry, planner: Optional["QueryPlanner"] = None
+        self,
+        registry: IndexStoreRegistry,
+        planner: Optional["QueryPlanner"] = None,
+        trace=None,
     ) -> DocIdCursor:
         positive = [child for child in self.children if not isinstance(child, Not)]
         negative = [child for child in self.children if isinstance(child, Not)]
@@ -137,12 +156,18 @@ class And(Query):
             # Rarest first: the first cursor drives the leapfrog merge, so the
             # big operands are only probed with galloping seeks.
             positive = planner.order_conjuncts(positive, registry)
-        cursors = [child.cursor(registry, planner) for child in positive]
+        cursors = [child.cursor(registry, planner, trace) for child in positive]
         merged = cursors[0] if len(cursors) == 1 else IntersectCursor(cursors)
+        if trace is not None and len(cursors) > 1:
+            merged = trace.node(merged, "intersect", cursors)
         if negative:
-            merged = DifferenceCursor(
-                merged, [child.child.cursor(registry, planner) for child in negative]
-            )
+            negations = [child.child.cursor(registry, planner, trace)
+                         for child in negative]
+            difference = DifferenceCursor(merged, negations)
+            if trace is not None:
+                difference = trace.node(difference, "difference",
+                                        [merged, *negations])
+            merged = difference
         return merged
 
     def __str__(self) -> str:
@@ -156,14 +181,23 @@ class Or(Query):
     children: List[Query] = field(default_factory=list)
 
     def cursor(
-        self, registry: IndexStoreRegistry, planner: Optional["QueryPlanner"] = None
+        self,
+        registry: IndexStoreRegistry,
+        planner: Optional["QueryPlanner"] = None,
+        trace=None,
     ) -> DocIdCursor:
         if any(isinstance(child, Not) for child in self.children):
             raise QueryError("NOT is only supported inside AND")
         if not self.children:
-            return EmptyCursor()
-        cursors = [child.cursor(registry, planner) for child in self.children]
-        return cursors[0] if len(cursors) == 1 else UnionCursor(cursors)
+            empty = EmptyCursor()
+            return trace.leaf(empty, "empty") if trace is not None else empty
+        cursors = [child.cursor(registry, planner, trace) for child in self.children]
+        if len(cursors) == 1:
+            return cursors[0]
+        union = UnionCursor(cursors)
+        if trace is not None:
+            union = trace.node(union, "union", cursors)
+        return union
 
     def __str__(self) -> str:
         return "(" + " OR ".join(str(child) for child in self.children) + ")"
@@ -176,7 +210,10 @@ class Not(Query):
     child: Query
 
     def cursor(
-        self, registry: IndexStoreRegistry, planner: Optional["QueryPlanner"] = None
+        self,
+        registry: IndexStoreRegistry,
+        planner: Optional["QueryPlanner"] = None,
+        trace=None,
     ) -> DocIdCursor:
         raise QueryError("NOT cannot be evaluated on its own; use it inside AND")
 

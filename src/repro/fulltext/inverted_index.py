@@ -223,7 +223,8 @@ class InvertedIndex:
 
     # -------------------------------------------------------------- ranking
 
-    def rank(self, query, limit: Optional[int] = 10, k1: float = 1.5, b: float = 0.75) -> List[SearchHit]:
+    def rank(self, query, limit: Optional[int] = 10, k1: float = 1.5, b: float = 0.75,
+             span=None) -> List[SearchHit]:
         """BM25-ranked disjunctive retrieval.
 
         With a ``limit`` the query streams through a WAND top-k merge
@@ -262,7 +263,7 @@ class InvertedIndex:
                     counter=self._scan,
                 )
             )
-        top = WandCursor(cursors, limit, stats=self.ranked).top_k()
+        top = WandCursor(cursors, limit, stats=self.ranked, span=span).top_k()
         return [SearchHit(doc_id=doc_id, score=score) for doc_id, score in top]
 
     def rank_exhaustive(

@@ -201,6 +201,27 @@ class LazyIndexer:
         with self._lock:
             return doc_id in self.index
 
+    def backlog(self) -> dict:
+        """A point-in-time view of the queue for the telemetry gauges.
+
+        Derived from the existing counters plus ``qsize`` — the worker loop
+        is untouched.  ``in_flight`` is what has been dequeued but not yet
+        counted as an outcome; both components are zero at quiescence, which
+        is what the drain test pins.
+        """
+        if self.synchronous:
+            return {"queued": 0, "in_flight": 0,
+                    "completed": self.stats.indexed + self.stats.removed,
+                    "failed": self.stats.failed}
+        pending = self.pending
+        queued = min(self._queue.qsize(), pending)
+        return {
+            "queued": queued,
+            "in_flight": max(0, pending - queued),
+            "completed": self.stats.indexed + self.stats.removed,
+            "failed": self.stats.failed,
+        }
+
     # ------------------------------------------------------------ worker loop
 
     def _worker(self) -> None:
@@ -240,10 +261,10 @@ class LazyIndexer:
         with self._lock:
             return self.index.search(query)
 
-    def rank(self, query, limit: Optional[int] = 10):
+    def rank(self, query, limit: Optional[int] = 10, span=None):
         """Ranked search against whatever has been indexed so far."""
         with self._lock:
-            return self.index.rank(query, limit=limit)
+            return self.index.rank(query, limit=limit, span=span)
 
     def rank_exhaustive(self, query, limit: Optional[int] = None):
         """Unpruned ranked search (the differential-test reference)."""

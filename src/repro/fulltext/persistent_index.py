@@ -622,7 +622,8 @@ class PersistentInvertedIndex:
 
         return block_upper
 
-    def rank(self, query, limit: Optional[int] = 10, k1: float = 1.5, b: float = 0.75) -> List[SearchHit]:
+    def rank(self, query, limit: Optional[int] = 10, k1: float = 1.5, b: float = 0.75,
+             span=None) -> List[SearchHit]:
         """BM25-ranked disjunctive retrieval.
 
         Bit-identical to the in-memory index given the same corpus: the same
@@ -662,7 +663,7 @@ class PersistentInvertedIndex:
                     counter=self._scan,
                 )
             )
-        top = WandCursor(cursors, limit, stats=self.ranked).top_k()
+        top = WandCursor(cursors, limit, stats=self.ranked, span=span).top_k()
         return [SearchHit(doc_id=doc_id, score=score) for doc_id, score in top]
 
     def rank_exhaustive(

@@ -177,11 +177,15 @@ class FullTextIndexStore(IndexStore):
             return self.indexer.document_frequency(value)
         return self.index.document_frequency(value)
 
-    def rank(self, query: str, limit: Optional[int] = 10):
-        """BM25-ranked hits (WAND top-k pruning when ``limit`` is set)."""
+    def rank(self, query: str, limit: Optional[int] = 10, span=None):
+        """BM25-ranked hits (WAND top-k pruning when ``limit`` is set).
+
+        ``span`` is an optional telemetry span the WAND merge stamps with
+        its work counters (duck-typed; the engine never imports telemetry).
+        """
         if self.lazy:
-            return self.indexer.rank(query, limit=limit)
-        return self.index.rank(query, limit=limit)
+            return self.indexer.rank(query, limit=limit, span=span)
+        return self.index.rank(query, limit=limit, span=span)
 
     def rank_exhaustive(self, query: str, limit: Optional[int] = None):
         """BM25 ranking with no pruning — the differential-test reference."""

@@ -53,6 +53,7 @@ from __future__ import annotations
 
 import heapq
 import math
+from time import perf_counter
 from typing import Callable, List, Optional, Sequence, Tuple
 
 from repro.query.cursors import ScanCounter, gallop_to
@@ -287,12 +288,16 @@ class WandCursor:
         cursors: Sequence[ScoredCursor],
         limit: int,
         stats: Optional[RankStats] = None,
+        span=None,
     ) -> None:
         #: query-term order — the scoring accumulation order.
         self._cursors = [cursor for cursor in cursors if cursor.doc() is not None]
         self._limit = limit
         self._stats = stats if stats is not None else RankStats()
         self._heap: List[Tuple[float, int]] = []
+        #: optional telemetry span (duck-typed: elapsed/rows/annotate) stamped
+        #: by :meth:`top_k` with the merge's work counters and wall time.
+        self._span = span
 
     # ------------------------------------------------------------- helpers
 
@@ -367,6 +372,28 @@ class WandCursor:
         Ordering matches the exhaustive sort exactly: score descending,
         doc id ascending among equals.
         """
+        if self._span is not None:
+            return self._timed_top_k()
+        return self._top_k()
+
+    def _timed_top_k(self) -> List[Tuple[int, float]]:
+        span = self._span
+        stats = self._stats
+        scored_before = stats.documents_scored
+        pruned_before = stats.candidates_pruned
+        skipped_before = stats.blocks_skipped
+        started = perf_counter()
+        top = self._top_k()
+        span.elapsed += perf_counter() - started
+        span.rows += len(top)
+        span.annotate(
+            documents_scored=stats.documents_scored - scored_before,
+            candidates_pruned=stats.candidates_pruned - pruned_before,
+            blocks_skipped=stats.blocks_skipped - skipped_before,
+        )
+        return top
+
+    def _top_k(self) -> List[Tuple[int, float]]:
         if self._limit <= 0:
             return []
         live = [cursor for cursor in self._cursors if cursor.doc() is not None]

@@ -138,6 +138,10 @@ class RecoveryManager:
         #: commit marker to reach the device (group commit defers the sync).
         self._deferred_until_durable: List[Tuple[int, object]] = []
         self._unsynced_commits = 0
+        #: optional telemetry histogram (duck-typed ``observe(n)``) fed the
+        #: number of commit markers each journal sync covered; installed by
+        #: the filesystem facade when telemetry is enabled.
+        self.commit_batch_sizes = None
         # Serializes WAL transactions across threads: a lazy-indexing worker
         # applying postings must not interleave its records with a foreground
         # transaction's.  Acquired once per begin() (re-entrantly for nested
@@ -214,7 +218,14 @@ class RecoveryManager:
                     self._fail_open_transaction()
                     self.stats.transactions_aborted += 1
                     raise
-                self._unsynced_commits = 0 if sync_now else self._unsynced_commits + 1
+                if sync_now:
+                    if self.commit_batch_sizes is not None:
+                        # Telemetry: how many commit markers each journal sync
+                        # covered (the group-commit amortization factor).
+                        self.commit_batch_sizes.observe(self._unsynced_commits + 1)
+                    self._unsynced_commits = 0
+                else:
+                    self._unsynced_commits += 1
             self._release_pins()
             actions, self._txn_on_commit = self._txn_on_commit, []
             if marker_lsn is not None and marker_lsn > self.journal.durable_lsn:

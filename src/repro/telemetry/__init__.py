@@ -1,0 +1,79 @@
+"""``repro.telemetry`` — the observability subsystem.
+
+Three layers (see the README's "Observability" section):
+
+* a **metrics registry** (:mod:`repro.telemetry.registry`) unifying the
+  system's scattered counters behind one namespace of native instruments
+  and pull collectors;
+* **span-based query tracing** (:mod:`repro.telemetry.tracing` /
+  :mod:`repro.telemetry.explain`) threaded through the cursor pipeline and
+  surfaced as ``fs.explain`` / ``fs.explain_analyze`` / ``fs.trace``;
+* **exporters** (:mod:`repro.telemetry.exporters`) rendering snapshots as
+  JSON or Prometheus text for the CLI's ``stats --format {json,prom}``.
+
+:class:`Telemetry` bundles the registry and the tracer and is what the
+filesystem facade owns; ``Telemetry(enabled=False)`` degrades every
+instrument to a shared no-op and drops the tracer so the engine's hot paths
+pay only ``is not None`` checks.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.telemetry.exporters import prometheus_text, stats_to_json, to_jsonable
+from repro.telemetry.explain import (
+    ExplainReport,
+    explain_analyze_query,
+    explain_query,
+)
+from repro.telemetry.registry import (
+    NULL_COUNTER,
+    NULL_GAUGE,
+    NULL_HISTOGRAM,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
+from repro.telemetry.tracing import (
+    ExplainTracer,
+    QueryTrace,
+    QueryTracer,
+    Span,
+    TraceCursor,
+)
+
+
+class Telemetry:
+    """The registry + tracer pair a filesystem instance owns."""
+
+    def __init__(self, enabled: bool = True, trace_capacity: int = 64) -> None:
+        self.enabled = enabled
+        self.metrics = MetricsRegistry(enabled=enabled)
+        self.tracer: Optional[QueryTracer] = (
+            QueryTracer(capacity=trace_capacity) if enabled else None
+        )
+
+
+__all__ = [
+    "Counter",
+    "ExplainReport",
+    "ExplainTracer",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NULL_COUNTER",
+    "NULL_GAUGE",
+    "NULL_HISTOGRAM",
+    "QueryTrace",
+    "QueryTracer",
+    "Span",
+    "Telemetry",
+    "TraceCursor",
+    "explain_analyze_query",
+    "explain_query",
+    "prometheus_text",
+    "stats_to_json",
+    "to_jsonable",
+]

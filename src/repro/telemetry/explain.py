@@ -1,0 +1,153 @@
+"""EXPLAIN / EXPLAIN ANALYZE over the streaming query pipeline.
+
+``explain`` compiles a query exactly the way execution would — same planner
+ordering, same single-child collapsing, same positive/negative split — but
+does not drain it: the report shows the operator tree with each node's
+cardinality estimate.  ``explain_analyze`` drains the same traced pipeline
+and annotates every node with what actually happened: ids produced
+(``rows``, scan-aligned — see :mod:`repro.telemetry.tracing`), ``next``/
+``seek`` call counts and inclusive wall time, plus a query-level summary of
+pages read off the device and postings/entries scanned in the stores.  The
+estimate-vs-actual delta on each node is what exposes planner misestimates.
+"""
+
+from __future__ import annotations
+
+from time import perf_counter
+from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
+
+from repro.core.query import Query, QueryPlanner, parse_query
+from repro.index.store import IndexStoreRegistry
+from repro.query.cursors import materialize
+from repro.telemetry.tracing import ExplainTracer, Span
+
+#: ``(name, read_counter)`` pairs sampled before/after an analyze run;
+#: the delta lands in the report summary under ``name``.
+CounterSource = Tuple[str, Callable[[], int]]
+
+
+class ExplainReport:
+    """The result of :func:`explain_query` / :func:`explain_analyze_query`.
+
+    ``str(report)`` renders the tree; ``report.root`` is the
+    :class:`~repro.telemetry.tracing.Span` tree for programmatic use, and
+    ``report.results`` holds the ids an analyze run produced.
+    """
+
+    __slots__ = ("query", "root", "analyzed", "results", "elapsed", "summary")
+
+    def __init__(self, query: Query, root: Span, analyzed: bool,
+                 results: Optional[List[int]] = None,
+                 elapsed: Optional[float] = None,
+                 summary: Optional[Dict[str, object]] = None) -> None:
+        self.query = query
+        self.root = root
+        self.analyzed = analyzed
+        self.results = results
+        self.elapsed = elapsed
+        self.summary = summary or {}
+
+    # ------------------------------------------------------------ rendering
+
+    def _describe(self, span: Span) -> str:
+        parts = [f"est={span.estimate}" if span.estimate is not None else "est=?"]
+        if self.analyzed:
+            parts.append(f"rows={span.rows}")
+            if span.estimate is not None:
+                parts.append(f"Δ={span.rows - span.estimate:+d}")
+            parts.append(f"nexts={span.nexts}")
+            parts.append(f"seeks={span.seeks}")
+            parts.append(f"time={span.elapsed * 1e3:.3f}ms")
+        for key, value in span.extra.items():
+            parts.append(f"{key}={value}")
+        label = span.op if not span.detail else f"{span.op} {span.detail}"
+        return f"{label}  ({', '.join(parts)})"
+
+    def _render_span(self, span: Span, prefix: str, lines: List[str]) -> None:
+        for index, child in enumerate(span.children):
+            last = index == len(span.children) - 1
+            branch = "└─ " if last else "├─ "
+            lines.append(prefix + branch + self._describe(child))
+            extension = "   " if last else "│  "
+            self._render_span(child, prefix + extension, lines)
+
+    def render(self) -> str:
+        header = "EXPLAIN ANALYZE" if self.analyzed else "EXPLAIN"
+        lines = [f"{header} {self.query}"]
+        lines.append(self._describe(self.root))
+        self._render_span(self.root, "", lines)
+        if self.analyzed:
+            tail = [f"{len(self.results)} row(s) in {self.elapsed * 1e3:.3f} ms"]
+            tail.extend(f"{key}={value}" for key, value in self.summary.items()
+                        if key not in ("rows", "elapsed_ms"))
+            lines.append("; ".join(tail))
+        return "\n".join(lines)
+
+    __str__ = render
+
+    def to_dict(self) -> Dict[str, object]:
+        out: Dict[str, object] = {
+            "query": str(self.query),
+            "analyzed": self.analyzed,
+            "plan": self.root.to_dict(),
+        }
+        if self.analyzed:
+            out["rows"] = len(self.results)
+            out["elapsed_ms"] = round(self.elapsed * 1e3, 4)
+            out["summary"] = dict(self.summary)
+        return out
+
+
+def _coerce(query: Union[str, Query]) -> Query:
+    return parse_query(query) if isinstance(query, str) else query
+
+
+def _traced_cursor(query: Query, registry: IndexStoreRegistry,
+                   planner: Optional[QueryPlanner]):
+    tracer = ExplainTracer()
+    cursor = query.cursor(registry, planner, trace=tracer)
+    # Every compiled node is wrapped when a tracer is threaded through, so
+    # the root always carries a span; a bare assert documents the contract.
+    assert hasattr(cursor, "span"), "traced compile returned an unwrapped cursor"
+    return cursor
+
+
+def explain_query(query: Union[str, Query], registry: IndexStoreRegistry,
+                  planner: Optional[QueryPlanner] = None) -> ExplainReport:
+    """Compile (but do not run) ``query``; report the plan with estimates.
+
+    Compiling opens the leaf cursors, so store-side lookup counters tick —
+    the same side effect running the query would have, minus the scan.
+    """
+    query = _coerce(query)
+    cursor = _traced_cursor(query, registry, planner)
+    return ExplainReport(query, cursor.span, analyzed=False)
+
+
+def explain_analyze_query(
+    query: Union[str, Query],
+    registry: IndexStoreRegistry,
+    planner: Optional[QueryPlanner] = None,
+    limit: Optional[int] = None,
+    counters: Sequence[CounterSource] = (),
+) -> ExplainReport:
+    """Run ``query`` through a traced pipeline; report per-node actuals.
+
+    ``counters`` samples external read counters (device page reads, store
+    scan totals) around the run; their deltas land in ``report.summary``.
+    The evaluation bypasses any query-result cache on purpose — an analyze
+    that served a memoised list would have nothing to say about execution.
+    """
+    query = _coerce(query)
+    before = [(name, fn, fn()) for name, fn in counters]
+    started = perf_counter()
+    cursor = _traced_cursor(query, registry, planner)
+    results, exhausted = materialize(cursor, limit=limit)
+    elapsed = perf_counter() - started
+    summary: Dict[str, object] = {"exhausted": exhausted}
+    if limit is not None:
+        summary["limit"] = limit
+    for name, fn, start_value in before:
+        summary[name] = fn() - start_value
+    return ExplainReport(query, cursor.span, analyzed=True,
+                         results=results, elapsed=elapsed, summary=summary)

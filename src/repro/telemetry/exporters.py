@@ -1,0 +1,104 @@
+"""Exporters: registry/stats snapshots as JSON and Prometheus text.
+
+``fs.stats()`` deliberately returns live Python objects (dataclasses, stat
+structs) so programmatic callers keep attribute access; these helpers turn
+that tree into interchange formats:
+
+* :func:`to_jsonable` / :func:`stats_to_json` — a lossless-enough JSON view
+  (dataclasses become dicts, sets become sorted lists, anything opaque
+  becomes its ``str``);
+* :func:`prometheus_text` — the Prometheus text exposition format.  Nested
+  dicts flatten into underscore-joined metric names
+  (``hfad_naming_queries 42``); histogram snapshots (the dicts
+  :meth:`~repro.telemetry.registry.Histogram.snapshot` produces) are
+  recognised structurally and emitted as real Prometheus histograms with
+  cumulative ``_bucket{le="..."}`` series.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import re
+from typing import Dict, Iterator, List, Tuple
+
+_NAME_OK = re.compile(r"[^a-zA-Z0-9_]")
+
+
+def to_jsonable(value):
+    """Recursively convert ``value`` into JSON-serializable structures."""
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        value = dataclasses.asdict(value)
+    if isinstance(value, dict):
+        return {str(key): to_jsonable(item) for key, item in value.items()}
+    if isinstance(value, (set, frozenset)):
+        return sorted(to_jsonable(item) for item in value)
+    if isinstance(value, (list, tuple)):
+        return [to_jsonable(item) for item in value]
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    return str(value)
+
+
+def stats_to_json(stats: Dict[str, object], indent: int = 2) -> str:
+    """Render a ``fs.stats()``-shaped dict (or any dict) as JSON."""
+    return json.dumps(to_jsonable(stats), indent=indent, sort_keys=True)
+
+
+def _sanitize(part: str) -> str:
+    part = _NAME_OK.sub("_", str(part))
+    return part or "_"
+
+
+def _is_histogram_snapshot(value: dict) -> bool:
+    return ("count" in value and "sum" in value
+            and isinstance(value.get("buckets"), dict))
+
+
+def _bucket_bound(label: str) -> float:
+    # labels are "le_<bound:g>" (see Histogram.snapshot)
+    return float(label[3:]) if label.startswith("le_") else float("inf")
+
+
+def _histogram_lines(name: str, snap: dict) -> List[str]:
+    lines = [f"# TYPE {name} histogram"]
+    cumulative = 0
+    for label, count in sorted(snap["buckets"].items(),
+                               key=lambda item: _bucket_bound(item[0])):
+        cumulative += count
+        lines.append(f'{name}_bucket{{le="{_bucket_bound(label):g}"}} {cumulative}')
+    lines.append(f'{name}_bucket{{le="+Inf"}} {snap["count"]}')
+    lines.append(f'{name}_sum {snap["sum"]:g}')
+    lines.append(f'{name}_count {snap["count"]}')
+    return lines
+
+
+def _walk(prefix: str, value) -> Iterator[Tuple[str, object]]:
+    """Flatten to ``(metric_name, numeric-or-histogram)`` pairs."""
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        value = dataclasses.asdict(value)
+    if isinstance(value, dict):
+        if _is_histogram_snapshot(value):
+            yield prefix, value
+            return
+        for key, item in value.items():
+            yield from _walk(f"{prefix}_{_sanitize(key)}", item)
+        return
+    if isinstance(value, bool):
+        yield prefix, int(value)
+        return
+    if isinstance(value, (int, float)):
+        yield prefix, value
+        return
+    # strings, lists, None, opaque objects: not representable as a sample.
+
+
+def prometheus_text(stats: Dict[str, object], namespace: str = "hfad") -> str:
+    """Render a stats/registry snapshot in Prometheus text format."""
+    lines: List[str] = []
+    for name, value in sorted(_walk(_sanitize(namespace), stats)):
+        if isinstance(value, dict):
+            lines.extend(_histogram_lines(name, value))
+        else:
+            lines.append(f"{name} {value:g}")
+    return "\n".join(lines) + "\n"

@@ -1,0 +1,220 @@
+"""Span-based query tracing for the cursor pipeline.
+
+A :class:`Span` is one node of an execution trace — one operator of a query
+plan, or one whole query.  :class:`TraceCursor` wraps any
+:class:`~repro.query.cursors.DocIdCursor` and charges its span for every
+``next``/``seek`` call, every id produced and the wall time spent inside the
+subtree (inclusive: a parent's elapsed contains its children's).
+
+The counting rule is deliberately aligned with :class:`ScanCounter`, the
+counter the PR-2 equivalence suites trust: every leaf cursor in the system
+increments ``scanned`` exactly once per *non-None return* from ``next()`` or
+``seek()`` (an id a galloping seek jumps over is not scanned; an id the
+cursor lands on is).  ``Span.rows`` counts exactly those non-None returns,
+so for a leaf span ``rows`` equals the store-level scan delta — the property
+``tests/telemetry/test_explain_analyze.py`` verifies differentially.
+
+:class:`QueryTracer` keeps the last-N completed query traces in a ring
+buffer (``hfad trace`` renders them); recording one trace is an object
+construction and a deque append, cheap enough to run on every query when
+telemetry is enabled and absent entirely (``tracer is None`` guards) when it
+is not.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import deque
+from time import perf_counter
+from typing import Dict, List, Optional
+
+from repro.query.cursors import DocIdCursor
+
+
+class Span:
+    """One node of an execution trace (estimate at build, actuals as it runs)."""
+
+    __slots__ = ("op", "detail", "estimate", "rows", "nexts", "seeks",
+                 "elapsed", "children", "extra")
+
+    def __init__(self, op: str, detail: str = "",
+                 estimate: Optional[int] = None) -> None:
+        self.op = op
+        self.detail = detail
+        self.estimate = estimate
+        #: ids produced (non-None next/seek returns) — the scan-aligned count.
+        self.rows = 0
+        self.nexts = 0
+        self.seeks = 0
+        #: inclusive wall time (seconds) spent inside this subtree.
+        self.elapsed = 0.0
+        self.children: List["Span"] = []
+        #: free-form annotations (WAND stats, exhaustion flags, ...).
+        self.extra: Dict[str, object] = {}
+
+    def annotate(self, **kw: object) -> None:
+        self.extra.update(kw)
+
+    def leaves(self) -> List["Span"]:
+        """Every leaf span of this subtree (pre-order)."""
+        if not self.children:
+            return [self]
+        found: List["Span"] = []
+        for child in self.children:
+            found.extend(child.leaves())
+        return found
+
+    def walk(self) -> List["Span"]:
+        """Every span of this subtree (pre-order)."""
+        found = [self]
+        for child in self.children:
+            found.extend(child.walk())
+        return found
+
+    def to_dict(self) -> Dict[str, object]:
+        out: Dict[str, object] = {
+            "op": self.op,
+            "detail": self.detail,
+            "estimate": self.estimate,
+            "rows": self.rows,
+            "nexts": self.nexts,
+            "seeks": self.seeks,
+            "elapsed_ms": round(self.elapsed * 1e3, 4),
+        }
+        if self.extra:
+            out["extra"] = dict(self.extra)
+        if self.children:
+            out["children"] = [child.to_dict() for child in self.children]
+        return out
+
+    def __repr__(self) -> str:
+        return (f"Span({self.op!r}, {self.detail!r}, est={self.estimate}, "
+                f"rows={self.rows})")
+
+
+class TraceCursor(DocIdCursor):
+    """A :class:`DocIdCursor` that charges every call to a span."""
+
+    __slots__ = ("_inner", "span")
+
+    def __init__(self, inner: DocIdCursor, span: Span) -> None:
+        self._inner = inner
+        self.span = span
+
+    def next(self) -> Optional[int]:
+        span = self.span
+        started = perf_counter()
+        doc = self._inner.next()
+        span.elapsed += perf_counter() - started
+        span.nexts += 1
+        if doc is not None:
+            span.rows += 1
+        return doc
+
+    def seek(self, target: int) -> Optional[int]:
+        span = self.span
+        started = perf_counter()
+        doc = self._inner.seek(target)
+        span.elapsed += perf_counter() - started
+        span.seeks += 1
+        if doc is not None:
+            span.rows += 1
+        return doc
+
+    def estimate(self) -> int:
+        return self._inner.estimate()
+
+
+class ExplainTracer:
+    """The trace builder threaded through ``Query.cursor(..., trace=...)``.
+
+    Each query node that compiles a cursor hands it back through
+    :meth:`leaf` or :meth:`node`; the tracer wraps it in a
+    :class:`TraceCursor` whose span records the cursor's own pre-execution
+    ``estimate()`` and adopts the spans of already-wrapped children — so the
+    span tree mirrors the *actual* compiled plan (planner ordering, single-
+    child collapsing, positive/negative splits) rather than the query's
+    syntax tree.
+    """
+
+    def leaf(self, cursor: DocIdCursor, op: str, detail: str = "") -> TraceCursor:
+        span = Span(op, detail, estimate=cursor.estimate())
+        return TraceCursor(cursor, span)
+
+    def node(self, cursor: DocIdCursor, op: str, children, detail: str = "") -> TraceCursor:
+        span = Span(op, detail, estimate=cursor.estimate())
+        span.children = [child.span for child in children
+                         if isinstance(child, TraceCursor)]
+        return TraceCursor(cursor, span)
+
+
+class QueryTrace:
+    """One completed query, as kept by the tracer's ring buffer."""
+
+    __slots__ = ("seq", "kind", "_text", "elapsed", "rows", "span", "extra")
+
+    def __init__(self, seq: int, kind: str, text: object, elapsed: float,
+                 rows: int, span: Optional[Span] = None,
+                 extra: Optional[Dict[str, object]] = None) -> None:
+        self.seq = seq
+        self.kind = kind
+        # ``text`` may be a parsed Query object: rendering it costs more
+        # than the rest of the record combined, so it stays lazy until a
+        # reader (``hfad trace``, to_dict) actually asks.
+        self._text = text
+        self.elapsed = elapsed
+        self.rows = rows
+        self.span = span
+        self.extra = extra or {}
+
+    @property
+    def text(self) -> str:
+        if not isinstance(self._text, str):
+            self._text = str(self._text)
+        return self._text
+
+    def to_dict(self) -> Dict[str, object]:
+        out: Dict[str, object] = {
+            "seq": self.seq,
+            "kind": self.kind,
+            "query": self.text,
+            "elapsed_ms": round(self.elapsed * 1e3, 4),
+            "rows": self.rows,
+        }
+        if self.extra:
+            out["extra"] = dict(self.extra)
+        if self.span is not None:
+            out["span"] = self.span.to_dict()
+        return out
+
+
+class QueryTracer:
+    """Ring buffer of the last-N query traces (``fs.trace()`` / ``hfad trace``)."""
+
+    def __init__(self, capacity: int = 64) -> None:
+        if capacity < 1:
+            raise ValueError("tracer capacity must be at least 1")
+        self.capacity = capacity
+        self._traces: "deque[QueryTrace]" = deque(maxlen=capacity)
+        self._lock = threading.Lock()
+        self._seq = 0
+
+    def record(self, kind: str, text: object, elapsed: float, rows: int,
+               span: Optional[Span] = None,
+               extra: Optional[Dict[str, object]] = None) -> QueryTrace:
+        with self._lock:
+            self._seq += 1
+            trace = QueryTrace(self._seq, kind, text, elapsed, rows,
+                               span=span, extra=extra)
+            self._traces.append(trace)
+        return trace
+
+    def last(self, n: Optional[int] = None) -> List[QueryTrace]:
+        """The most recent traces, newest first."""
+        with self._lock:
+            traces = list(self._traces)
+        traces.reverse()
+        return traces if n is None else traces[:n]
+
+    def __len__(self) -> int:
+        return len(self._traces)

@@ -165,6 +165,58 @@ class TestQueryResultCache:
         assert cache.lookup(query) == [1, 2]
 
 
+class TestAdmission:
+    def test_full_and_limited_admissions_are_counted(self, registry):
+        cache = QueryResultCache(registry)
+        cache.store(parse_query("USER/margo"), [1, 2])
+        cache.store(parse_query("APP/quicken"), [2], limited=True)
+        assert cache.stats.admitted_full == 1
+        assert cache.stats.admitted_limited == 1
+        snap = cache.stats.snapshot()
+        assert snap["admitted_full"] == 1
+        assert snap["admitted_limited"] == 1
+
+    def test_admission_log_records_decisions_in_order(self, registry):
+        cache = QueryResultCache(registry)
+        user_q = parse_query("USER/margo")
+        cache.store(user_q, [1, 2])
+        cache.store(parse_query("APP/quicken"), [2], limited=True)
+        snapshot = cache.generations_for(user_q)
+        registry.insert("USER", "margo", 99)
+        cache.store(user_q, [1, 2], snapshot=snapshot)
+        decisions = [(rows, verdict) for _key, rows, verdict in cache.admissions]
+        assert decisions == [(2, "full"), (1, "limited"), (2, "racy")]
+
+    def test_admission_policy_can_reject(self, registry):
+        # Admit only full (un-truncated) results with at least 2 rows.
+        cache = QueryResultCache(
+            registry,
+            admission_policy=lambda key, result, limited:
+                not limited and len(result) >= 2,
+        )
+        accepted = parse_query("USER/margo")
+        cache.store(accepted, [1, 2])
+        assert cache.lookup(accepted) == [1, 2]
+        small = parse_query("USER/keith")
+        cache.store(small, [3])
+        assert cache.lookup(small) is None
+        truncated = parse_query("APP/quicken")
+        cache.store(truncated, [2, 3], limited=True)
+        assert cache.lookup(truncated) is None
+        assert cache.stats.policy_rejects == 2
+        verdicts = [verdict for _key, _rows, verdict in cache.admissions]
+        assert verdicts == ["full", "rejected", "rejected"]
+
+    def test_admission_log_is_bounded(self, registry):
+        cache = QueryResultCache(registry, admission_log=4)
+        for oid in range(10):
+            cache.store(TagTerm("USER", f"u{oid}"), [oid])
+        assert len(cache.admissions) == 4
+        # Only the newest four survive.
+        keys = [key for key, _rows, _verdict in cache.admissions]
+        assert keys == [f"'USER'/'u{oid}'" for oid in range(6, 10)]
+
+
 class TestThroughFileSystem:
     """The facade wires the cache in by default; verify freshness end-to-end."""
 

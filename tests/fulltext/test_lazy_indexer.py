@@ -83,3 +83,52 @@ class TestBackgroundMode:
         assert indexer.flush(timeout=10)
         assert indexer.is_visible(1)
         indexer.close()
+
+
+class TestBacklog:
+    def test_synchronous_backlog_is_always_drained(self):
+        indexer = LazyIndexer(synchronous=True)
+        indexer.submit(1, "right away")
+        indexer.submit_removal(1)
+        assert indexer.backlog() == {
+            "queued": 0, "in_flight": 0, "completed": 2, "failed": 0,
+        }
+
+    def test_background_backlog_drains_to_zero_after_flush(self):
+        with LazyIndexer(workers=2) as indexer:
+            for i in range(100):
+                indexer.submit(i, f"backlog document {i}")
+            assert indexer.flush(timeout=10)
+            backlog = indexer.backlog()
+            assert backlog["queued"] == 0
+            assert backlog["in_flight"] == 0
+            assert backlog["completed"] == 100
+            assert backlog["failed"] == 0
+
+    def test_backlog_counts_are_consistent_mid_stream(self):
+        # Sampled while workers are running, the split between queued and
+        # in-flight can be anything — but it must add up to pending and
+        # never go negative.
+        with LazyIndexer(workers=1) as indexer:
+            for i in range(200):
+                indexer.submit(i, f"streaming document number {i}")
+                if i % 50 == 0:
+                    backlog = indexer.backlog()
+                    assert backlog["queued"] >= 0
+                    assert backlog["in_flight"] >= 0
+                    assert (backlog["queued"] + backlog["in_flight"]
+                            == indexer.pending)
+            assert indexer.flush(timeout=10)
+            assert indexer.backlog()["queued"] == 0
+
+    def test_filesystem_gauges_read_zero_at_quiescence(self):
+        from repro.core.filesystem import HFADFileSystem
+
+        with HFADFileSystem(lazy_indexing=True) as fs:
+            for i in range(40):
+                fs.create(content=f"gauge document {i}".encode(), owner="m")
+            assert fs.wait_for_indexing(timeout=10)
+            telemetry = fs.stats()["telemetry"]
+            assert telemetry["gauges"]["indexer.queued"] == 0
+            assert telemetry["gauges"]["indexer.in_flight"] == 0
+            assert telemetry["gauges"]["indexer.completed"] == 40

@@ -1,0 +1,81 @@
+"""JSON / Prometheus exporters over live ``fs.stats()`` snapshots."""
+
+import json
+
+import pytest
+
+from repro.core.filesystem import HFADFileSystem
+from repro.telemetry import prometheus_text, stats_to_json, to_jsonable
+from repro.telemetry.registry import MetricsRegistry
+
+
+@pytest.fixture()
+def fs():
+    with HFADFileSystem() as fs:
+        for index in range(20):
+            fs.create(
+                content=b"alpha beta gamma",
+                owner="margo" if index % 2 else "keith",
+                application="mail",
+            )
+        fs.query("USER/margo AND FULLTEXT/alpha")
+        fs.rank("alpha beta", limit=5)
+        yield fs
+
+
+class TestJson:
+    def test_stats_round_trip_through_json(self, fs):
+        decoded = json.loads(stats_to_json(fs.stats()))
+        assert decoded["objects"]["objects_created"] == 20
+        assert decoded["naming"]["queries"] >= 1
+        assert decoded["telemetry"]["histograms"]["query.latency_us"]["count"] >= 1
+        # Everything survived serialization — no repr-escaped object leaked
+        # into a *numeric* position.
+        assert isinstance(decoded["keyvalue_entries_scanned"], int)
+
+    def test_to_jsonable_handles_sets_tuples_and_opaque(self):
+        class Opaque:
+            def __str__(self):
+                return "<op>"
+
+        value = {"s": {3, 1, 2}, "t": (1, "x"), "o": Opaque(), "n": None}
+        assert to_jsonable(value) == {
+            "s": [1, 2, 3], "t": [1, "x"], "o": "<op>", "n": None,
+        }
+
+
+class TestPrometheus:
+    def test_stats_expose_expected_series(self, fs):
+        text = prometheus_text(fs.stats())
+        assert "hfad_objects_objects_created 20" in text
+        assert "hfad_naming_queries" in text
+        assert "hfad_keyvalue_entries_scanned" in text
+        # Booleans become 0/1 samples, strings are dropped entirely.
+        assert 'device' in text
+        assert "wal" not in text
+
+    def test_histograms_emit_cumulative_buckets(self, fs):
+        text = prometheus_text(fs.stats())
+        assert "# TYPE hfad_telemetry_histograms_query_latency_us histogram" in text
+        assert 'hfad_telemetry_histograms_query_latency_us_bucket{le="+Inf"}' in text
+        assert "hfad_telemetry_histograms_query_latency_us_count" in text
+        assert "hfad_telemetry_histograms_query_latency_us_sum" in text
+
+    def test_bucket_counts_are_cumulative_and_end_at_total(self):
+        registry = MetricsRegistry()
+        histogram = registry.histogram("lat")
+        for value in (1, 2, 2, 700):
+            histogram.observe(value)
+        text = prometheus_text(registry.snapshot(), namespace="t")
+        lines = [line for line in text.splitlines()
+                 if line.startswith("t_histograms_lat_bucket")]
+        counts = [int(line.rsplit(" ", 1)[1]) for line in lines]
+        assert counts == sorted(counts)          # cumulative, monotone
+        assert counts[-1] == 4                   # +Inf bucket is the total
+        assert 't_histograms_lat_bucket{le="+Inf"} 4' in lines[-1]
+
+    def test_metric_names_are_sanitized(self):
+        registry = MetricsRegistry()
+        registry.counter("query.latency-us/total").inc(7)
+        text = prometheus_text(registry.snapshot(), namespace="x")
+        assert "x_counters_query_latency_us_total 7" in text

@@ -149,6 +149,63 @@ class TestEntryPoint:
             shell.close()
 
 
+class TestObservabilityCommands:
+    def test_explain_renders_plan(self, shell):
+        shell.execute("put /a.txt alpha beta")
+        shell.execute("put /b.txt alpha gamma")
+        shell.execute("tag /a.txt UDEF keep")
+        output = shell.execute("explain FULLTEXT/alpha AND UDEF/keep")
+        assert output.startswith("EXPLAIN (")
+        assert "intersect" in output
+        assert "est=" in output
+
+    def test_explain_analyze_reports_actuals(self, shell):
+        shell.execute("put /a.txt alpha beta")
+        shell.execute("put /b.txt alpha gamma")
+        output = shell.execute("explain --analyze --limit 1 FULLTEXT/alpha")
+        assert output.startswith("EXPLAIN ANALYZE")
+        assert "rows=" in output
+        assert "1 row(s) in" in output
+
+    def test_explain_requires_expression(self, shell):
+        with pytest.raises(ShellError):
+            shell.execute("explain")
+
+    def test_stats_text_json_prom(self, shell):
+        import json
+
+        shell.execute("put /a.txt alpha beta")
+        shell.execute("find FULLTEXT/alpha")
+        count = shell.fs.object_count
+        text = shell.execute("stats")
+        assert f"objects: {count}" in text
+        assert "keyvalue entries scanned:" in text
+        decoded = json.loads(shell.execute("stats --format json"))
+        assert decoded["object_count"] == count
+        prom = shell.execute("stats --format prom")
+        assert f"hfad_object_count {count}" in prom
+        with pytest.raises(ShellError):
+            shell.execute("stats --format yaml")
+
+    def test_trace_lists_recent_queries(self, shell):
+        assert shell.execute("trace") == "(no traces)"
+        shell.execute("put /a.txt alpha beta")
+        shell.execute("find FULLTEXT/alpha")
+        shell.execute("rank alpha")
+        output = shell.execute("trace --limit 2")
+        lines = output.splitlines()
+        assert len(lines) == 2
+        assert "row(s) in" in lines[0]
+        full = shell.execute("trace")
+        assert "ranked" in full       # the `rank` verb streams WAND
+        assert "naming" in full       # `find` resolves names
+
+    def test_help_lists_observability_commands(self, shell):
+        text = shell.execute("help")
+        for command in ("explain", "stats", "trace"):
+            assert command in text
+
+
 class TestDurabilityCommands:
     def test_fsck_reports_clean_store(self, shell):
         shell.execute("put /ok.txt some contents")
