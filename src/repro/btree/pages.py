@@ -32,7 +32,8 @@ from __future__ import annotations
 from typing import Dict, Optional
 
 from repro.cache.buffer_pool import BufferPool, PoolConsumer
-from repro.errors import BTreeError
+from repro.errors import BTreeError, CorruptionError
+from repro.integrity.checksum import FRAME_OVERHEAD, frame_page, verify_frame
 from repro.storage.block_device import BlockDevice
 from repro.storage.buddy import BuddyAllocator
 from repro.btree.node import decode_node
@@ -126,6 +127,14 @@ class DevicePageStore(PageStore):
     :param name: consumer name under which pool statistics are reported.
     :param recovery: optional :class:`~repro.recovery.manager.RecoveryManager`;
         when set, every node write is WAL-logged before it is buffered.
+    :param checksum: wrap every page in a CRC32 frame
+        (:mod:`repro.integrity.checksum`): page-ins verify, writes/log
+        records/write-backs stamp.  Usable ``page_bytes`` shrinks by the
+        frame overhead.  Recorded per device in the superblock
+        (``checksum_pages``) so mounts configure their stores to match.
+    :param integrity: optional :class:`~repro.integrity.IntegrityContext`
+        shared across the filesystem's stores — supplies the retrying
+        device-read path, the corruption counters and the page quarantine.
     """
 
     def __init__(
@@ -138,13 +147,20 @@ class DevicePageStore(PageStore):
         write_back: Optional[bool] = None,
         name: str = "btree",
         recovery=None,
+        checksum: bool = False,
+        integrity=None,
     ) -> None:
         if page_blocks <= 0:
             raise ValueError("page_blocks must be positive")
         self.device = device
         self.allocator = allocator
         self.page_blocks = page_blocks
-        self.page_bytes = page_blocks * device.block_size
+        self.checksum = checksum
+        self.integrity = integrity
+        #: raw on-device page footprint; ``page_bytes`` below is the *node*
+        #: budget, reduced by the checksum frame when one is in use.
+        self.raw_page_bytes = page_blocks * device.block_size
+        self.page_bytes = self.raw_page_bytes - (FRAME_OVERHEAD if checksum else 0)
         self.cache_pages = cache_pages
         if buffer_pool is None and cache_pages:
             buffer_pool = BufferPool(capacity=cache_pages)
@@ -188,8 +204,31 @@ class DevicePageStore(PageStore):
         if self._consumer is not None:
             cached = self._consumer.get(page_id)
             if cached is not None:
+                # A resident node never re-verifies: it was verified on
+                # page-in (or produced by this session's own writes), and it
+                # is the scrubber's first repair source for a page whose
+                # *device* bytes have since rotted.
                 return cached
-        raw = self.device.read_blocks(page_id, self.page_blocks)
+        if self.integrity is not None and self.integrity.is_quarantined(page_id):
+            # Fail fast: the device bytes are known-bad and unrepaired.
+            self.integrity.stats.quarantined_reads += 1
+            raise CorruptionError(f"page {page_id} is quarantined")
+        if self.integrity is not None:
+            raw = self.integrity.read_blocks(self.device, page_id, self.page_blocks)
+        else:
+            raw = self.device.read_blocks(page_id, self.page_blocks)
+        if self.checksum:
+            if self.integrity is not None:
+                self.integrity.stats.checksum_verifications += 1
+            try:
+                raw = verify_frame(raw, context=f"page {page_id}")
+            except CorruptionError:
+                if self.integrity is not None:
+                    self.integrity.stats.checksum_failures += 1
+                    # Remember the damage: re-reads fail fast, the query
+                    # layer can degrade, and the scrubber knows to repair.
+                    self.integrity.quarantine_page(page_id)
+                raise
         node = decode_node(raw)
         if self._consumer is not None:
             self._consumer.put(page_id, node)
@@ -208,8 +247,14 @@ class DevicePageStore(PageStore):
         lsn = None
         if self.recovery is not None:
             # Write-ahead: the redo record exists before the page is even
-            # buffered, so no path to the device can overtake it.
-            lsn = self.recovery.log_page(page_id, encoded)
+            # buffered, so no path to the device can overtake it.  The
+            # *framed* bytes are logged, so replay (and the scrubber's WAL
+            # repair) rewrite exactly what a healthy write-back would.
+            lsn = self.recovery.log_page(page_id, self._encode_page(encoded))
+        if self.integrity is not None:
+            # A fresh logged write supersedes any rotten on-device bytes:
+            # reads now come from the pool and the WAL holds the new image.
+            self.integrity.release_page(page_id)
         if self.write_back and self._consumer is not None:
             self._consumer.put(page_id, node, dirty=True, lsn=lsn)
             if self.recovery is not None:
@@ -218,11 +263,21 @@ class DevicePageStore(PageStore):
             return
         # Unreachable with a recovery manager (the constructor enforces
         # pool + write_back); this is the plain write-through path.
-        self.device.write_blocks(page_id, encoded, nblocks=self.page_blocks)
+        self.device.write_blocks(
+            page_id, self._encode_page(encoded), nblocks=self.page_blocks
+        )
         if self._consumer is not None:
             self._consumer.put(page_id, node, lsn=lsn)
 
+    def _encode_page(self, encoded: bytes) -> bytes:
+        """Device/WAL representation of encoded node bytes (framed or raw)."""
+        return frame_page(encoded) if self.checksum else encoded
+
     def free(self, page_id: int) -> None:
+        if self.integrity is not None:
+            # A freed (possibly quarantined) page must not block the block's
+            # next life as a data chunk or another tree's page.
+            self.integrity.release_page(page_id)
         if self.recovery is not None:
             if self._consumer is not None:
                 self.recovery.forget_page(self._consumer, page_id)
@@ -241,7 +296,52 @@ class DevicePageStore(PageStore):
 
     def _write_page(self, page_id: int, node) -> None:
         """Buffer-pool write-back target: persist a (dirty) node."""
-        self.device.write_blocks(page_id, node.encode(), nblocks=self.page_blocks)
+        self.device.write_blocks(
+            page_id, self._encode_page(node.encode()), nblocks=self.page_blocks
+        )
+        if self.integrity is not None:
+            # The device now holds verified-good bytes for this page.
+            self.integrity.release_page(page_id)
+
+    # ------------------------------------------------------------ scrub hooks
+
+    def resident_node(self, page_id: int):
+        """The pool-resident node for ``page_id`` without any cache
+        side-effects, or ``None`` — the scrubber's repair-source probe."""
+        if self._consumer is None:
+            return None
+        return self._consumer.peek(page_id)
+
+    def page_is_dirty(self, page_id: int) -> bool:
+        """True when the pool holds an unflushed (dirty) copy of the page.
+
+        Under no-force write-back the device bytes of a dirty page are
+        legitimately stale — the WAL holds the authoritative image — so the
+        scrubber skips verifying them rather than "repairing" ordinary
+        not-yet-checkpointed state.
+        """
+        if self._consumer is None:
+            return False
+        return self._consumer.is_dirty(page_id)
+
+    def rewrite_resident(self, page_id: int) -> bool:
+        """Rewrite a resident page's device bytes from its pooled node.
+
+        The scrubber's cache repair: a dirty frame is flushed through the
+        pool (the WAL rule applies as usual); a clean frame — whose value is
+        by definition the last committed, previously written-back image — is
+        re-encoded and written home directly.  Returns False when the page
+        is not resident.
+        """
+        if self._consumer is None:
+            return False
+        if self.pool.flush_page(self._consumer, page_id):
+            return True
+        node = self._consumer.peek(page_id)
+        if node is None:
+            return False
+        self._write_page(page_id, node)
+        return True
 
     # ------------------------------------------------------------ cache mgmt
 

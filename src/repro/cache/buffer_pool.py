@@ -147,6 +147,19 @@ class PoolConsumer:
         """Read-only view of this consumer's resident pages (diagnostics)."""
         return self.pool._pages_of(self)
 
+    def peek(self, page_id: Hashable):
+        """Resident value without touching eviction state or hit/miss stats.
+
+        The scrubber probes the pool for repair sources; a probe must not
+        perturb the replacement policy or the cache counters benchmarks
+        assert on.  Returns ``None`` when the page is not resident.
+        """
+        return self.pool._peek(self, page_id)
+
+    def is_dirty(self, page_id: Hashable) -> bool:
+        """True when the page is resident with unwritten modifications."""
+        return self.pool._is_dirty(self, page_id)
+
 
 class BufferPool:
     """Fixed-budget page cache shared between consumers.
@@ -387,6 +400,16 @@ class BufferPool:
         with self._lock:
             frame = self._frames.get((consumer.name, page_id))
             return frame.lsn if frame is not None else None
+
+    def _peek(self, consumer: PoolConsumer, page_id: Hashable):
+        with self._lock:
+            frame = self._frames.get((consumer.name, page_id))
+            return frame.value if frame is not None else None
+
+    def _is_dirty(self, consumer: PoolConsumer, page_id: Hashable) -> bool:
+        with self._lock:
+            frame = self._frames.get((consumer.name, page_id))
+            return frame is not None and frame.dirty
 
     def _pages_of(self, consumer: PoolConsumer) -> Dict[Hashable, object]:
         with self._lock:

@@ -27,7 +27,7 @@ import sys
 from typing import Callable, Dict, List, Optional
 
 from repro.core import HFADFileSystem
-from repro.errors import ReproError
+from repro.errors import RecoveryError, ReproError
 from repro.posix import PosixVFS
 from repro.semantic import RefinementSession, VirtualDirectoryTree
 
@@ -77,6 +77,7 @@ class HFADShell:
             "insert": self.cmd_insert,
             "cut": self.cmd_cut,
             "fsck": self.cmd_fsck,
+            "scrub": self.cmd_scrub,
             "recover": self.cmd_recover,
             "checkpoint": self.cmd_checkpoint,
             "explain": self.cmd_explain,
@@ -155,7 +156,7 @@ class HFADShell:
             "                 search [--limit N] TEXT | rank [--limit N] TEXT |\n"
             "                 savequery NAME EXPR | queries\n"
             "navigation:      cd TAG/VALUE | up | pwd | suggest\n"
-            "durability:      fsck | recover | checkpoint\n"
+            "durability:      fsck | scrub [--limit N] | recover | checkpoint\n"
             "observability:   explain [--analyze] [--limit N] EXPR |\n"
             "                 stats [--format json|prom|text] | trace [--limit N]"
         )
@@ -327,6 +328,31 @@ class HFADShell:
             lines.extend(f"  {error}" for error in report["errors"])
         else:
             lines.append("clean: no inconsistencies found")
+        return "\n".join(lines)
+
+    def cmd_scrub(self, args: List[str]) -> str:
+        """Run an online integrity scrub (``--limit N`` verifies at most N
+        pages and parks the walk for the next call to resume)."""
+        limit, args = self._parse_limit(args, "scrub [--limit N]")
+        try:
+            report = self.fs.scrub(limit=limit)
+        except RecoveryError as error:
+            raise ShellError(f"scrub unavailable: {error}")
+        lines = [
+            f"pages scanned: {report.pages_scanned} "
+            f"(clean {report.pages_clean}, dirty-skipped {report.skipped_dirty})",
+            f"repaired: {report.repaired} "
+            f"(from cache {report.repaired_from_cache}, "
+            f"from WAL {report.repaired_from_wal})",
+            f"quarantined: {report.quarantined}, released: {report.released}",
+        ]
+        if report.errors:
+            lines.append(f"ERRORS ({len(report.errors)}):")
+            lines.extend(f"  {error}" for error in report.errors)
+        lines.append(
+            "cycle complete" if report.complete
+            else "cycle parked (run 'scrub' again to resume)"
+        )
         return "\n".join(lines)
 
     def cmd_recover(self, args: List[str]) -> str:

@@ -18,16 +18,24 @@ veneer and the benchmarks use:
 from __future__ import annotations
 
 import json
+import time
 from contextlib import nullcontext
-from typing import Dict, Iterable, List, Optional, Sequence, Union
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple, Union
 
 from repro.cache import BufferPool, QueryResultCache
 from repro.core.access import AccessInterface, ObjectHandle
 from repro.core.naming import NamingInterface, PairLike, as_pair
 from repro.core.query import Query, QueryPlanner
 from repro.core.transactions import NamespaceTransaction, TransactionManager
-from repro.errors import DeviceError, NoSuchObjectError, RecoveryError
+from repro.errors import (
+    CorruptionError,
+    DeviceError,
+    NoSuchObjectError,
+    RecoveryError,
+)
+from repro.fulltext.inverted_index import InvertedIndex
 from repro.fulltext.persistent_index import PersistentInvertedIndex
+from repro.integrity import IntegrityContext, Scrubber, ScrubReport
 from repro.index.path_index import normalize_path
 from repro.index import (
     TAG_APP,
@@ -112,6 +120,13 @@ class HFADFileSystem:
     :param group_commit: commits batched per journal sync (``1`` = sync
         every commit; larger values trade a bounded loss window for
         throughput — see ``repro.recovery``).
+    :param checksum_pages: wrap every on-device btree page in a CRC32
+        checksum frame (``repro.integrity``), verified on every page-in and
+        stamped on write-back — bit rot is *detected* instead of silently
+        corrupting query answers.  Only meaningful with on-device btrees
+        under ``durability="wal"`` (the frame format is versioned in the
+        superblock; :meth:`mount` follows whatever the device was formatted
+        with, and legacy unchecksummed devices keep reading transparently).
     :param persistent_index: store full-text postings and image features in
         on-device btrees (WAL-covered like every other tree) so that
         :meth:`mount` re-attaches them from their persisted roots instead of
@@ -145,6 +160,7 @@ class HFADFileSystem:
         checkpoint_threshold: float = 0.5,
         group_commit: int = 1,
         persistent_index: bool = True,
+        checksum_pages: bool = True,
         telemetry: bool = True,
         _mounted: Optional[dict] = None,
     ) -> None:
@@ -170,6 +186,13 @@ class HFADFileSystem:
             else None
         )
         self.recovery: Optional[RecoveryManager] = None
+        #: shared integrity state (checksum/retry counters, page quarantine)
+        #: for every on-device page store; None for in-memory trees, which
+        #: have no device bytes to rot.
+        self.integrity: Optional[IntegrityContext] = (
+            IntegrityContext() if btree_on_device else None
+        )
+        self._scrubber: Optional[Scrubber] = None
         #: on-device btrees backing the persistent full-text / image indexes
         #: (None = in-memory indexes, re-derived at mount).
         self._fulltext_tree = None
@@ -184,6 +207,7 @@ class HFADFileSystem:
                 self.recovery,
                 buffer_pool=self.buffer_pool,
                 cache_pages=cache_pages,
+                integrity=self.integrity,
             )
             # Re-attach the persistent index trees from their checkpointed
             # (and replay-updated) roots.  Zero roots mean the device was
@@ -236,6 +260,8 @@ class HFADFileSystem:
                 buffer_pool=self.buffer_pool,
                 cache_pages=cache_pages,
                 recovery=self.recovery,
+                checksum_pages=checksum_pages,
+                integrity=self.integrity,
             )
             if persistent_index:
                 # mkfs: the index trees are created alongside the master tree
@@ -261,6 +287,7 @@ class HFADFileSystem:
                     self._image_tree.root_id
                     if self._image_tree is not None else 0
                 ),
+                checksum_pages=int(self.objects.checksum_pages),
             )
         else:
             self.objects = ObjectStore(
@@ -269,6 +296,7 @@ class HFADFileSystem:
                 buffer_pool=self.buffer_pool,
                 cache_pages=cache_pages,
                 write_back=(durability == "writeback") if btree_on_device else None,
+                integrity=self.integrity,
             )
         # Index stores (Figure 1: the extensible collection of indices).
         # With persistent index trees, the FULLTEXT store's engine and the
@@ -541,6 +569,51 @@ class HFADFileSystem:
         self.objects.flush_access_times()
         return self.recovery.checkpoint()
 
+    def _scrub_sources(self) -> List[Tuple[object, int]]:
+        """Live ``(page_store, root_id)`` walk roots for the scrubber:
+        the OSD's trees (master + every extent tree) plus the persistent
+        index trees, re-evaluated at the start of each scrub cycle."""
+        sources: List[Tuple[object, int]] = list(self.objects.scrub_sources())
+        for tree in (self._fulltext_tree, self._image_tree):
+            if tree is not None:
+                sources.append((tree.store, tree.root_id))
+        return sources
+
+    def scrub(self, limit: Optional[int] = None) -> ScrubReport:
+        """Online integrity scrub: verify every reachable btree page's
+        checksum frame, repair rot from the buffer pool or the WAL tail,
+        quarantine what neither source can heal.
+
+        ``limit=N`` verifies at most ``N`` pages and parks the walk; the
+        next call resumes it (``ScrubReport.complete`` reports whether the
+        cycle finished).  Runs against the live filesystem — repairs are
+        idempotent rewrites of committed state, so no lock-out is needed.
+        """
+        if self.integrity is None:
+            raise RecoveryError(
+                "scrub requires on-device btrees (btree_on_device=True)"
+            )
+        if self._scrubber is None:
+            self._scrubber = Scrubber(
+                self.device,
+                self.integrity,
+                self._scrub_sources,
+                journal=(self.recovery.journal
+                         if self.recovery is not None else None),
+            )
+        started = time.perf_counter()
+        report = self._scrubber.scrub(limit=limit)
+        tracer = self.telemetry.tracer
+        if tracer is not None:
+            tracer.record(
+                "scrub",
+                f"limit={limit} repaired={report.repaired} "
+                f"quarantined={report.quarantined}",
+                time.perf_counter() - started,
+                report.pages_scanned,
+            )
+        return report
+
     def fsck(self) -> Dict[str, object]:
         """Integrity audit of the on-device structures.
 
@@ -575,6 +648,30 @@ class HFADFileSystem:
                 report["journal_bytes_used"] = journal.bytes_used
             except Exception as error:  # noqa: BLE001
                 errors.append(f"journal: {error}")
+            # The fsck blind spots the integrity work closed: the superblock
+            # and the journal header region are themselves checked bytes.
+            try:
+                Superblock.load(self.device)
+            except (RecoveryError, DeviceError) as error:
+                errors.append(f"superblock: {error}")
+            try:
+                region = journal.verify_device_region()
+                report["journal_region"] = region
+                if not region["matches_memory"]:
+                    errors.append(
+                        "journal: device bytes diverge from the flushed log "
+                        f"at offset {region['first_divergence']}"
+                    )
+            except Exception as error:  # noqa: BLE001
+                errors.append(f"journal region: {error}")
+        if self.integrity is not None:
+            quarantined = sorted(self.integrity.quarantine)
+            report["quarantined_pages"] = quarantined
+            if quarantined:
+                errors.append(
+                    f"integrity: {len(quarantined)} page(s) quarantined "
+                    f"pending repair: {quarantined}"
+                )
         report["clean"] = not errors
         return report
 
@@ -824,18 +921,39 @@ class HFADFileSystem:
         ``limit=N`` streams the first ``N`` matches (ascending object id)
         out of the index merge and stops — top-k early exit.
         """
-        return self.naming.resolve(list(pairs), limit=limit)
+        try:
+            return self.naming.resolve(list(pairs), limit=limit)
+        except CorruptionError:
+            if self.integrity is None:
+                raise
+            return self._degraded(
+                lambda naming: naming.resolve(list(pairs), limit=limit)
+            )
 
     def find_one(self, *pairs: PairLike) -> int:
         """Like :meth:`find` but returns one match (raises if none)."""
-        return self.naming.resolve_one(list(pairs))
+        try:
+            return self.naming.resolve_one(list(pairs))
+        except CorruptionError:
+            if self.integrity is None:
+                raise
+            return self._degraded(
+                lambda naming: naming.resolve_one(list(pairs))
+            )
 
     def query(self, query: Union[str, Query], limit: Optional[int] = None) -> List[int]:
         """Boolean query, e.g. ``"USER/margo AND NOT APP/quicken"``.
 
         ``limit=N`` streams only the first ``N`` matching ids.
         """
-        return self.naming.query(query, limit=limit)
+        try:
+            return self.naming.query(query, limit=limit)
+        except CorruptionError:
+            if self.integrity is None:
+                raise
+            return self._degraded(
+                lambda naming: naming.query(query, limit=limit)
+            )
 
     def search_text(self, text: str, limit: Optional[int] = None) -> List[int]:
         """Full-text conjunction: objects containing every term of ``text``."""
@@ -855,11 +973,82 @@ class HFADFileSystem:
         ``fs.stats()["ranked"]`` reports the work saved.  ``limit=None``
         ranks every matching document.
         """
-        return self.naming.rank(text, limit=limit)
+        try:
+            return self.naming.rank(text, limit=limit)
+        except CorruptionError:
+            if self.integrity is None:
+                raise
+            return self._degraded(lambda naming: naming.rank(text, limit=limit))
 
     def rank_text(self, text: str, limit: Optional[int] = 10):
         """Alias of :meth:`rank` (the historical spelling)."""
         return self.rank(text, limit=limit)
+
+    # -- graceful degradation (quarantined / corrupt index pages) -------------
+
+    def _degraded(self, run: Callable[[NamingInterface], object]):
+        """Re-run a query that hit corrupt index bytes against a rescue stack.
+
+        The FULLTEXT tree is the only store that reads on-device pages at
+        query time (paths, key/value names and image features serve from
+        in-memory mirrors), so the fallback rebuilds an *ephemeral in-memory*
+        inverted index from the ground truth the paper's design guarantees we
+        still have — the objects' own bytes — and answers from that instead
+        of raising mid-cursor.  Answers are correct-if-complete: objects
+        whose content is itself unreadable are skipped and the query is
+        accounted as partial in ``stats()["integrity"]``.  Damage the rescan
+        cannot route around (a corrupt master tree) propagates as
+        :class:`~repro.errors.CorruptionError` — surfaced, never silent.
+        """
+        stats = self.integrity.stats
+        stats.degraded_queries += 1
+        naming, partial = self._rescue_naming()
+        result = run(naming)
+        if partial:
+            stats.partial_results += 1
+        return result
+
+    def _rescue_naming(self) -> Tuple[NamingInterface, bool]:
+        """Build the one-shot degraded naming stack; returns (naming, partial)."""
+        partial = False
+        rescue = FullTextIndexStore(
+            index=InvertedIndex(analyzer=self.fulltext_index.index.analyzer)
+        )
+        for oid in sorted(self._content_indexed):
+            try:
+                content = self.objects.read(oid)
+            except (CorruptionError, NoSuchObjectError):
+                partial = True
+                continue
+            if content:
+                rescue.index_content(oid, content)
+        # Manual FULLTEXT keywords are persisted as master-tree name entries,
+        # not object content; fold them in so keyword-named objects stay
+        # findable while the posting tree is out of service.
+        try:
+            for oid in self.objects.list_objects():
+                for entry in self.objects.names(oid):
+                    if not entry.startswith(_NAME_ENTRY):
+                        continue
+                    pair = TagValue.parse(entry[len(_NAME_ENTRY):])
+                    if pair.tag == TAG_FULLTEXT:
+                        rescue.insert(pair.tag, pair.value, oid)
+        except (CorruptionError, NoSuchObjectError):
+            partial = True
+        registry = IndexStoreRegistry()
+        registry.register(self.keyvalue_index)
+        registry.register(self.path_index)
+        registry.register(rescue)
+        registry.register(self.image_index)
+        for tag, store in self._adhoc_stores.items():
+            registry.register(store, tags=[tag])
+        naming = NamingInterface(
+            registry,
+            planner=self.naming.planner,
+            query_cache=None,  # never memoize potentially-partial answers
+            telemetry=self.telemetry,
+        )
+        return naming, partial
 
     # POSIX-path conveniences (the veneer in repro.posix builds on these).
 
@@ -1013,18 +1202,37 @@ class HFADFileSystem:
         "query_cache",
         "persistent_index",
         "recovery",
+        "integrity",
     )
+
+    def _integrity_snapshot(self) -> Optional[Dict[str, int]]:
+        if self.integrity is None:
+            return None
+        snapshot = self.integrity.stats.snapshot()
+        snapshot["quarantined_pages"] = len(self.integrity.quarantine)
+        snapshot["checksum_pages"] = int(self.objects.checksum_pages)
+        return snapshot
 
     def _persistent_index_snapshot(self) -> Optional[Dict[str, object]]:
         if self._fulltext_tree is None:
             return None
+        # Counting documents reads the posting tree; with quarantined pages
+        # that read fails — a stats snapshot must degrade, not raise.
+        try:
+            fulltext_documents: Optional[int] = self.fulltext_index.document_count
+        except CorruptionError:
+            fulltext_documents = None
+        try:
+            image_objects: Optional[int] = self.image_index.indexed_count
+        except CorruptionError:
+            image_objects = None
         return {
             "fulltext_root": self._fulltext_tree.root_id,
-            "fulltext_documents": self.fulltext_index.document_count,
+            "fulltext_documents": fulltext_documents,
             "image_root": (
                 self._image_tree.root_id if self._image_tree is not None else 0
             ),
-            "image_objects": self.image_index.indexed_count,
+            "image_objects": image_objects,
         }
 
     def _register_telemetry(self) -> None:
@@ -1060,8 +1268,14 @@ class HFADFileSystem:
             ("recovery",
              lambda: (self.recovery.snapshot() if self.recovery is not None
                       else {"mode": self.durability})),
+            ("integrity", self._integrity_snapshot),
         ):
             metrics.register_collector(name, fn)
+        if self.integrity is not None:
+            quarantine = self.integrity.quarantine
+            metrics.gauge("integrity.quarantined",
+                          "pages quarantined pending repair",
+                          fn=lambda: len(quarantine))
         backlog = self.fulltext_index.indexer.backlog
         metrics.gauge("indexer.queued",
                       "submitted index work not yet picked up by a worker",

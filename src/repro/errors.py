@@ -30,6 +30,25 @@ class DeviceError(StorageError):
     """A block device rejected an I/O request (bad address, injected fault)."""
 
 
+class TransientDeviceError(DeviceError):
+    """A device I/O failed in a way that may succeed if retried.
+
+    Models the recoverable half of real-disk behaviour (a sector read that
+    succeeds on the second attempt, a cable glitch).  The integrity layer's
+    bounded retry-with-backoff wrapper (``repro.integrity.retry``) retries
+    exactly this class and nothing else."""
+
+
+class CorruptionError(StorageError):
+    """Stored bytes failed verification: bit rot, a torn write at rest.
+
+    Unlike :class:`TransientDeviceError` this is a *hard* fault — retrying
+    the read returns the same damaged bytes — so the retry wrapper never
+    retries it.  Raised by the page-checksum layer on a CRC mismatch and by
+    reads of quarantined pages; the scrubber repairs what it can from the
+    buffer pool or the WAL tail and quarantines the rest."""
+
+
 class AllocationError(StorageError):
     """An allocator was asked to free or split something it does not own."""
 

@@ -1,0 +1,44 @@
+"""End-to-end data integrity: self-verifying pages, retry, scrub, repair.
+
+The paper's thesis makes index pages load-bearing for *every* answer the
+filesystem gives — a silently corrupt posting page is silently wrong query
+results.  This package is the online-integrity layer ROADMAP §5 calls for:
+
+* :mod:`repro.integrity.checksum` — the per-page CRC32 frame format,
+  verified on every buffer-pool page-in and stamped on write-back/logging.
+* :mod:`repro.integrity.retry` — bounded exponential-backoff retry for
+  :class:`~repro.errors.TransientDeviceError` (and nothing else).
+* :mod:`repro.integrity.context` — shared counters + the page quarantine.
+* :mod:`repro.integrity.scrub` — the interruptible online scrubber that
+  walks reachable pages, repairs from pool or WAL tail, quarantines the
+  rest.
+
+Graceful degradation of queries over quarantined index pages lives in the
+filesystem facade (``repro.core.filesystem``), which owns the object bytes
+a rescan fallback needs.
+"""
+
+from repro.integrity.checksum import (
+    FRAME_MAGIC,
+    FRAME_OVERHEAD,
+    frame_is_valid,
+    frame_page,
+    verify_frame,
+)
+from repro.integrity.context import IntegrityContext, IntegrityStats
+from repro.integrity.retry import RetryPolicy, retrying
+from repro.integrity.scrub import ScrubReport, Scrubber
+
+__all__ = [
+    "FRAME_MAGIC",
+    "FRAME_OVERHEAD",
+    "frame_is_valid",
+    "frame_page",
+    "verify_frame",
+    "IntegrityContext",
+    "IntegrityStats",
+    "RetryPolicy",
+    "retrying",
+    "ScrubReport",
+    "Scrubber",
+]

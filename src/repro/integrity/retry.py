@@ -1,0 +1,71 @@
+"""Bounded retry with exponential backoff for transient device faults.
+
+Real devices fail in two distinct ways and the error hierarchy keeps them
+apart: a :class:`~repro.errors.TransientDeviceError` may succeed on a second
+attempt (so it is worth retrying, briefly), while a
+:class:`~repro.errors.CorruptionError` is a property of the stored bytes —
+retrying returns the same damage — and a plain
+:class:`~repro.errors.DeviceError` is a hard I/O rejection.  The wrapper
+here retries exactly the transient class, sleeping an exponentially growing
+(capped) delay between attempts, and re-raises the last error once the
+attempt budget is spent.
+
+The sleep function is injectable so unit tests run instantly and can assert
+the exact backoff sequence.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Callable, List, Optional
+
+from repro.errors import TransientDeviceError
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """How many times to retry a transient fault, and how long to wait.
+
+    Attempt ``i`` (0-based) sleeps ``min(base_delay * multiplier**i,
+    max_delay)`` seconds before retrying.  ``max_attempts`` counts total
+    attempts including the first, so ``max_attempts=1`` disables retries.
+    """
+
+    max_attempts: int = 4
+    base_delay: float = 0.0005
+    multiplier: float = 2.0
+    max_delay: float = 0.05
+
+    def delays(self) -> List[float]:
+        """The backoff schedule: one delay per retry (max_attempts - 1)."""
+        return [
+            min(self.base_delay * self.multiplier ** i, self.max_delay)
+            for i in range(max(0, self.max_attempts - 1))
+        ]
+
+
+def retrying(
+    operation: Callable[[], object],
+    policy: RetryPolicy,
+    sleep: Callable[[float], None] = time.sleep,
+    on_retry: Optional[Callable[[int], None]] = None,
+) -> object:
+    """Run ``operation``, retrying transient faults per ``policy``.
+
+    ``on_retry(attempt_number)`` fires before each retry (for counters).
+    Corruption and hard device errors propagate immediately; the last
+    transient error propagates once attempts are exhausted.
+    """
+    attempts = max(1, policy.max_attempts)
+    for attempt in range(attempts):
+        try:
+            return operation()
+        except TransientDeviceError:
+            if attempt + 1 >= attempts:
+                raise
+            if on_retry is not None:
+                on_retry(attempt + 1)
+            sleep(min(policy.base_delay * policy.multiplier ** attempt,
+                      policy.max_delay))
+    raise AssertionError("unreachable")  # pragma: no cover

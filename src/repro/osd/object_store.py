@@ -99,6 +99,8 @@ class ObjectStore:
         recovery=None,
         write_back: Optional[bool] = None,
         page_blocks: int = 4,
+        checksum_pages: bool = False,
+        integrity=None,
     ) -> None:
         if device is None:
             device = BlockDevice(num_blocks=1 << 16)
@@ -116,6 +118,8 @@ class ObjectStore:
             cache_pages=cache_pages,
             recovery=recovery,
             write_back=write_back,
+            checksum_pages=checksum_pages,
+            integrity=integrity,
         )
         self.allocator = allocator
         self._master = BPlusTree(
@@ -136,6 +140,8 @@ class ObjectStore:
         cache_pages: int,
         recovery,
         write_back: Optional[bool],
+        checksum_pages: bool = False,
+        integrity=None,
     ) -> None:
         """Field initialization shared by ``__init__`` and :meth:`mount`.
 
@@ -159,6 +165,11 @@ class ObjectStore:
         self.cache_pages = cache_pages
         self.recovery = recovery if btree_on_device else None
         self.write_back = write_back
+        #: frame every btree page with a CRC32 checksum (repro.integrity);
+        #: per-device, recorded in the superblock as ``checksum_pages``.
+        self.checksum_pages = checksum_pages if btree_on_device else False
+        #: shared integrity context (retrying reads, quarantine, counters).
+        self.integrity = integrity if btree_on_device else None
         self._trees: Dict[int, BPlusTree] = {}
         self._chunks: Dict[int, Set[int]] = {}
         self._next_oid = 1
@@ -177,6 +188,7 @@ class ObjectStore:
         buffer_pool: Optional[BufferPool] = None,
         cache_pages: int = 256,
         max_extent_blocks: int = 1024,
+        integrity=None,
     ) -> "ObjectStore":
         """Re-open a store from its recovered on-device state.
 
@@ -200,6 +212,8 @@ class ObjectStore:
             cache_pages=cache_pages,
             recovery=recovery,
             write_back=None,  # WAL-protected: write-back on
+            checksum_pages=bool(state.get("checksum_pages", 0)),
+            integrity=integrity,
         )
         store.allocator = BuddyAllocator(total_blocks=device.num_blocks, base=0)
         if state["data_region_start"]:
@@ -323,6 +337,17 @@ class ObjectStore:
         tree._count = count
         return tree
 
+    def scrub_sources(self) -> List:
+        """Current ``(page_store, root_id)`` pairs for every on-device tree
+        this store owns — the scrubber's walk roots.  The facade appends the
+        persistent index trees, which it owns."""
+        if not self.btree_on_device:
+            return []
+        sources = [(self._master.store, self._master.root_id)]
+        for tree in self._trees.values():
+            sources.append((tree.store, tree.root_id))
+        return sources
+
     def check_consistency(self) -> Dict[str, object]:
         """The per-object half of fsck: audit the on-device OSD structures.
 
@@ -379,6 +404,8 @@ class ObjectStore:
                 name=name,
                 recovery=self.recovery,
                 write_back=self.write_back,
+                checksum=self.checksum_pages,
+                integrity=self.integrity,
             )
         return InMemoryPageStore()
 

@@ -57,6 +57,11 @@ class Superblock:
     #: those indexes from object bytes, the pre-persistent behaviour).
     fulltext_root: int = 0
     image_root: int = 0
+    #: page-format version: ``1`` means every btree page is wrapped in a
+    #: CRC32 checksum frame (:mod:`repro.integrity.checksum`); ``0`` is the
+    #: legacy raw-node format.  Defaulting to 0 makes superblocks written
+    #: before this field existed read transparently as legacy devices.
+    checksum_pages: int = 0
 
     # -- serialization --------------------------------------------------------
 

@@ -17,10 +17,11 @@ The device exposes classic block semantics:
 
 from __future__ import annotations
 
+import random
 from dataclasses import dataclass, field
 from typing import Dict, Optional
 
-from repro.errors import DeviceError, OutOfSpaceError
+from repro.errors import DeviceError, OutOfSpaceError, TransientDeviceError
 from repro.storage.latency import LatencyModel, NullLatencyModel
 
 DEFAULT_BLOCK_SIZE = 4096
@@ -80,11 +81,22 @@ class FaultPlan:
     many successful writes — the standard way the tests simulate a crash in
     the middle of a multi-block update.  ``bad_blocks`` fails any request that
     touches one of the listed block addresses.
+
+    ``transient_read_faults`` maps block → remaining failure count: a read
+    touching the block raises :class:`~repro.errors.TransientDeviceError`
+    and decrements the count, so the first N touches fail and every later
+    one succeeds — the deterministic shape retry-path unit tests need.
+    ``intermittent_read_blocks`` maps block → failure probability; each read
+    touching the block fails transiently with that probability, drawn from
+    ``rng`` (seed it for reproducible flakiness).
     """
 
     fail_after_writes: Optional[int] = None
     bad_blocks: frozenset = field(default_factory=frozenset)
     fail_reads: bool = False
+    transient_read_faults: Dict[int, int] = field(default_factory=dict)
+    intermittent_read_blocks: Dict[int, float] = field(default_factory=dict)
+    rng: Optional[random.Random] = None
 
     def check_write(self, completed_writes: int, block: int, nblocks: int) -> None:
         if self.fail_after_writes is not None and completed_writes >= self.fail_after_writes:
@@ -97,7 +109,28 @@ class FaultPlan:
     def check_read(self, block: int, nblocks: int) -> None:
         if self.fail_reads:
             raise DeviceError(f"injected read fault at block {block}")
+        self._check_transient(block, nblocks)
         self._check_bad(block, nblocks)
+
+    def _check_transient(self, block: int, nblocks: int) -> None:
+        for b in range(block, block + nblocks):
+            remaining = self.transient_read_faults.get(b, 0)
+            if remaining > 0:
+                # One failure consumed per *request*, not per block: a retry
+                # of the same multi-block read makes progress.
+                self.transient_read_faults[b] = remaining - 1
+                raise TransientDeviceError(
+                    f"injected transient read fault at block {b} "
+                    f"({remaining - 1} failures left)"
+                )
+        if self.intermittent_read_blocks:
+            rng = self.rng if self.rng is not None else random
+            for b in range(block, block + nblocks):
+                rate = self.intermittent_read_blocks.get(b, 0.0)
+                if rate and rng.random() < rate:
+                    raise TransientDeviceError(
+                        f"injected intermittent read fault at block {b}"
+                    )
 
     def _check_bad(self, block: int, nblocks: int) -> None:
         for b in range(block, block + nblocks):
@@ -228,6 +261,38 @@ class BlockDevice:
         existing = bytearray(self.read_blocks(block, nblocks))
         existing[offset:end] = data
         self.write_blocks(block, bytes(existing), nblocks=nblocks)
+
+    # -- fault injection: silent corruption ----------------------------------
+
+    def flip_bit(self, block: int, bit_index: int) -> None:
+        """Flip one bit of a stored block in place — simulated bit rot.
+
+        Unlike the :class:`FaultPlan` hooks this mutates the *data*, not the
+        I/O path: the next read succeeds and returns the damaged bytes, which
+        only a checksum can catch.  Not counted as I/O.
+        """
+        self._check_range(block, 1)
+        if not 0 <= bit_index < self.block_size * 8:
+            raise DeviceError(f"bit index {bit_index} outside a block")
+        data = bytearray(self._blocks.get(block, self._zero))
+        byte, bit = divmod(bit_index, 8)
+        data[byte] ^= 1 << bit
+        if data == self._zero:
+            self._blocks.pop(block, None)
+        else:
+            self._blocks[block] = bytes(data)
+
+    def corrupt_bytes(self, block: int, offset: int, garbage: bytes) -> None:
+        """Overwrite bytes within one stored block without any accounting."""
+        self._check_range(block, 1)
+        if offset < 0 or offset + len(garbage) > self.block_size:
+            raise DeviceError("corruption range outside the block")
+        data = bytearray(self._blocks.get(block, self._zero))
+        data[offset:offset + len(garbage)] = garbage
+        if data == self._zero:
+            self._blocks.pop(block, None)
+        else:
+            self._blocks[block] = bytes(data)
 
     # -- maintenance ---------------------------------------------------------
 

@@ -407,6 +407,86 @@ class Journal:
         """
         return len(self.replay())
 
+    # -- integrity helpers ----------------------------------------------------
+
+    def latest_page_image(self, block: int) -> Optional[bytes]:
+        """The newest committed, durable, non-revoked image logged for ``block``.
+
+        The scrubber's WAL repair source: if a home location rots after its
+        page was logged but before the next checkpoint truncates the log,
+        this image is byte-exact what a healthy write-back would have put
+        there.  Only the *flushed* prefix of the in-memory mirror is
+        consulted — rewriting a home location from a buffered (not yet
+        durable) record would break the WAL rule — and only transactions
+        whose commit marker is durable count.  Revokes are honoured exactly
+        like replay: a committed revoke kills every older image.
+        """
+        with self._mutex:
+            raw = bytes(self._log[:self._flushed])
+        position = 0
+        open_txns: dict = {}
+        best: Optional[Tuple[int, bytes]] = None
+        revoked_lsn = 0
+        while position + _RECORD_HEADER.size <= len(raw):
+            magic, rtype, txid, lsn, rec_block, length, _crc = (
+                _RECORD_HEADER.unpack_from(raw, position)
+            )
+            if magic != _MAGIC or rtype not in _KNOWN_TYPES:
+                break
+            payload_end = position + _RECORD_HEADER.size + length
+            if payload_end > len(raw):
+                break
+            if rtype == TYPE_COMMIT:
+                for rec in open_txns.pop(txid, []):
+                    if rec.rtype == TYPE_REVOKE and rec.block == block:
+                        revoked_lsn = max(revoked_lsn, rec.lsn)
+                    elif rec.rtype == TYPE_DATA and rec.block == block:
+                        if best is None or rec.lsn > best[0]:
+                            best = (rec.lsn, rec.data)
+            elif rec_block == block and rtype in (TYPE_DATA, TYPE_REVOKE):
+                payload = raw[position + _RECORD_HEADER.size:payload_end]
+                open_txns.setdefault(txid, []).append(
+                    JournalRecord(block=rec_block, data=payload, lsn=lsn, rtype=rtype)
+                )
+            position = payload_end
+        if best is None or best[0] <= revoked_lsn:
+            return None
+        return best[1]
+
+    def verify_device_region(self) -> dict:
+        """Compare the on-device journal against the in-memory mirror.
+
+        The append buffer mirrors the flushed on-device log byte for byte
+        between checkpoints, so any divergence in that prefix is silent
+        corruption of the journal region (bit rot, a misdirected write) —
+        exactly the blind spot a structural re-scan cannot see, because a
+        flipped bit simply truncates the scan at a "torn" record.  Returns a
+        report dict; never raises (fsck aggregates it).
+        """
+        with self._mutex:
+            expected = bytes(self._log[:self._flushed])
+        report = {
+            "flushed_bytes": len(expected),
+            "matches_memory": True,
+            "first_divergence": None,
+        }
+        if not expected:
+            return report
+        try:
+            on_device = self._read_log_bytes()[:len(expected)]
+        except Exception as error:  # noqa: BLE001 — fsck reports, never raises
+            report["matches_memory"] = False
+            report["first_divergence"] = f"unreadable: {error}"
+            return report
+        if on_device != expected:
+            diverged = next(
+                (i for i, (a, b) in enumerate(zip(on_device, expected)) if a != b),
+                min(len(on_device), len(expected)),
+            )
+            report["matches_memory"] = False
+            report["first_divergence"] = diverged
+        return report
+
     def checkpoint(self) -> None:
         """Truncate the journal: home locations are assumed durable.
 

@@ -162,11 +162,13 @@ class TestDevicePersistenceIntegration:
         expected = fs.read(oid)
         root_page = fs.objects._trees[oid]._root_id
         fs.close()
-        # The extent map's pages are real device blocks: decoding the root
-        # page from raw device contents must yield a valid btree node.
+        # The extent map's pages are real device blocks: the root page's raw
+        # device contents must carry a valid checksum frame whose payload
+        # decodes to a valid btree node.
         from repro.btree.node import decode_node
+        from repro.integrity import verify_frame
 
         raw = device.read_blocks(root_page, 4)
-        node = decode_node(raw)
+        node = decode_node(verify_frame(raw))
         assert node is not None
         assert expected.startswith(b"persisted [mark]payload"[:9])

@@ -1,0 +1,78 @@
+"""Unit tests for the per-page CRC32 checksum frame format."""
+
+import pytest
+
+from repro.errors import CorruptionError
+from repro.integrity import (
+    FRAME_MAGIC,
+    FRAME_OVERHEAD,
+    frame_is_valid,
+    frame_page,
+    verify_frame,
+)
+
+
+class TestFrameRoundtrip:
+    def test_roundtrip(self):
+        payload = b"some page bytes" * 17
+        assert verify_frame(frame_page(payload)) == payload
+
+    def test_empty_payload_roundtrips(self):
+        assert verify_frame(frame_page(b"")) == b""
+
+    def test_frame_overhead_is_fixed(self):
+        assert len(frame_page(b"x" * 100)) == 100 + FRAME_OVERHEAD
+
+    def test_frame_starts_with_magic(self):
+        assert frame_page(b"abc").startswith(FRAME_MAGIC)
+
+    def test_trailing_padding_is_ignored(self):
+        # Device blocks are zero-padded past the frame; verification must
+        # only consider the framed length.
+        framed = frame_page(b"payload") + b"\x00" * 64
+        assert verify_frame(framed) == b"payload"
+
+
+class TestFrameDetection:
+    def test_flipped_payload_bit_detected(self):
+        framed = bytearray(frame_page(b"sensitive index bytes"))
+        framed[FRAME_OVERHEAD + 3] ^= 0x10
+        with pytest.raises(CorruptionError):
+            verify_frame(bytes(framed))
+
+    def test_flipped_header_bit_detected(self):
+        framed = bytearray(frame_page(b"sensitive index bytes"))
+        framed[5] ^= 0x01  # inside the length field
+        with pytest.raises(CorruptionError):
+            verify_frame(bytes(framed))
+
+    def test_bad_magic_detected(self):
+        framed = b"JUNK" + frame_page(b"data")[4:]
+        with pytest.raises(CorruptionError):
+            verify_frame(framed)
+
+    def test_truncated_frame_detected(self):
+        framed = frame_page(b"data")
+        with pytest.raises(CorruptionError):
+            verify_frame(framed[: FRAME_OVERHEAD - 2])
+
+    def test_truncated_payload_detected(self):
+        framed = frame_page(b"a rather long payload")
+        with pytest.raises(CorruptionError):
+            verify_frame(framed[:-4])
+
+    def test_all_zero_block_detected(self):
+        # A never-written (or zeroed) block must not verify.
+        with pytest.raises(CorruptionError):
+            verify_frame(b"\x00" * 512)
+
+    def test_context_appears_in_error(self):
+        with pytest.raises(CorruptionError, match="page 42"):
+            verify_frame(b"\x00" * 64, context="page 42")
+
+    def test_frame_is_valid_predicate(self):
+        good = frame_page(b"payload")
+        assert frame_is_valid(good)
+        bad = bytearray(good)
+        bad[-1] ^= 0xFF
+        assert not frame_is_valid(bytes(bad))

@@ -1,0 +1,184 @@
+"""The online scrubber: detect, repair (cache / WAL), quarantine, resume."""
+
+import pytest
+
+from repro.core import HFADFileSystem
+from repro.errors import CorruptionError, RecoveryError
+from repro.storage import BlockDevice
+
+
+def make_fs(num_blocks=1 << 14, **kwargs):
+    device = BlockDevice(num_blocks=num_blocks)
+    fs = HFADFileSystem(device=device, btree_on_device=True, **kwargs)
+    return device, fs
+
+
+def populate(fs, count=12):
+    return [
+        fs.create(
+            content=f"document {i} holds searchable words".encode(),
+            path=f"/docs/{i}.txt",
+        )
+        for i in range(count)
+    ]
+
+
+class TestCleanScrub:
+    def test_clean_device_scrubs_clean(self):
+        _device, fs = make_fs()
+        populate(fs)
+        fs.checkpoint()
+        report = fs.scrub()
+        assert report.complete
+        assert report.pages_scanned > 0
+        assert report.pages_clean == report.pages_scanned
+        assert report.repaired == 0 and report.quarantined == 0
+        fs.close()
+
+    def test_dirty_pages_are_skipped_not_repaired(self):
+        # Under no-force write-back a dirty page's device bytes are stale by
+        # design; the scrubber must not mistake that for rot.
+        _device, fs = make_fs()
+        populate(fs)
+        report = fs.scrub()  # no checkpoint: most pages still dirty
+        assert report.skipped_dirty > 0
+        assert report.repaired == 0 and report.quarantined == 0
+        fs.close()
+
+    def test_scrub_requires_on_device_trees(self):
+        fs = HFADFileSystem()  # in-memory
+        with pytest.raises(RecoveryError):
+            fs.scrub()
+        fs.close()
+
+
+class TestRepair:
+    def test_repair_from_resident_cache(self):
+        device, fs = make_fs()
+        populate(fs)
+        fs.checkpoint()
+        root = fs._fulltext_tree.root_id  # resident: just written
+        device.flip_bit(root, 40)  # inside the frame header: always detected
+        report = fs.scrub()
+        assert report.repaired_from_cache >= 1
+        assert report.quarantined == 0
+        # The device bytes are healthy again: a second scrub is clean.
+        report = fs.scrub()
+        assert report.repaired == 0 and report.pages_clean == report.pages_scanned
+        fs.close()
+
+    def test_repair_from_wal_tail(self):
+        device, fs = make_fs()
+        oids = populate(fs)
+        # No checkpoint: the page images are still in the journal.  Evict
+        # the pool copies so the cache cannot serve as the repair source.
+        tree = fs._fulltext_tree
+        tree.store._consumer.drop_all(write_back=True)
+        device.flip_bit(tree.root_id, 40)
+        report = fs.scrub()
+        assert report.repaired_from_wal >= 1
+        assert report.quarantined == 0
+        assert fs.search_text("searchable") == oids
+        fs.close()
+
+    def test_unrepairable_page_is_quarantined(self):
+        device, fs = make_fs()
+        populate(fs)
+        fs.checkpoint()  # truncates the journal: no WAL repair source
+        tree = fs._fulltext_tree
+        tree.store._consumer.drop_all(write_back=True)  # no cache source
+        device.flip_bit(tree.root_id, 5)
+        report = fs.scrub()
+        assert report.quarantined == 1
+        assert report.unreachable_subtrees >= 1
+        assert any("quarantined" in error for error in report.errors)
+        # Reads of the page now fail fast with the page identified.
+        with pytest.raises(CorruptionError, match=str(tree.root_id)):
+            tree.store.read(tree.root_id)
+        fs.close()
+
+    def test_scrub_releases_stale_quarantine(self):
+        # A page quarantined earlier whose device bytes are (again) valid —
+        # e.g. healed by replay — is released by the next scrub pass.
+        _device, fs = make_fs()
+        populate(fs)
+        fs.checkpoint()
+        root = fs._fulltext_tree.root_id
+        fs.integrity.quarantine_page(root)
+        report = fs.scrub()
+        assert report.released >= 1
+        assert not fs.integrity.is_quarantined(root)
+        fs.close()
+
+
+class TestInterruptibleScrub:
+    def test_limit_parks_and_resumes(self):
+        _device, fs = make_fs()
+        populate(fs, count=20)
+        fs.checkpoint()
+        full = fs.scrub()
+        total = full.pages_scanned
+        assert total > 3
+        first = fs.scrub(limit=3)
+        assert first.pages_scanned == 3
+        assert not first.complete
+        assert fs._scrubber.in_progress
+        scanned = first.pages_scanned
+        while True:
+            part = fs.scrub(limit=5)
+            scanned += part.pages_scanned
+            if part.complete:
+                break
+        assert scanned == total
+        assert not fs._scrubber.in_progress
+        fs.close()
+
+    def test_detection_counts_as_one_run(self):
+        _device, fs = make_fs()
+        populate(fs)
+        fs.checkpoint()
+        fs.scrub(limit=2)
+        fs.scrub()  # resumes, then finishes
+        assert fs.stats()["integrity"]["scrub_runs"] == 1
+        fs.close()
+
+
+class TestLegacyDevices:
+    def test_unchecksummed_format_scrubs_clean(self):
+        _device, fs = make_fs(checksum_pages=False)
+        populate(fs)
+        fs.checkpoint()
+        assert fs.stats()["integrity"]["checksum_pages"] == 0
+        report = fs.scrub()
+        assert report.complete
+        assert report.pages_clean == report.pages_scanned
+
+    def test_legacy_rot_is_undetectable_by_design(self):
+        # The documented blind spot of the legacy format: without frames the
+        # scrubber walks every page but cannot tell rot from data.
+        device, fs = make_fs(checksum_pages=False)
+        populate(fs)
+        fs.checkpoint()
+        tree = fs._fulltext_tree
+        tree.store._consumer.drop_all(write_back=True)
+        device.flip_bit(tree.root_id, 5000)
+        report = fs.scrub()
+        assert report.quarantined == 0  # nothing detected
+
+    def test_legacy_device_remounts_transparently(self):
+        device, fs = make_fs(checksum_pages=False)
+        oids = populate(fs)
+        fs.close()
+        mounted = HFADFileSystem.mount(device)
+        assert mounted.objects.checksum_pages is False
+        assert mounted.search_text("searchable") == oids
+        mounted.close()
+
+    def test_checksummed_device_remounts_checksummed(self):
+        device, fs = make_fs()
+        oids = populate(fs)
+        fs.close()
+        mounted = HFADFileSystem.mount(device)
+        assert mounted.objects.checksum_pages is True
+        assert mounted.search_text("searchable") == oids
+        mounted.close()

@@ -274,6 +274,21 @@ def verify(fs, model):
     report = fs.fsck()
     assert report["clean"], f"fsck after remount: {report['errors']}"
 
+    # Post-recovery integrity audit: every reachable page on the recovered
+    # device must carry a valid checksum frame.  A torn home-location write
+    # is detected as torn (frame mismatch) and healed by replay — it must
+    # never survive as silently-valid data, and after the mount-time
+    # checkpoint nothing should be left to repair or quarantine.
+    scrub = fs.scrub()
+    assert scrub.complete, "post-mount scrub did not finish"
+    assert scrub.quarantined == 0, (
+        f"unrepairable pages after recovery: {scrub.errors}"
+    )
+    assert scrub.repaired == 0, (
+        f"rotten pages slipped past recovery: {scrub.errors}"
+    )
+    assert not scrub.errors, f"post-mount scrub errors: {scrub.errors}"
+
 
 def measure_workload_writes(seed):
     """Run the seed's workload uncrashed; returns its device-write count."""
