@@ -11,9 +11,19 @@ the hierarchy synchronizes constantly on "/" and "/home" while flat locking
 synchronizes on nothing; when the data really is shared both systems contend,
 so the difference disappears — showing the hotspot is an artifact of the
 namespace, not of the workload.
+
+The real-thread profile at the bottom is the contention-observability
+baseline ROADMAP §1 asks for: writer threads hammer one WAL filesystem and
+the per-lock wait/hold histograms (``lock.<name>.wait_us`` /
+``lock.<name>.hold_us``, recorded by the :class:`TimedLock` wrappers on the
+buffer-pool lock, the WAL transaction lock and the journal mutex) report
+where the serialization actually happens — the numbers any future
+lock-splitting work must move.
 """
 
 from __future__ import annotations
+
+import threading
 
 import pytest
 
@@ -22,9 +32,11 @@ from repro.concurrency import (
     metadata_scan_workload,
     shared_project_workload,
 )
+from repro.core import HFADFileSystem
 from repro.hierarchical.locking import FlatLockManager, HierarchicalLockManager
+from repro.telemetry import histogram_quantiles
 
-from conftest import emit_table, scaled
+from conftest import emit_table, record_metric, scaled
 
 CONCURRENCY = scaled(8, 4)
 
@@ -78,3 +90,88 @@ def test_e2_simulation_latency(benchmark, manager):
         benchmark(lambda: HierarchicalLockManager.simulate_schedule(schedule.path_operations, CONCURRENCY))
     else:
         benchmark(lambda: FlatLockManager.simulate_schedule(schedule.flat_operations(), CONCURRENCY))
+
+
+def test_e2_real_thread_lock_profile():
+    """Real threads, real locks: where does a write-heavy workload wait?
+
+    Writer threads (the only concurrency the engine serves today — ROADMAP
+    §1) create objects against one WAL filesystem from a common barrier, so
+    the WAL transaction lock is contended by construction.  The per-lock
+    wait/hold histograms the TimedLock wrappers record become the report:
+    outermost acquisitions, contended waits, and wait/hold quantiles per
+    lock.
+    """
+    writers = scaled(8, 4)
+    creates_per_writer = scaled(40, 8)
+    fs = HFADFileSystem(
+        num_blocks=1 << 17, btree_on_device=True, durability="wal",
+        query_cache_entries=0,
+    )
+    barrier = threading.Barrier(writers)
+    errors = []
+
+    def worker(worker_id: int) -> None:
+        barrier.wait()
+        try:
+            for index in range(creates_per_writer):
+                fs.create(
+                    content=f"worker {worker_id} writes document {index} "
+                            f"about lock contention".encode(),
+                    owner=f"writer{worker_id}",
+                    path=f"/w{worker_id}/doc{index}.txt",
+                )
+        except Exception as error:  # noqa: BLE001 — surfaced via the join below
+            errors.append(error)
+
+    threads = [threading.Thread(target=worker, args=(n,)) for n in range(writers)]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    assert not errors, errors
+
+    histograms = fs.stats()["telemetry"]["histograms"]
+    lock_names = sorted(
+        name[len("lock."):-len(".wait_us")]
+        for name in histograms if name.startswith("lock.") and name.endswith(".wait_us")
+    )
+    assert lock_names == ["buffer_pool", "wal.journal", "wal.txn"]
+    rows = []
+    profile = {}
+    for name in lock_names:
+        wait = histograms[f"lock.{name}.wait_us"]
+        hold = histograms[f"lock.{name}.hold_us"]
+        wait_q = histogram_quantiles(wait)
+        hold_q = histogram_quantiles(hold)
+        rows.append((
+            name, hold["count"], wait["count"],
+            wait_q["p50"] or 0, wait_q["p95"] or 0,
+            hold_q["p50"] or 0, hold_q["p95"] or 0,
+        ))
+        profile[name] = {
+            "acquisitions": hold["count"], "contended": wait["count"],
+            "wait_us_sum": wait["sum"], "hold_us_sum": hold["sum"],
+            "wait_p95_us": wait_q["p95"], "hold_p95_us": hold_q["p95"],
+        }
+    # Every lock saw traffic, and the barrier start makes the WAL
+    # transaction lock contended in practice on every run.
+    assert all(histograms[f"lock.{name}.hold_us"]["count"] > 0 for name in lock_names)
+    assert histograms["lock.wal.txn.wait_us"]["count"] > 0
+    # Contended waits inside an operation are charged to it: the ledger's
+    # create totals must agree that time was spent waiting.
+    totals = fs.stats()["telemetry"]["attribution"]
+    assert totals["create"]["count"] == writers * creates_per_writer
+    assert totals["create"]["lock_wait_us"] > 0
+    record_metric("real_thread_lock_profile", {
+        "writers": writers, "creates_per_writer": creates_per_writer,
+        "locks": profile,
+    })
+    emit_table(
+        "E2 — real-thread per-lock wait/hold profile (WAL filesystem, "
+        f"{writers} writer threads)",
+        ["lock", "acquisitions", "contended", "wait p50 µs", "wait p95 µs",
+         "hold p50 µs", "hold p95 µs"],
+        rows,
+    )
+    fs.close()

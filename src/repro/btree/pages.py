@@ -37,6 +37,7 @@ from repro.integrity.checksum import FRAME_OVERHEAD, frame_page, verify_frame
 from repro.storage.block_device import BlockDevice
 from repro.storage.buddy import BuddyAllocator
 from repro.btree.node import decode_node
+from repro.opcontext import current_operation
 
 
 class PageStore:
@@ -217,6 +218,9 @@ class DevicePageStore(PageStore):
             raw = self.integrity.read_blocks(self.device, page_id, self.page_blocks)
         else:
             raw = self.device.read_blocks(page_id, self.page_blocks)
+        op = current_operation()
+        if op is not None:
+            op.pages_read += 1  # a real device page-in (cache hits returned above)
         if self.checksum:
             if self.integrity is not None:
                 self.integrity.stats.checksum_verifications += 1
@@ -266,6 +270,9 @@ class DevicePageStore(PageStore):
         self.device.write_blocks(
             page_id, self._encode_page(encoded), nblocks=self.page_blocks
         )
+        op = current_operation()
+        if op is not None:
+            op.pages_written += 1
         if self._consumer is not None:
             self._consumer.put(page_id, node, lsn=lsn)
 
@@ -299,6 +306,11 @@ class DevicePageStore(PageStore):
         self.device.write_blocks(
             page_id, self._encode_page(node.encode()), nblocks=self.page_blocks
         )
+        op = current_operation()
+        if op is not None:
+            # Charged to whichever operation forced the write-back (eviction
+            # or checkpoint) — deferred I/O is attributed where it happens.
+            op.pages_written += 1
         if self.integrity is not None:
             # The device now holds verified-good bytes for this page.
             self.integrity.release_page(page_id)

@@ -42,6 +42,9 @@ from typing import Callable, Dict, Hashable, Optional, Tuple
 
 from repro.errors import AllPagesPinnedError, CacheError
 from repro.cache.policies import EvictionPolicy, make_policy
+# Leaf-module import (stdlib-only) — safe from this low layer; the
+# ``repro.telemetry`` package __init__ would pull in the query machinery.
+from repro.opcontext import current_operation
 
 _Key = Tuple[str, Hashable]
 
@@ -233,14 +236,23 @@ class BufferPool:
 
     def _get(self, consumer: PoolConsumer, page_id: Hashable):
         key = (consumer.name, page_id)
+        # Attribution happens here (not in the page stores) so a single
+        # source counts cache traffic for *every* consumer — which is what
+        # makes the per-operation totals exactly equal the pool-stats deltas
+        # (the differential the attribution tests pin).
+        op = current_operation()
         with self._lock:
             frame = self._frames.get(key)
             if frame is None:
                 consumer.stats.misses += 1
                 self.stats.misses += 1
+                if op is not None:
+                    op.cache_misses += 1
                 return None
             consumer.stats.hits += 1
             self.stats.hits += 1
+            if op is not None:
+                op.cache_hits += 1
             self.policy.on_hit(key)
             return frame.value
 

@@ -83,6 +83,10 @@ class HFADShell:
             "explain": self.cmd_explain,
             "stats": self.cmd_stats,
             "trace": self.cmd_trace,
+            "ops": self.cmd_ops,
+            "slowlog": self.cmd_slowlog,
+            "top": self.cmd_top,
+            "health": self.cmd_health,
         }
 
     # ------------------------------------------------------------------
@@ -158,7 +162,9 @@ class HFADShell:
             "navigation:      cd TAG/VALUE | up | pwd | suggest\n"
             "durability:      fsck | scrub [--limit N] | recover | checkpoint\n"
             "observability:   explain [--analyze] [--limit N] EXPR |\n"
-            "                 stats [--format json|prom|text] | trace [--limit N]"
+            "                 stats [--format json|prom|text] | trace [--limit N] |\n"
+            "                 ops [--limit N] | slowlog [--limit N|--threshold MS] |\n"
+            "                 top | health"
         )
 
     def cmd_put(self, args: List[str]) -> str:
@@ -411,7 +417,11 @@ class HFADShell:
         if fmt == "prom":
             from repro.telemetry import prometheus_text
 
-            return prometheus_text(stats).rstrip("\n")
+            # Passing the registry adds # HELP lines from instrument
+            # descriptions alongside the # TYPE lines.
+            return prometheus_text(
+                stats, registry=self.fs.telemetry.metrics
+            ).rstrip("\n")
         if fmt != "text":
             raise ShellError(f"usage: {usage}")
         naming = stats["naming"]
@@ -449,6 +459,116 @@ class HFADShell:
                 f"#{trace.seq}\t{trace.kind}\t{trace.text}\t"
                 f"{trace.rows} row(s) in {trace.elapsed * 1e3:.3f} ms"
             )
+        return "\n".join(lines)
+
+    def cmd_ops(self, args: List[str]) -> str:
+        """Recent operations with their per-operation resource attribution."""
+        usage = "ops [--limit N]"
+        limit, args = self._parse_limit(args, usage)
+        if args:
+            raise ShellError(f"usage: {usage}")
+        records = self.fs.operations(10 if limit is None else limit)
+        if not records:
+            return "(no operations recorded — telemetry off or nothing ran)"
+        lines = []
+        for rec in records:
+            detail = f" {rec['detail']}" if rec["detail"] else ""
+            flags = " FAILED" if rec.get("failed") else ""
+            lines.append(
+                f"#{rec['seq']}\t{rec['kind']}{detail}\t"
+                f"{rec['elapsed_us'] / 1e3:.3f} ms{flags}\t"
+                f"pages r/w {rec['pages_read']}/{rec['pages_written']}  "
+                f"cache h/m {rec['cache_hits']}/{rec['cache_misses']}  "
+                f"wal {rec['wal_bytes']}B/{rec['wal_syncs']} sync(s)  "
+                f"lock wait {rec['lock_wait_us']:.0f} µs"
+            )
+        return "\n".join(lines)
+
+    def cmd_slowlog(self, args: List[str]) -> str:
+        """Show the slow-query log, or retune it with ``--threshold MS|off``."""
+        usage = "slowlog [--limit N | --threshold MS|off]"
+        if args and args[0] == "--threshold":
+            if len(args) != 2:
+                raise ShellError(f"usage: {usage}")
+            if args[1] == "off":
+                self.fs.set_slow_query_threshold(None)
+                return "slow-query capture disabled"
+            try:
+                threshold = float(args[1])
+            except ValueError:
+                raise ShellError(f"usage: {usage}")
+            self.fs.set_slow_query_threshold(threshold)
+            return f"slow-query threshold set to {threshold:g} ms"
+        limit, args = self._parse_limit(args, usage)
+        if args:
+            raise ShellError(f"usage: {usage}")
+        entries = self.fs.slow_queries(10 if limit is None else limit)
+        if not entries:
+            return "(no slow queries)"
+        lines = []
+        for entry in entries:
+            lines.append(
+                f"#{entry['seq']}\t{entry['kind']}\t{entry['query']}\t"
+                f"{entry['elapsed_ms']:.3f} ms "
+                f"(threshold {entry['threshold_ms']:g} ms)"
+            )
+            attribution = entry.get("attribution")
+            if attribution:
+                lines.append(
+                    f"  pages r/w {attribution['pages_read']}"
+                    f"/{attribution['pages_written']}  "
+                    f"cache h/m {attribution['cache_hits']}"
+                    f"/{attribution['cache_misses']}  "
+                    f"lock wait {attribution['lock_wait_us']:.0f} µs"
+                )
+            if "report" in entry:
+                suffix = (" (re-executed)"
+                          if entry.get("report_reexecuted") else "")
+                lines.append(f"  plan captured{suffix}")
+        return "\n".join(lines)
+
+    def cmd_top(self, args: List[str]) -> str:
+        """Windowed workload rates: counter deltas, gauges, latency quantiles.
+
+        Each call takes one metrics sample and reports the delta against the
+        previous call's — the first call only primes the window.
+        """
+        history = self.fs.telemetry.history
+        if history is None:
+            return "(telemetry disabled)"
+        history.sample()
+        window = history.window()
+        if window is None:
+            return "(sampling started — run 'top' again for a window)"
+        lines = [f"window: {window['seconds']:.3f} s"]
+        active = [(name, entry) for name, entry in
+                  sorted(window["counters"].items()) if entry["delta"]]
+        for name, entry in active:
+            lines.append(
+                f"  {name}: +{entry['delta']:g} ({entry['rate']:g}/s)")
+        if not active:
+            lines.append("  (no counter activity this window)")
+        for name, value in sorted(window["gauges"].items()):
+            lines.append(f"  {name} = {value:g}")
+        for name, entry in sorted(window["histograms"].items()):
+            if not entry["count"]:
+                continue
+            p50 = entry.get("p50")
+            p95 = entry.get("p95")
+            lines.append(
+                f"  {name}: {entry['count']} obs ({entry['rate']:g}/s)  "
+                f"p50 {p50 if p50 is not None else '-'}  "
+                f"p95 {p95 if p95 is not None else '-'}"
+            )
+        return "\n".join(lines)
+
+    def cmd_health(self, args: List[str]) -> str:
+        """Aggregate health: worst-wins status over the component checks."""
+        report = self.fs.health()
+        lines = [f"status: {report['status'].upper()}"]
+        for name, check in sorted(report["checks"].items()):
+            lines.append(
+                f"  [{check['status'].upper():4}] {name}: {check['detail']}")
         return "\n".join(lines)
 
     # ------------------------------------------------------------------

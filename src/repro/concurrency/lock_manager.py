@@ -10,8 +10,8 @@ tests can observe where the hotspots are with real threads — the simulated
 from __future__ import annotations
 
 import threading
-from collections import defaultdict
 from dataclasses import dataclass, field
+from time import perf_counter
 from typing import Dict, Optional
 
 
@@ -26,7 +26,13 @@ class LockStats:
 
     acquisitions: int = 0
     waits: int = 0
-    wait_resources: Dict[str, int] = field(default_factory=lambda: defaultdict(int))
+    #: total time spent blocked in ``acquire`` (µs), timeouts included —
+    #: waits are *timed*, not just counted, so a few long stalls are
+    #: distinguishable from many short ones.
+    wait_time_us: float = 0.0
+    wait_resources: Dict[str, int] = field(default_factory=dict)
+    #: cold entries dropped to keep ``wait_resources`` bounded.
+    wait_resources_evicted: int = 0
 
     def hottest(self, limit: int = 5):
         ranked = sorted(self.wait_resources.items(), key=lambda item: (-item[1], item[0]))
@@ -44,11 +50,22 @@ class _ResourceLock:
 
 
 class LockManager:
-    """Named reader/writer locks with wait accounting."""
+    """Named reader/writer locks with wait accounting.
 
-    def __init__(self) -> None:
+    ``max_tracked_resources`` bounds the per-resource wait table: a
+    pathological workload touching millions of distinct resources must not
+    grow ``stats()`` without limit.  When the table is full and a *new*
+    resource waits, the coldest tracked entry is evicted (and counted in
+    ``wait_resources_evicted``) — ``hottest()`` keeps its semantics because
+    the hot set, by definition, keeps re-earning its entries.
+    """
+
+    def __init__(self, max_tracked_resources: int = 64) -> None:
+        if max_tracked_resources < 1:
+            raise ValueError("max_tracked_resources must be at least 1")
         self._condition = threading.Condition()
         self._resources: Dict[str, _ResourceLock] = {}
+        self.max_tracked_resources = max_tracked_resources
         self.stats = LockStats()
 
     def _state(self, resource: str) -> _ResourceLock:
@@ -58,27 +75,44 @@ class LockManager:
             self._resources[resource] = state
         return state
 
+    def _count_wait(self, resource: str) -> None:
+        table = self.stats.wait_resources
+        if resource in table:
+            table[resource] += 1
+            return
+        if len(table) >= self.max_tracked_resources:
+            coldest = min(table.items(), key=lambda item: (item[1], item[0]))
+            del table[coldest[0]]
+            self.stats.wait_resources_evicted += 1
+        table[resource] = 1
+
     def acquire(self, resource: str, mode: str = LockMode.SHARED, timeout: Optional[float] = None) -> bool:
         """Acquire ``resource`` in ``mode``; returns False on timeout."""
         with self._condition:
             self.stats.acquisitions += 1
             waited = False
-            while True:
-                state = self._state(resource)
-                if mode == LockMode.SHARED:
-                    if not state.writer:
-                        state.readers += 1
-                        return True
-                else:
-                    if not state.writer and state.readers == 0:
-                        state.writer = True
-                        return True
-                if not waited:
-                    waited = True
-                    self.stats.waits += 1
-                    self.stats.wait_resources[resource] += 1
-                if not self._condition.wait(timeout=timeout):
-                    return False
+            wait_started = 0.0
+            try:
+                while True:
+                    state = self._state(resource)
+                    if mode == LockMode.SHARED:
+                        if not state.writer:
+                            state.readers += 1
+                            return True
+                    else:
+                        if not state.writer and state.readers == 0:
+                            state.writer = True
+                            return True
+                    if not waited:
+                        waited = True
+                        wait_started = perf_counter()
+                        self.stats.waits += 1
+                        self._count_wait(resource)
+                    if not self._condition.wait(timeout=timeout):
+                        return False
+            finally:
+                if waited:
+                    self.stats.wait_time_us += (perf_counter() - wait_started) * 1e6
 
     def release(self, resource: str, mode: str = LockMode.SHARED) -> None:
         with self._condition:

@@ -61,6 +61,7 @@ from repro.telemetry import (
     ExplainReport,
     QueryTrace,
     Telemetry,
+    TimedLock,
     explain_analyze_query,
     explain_query,
 )
@@ -80,6 +81,9 @@ DURABILITY_MODES = ("wal", "writeback", "writethrough")
 # image features live in their own on-device btrees and mounts re-attach
 # them; the attributes below are the legacy re-derive path for devices
 # formatted with ``persistent_index=False``.
+#: health-check severities, worst-wins (the gauge exports the number).
+_HEALTH_LEVELS = {"ok": 0, "warn": 1, "fail": 2}
+
 _NAME_ENTRY = "n:"       # "n:TAG/value" → the object carries this name
 _PATH_ENTRY = "p:"       # "p:/a/b"      → the object is linked at this path
 _ATTR_INDEXED = "hfad.ci"     # content-indexed flag
@@ -140,7 +144,18 @@ class HFADFileSystem:
         ``stats()`` grows a ``"telemetry"`` key.  ``False`` swaps every
         instrument for a shared no-op and drops the tracer — the hot paths
         then pay only ``is not None`` checks — while ``stats()`` keeps its
-        full legacy shape (collectors run regardless).
+        full legacy shape (collectors run regardless).  Enabling telemetry
+        also turns on per-operation resource attribution (every ``create``
+        / ``query`` / ``rank`` / ... accounts the pages, cache traffic, WAL
+        bytes and lock waits it caused — see :meth:`operations`), wraps the
+        three system-wide mutexes in wait/hold-profiled
+        :class:`~repro.telemetry.TimedLock`\\ s, and arms the slow-query log.
+    :param slow_query_ms: queries/rankings slower than this (milliseconds)
+        are captured — with their attribution record and an EXPLAIN ANALYZE
+        report — into the bounded slow-query log (:meth:`slow_queries`).
+        ``None`` disables the log's capture (it can be re-armed at runtime
+        with :meth:`set_slow_query_threshold`).  Ignored with
+        ``telemetry=False``.
     """
 
     def __init__(
@@ -162,6 +177,7 @@ class HFADFileSystem:
         persistent_index: bool = True,
         checksum_pages: bool = True,
         telemetry: bool = True,
+        slow_query_ms: Optional[float] = 100.0,
         _mounted: Optional[dict] = None,
     ) -> None:
         if durability not in DURABILITY_MODES:
@@ -175,7 +191,7 @@ class HFADFileSystem:
         #: :meth:`_register_telemetry`) plus the last-N query-trace ring.
         #: ``telemetry=False`` degrades every instrument to a shared no-op;
         #: ``stats()`` is identical either way because collectors still run.
-        self.telemetry = Telemetry(enabled=telemetry)
+        self.telemetry = Telemetry(enabled=telemetry, slow_query_ms=slow_query_ms)
         # The shared memory hierarchy between the btrees and the device.
         # Only on-device btrees consume pool pages, so an in-memory
         # configuration gets no pool (stats() then reports it as absent
@@ -349,6 +365,14 @@ class HFADFileSystem:
                 "wal.group_commit.batch_size",
                 "commit markers covered by each journal sync",
             )
+        if self.telemetry.attribution is not None:
+            # Background index applies run in worker threads, outside any
+            # foreground operation's context — give each its own ledger
+            # entry so lazy-index work is attributed, not lost.
+            self.fulltext_index.indexer.operation_factory = (
+                self.telemetry.attribution.operation
+            )
+        self._install_timed_locks()
         self._register_telemetry()
         #: objects whose full-text index entry tracks their content.
         self._content_indexed: set = set()
@@ -384,6 +408,7 @@ class HFADFileSystem:
         checkpoint_threshold: float = 0.5,
         group_commit: int = 1,
         telemetry: bool = True,
+        slow_query_ms: Optional[float] = 100.0,
     ) -> "HFADFileSystem":
         """Re-open a device formatted with ``durability="wal"``.
 
@@ -417,6 +442,7 @@ class HFADFileSystem:
             index_workers=index_workers,
             durability="wal",
             telemetry=telemetry,
+            slow_query_ms=slow_query_ms,
             _mounted={"recovery": recovery},
         )
 
@@ -561,13 +587,53 @@ class HFADFileSystem:
             return nullcontext()
         return self.recovery.transaction()
 
+    def _operation(self, kind: str, detail: str = ""):
+        """Open a per-operation attribution scope (see ``repro.telemetry``).
+
+        Every user-facing operation runs inside one of these; the layers
+        below (buffer pool, page stores, journal, retry ladder) report what
+        they do for the *current* operation into it via a context variable.
+        With telemetry off — or when this operation is nested inside another
+        one, which absorbs it — the scope yields ``None`` and costs only the
+        context-manager protocol.
+        """
+        ledger = self.telemetry.attribution
+        if ledger is None:
+            return nullcontext()
+        return ledger.operation(kind, detail)
+
+    def _install_timed_locks(self) -> None:
+        """Wrap the three system-wide mutexes for contention profiling.
+
+        The buffer-pool lock, the WAL transaction lock and the journal mutex
+        are the locks every concurrent client funnels through (ROADMAP §1);
+        each becomes a :class:`TimedLock` delegating to the original RLock —
+        same re-entrancy, same lock ordering (``ensure_durable``'s
+        deliberate no-txn-lock path is untouched) — that feeds per-lock
+        wait/hold histograms and charges waits to the blocked operation.
+        The uncontended path is a single non-blocking acquire, so this stays
+        out of the overhead budget; with telemetry off nothing is wrapped.
+        """
+        if not self.telemetry.enabled:
+            return
+        metrics = self.telemetry.metrics
+        if self.buffer_pool is not None:
+            self.buffer_pool._lock = TimedLock(
+                "buffer_pool", metrics, inner=self.buffer_pool._lock)
+        if self.recovery is not None:
+            self.recovery._txn_lock = TimedLock(
+                "wal.txn", metrics, inner=self.recovery._txn_lock)
+            self.recovery.journal._mutex = TimedLock(
+                "wal.journal", metrics, inner=self.recovery.journal._mutex)
+
     def checkpoint(self) -> int:
         """Force a checkpoint: flush dirty pages, truncate the journal,
         persist the superblock.  Returns the number of pages flushed."""
-        if self.recovery is None:
-            return self.buffer_pool.flush() if self.buffer_pool else 0
-        self.objects.flush_access_times()
-        return self.recovery.checkpoint()
+        with self._operation("checkpoint"):
+            if self.recovery is None:
+                return self.buffer_pool.flush() if self.buffer_pool else 0
+            self.objects.flush_access_times()
+            return self.recovery.checkpoint()
 
     def _scrub_sources(self) -> List[Tuple[object, int]]:
         """Live ``(page_store, root_id)`` walk roots for the scrubber:
@@ -602,7 +668,8 @@ class HFADFileSystem:
                          if self.recovery is not None else None),
             )
         started = time.perf_counter()
-        report = self._scrubber.scrub(limit=limit)
+        with self._operation("scrub", f"limit={limit}"):
+            report = self._scrubber.scrub(limit=limit)
         tracer = self.telemetry.tracer
         if tracer is not None:
             tracer.record(
@@ -716,7 +783,7 @@ class HFADFileSystem:
             *([] if application is None else [f"{_NAME_ENTRY}{TAG_APP}/{application}"]),
             *([] if path is None else [f"{_PATH_ENTRY}{path}"]),
         )
-        with self._durable():
+        with self._operation("create", path or ""), self._durable():
             oid = self.objects.create(owner=owner, attributes=attributes)
             if txn is not None:
                 txn.record_undo(lambda: self._undo_create(oid))
@@ -799,7 +866,7 @@ class HFADFileSystem:
         """Destroy the object and scrub every name pointing at it."""
         if not self.objects.exists(oid):
             raise NoSuchObjectError(oid)
-        with self._durable():
+        with self._operation("delete", f"oid={oid}"), self._durable():
             self.naming.remove_all_names(oid)
             self._content_indexed.discard(oid)
             self.objects.delete(oid)
@@ -819,29 +886,30 @@ class HFADFileSystem:
     # ------------------------------------------------------------------
 
     def read(self, oid: int, offset: int = 0, length: Optional[int] = None) -> bytes:
-        return self.access.read(oid, offset, length)
+        with self._operation("read", f"oid={oid}"):
+            return self.access.read(oid, offset, length)
 
     def write(self, oid: int, offset: int, data: bytes) -> int:
-        with self._durable():
+        with self._operation("write", f"oid={oid}"), self._durable():
             written = self.access.write(oid, offset, data)
             self._reindex_if_tracked(oid)
             return written
 
     def append(self, oid: int, data: bytes) -> int:
-        with self._durable():
+        with self._operation("append", f"oid={oid}"), self._durable():
             offset = self.access.append(oid, data)
             self._reindex_if_tracked(oid)
             return offset
 
     def insert(self, oid: int, offset: int, data: bytes) -> int:
-        with self._durable():
+        with self._operation("insert", f"oid={oid}"), self._durable():
             inserted = self.access.insert(oid, offset, data)
             self._reindex_if_tracked(oid)
             return inserted
 
     def truncate(self, oid: int, offset: int, length: int) -> int:
         """The hFAD two-argument truncate (remove ``length`` bytes at ``offset``)."""
-        with self._durable():
+        with self._operation("truncate", f"oid={oid}"), self._durable():
             removed = self.access.truncate(oid, offset, length)
             self._reindex_if_tracked(oid)
             return removed
@@ -921,39 +989,47 @@ class HFADFileSystem:
         ``limit=N`` streams the first ``N`` matches (ascending object id)
         out of the index merge and stops — top-k early exit.
         """
-        try:
-            return self.naming.resolve(list(pairs), limit=limit)
-        except CorruptionError:
-            if self.integrity is None:
-                raise
-            return self._degraded(
-                lambda naming: naming.resolve(list(pairs), limit=limit)
-            )
+        with self._operation("find", " ".join(str(as_pair(p)) for p in pairs)):
+            try:
+                return self.naming.resolve(list(pairs), limit=limit)
+            except CorruptionError:
+                if self.integrity is None:
+                    raise
+                return self._degraded(
+                    lambda naming: naming.resolve(list(pairs), limit=limit)
+                )
 
     def find_one(self, *pairs: PairLike) -> int:
         """Like :meth:`find` but returns one match (raises if none)."""
-        try:
-            return self.naming.resolve_one(list(pairs))
-        except CorruptionError:
-            if self.integrity is None:
-                raise
-            return self._degraded(
-                lambda naming: naming.resolve_one(list(pairs))
-            )
+        with self._operation("find", " ".join(str(as_pair(p)) for p in pairs)):
+            try:
+                return self.naming.resolve_one(list(pairs))
+            except CorruptionError:
+                if self.integrity is None:
+                    raise
+                return self._degraded(
+                    lambda naming: naming.resolve_one(list(pairs))
+                )
 
     def query(self, query: Union[str, Query], limit: Optional[int] = None) -> List[int]:
         """Boolean query, e.g. ``"USER/margo AND NOT APP/quicken"``.
 
         ``limit=N`` streams only the first ``N`` matching ids.
         """
-        try:
-            return self.naming.query(query, limit=limit)
-        except CorruptionError:
-            if self.integrity is None:
-                raise
-            return self._degraded(
-                lambda naming: naming.query(query, limit=limit)
-            )
+        text = str(query)
+        started = time.perf_counter()
+        with self._operation("query", text) as op:
+            try:
+                result = self.naming.query(query, limit=limit)
+            except CorruptionError:
+                if self.integrity is None:
+                    raise
+                result = self._degraded(
+                    lambda naming: naming.query(query, limit=limit)
+                )
+        self._maybe_slow("query", text, time.perf_counter() - started, op,
+                         limit=limit)
+        return result
 
     def search_text(self, text: str, limit: Optional[int] = None) -> List[int]:
         """Full-text conjunction: objects containing every term of ``text``."""
@@ -973,12 +1049,17 @@ class HFADFileSystem:
         ``fs.stats()["ranked"]`` reports the work saved.  ``limit=None``
         ranks every matching document.
         """
-        try:
-            return self.naming.rank(text, limit=limit)
-        except CorruptionError:
-            if self.integrity is None:
-                raise
-            return self._degraded(lambda naming: naming.rank(text, limit=limit))
+        started = time.perf_counter()
+        with self._operation("rank", text) as op:
+            try:
+                result = self.naming.rank(text, limit=limit)
+            except CorruptionError:
+                if self.integrity is None:
+                    raise
+                result = self._degraded(
+                    lambda naming: naming.rank(text, limit=limit))
+        self._maybe_slow("rank", text, time.perf_counter() - started, op)
+        return result
 
     def rank_text(self, text: str, limit: Optional[int] = 10):
         """Alias of :meth:`rank` (the historical spelling)."""
@@ -1276,6 +1357,9 @@ class HFADFileSystem:
             metrics.gauge("integrity.quarantined",
                           "pages quarantined pending repair",
                           fn=lambda: len(quarantine))
+        metrics.gauge("health.status",
+                      "aggregate health: 0=ok 1=warn 2=fail (worst check wins)",
+                      fn=lambda: float(_HEALTH_LEVELS[self.health()["status"]]))
         backlog = self.fulltext_index.indexer.backlog
         metrics.gauge("indexer.queued",
                       "submitted index work not yet picked up by a worker",
@@ -1301,6 +1385,9 @@ class HFADFileSystem:
         }
         if self.telemetry.enabled:
             snapshot["telemetry"] = metrics.snapshot(include_collected=False)
+            snapshot["telemetry"]["attribution"] = (
+                self.telemetry.attribution.snapshot()
+            )
         return snapshot
 
     # ------------------------------------------------------------------
@@ -1366,3 +1453,149 @@ class HFADFileSystem:
         if tracer is None:
             return []
         return tracer.last(n)
+
+    # ------------------------------------------------------------------
+    # observability: attribution / slow queries / health
+    # ------------------------------------------------------------------
+
+    def operations(self, n: Optional[int] = None) -> List[Dict[str, object]]:
+        """The most recent completed operations' attribution records,
+        newest first — what each ``create``/``query``/``rank``/... cost in
+        pages, cache traffic, WAL bytes/syncs, retries and lock waits.
+
+        Empty when telemetry is disabled.
+        """
+        ledger = self.telemetry.attribution
+        if ledger is None:
+            return []
+        return ledger.recent(n)
+
+    def slow_queries(self, n: Optional[int] = None) -> List[Dict[str, object]]:
+        """The slow-query log, newest first (empty with telemetry off).
+
+        Each entry carries the query text, its latency, the attribution
+        record of the slow execution and — for boolean queries — a full
+        EXPLAIN ANALYZE report captured by re-executing the query once
+        (flagged ``report_reexecuted``); ranked queries attach the span the
+        slow execution itself traced.
+        """
+        log = self.telemetry.slow_queries
+        if log is None:
+            return []
+        return log.last(n)
+
+    def set_slow_query_threshold(self, ms: Optional[float]) -> None:
+        """Re-arm (or, with ``None``, disarm) slow-query capture at runtime."""
+        log = self.telemetry.slow_queries
+        if log is not None:
+            log.threshold_ms = ms
+
+    def _maybe_slow(self, kind: str, text: str, elapsed: float,
+                    op, limit: Optional[int] = None) -> None:
+        """Capture a just-finished query into the slow log if it qualifies.
+
+        Runs *after* the operation scope closed so the attribution record is
+        final (elapsed stamped, ledger updated).  Capture is best-effort: the
+        query already succeeded and must stay succeeded.
+        """
+        log = self.telemetry.slow_queries
+        if log is None or log.threshold_ms is None:
+            return
+        if elapsed * 1000.0 < log.threshold_ms:
+            return
+        attribution = op.snapshot() if op is not None else None
+        report = None
+        reexecuted = False
+        if kind == "query":
+            # Boolean queries re-execute once under the analyze tracer: the
+            # slow run went through the (untraced) production pipeline, so
+            # plan-with-actuals only exists by running it again.
+            try:
+                report = self.explain_analyze(text, limit=limit).to_dict()
+                reexecuted = True
+            except Exception:  # noqa: BLE001 — diagnosis must never fail the query
+                report = None
+        else:
+            # The ranked pipeline traces its own span; reuse the slow run's.
+            tracer = self.telemetry.tracer
+            if tracer is not None:
+                for trace in tracer.last(4):
+                    if trace.kind == "ranked" and trace.text == text:
+                        report = trace.to_dict()
+                        break
+        log.record(kind, text, elapsed, attribution=attribution,
+                   report=report, reexecuted=reexecuted)
+
+    def health(self) -> Dict[str, object]:
+        """Aggregate health checks: ``{"status", "checks"}``.
+
+        Each check reports ``ok``/``warn``/``fail`` plus a human-readable
+        detail; the overall ``status`` is the worst individual one.  Works
+        with telemetry disabled — the checks read the live components, not
+        the metrics registry — so an operator can always ask.
+        """
+        checks: Dict[str, Dict[str, object]] = {}
+
+        def check(name: str, status: str, detail: str) -> None:
+            checks[name] = {"status": status, "detail": detail}
+
+        if self.integrity is not None:
+            stats = self.integrity.stats
+            quarantined = len(self.integrity.quarantine)
+            check("quarantine",
+                  "fail" if quarantined else "ok",
+                  f"{quarantined} page(s) quarantined pending repair")
+            if stats.retry_exhausted:
+                check("device_retries", "fail",
+                      f"{stats.retry_exhausted} read(s) exhausted the retry "
+                      f"budget ({stats.transient_errors} transient errors)")
+            elif stats.transient_errors:
+                check("device_retries", "warn",
+                      f"{stats.transient_errors} transient device error(s), "
+                      f"all recovered within the retry budget")
+            else:
+                check("device_retries", "ok", "no transient device errors")
+            if stats.partial_results:
+                check("degraded_queries", "fail",
+                      f"{stats.partial_results} degraded quer(ies) returned "
+                      f"partial results")
+            elif stats.degraded_queries:
+                check("degraded_queries", "warn",
+                      f"{stats.degraded_queries} quer(ies) served via the "
+                      f"degraded rescan fallback")
+            else:
+                check("degraded_queries", "ok", "no degraded queries")
+        indexer = self.fulltext_index.indexer
+        backlog = indexer.backlog()
+        outstanding = backlog["queued"] + backlog["in_flight"]
+        ratio = outstanding / indexer.max_queue if indexer.max_queue else 0.0
+        if ratio >= 0.9:
+            status = "fail"
+        elif ratio >= 0.5 or backlog["failed"]:
+            status = "warn"
+        else:
+            status = "ok"
+        check("indexer", status,
+              f"{outstanding}/{indexer.max_queue or 'inline'} outstanding, "
+              f"{backlog['failed']} failed apply(ies)")
+        if self.recovery is not None:
+            journal = self.recovery.journal
+            occupancy = (journal.bytes_used / journal.capacity_bytes
+                         if journal.capacity_bytes else 0.0)
+            if self.recovery.poisoned:
+                check("wal", "fail",
+                      "recovery manager poisoned — remount required")
+            elif occupancy >= 0.9:
+                check("wal", "fail",
+                      f"journal {occupancy:.0%} full — checkpoints are not "
+                      f"keeping up")
+            elif occupancy >= self.recovery.checkpoint_threshold:
+                check("wal", "warn",
+                      f"journal {occupancy:.0%} full (past the "
+                      f"{self.recovery.checkpoint_threshold:.0%} "
+                      f"checkpoint threshold)")
+            else:
+                check("wal", "ok", f"journal {occupancy:.0%} full")
+        worst = max((c["status"] for c in checks.values()),
+                    key=_HEALTH_LEVELS.__getitem__, default="ok")
+        return {"status": worst, "checks": checks}

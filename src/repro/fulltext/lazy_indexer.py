@@ -15,8 +15,9 @@ from __future__ import annotations
 import queue
 import threading
 import time
+from contextlib import nullcontext
 from dataclasses import dataclass
-from typing import Optional
+from typing import Callable, Optional
 
 from repro.errors import FullTextError
 from repro.fulltext.inverted_index import InvertedIndex
@@ -63,6 +64,14 @@ class LazyIndexer:
         self.synchronous = synchronous
         self.on_apply = on_apply
         self.stats = IndexerStats()
+        self.max_queue = max_queue
+        #: when set (by the facade), every background apply runs inside
+        #: ``operation_factory(kind, detail)`` — a context manager — so
+        #: worker-thread index work shows up in the attribution ledger as
+        #: its own operation instead of vanishing unattributed.  Synchronous
+        #: applies need no wrapping: they run inside the foreground
+        #: operation that submitted them and are absorbed by it.
+        self.operation_factory: Optional[Callable] = None
         #: the most recent worker-apply exception (None if none ever failed).
         self.last_error: Optional[BaseException] = None
         self._lock = threading.Lock()
@@ -230,29 +239,36 @@ class LazyIndexer:
             if operation is _STOP:
                 self._queue.task_done()
                 return
+            factory = self.operation_factory
+            scope = (factory("lazy-index", f"{operation} doc={doc_id}")
+                     if factory is not None else nullcontext())
             try:
-                try:
-                    with self._lock:
-                        if operation == "add":
-                            self.index.add_document(doc_id, text)
-                            self.stats.indexed += 1
-                        elif operation == "remove":
-                            self.index.remove_document(doc_id)
-                            self.stats.removed += 1
-                        elif operation == "apply":
-                            text()  # the queued mutation closure
-                            self.stats.indexed += 1
-                except Exception as error:  # noqa: BLE001 — the worker must
-                    # survive a failed apply (a persistent engine can raise
-                    # journal/space errors): record it and keep draining, or
-                    # every later flush() would block forever on a queue
-                    # nobody services.
-                    self.stats.failed += 1
-                    self.last_error = error
-                else:
-                    self._applied()
+                with scope:
+                    self._apply_one(operation, doc_id, text)
             finally:
                 self._queue.task_done()
+
+    def _apply_one(self, operation, doc_id, text) -> None:
+        try:
+            with self._lock:
+                if operation == "add":
+                    self.index.add_document(doc_id, text)
+                    self.stats.indexed += 1
+                elif operation == "remove":
+                    self.index.remove_document(doc_id)
+                    self.stats.removed += 1
+                elif operation == "apply":
+                    text()  # the queued mutation closure
+                    self.stats.indexed += 1
+        except Exception as error:  # noqa: BLE001 — the worker must
+            # survive a failed apply (a persistent engine can raise
+            # journal/space errors): record it and keep draining, or
+            # every later flush() would block forever on a queue
+            # nobody services.
+            self.stats.failed += 1
+            self.last_error = error
+        else:
+            self._applied()
 
     # ------------------------------------------------------------ searching
 

@@ -26,6 +26,7 @@ from typing import Callable, Dict, Set
 
 from repro.errors import TransientDeviceError
 from repro.integrity.retry import RetryPolicy, retrying
+from repro.opcontext import current_operation
 
 
 @dataclass
@@ -124,6 +125,9 @@ class IntegrityContext:
         def on_retry(_attempt: int) -> None:
             state["retried"] = True
             self.stats.retries += 1
+            op = current_operation()
+            if op is not None:
+                op.integrity_retries += 1
 
         try:
             raw = retrying(attempt, self.retry_policy, sleep=self.sleep,

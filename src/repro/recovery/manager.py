@@ -569,6 +569,7 @@ class RecoveryManager:
             "min_dirty_lsn": self.pool.min_dirty_lsn() if self.pool is not None else None,
             "journal_bytes_used": journal.bytes_used,
             "journal_capacity_bytes": journal.capacity_bytes,
+            "journal_bytes_appended": journal.bytes_appended,
             "journal_syncs": journal.syncs,
             "transactions_committed": self.stats.transactions_committed,
             "transactions_aborted": self.stats.transactions_aborted,

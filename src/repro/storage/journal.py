@@ -48,6 +48,7 @@ from typing import List, Optional, Tuple
 
 from repro.errors import JournalError, TransactionError
 from repro.storage.block_device import BlockDevice
+from repro.opcontext import current_operation
 
 # Record framing:  MAGIC | type | txid | lsn | block | length | crc32
 # The CRC is computed over the header (with the crc field zeroed) plus the
@@ -174,6 +175,11 @@ class Journal:
         self.aborts = 0
         self.syncs = 0
         self.records_appended = 0
+        #: lifetime bytes appended, *monotonic* across checkpoints (unlike
+        #: ``bytes_used``, which resets when the journal truncates) — the
+        #: registry-side counter the attribution differential compares
+        #: per-operation ``wal_bytes`` against.
+        self.bytes_appended = 0
         self.checkpoints = 0
         self.replayed_transactions = 0
         self.last_replay_applied = 0
@@ -233,10 +239,16 @@ class Journal:
             raise JournalError(f"unknown record type {rtype}")
         payload = bytes(payload)
         with self._mutex:
-            self._require_capacity(self._record_size(payload))
+            size = self._record_size(payload)
+            self._require_capacity(size)
             lsn = self._take_lsn()
             self._log += self._encode_record(rtype, txid, block, payload, lsn=lsn)
             self.records_appended += 1
+            self.bytes_appended += size
+            op = current_operation()
+            if op is not None:
+                op.wal_records += 1
+                op.wal_bytes += size
             return lsn
 
     def commit_txid(self, txid: int, sync: bool = True) -> int:
@@ -268,6 +280,9 @@ class Journal:
             self._flushed = len(self._log)
             self.durable_lsn = self.last_lsn
             self.syncs += 1
+            op = current_operation()
+            if op is not None:
+                op.wal_syncs += 1
             return pending
 
     # -- block-level transaction commit ---------------------------------------

@@ -12,7 +12,12 @@ that tree into interchange formats:
   (``hfad_naming_queries 42``); histogram snapshots (the dicts
   :meth:`~repro.telemetry.registry.Histogram.snapshot` produces) are
   recognised structurally and emitted as real Prometheus histograms with
-  cumulative ``_bucket{le="..."}`` series.
+  cumulative ``_bucket{le="..."}`` series.  Every scalar sample gets a
+  ``# TYPE`` line: samples under a registry snapshot's ``counters`` /
+  ``gauges`` sections are typed accordingly, everything else (legacy
+  collector output — point-in-time stat structs) conservatively as
+  ``gauge``.  Pass the registry itself to also emit ``# HELP`` lines from
+  instrument descriptions.
 """
 
 from __future__ import annotations
@@ -20,7 +25,7 @@ from __future__ import annotations
 import dataclasses
 import json
 import re
-from typing import Dict, Iterator, List, Tuple
+from typing import Dict, Iterator, List, Optional, Tuple
 
 _NAME_OK = re.compile(r"[^a-zA-Z0-9_]")
 
@@ -73,32 +78,72 @@ def _histogram_lines(name: str, snap: dict) -> List[str]:
     return lines
 
 
-def _walk(prefix: str, value) -> Iterator[Tuple[str, object]]:
-    """Flatten to ``(metric_name, numeric-or-histogram)`` pairs."""
+#: registry-snapshot section key -> the Prometheus type of its members.
+_REGISTRY_KINDS = {"counters": "counter", "gauges": "gauge",
+                   "histograms": "histogram"}
+
+
+def _walk(prefix: str, value, kind: Optional[str] = None,
+          instrument: Optional[str] = None,
+          ) -> Iterator[Tuple[str, object, Optional[str], Optional[str]]]:
+    """Flatten to ``(name, numeric-or-histogram, kind, instrument)`` samples.
+
+    ``kind`` is the Prometheus type when it is structurally known (the
+    sample sits under a registry snapshot's ``counters``/``gauges``
+    section); ``instrument`` is the registry instrument name the sample
+    came from (the ``# HELP`` lookup key), when there is one.
+    """
     if dataclasses.is_dataclass(value) and not isinstance(value, type):
         value = dataclasses.asdict(value)
     if isinstance(value, dict):
         if _is_histogram_snapshot(value):
-            yield prefix, value
+            yield prefix, value, "histogram", instrument
             return
+        # A registry snapshot is recognised structurally: a dict carrying
+        # all three instrument sections types its members.
+        is_registry = all(section in value for section in _REGISTRY_KINDS)
         for key, item in value.items():
-            yield from _walk(f"{prefix}_{_sanitize(key)}", item)
+            if is_registry and key in _REGISTRY_KINDS and isinstance(item, dict):
+                section = f"{prefix}_{_sanitize(key)}"
+                section_kind = _REGISTRY_KINDS[key]
+                for name, entry in item.items():
+                    yield from _walk(f"{section}_{_sanitize(name)}", entry,
+                                     kind=section_kind, instrument=name)
+            else:
+                yield from _walk(f"{prefix}_{_sanitize(key)}", item,
+                                 kind=kind, instrument=instrument)
         return
     if isinstance(value, bool):
-        yield prefix, int(value)
+        yield prefix, int(value), kind, instrument
         return
     if isinstance(value, (int, float)):
-        yield prefix, value
+        yield prefix, value, kind, instrument
         return
     # strings, lists, None, opaque objects: not representable as a sample.
 
 
-def prometheus_text(stats: Dict[str, object], namespace: str = "hfad") -> str:
-    """Render a stats/registry snapshot in Prometheus text format."""
+def prometheus_text(stats: Dict[str, object], namespace: str = "hfad",
+                    registry=None) -> str:
+    """Render a stats/registry snapshot in Prometheus text format.
+
+    ``registry`` (a :class:`~repro.telemetry.registry.MetricsRegistry`)
+    is optional; when given, its instrument descriptions become ``# HELP``
+    lines for the corresponding samples.
+    """
+    described = registry.describe() if registry is not None else {}
     lines: List[str] = []
-    for name, value in sorted(_walk(_sanitize(namespace), stats)):
+    for name, value, kind, instrument in sorted(
+            _walk(_sanitize(namespace), stats), key=lambda sample: sample[0]):
+        help_text = ""
+        if instrument is not None:
+            entry = described.get(instrument)
+            if entry is not None:
+                help_text = entry[1].replace("\\", "\\\\").replace("\n", " ")
+        if help_text:
+            lines.append(f"# HELP {name} {help_text}")
         if isinstance(value, dict):
             lines.extend(_histogram_lines(name, value))
         else:
+            lines.append(f"# TYPE {name} {kind or 'gauge'}")
             lines.append(f"{name} {value:g}")
     return "\n".join(lines) + "\n"

@@ -142,7 +142,20 @@ class Histogram:
         return max(cls.MIN_EXP, min(cls.MAX_EXP, exponent))
 
     def observe(self, value: float) -> None:
-        exponent = self.bucket_exponent(value)
+        # Inlined bucket_exponent: observe is the one histogram method on
+        # query hot paths, and the classmethod dispatch alone is measurable
+        # against the telemetry-overhead gate.
+        if value <= 0:
+            exponent: Optional[int] = None
+        else:
+            mantissa, exponent = math.frexp(value)
+            if mantissa == 0.5:  # exact power of two: belongs to its own bound
+                exponent -= 1
+            if exponent < self.MIN_EXP:
+                exponent = self.MIN_EXP
+            elif exponent > self.MAX_EXP:
+                exponent = self.MAX_EXP
+        buckets = self._buckets
         with self._lock:
             self.count += 1
             self.total += value
@@ -150,7 +163,7 @@ class Histogram:
                 self.min = value
             if self.max is None or value > self.max:
                 self.max = value
-            self._buckets[exponent] = self._buckets.get(exponent, 0) + 1
+            buckets[exponent] = buckets.get(exponent, 0) + 1
 
     def buckets(self) -> List[Tuple[float, int]]:
         """``(upper_bound, count)`` pairs in ascending bound order."""
@@ -285,6 +298,19 @@ class MetricsRegistry:
             return list(self._collectors)
 
     # ------------------------------------------------------------- snapshot
+
+    def describe(self) -> Dict[str, Tuple[str, str]]:
+        """Every native instrument's ``name -> (kind, help)`` — what the
+        Prometheus exporter turns into ``# TYPE`` / ``# HELP`` lines."""
+        with self._lock:
+            out: Dict[str, Tuple[str, str]] = {}
+            for name, counter in self._counters.items():
+                out[name] = ("counter", counter.help)
+            for name, gauge in self._gauges.items():
+                out[name] = ("gauge", gauge.help)
+            for name, hist in self._histograms.items():
+                out[name] = ("histogram", hist.help)
+            return out
 
     def snapshot(self, include_collected: bool = True) -> Dict[str, object]:
         """Every metric's current value, grouped by instrument kind."""

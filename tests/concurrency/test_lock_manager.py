@@ -1,0 +1,104 @@
+"""The real-thread reader/writer lock manager: timed waits, bounded
+per-resource accounting, hottest-resource ranking."""
+
+import threading
+
+import pytest
+
+from repro.concurrency.lock_manager import LockManager, LockMode, LockStats
+
+
+class TestBasics:
+    def test_shared_locks_coexist_exclusive_does_not(self):
+        manager = LockManager()
+        assert manager.acquire("/a", LockMode.SHARED)
+        assert manager.acquire("/a", LockMode.SHARED)
+        assert manager.acquire("/a", LockMode.EXCLUSIVE, timeout=0.01) is False
+        manager.release("/a", LockMode.SHARED)
+        manager.release("/a", LockMode.SHARED)
+        assert manager.acquire("/a", LockMode.EXCLUSIVE)
+        manager.release("/a", LockMode.EXCLUSIVE)
+        assert not manager.locked("/a")
+
+    def test_max_tracked_resources_must_be_positive(self):
+        with pytest.raises(ValueError):
+            LockManager(max_tracked_resources=0)
+
+
+class TestTimedWaits:
+    def test_timeout_waits_are_timed_too(self):
+        manager = LockManager()
+        manager.acquire("/hot", LockMode.EXCLUSIVE)
+        assert manager.acquire("/hot", LockMode.EXCLUSIVE, timeout=0.02) is False
+        assert manager.stats.waits == 1
+        # The failed acquisition still spent real blocked time — ~20ms here.
+        assert manager.stats.wait_time_us >= 10_000
+        manager.release("/hot", LockMode.EXCLUSIVE)
+
+    def test_contended_acquire_accrues_wait_time(self):
+        manager = LockManager()
+        held = threading.Event()
+        release = threading.Event()
+
+        def holder():
+            manager.acquire("/x", LockMode.EXCLUSIVE)
+            held.set()
+            release.wait(timeout=5)
+            manager.release("/x", LockMode.EXCLUSIVE)
+
+        def waiter():
+            waiting.set()
+            manager.acquire("/x", LockMode.EXCLUSIVE)
+            manager.release("/x", LockMode.EXCLUSIVE)
+
+        waiting = threading.Event()
+        hold_thread = threading.Thread(target=holder)
+        wait_thread = threading.Thread(target=waiter)
+        hold_thread.start()
+        held.wait(timeout=5)
+        wait_thread.start()
+        waiting.wait(timeout=5)
+        import time
+        time.sleep(0.05)
+        release.set()
+        hold_thread.join(timeout=5)
+        wait_thread.join(timeout=5)
+        assert manager.stats.waits == 1
+        assert manager.stats.wait_time_us > 0
+        assert manager.stats.wait_resources == {"/x": 1}
+
+    def test_uncontended_acquisitions_record_no_wait(self):
+        manager = LockManager()
+        for _ in range(5):
+            with manager.shared("/a"):
+                pass
+        assert manager.stats.acquisitions == 5
+        assert manager.stats.waits == 0
+        assert manager.stats.wait_time_us == 0.0
+
+
+class TestBoundedWaitTable:
+    def _force_wait(self, manager, resource):
+        """Make ``resource`` wait once, via a timed-out exclusive acquire."""
+        manager.acquire(resource, LockMode.EXCLUSIVE)
+        assert manager.acquire(resource, LockMode.EXCLUSIVE,
+                               timeout=0.001) is False
+        manager.release(resource, LockMode.EXCLUSIVE)
+
+    def test_coldest_entry_is_evicted_when_full(self):
+        manager = LockManager(max_tracked_resources=2)
+        self._force_wait(manager, "/hot")
+        self._force_wait(manager, "/hot")      # /hot: 2 waits
+        self._force_wait(manager, "/warm")     # /warm: 1 wait — table full
+        self._force_wait(manager, "/new")      # evicts /warm (coldest)
+        table = manager.stats.wait_resources
+        assert set(table) == {"/hot", "/new"}
+        assert table["/hot"] == 2
+        assert manager.stats.wait_resources_evicted == 1
+        # Total timed waits are unaffected by table eviction.
+        assert manager.stats.waits == 4
+
+    def test_hottest_ranks_by_count_then_name(self):
+        stats = LockStats(wait_resources={"/b": 3, "/a": 3, "/c": 9})
+        assert stats.hottest() == [("/c", 9), ("/a", 3), ("/b", 3)]
+        assert stats.hottest(limit=1) == [("/c", 9)]

@@ -50,9 +50,12 @@ class TestPrometheus:
         assert "hfad_objects_objects_created 20" in text
         assert "hfad_naming_queries" in text
         assert "hfad_keyvalue_entries_scanned" in text
-        # Booleans become 0/1 samples, strings are dropped entirely.
+        # Booleans become 0/1 samples, strings are dropped entirely:
+        # the volatile fs's recovery collector returns {"mode": "volatile"},
+        # which must not surface as a (non-numeric) sample.
         assert 'device' in text
-        assert "wal" not in text
+        assert "hfad_recovery_mode" not in text
+        assert "volatile" not in text
 
     def test_histograms_emit_cumulative_buckets(self, fs):
         text = prometheus_text(fs.stats())
@@ -79,3 +82,72 @@ class TestPrometheus:
         registry.counter("query.latency-us/total").inc(7)
         text = prometheus_text(registry.snapshot(), namespace="x")
         assert "x_counters_query_latency_us_total 7" in text
+
+
+class TestPrometheusConformance:
+    """Structural conformance: every sample is preceded by its # TYPE line,
+    registry sections type their members, and # HELP comes from the
+    instrument descriptions (``registry.describe()``)."""
+
+    @staticmethod
+    def _typed_samples(text):
+        """Map sample name -> declared type, asserting the TYPE line for a
+        sample family appears before any of its samples."""
+        declared = {}
+        for line in text.splitlines():
+            if line.startswith("# TYPE "):
+                _, _, name, kind = line.split(" ")
+                declared[name] = kind
+            elif line.startswith("# HELP ") or not line:
+                continue
+            else:
+                name = line.split(" ", 1)[0].split("{", 1)[0]
+                family = name
+                for suffix in ("_bucket", "_sum", "_count"):
+                    if name.endswith(suffix) and name[: -len(suffix)] in declared:
+                        family = name[: -len(suffix)]
+                        break
+                assert family in declared, f"sample {name} has no # TYPE line"
+        return declared
+
+    def test_every_sample_is_typed(self, fs):
+        text = prometheus_text(fs.stats(), registry=fs.telemetry.metrics)
+        declared = self._typed_samples(text)
+        assert declared["hfad_object_count"] == "gauge"
+        assert declared["hfad_telemetry_gauges_health_status"] == "gauge"
+        assert (declared["hfad_telemetry_histograms_query_latency_us"]
+                == "histogram")
+        assert set(declared.values()) <= {"counter", "gauge", "histogram"}
+
+    def test_registry_sections_type_their_members(self):
+        registry = MetricsRegistry()
+        registry.counter("ops.total", "operations executed").inc(3)
+        registry.gauge("depth", "queue depth", fn=lambda: 2.0)
+        declared = self._typed_samples(
+            prometheus_text(registry.snapshot(), namespace="c",
+                            registry=registry))
+        assert declared["c_counters_ops_total"] == "counter"
+        assert declared["c_gauges_depth"] == "gauge"
+
+    def test_help_lines_come_from_instrument_descriptions(self, fs):
+        text = prometheus_text(fs.stats(), registry=fs.telemetry.metrics)
+        described = fs.telemetry.metrics.describe()
+        helps = {}
+        for line in text.splitlines():
+            if line.startswith("# HELP "):
+                _, _, name, help_text = line.split(" ", 3)
+                helps[name] = help_text
+        assert helps, "registry-backed export must carry # HELP lines"
+        kind, help_text = described["health.status"]
+        assert helps["hfad_telemetry_gauges_health_status"] == help_text
+        # Every emitted HELP text matches some described instrument.
+        known = {entry[1] for entry in described.values()}
+        assert set(helps.values()) <= known
+
+    def test_undescribed_instruments_get_no_help_line(self):
+        registry = MetricsRegistry()
+        registry.counter("bare").inc(1)     # no help text supplied
+        text = prometheus_text(registry.snapshot(), namespace="n",
+                               registry=registry)
+        assert "# HELP" not in text
+        assert "n_counters_bare 1" in text

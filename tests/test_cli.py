@@ -202,8 +202,84 @@ class TestObservabilityCommands:
 
     def test_help_lists_observability_commands(self, shell):
         text = shell.execute("help")
-        for command in ("explain", "stats", "trace"):
+        for command in ("explain", "stats", "trace",
+                        "ops", "slowlog", "top", "health"):
             assert command in text
+
+
+class TestWorkloadObservatoryCommands:
+    def test_ops_lists_attributed_operations(self, shell):
+        # Mounting creates the root directory, so the ledger is never empty.
+        assert "create /" in shell.execute("ops")
+        shell.execute("put /a.txt alpha beta")
+        shell.execute("query FULLTEXT/alpha")
+        output = shell.execute("ops")
+        assert "create /a.txt" in output
+        assert "query" in output
+        assert "pages r/w" in output
+        assert "lock wait" in output
+        limited = shell.execute("ops --limit 1")
+        assert len(limited.splitlines()) == 1
+        assert "query" in limited       # newest first
+        with pytest.raises(ShellError):
+            shell.execute("ops --limit 1 extra")
+
+    def test_slowlog_threshold_and_capture(self, shell):
+        assert shell.execute("slowlog") == "(no slow queries)"
+        shell.execute("put /a.txt alpha beta")
+        armed = shell.execute("slowlog --threshold 0")
+        assert armed == "slow-query threshold set to 0 ms"
+        shell.execute("query FULLTEXT/alpha")
+        output = shell.execute("slowlog")
+        assert "query\tFULLTEXT/alpha" in output
+        assert "(threshold 0 ms)" in output
+        assert "pages r/w" in output
+        assert "plan captured (re-executed)" in output
+        assert shell.execute("slowlog --threshold off") == \
+            "slow-query capture disabled"
+        with pytest.raises(ShellError):
+            shell.execute("slowlog --threshold fast")
+
+    def test_top_reports_windowed_rates(self, shell):
+        first = shell.execute("top")
+        assert first == "(sampling started — run 'top' again for a window)"
+        shell.execute("put /a.txt alpha beta")
+        shell.execute("rank alpha")
+        second = shell.execute("top")
+        assert second.startswith("window: ")
+        assert "health.status = 0" in second
+
+    def test_top_with_telemetry_disabled(self):
+        from repro.core.filesystem import HFADFileSystem
+
+        shell = HFADShell(HFADFileSystem(telemetry=False))
+        try:
+            assert shell.execute("top") == "(telemetry disabled)"
+            assert shell.execute("ops").startswith("(no operations recorded")
+        finally:
+            shell.close()
+
+    def test_health_renders_worst_wins_report(self, shell):
+        output = shell.execute("health")
+        lines = output.splitlines()
+        assert lines[0] == "status: OK"
+        assert any(line.startswith("  [OK  ] indexer:") for line in lines[1:])
+        # Every check line carries an upper-cased status tag and a detail.
+        for line in lines[1:]:
+            assert line.startswith("  [") and ": " in line
+
+    def test_stats_prom_emits_help_and_type_lines(self, shell):
+        shell.execute("put /a.txt alpha beta")
+        prom = shell.execute("stats --format prom")
+        # Legacy collector scalars are conservatively typed as gauges.
+        assert "# TYPE hfad_object_count gauge" in prom
+        # Registry-native instruments carry their structural type and a
+        # # HELP line sourced from the instrument description.
+        assert ("# HELP hfad_telemetry_gauges_health_status "
+                "aggregate health: 0=ok 1=warn 2=fail (worst check wins)"
+                ) in prom
+        assert "# TYPE hfad_telemetry_gauges_health_status gauge" in prom
+        assert "hfad_telemetry_gauges_health_status 0" in prom
 
 
 class TestDurabilityCommands:
