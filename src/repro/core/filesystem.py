@@ -52,6 +52,7 @@ from repro.index import (
     PosixPathIndexStore,
     TagValue,
 )
+from repro.opcontext import current_operation
 from repro.osd.metadata import ObjectMetadata
 from repro.osd.object_store import ObjectStore
 from repro.recovery import RecoveryManager, Superblock
@@ -587,6 +588,32 @@ class HFADFileSystem:
             return nullcontext()
         return self.recovery.transaction()
 
+    def _read_view(self, *trees: str):
+        """Shared per-tree latches for one snapshot-stable read.
+
+        Held for the whole execution of a query: readers overlap readers
+        and writers to *other* trees, while a writer to a viewed tree
+        queues — so the answer reflects exactly one generation of every
+        viewed tree (no torn cross-tree reads, no mid-scan mutation).
+        Re-entrant with the calling thread's own open transaction, so a
+        writer may query its own uncommitted view.  Without a WAL engine
+        this is a no-op (the in-memory configuration stays single-writer).
+        """
+        if self.recovery is None:
+            return nullcontext()
+        return self.recovery.read_view(trees)
+
+    def read_view(self, *trees: str):
+        """Public snapshot grouping: several queries, one consistent view.
+
+        ``with fs.read_view(): ...`` holds shared latches on every tree
+        (or just the named ones) so a batch of queries/reads observes a
+        single generation — e.g. a count and a listing that must agree.
+        """
+        if not trees:
+            trees = ("master", "fulltext", "image")
+        return self._read_view(*trees)
+
     def _operation(self, kind: str, detail: str = ""):
         """Open a per-operation attribution scope (see ``repro.telemetry``).
 
@@ -603,28 +630,50 @@ class HFADFileSystem:
         return ledger.operation(kind, detail)
 
     def _install_timed_locks(self) -> None:
-        """Wrap the three system-wide mutexes for contention profiling.
+        """Instrument the system-wide locks for contention profiling.
 
-        The buffer-pool lock, the WAL transaction lock and the journal mutex
-        are the locks every concurrent client funnels through (ROADMAP §1);
-        each becomes a :class:`TimedLock` delegating to the original RLock —
-        same re-entrancy, same lock ordering (``ensure_durable``'s
-        deliberate no-txn-lock path is untouched) — that feeds per-lock
-        wait/hold histograms and charges waits to the blocked operation.
-        The uncontended path is a single non-blocking acquire, so this stays
-        out of the overhead budget; with telemetry off nothing is wrapped.
+        Every buffer-pool *stripe* lock becomes a :class:`TimedLock`
+        delegating to the original RLock — same re-entrancy, same lock
+        ordering (``ensure_durable``'s deliberate no-txn-lock path is
+        untouched).  All stripes carry the same ``"buffer_pool"`` name, so
+        the registry hands them one shared wait/hold histogram pair and the
+        lock profile still reads as a single logical lock while contention
+        is split N ways (the sharded-vs-global ablation compares exactly
+        these histograms).  The journal mutex is wrapped the same way, and
+        the per-tree transaction queues report their waits through the
+        lock manager's observer hook into ``lock.wal.txn.<tree>.wait_us``
+        histograms — with the wait still charged to the blocked operation's
+        attribution record.  The uncontended path is a single non-blocking
+        acquire, so this stays out of the overhead budget; with telemetry
+        off nothing is wrapped.
         """
         if not self.telemetry.enabled:
             return
         metrics = self.telemetry.metrics
         if self.buffer_pool is not None:
-            self.buffer_pool._lock = TimedLock(
-                "buffer_pool", metrics, inner=self.buffer_pool._lock)
+            self.buffer_pool.instrument_locks(
+                lambda index, lock: TimedLock("buffer_pool", metrics, inner=lock))
         if self.recovery is not None:
-            self.recovery._txn_lock = TimedLock(
-                "wal.txn", metrics, inner=self.recovery._txn_lock)
             self.recovery.journal._mutex = TimedLock(
                 "wal.journal", metrics, inner=self.recovery.journal._mutex)
+            hists: Dict[str, object] = {}
+
+            def tree_wait_observer(resource: str, mode: str,
+                                   waited_us: float) -> None:
+                hist = hists.get(resource)
+                if hist is None:
+                    # Racing threads may both build one; the registry
+                    # returns the same instrument for the same name.
+                    hist = hists[resource] = metrics.histogram(
+                        f"lock.wal.txn.{resource}.wait_us",
+                        f"microseconds spent queued on the {resource} tree "
+                        "transaction lock (contended acquisitions only)")
+                hist.observe(waited_us)
+                op = current_operation()
+                if op is not None:
+                    op.add_lock_wait(f"wal.txn.{resource}", waited_us)
+
+            self.recovery.tree_locks.manager.wait_observer = tree_wait_observer
 
     def checkpoint(self) -> int:
         """Force a checkpoint: flush dirty pages, truncate the journal,
@@ -886,7 +935,7 @@ class HFADFileSystem:
     # ------------------------------------------------------------------
 
     def read(self, oid: int, offset: int = 0, length: Optional[int] = None) -> bytes:
-        with self._operation("read", f"oid={oid}"):
+        with self._operation("read", f"oid={oid}"), self._read_view("master"):
             return self.access.read(oid, offset, length)
 
     def write(self, oid: int, offset: int, data: bytes) -> int:
@@ -989,7 +1038,8 @@ class HFADFileSystem:
         ``limit=N`` streams the first ``N`` matches (ascending object id)
         out of the index merge and stops — top-k early exit.
         """
-        with self._operation("find", " ".join(str(as_pair(p)) for p in pairs)):
+        with self._operation("find", " ".join(str(as_pair(p)) for p in pairs)), \
+                self._read_view("master", "fulltext", "image"):
             try:
                 return self.naming.resolve(list(pairs), limit=limit)
             except CorruptionError:
@@ -1001,7 +1051,8 @@ class HFADFileSystem:
 
     def find_one(self, *pairs: PairLike) -> int:
         """Like :meth:`find` but returns one match (raises if none)."""
-        with self._operation("find", " ".join(str(as_pair(p)) for p in pairs)):
+        with self._operation("find", " ".join(str(as_pair(p)) for p in pairs)), \
+                self._read_view("master", "fulltext", "image"):
             try:
                 return self.naming.resolve_one(list(pairs))
             except CorruptionError:
@@ -1018,7 +1069,8 @@ class HFADFileSystem:
         """
         text = str(query)
         started = time.perf_counter()
-        with self._operation("query", text) as op:
+        with self._operation("query", text) as op, \
+                self._read_view("master", "fulltext", "image"):
             try:
                 result = self.naming.query(query, limit=limit)
             except CorruptionError:
@@ -1050,7 +1102,8 @@ class HFADFileSystem:
         ranks every matching document.
         """
         started = time.perf_counter()
-        with self._operation("rank", text) as op:
+        with self._operation("rank", text) as op, \
+                self._read_view("master", "fulltext"):
             try:
                 result = self.naming.rank(text, limit=limit)
             except CorruptionError:

@@ -75,6 +75,14 @@ class LazyIndexer:
         #: the most recent worker-apply exception (None if none ever failed).
         self.last_error: Optional[BaseException] = None
         self._lock = threading.Lock()
+        #: guards every IndexerStats counter.  ``enqueued`` is bumped by any
+        #: number of foreground threads while workers bump the outcome
+        #: counters; unserialized ``+=`` loses updates, and a single lost
+        #: outcome makes ``pending`` never reach zero — flush() would hang.
+        #: Workers notify after each outcome so flush() can wait instead of
+        #: polling.  Lock order: ``_lock`` may be held when taking this
+        #: condition, never the reverse.
+        self._stats_cond = threading.Condition()
         self._queue: "queue.Queue" = queue.Queue(maxsize=max_queue)
         self._threads = []
         self._started = False
@@ -121,27 +129,27 @@ class LazyIndexer:
         """Queue ``text`` for indexing under ``doc_id``."""
         if self._closed:
             raise FullTextError("indexer is closed")
-        self.stats.enqueued += 1
+        self._count("enqueued")
         if self.synchronous:
             with self._lock:
                 self.index.add_document(doc_id, text)
-            self.stats.indexed += 1
+            self._count("indexed")
             self._applied()
             return
         if not self._started:
             self.start()
         self._queue.put(("add", doc_id, text))
-        self.stats.max_queue_depth = max(self.stats.max_queue_depth, self._queue.qsize())
+        self._note_depth()
 
     def submit_removal(self, doc_id: int) -> None:
         """Queue removal of ``doc_id`` from the index."""
         if self._closed:
             raise FullTextError("indexer is closed")
-        self.stats.enqueued += 1
+        self._count("enqueued")
         if self.synchronous:
             with self._lock:
                 self.index.remove_document(doc_id)
-            self.stats.removed += 1
+            self._count("removed")
             self._applied()
             return
         if not self._started:
@@ -159,17 +167,27 @@ class LazyIndexer:
         """
         if self._closed:
             raise FullTextError("indexer is closed")
-        self.stats.enqueued += 1
+        self._count("enqueued")
         if self.synchronous:
             with self._lock:
                 fn()
-            self.stats.indexed += 1
+            self._count("indexed")
             self._applied()
             return
         if not self._started:
             self.start()
         self._queue.put(("apply", None, fn))
-        self.stats.max_queue_depth = max(self.stats.max_queue_depth, self._queue.qsize())
+        self._note_depth()
+
+    def _count(self, field: str) -> None:
+        with self._stats_cond:
+            setattr(self.stats, field, getattr(self.stats, field) + 1)
+            self._stats_cond.notify_all()
+
+    def _note_depth(self) -> None:
+        with self._stats_cond:
+            self.stats.max_queue_depth = max(
+                self.stats.max_queue_depth, self._queue.qsize())
 
     def _applied(self) -> None:
         if self.on_apply is not None:
@@ -185,10 +203,15 @@ class LazyIndexer:
         if self.synchronous:
             return True
         deadline = None if timeout is None else time.monotonic() + timeout
-        while self.pending > 0:
-            if deadline is not None and time.monotonic() > deadline:
-                return False
-            time.sleep(0.001)
+        with self._stats_cond:
+            while self.pending > 0:
+                if deadline is None:
+                    self._stats_cond.wait(1.0)
+                    continue
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    return False
+                self._stats_cond.wait(remaining)
         return True
 
     @property
@@ -253,20 +276,20 @@ class LazyIndexer:
             with self._lock:
                 if operation == "add":
                     self.index.add_document(doc_id, text)
-                    self.stats.indexed += 1
+                    self._count("indexed")
                 elif operation == "remove":
                     self.index.remove_document(doc_id)
-                    self.stats.removed += 1
+                    self._count("removed")
                 elif operation == "apply":
                     text()  # the queued mutation closure
-                    self.stats.indexed += 1
+                    self._count("indexed")
         except Exception as error:  # noqa: BLE001 — the worker must
             # survive a failed apply (a persistent engine can raise
             # journal/space errors): record it and keep draining, or
             # every later flush() would block forever on a queue
             # nobody services.
-            self.stats.failed += 1
             self.last_error = error
+            self._count("failed")
         else:
             self._applied()
 

@@ -220,7 +220,13 @@ class PersistentInvertedIndex:
     def _txn(self):
         if self._recovery is None:
             return nullcontext()
-        return self._recovery.transaction()
+        # Declares the fulltext tree scope: a background indexing
+        # transaction queues only against other fulltext writers, so it
+        # overlaps foreground master-tree transactions.  A foreground
+        # operation indexing synchronously *escalates* its open master
+        # transaction with the fulltext lock here (master < fulltext is
+        # the sanctioned order).
+        return self._recovery.transaction(trees=("fulltext",))
 
     # ---------------------------------------------------------------- keys
 

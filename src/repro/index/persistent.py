@@ -69,7 +69,9 @@ class PersistentImageIndexStore(ImageIndexStore):
     def _txn(self):
         if self._recovery is None:
             return nullcontext()
-        return self._recovery.transaction()
+        # Image-feature writes queue on their own tree (master < fulltext
+        # < image is the global acquisition order — see TreeLockTable).
+        return self._recovery.transaction(trees=("image",))
 
     # ---------------------------------------------------------------- keys
 

@@ -48,6 +48,7 @@ from dataclasses import dataclass
 from typing import Dict, List, Optional, Set, Tuple
 
 from repro.errors import CacheError, RecoveryError
+from repro.concurrency.tree_locks import TreeLockTable, _rank
 from repro.storage.block_device import BlockDevice
 from repro.storage.journal import (
     RECORD_OVERHEAD,
@@ -57,6 +58,21 @@ from repro.storage.journal import (
     Journal,
 )
 from repro.recovery.superblock import SUPERBLOCK_BLOCK, Superblock
+
+
+class _TxnLocal(threading.local):
+    """Per-thread transaction state: each thread runs its own (flat-nested)
+    WAL transaction, and cross-thread serialization happens per *tree*
+    through the :class:`TreeLockTable`, not through shared counters."""
+
+    def __init__(self) -> None:
+        self.depth = 0
+        self.txid: Optional[int] = None
+        self.records = 0
+        self.pins: Set[Tuple[object, object]] = set()
+        self.on_commit: List = []
+        #: trees this transaction acquired (in rank order), released on end.
+        self.trees: List[str] = []
 
 
 @dataclass
@@ -130,11 +146,7 @@ class RecoveryManager:
         self.pool = None  # the shared BufferPool, once attached
         self.poisoned = False
         self.stats = RecoveryStats()
-        self._depth = 0
-        self._txid: Optional[int] = None
-        self._txn_records = 0
-        self._txn_pins: Set[Tuple[object, object]] = set()
-        self._txn_on_commit: List = []
+        self._txn = _TxnLocal()
         #: actions from *committed* transactions still waiting for their
         #: commit marker to reach the device (group commit defers the sync).
         self._deferred_until_durable: List[Tuple[int, object]] = []
@@ -143,13 +155,25 @@ class RecoveryManager:
         #: number of commit markers each journal sync covered; installed by
         #: the filesystem facade when telemetry is enabled.
         self.commit_batch_sizes = None
-        # Serializes WAL transactions across threads: a lazy-indexing worker
-        # applying postings must not interleave its records with a foreground
-        # transaction's.  Acquired once per begin() (re-entrantly for nested
-        # begins) and released once per commit()/abort(), so the lock is held
-        # for exactly the outermost transaction's lifetime; autocommitting
-        # records take it around their append+commit pair.
-        self._txn_lock = threading.RLock()
+        # Per-tree transaction queues: a lazy-indexing worker's fulltext
+        # transaction overlaps a foreground master transaction, while two
+        # transactions on the *same* tree still serialize.  Journal appends
+        # from overlapping transactions interleave safely — records carry
+        # txids and replay groups by txid.  Readers take shared tree locks
+        # through the same table (snapshot read views).
+        self.tree_locks = TreeLockTable()
+        # Checkpoint quiescence gate: checkpoints flush the pool and
+        # truncate the journal, so they wait for zero open transactions
+        # (autocommitting records register as micro-transactions) and bar
+        # new ones while pending.
+        self._gate = threading.Condition()
+        self._active_txns = 0
+        self._checkpoint_pending = False
+        # Group-commit bookkeeping shared across committing threads.
+        self._commit_lock = threading.Lock()
+        # Superblock state dict + stats counters (cheap, leaf-level).
+        self._state_lock = threading.Lock()
+        self._stats_lock = threading.Lock()
 
     # ------------------------------------------------------------ wiring
 
@@ -175,76 +199,120 @@ class RecoveryManager:
 
     # ------------------------------------------------------------ transactions
 
-    def begin(self) -> int:
+    def begin(self, trees: Tuple[str, ...] = ("master",)) -> int:
         """Open (or nest into) a WAL transaction; returns the nesting depth.
 
         Nesting is flat: inner begin/commit pairs join the outermost
         transaction, and only the outermost commit writes the commit marker.
-        A thread beginning while another thread's transaction is open blocks
-        until that transaction resolves (lazy-indexing workers vs the
-        foreground namespace).
+        ``trees`` declares which trees the transaction mutates — the
+        exclusive per-tree locks are what serialize it against other
+        threads, so two transactions on disjoint trees (a lazy-indexing
+        worker on ``fulltext``, the foreground on ``master``) overlap.  A
+        nested begin may *escalate* to additional trees (synchronous
+        indexing inside a namespace operation), which must follow the
+        global rank order — the table raises on violations, so a deadlock
+        is impossible by construction.
         """
-        self._txn_lock.acquire()
+        txn = self._txn
+        if txn.depth > 0:
+            self._check_usable()
+            self._acquire_trees(txn, trees)
+            txn.depth += 1
+            return txn.depth
+        # Under sustained concurrent load there is rarely a quiesced moment
+        # for the opportunistic maybe_checkpoint() to seize, so the journal
+        # would fill until the hard capacity error.  Entering writers pay
+        # the toll instead: past the threshold, block here (holding no
+        # locks yet) and drain the journal before joining the gate.
+        self._checkpoint_if_needed()
+        with self._gate:
+            while self._checkpoint_pending:
+                self._gate.wait()
+            self._active_txns += 1
         try:
+            self._acquire_trees(txn, trees)
             self._check_usable()
         except BaseException:
-            self._txn_lock.release()
+            self._finish_outermost(txn)
             raise
-        self._depth += 1
-        if self._depth == 1:
-            self._txid = self.journal.allocate_txid()
-            self._txn_records = 0
-            self._txn_pins = set()
-            self._txn_on_commit = []
-        return self._depth
+        txn.txid = self.journal.allocate_txid()
+        txn.records = 0
+        txn.pins = set()
+        txn.on_commit = []
+        txn.depth = 1
+        return 1
+
+    def _acquire_trees(self, txn: _TxnLocal, trees) -> None:
+        # Every acquire (fresh or re-entrant bump) is recorded and paired
+        # with exactly one release in _finish_outermost — the held-counts
+        # in the lock table must balance or the tree stays locked forever.
+        for tree in sorted(set(trees), key=_rank):
+            self.tree_locks.acquire_exclusive(tree)
+            txn.trees.append(tree)
+
+    def _finish_outermost(self, txn: _TxnLocal) -> None:
+        """Release the transaction's tree locks and leave the gate."""
+        trees, txn.trees = txn.trees, []
+        for tree in reversed(trees):
+            self.tree_locks.release_exclusive(tree)
+        with self._gate:
+            self._active_txns -= 1
+            self._gate.notify_all()
 
     def commit(self) -> None:
         """Close one nesting level; the outermost close commits the group."""
-        if self._depth <= 0:
+        txn = self._txn
+        if txn.depth <= 0:
             raise RecoveryError("commit without a matching begin")
+        txn.depth -= 1
+        if txn.depth > 0:
+            return
         try:
-            self._depth -= 1
-            if self._depth > 0:
-                return
             marker_lsn = None
-            if self._txn_records:
-                try:
+            if txn.records:
+                with self._commit_lock:
                     sync_now = self._unsynced_commits + 1 >= self.group_commit
-                    marker_lsn = self.journal.commit_txid(self._txid, sync=sync_now)
-                except BaseException:
-                    # The commit marker never became durable (journal full,
-                    # device fault): the transaction effectively aborted after
-                    # logging — same fail-stop state as an explicit
-                    # abort-after-logging.
-                    self._fail_open_transaction()
-                    self.stats.transactions_aborted += 1
-                    raise
-                if sync_now:
-                    if self.commit_batch_sizes is not None:
-                        # Telemetry: how many commit markers each journal sync
-                        # covered (the group-commit amortization factor).
-                        self.commit_batch_sizes.observe(self._unsynced_commits + 1)
-                    self._unsynced_commits = 0
-                else:
-                    self._unsynced_commits += 1
-            self._release_pins()
-            actions, self._txn_on_commit = self._txn_on_commit, []
-            if marker_lsn is not None and marker_lsn > self.journal.durable_lsn:
-                # Group commit left the marker buffered: the transaction can
-                # still vanish in a crash, so its irreversible actions (chunk
-                # and page frees) must wait for the covering sync.
-                self._deferred_until_durable.extend(
-                    (marker_lsn, action) for action in actions
-                )
-            else:
-                for action in actions:
-                    action()
-            self._txid = None
-            self.stats.transactions_committed += 1
-            self._run_durable_actions()
-            self.maybe_checkpoint()
+                    try:
+                        marker_lsn = self.journal.commit_txid(txn.txid, sync=sync_now)
+                    except BaseException:
+                        # The commit marker never became durable (journal
+                        # full, device fault): the transaction effectively
+                        # aborted after logging — same fail-stop state as an
+                        # explicit abort-after-logging.
+                        self._fail_open_transaction(txn)
+                        with self._stats_lock:
+                            self.stats.transactions_aborted += 1
+                        raise
+                    if sync_now:
+                        if self.commit_batch_sizes is not None:
+                            # Telemetry: how many commit markers each journal
+                            # sync covered (the group-commit amortization).
+                            self.commit_batch_sizes.observe(self._unsynced_commits + 1)
+                        self._unsynced_commits = 0
+                    else:
+                        self._unsynced_commits += 1
+            self._release_pins(txn)
+            actions, txn.on_commit = txn.on_commit, []
+            if actions:
+                with self._commit_lock:
+                    if marker_lsn is not None and marker_lsn > self.journal.durable_lsn:
+                        # Group commit left the marker buffered: the
+                        # transaction can still vanish in a crash, so its
+                        # irreversible actions (chunk and page frees) must
+                        # wait for the covering sync.
+                        self._deferred_until_durable.extend(
+                            (marker_lsn, action) for action in actions
+                        )
+                        actions = []
+            for action in actions:
+                action()
+            txn.txid = None
+            with self._stats_lock:
+                self.stats.transactions_committed += 1
         finally:
-            self._txn_lock.release()
+            self._finish_outermost(txn)
+        self._run_durable_actions()
+        self.maybe_checkpoint()
 
     def abort(self) -> None:
         """Close one nesting level abnormally.
@@ -255,21 +323,22 @@ class RecoveryManager:
         poisoned and further durable operations raise until a re-mount
         replays the committed prefix.
         """
-        if self._depth <= 0:
+        txn = self._txn
+        if txn.depth <= 0:
             raise RecoveryError("abort without a matching begin")
+        txn.depth -= 1
+        if txn.depth > 0:
+            # Let the outermost frame decide; the exception unwinding
+            # through the outer context managers will abort the whole group.
+            return
         try:
-            self._depth -= 1
-            if self._depth > 0:
-                # Let the outermost frame decide; the exception unwinding
-                # through the outer context managers will abort the whole
-                # group.
-                return
-            self._fail_open_transaction()
-            self.stats.transactions_aborted += 1
+            self._fail_open_transaction(txn)
+            with self._stats_lock:
+                self.stats.transactions_aborted += 1
         finally:
-            self._txn_lock.release()
+            self._finish_outermost(txn)
 
-    def _fail_open_transaction(self) -> None:
+    def _fail_open_transaction(self, txn: _TxnLocal) -> None:
         """Dispose of the outermost transaction's state after a failure.
 
         If it logged nothing, this is a clean no-op.  Otherwise the manager
@@ -278,21 +347,21 @@ class RecoveryManager:
         locations by later (read-only) traffic, which no poisoning check on
         the mutation path alone would prevent.
         """
-        if self._txn_records:
-            for consumer, page_id in self._txn_pins:
+        if txn.records:
+            for consumer, page_id in txn.pins:
                 # invalidate() drops the frame and its pin together.
                 consumer.invalidate(page_id)
-            self._txn_pins = set()
+            txn.pins = set()
             self.poisoned = True
         else:
-            self._release_pins()
-        self._txn_on_commit = []
-        self._txid = None
+            self._release_pins(txn)
+        txn.on_commit = []
+        txn.txid = None
 
     @contextmanager
-    def transaction(self):
+    def transaction(self, trees: Tuple[str, ...] = ("master",)):
         """``with recovery.transaction(): ...`` — commit on success."""
-        self.begin()
+        self.begin(trees)
         try:
             yield self
         except BaseException:
@@ -301,18 +370,29 @@ class RecoveryManager:
         else:
             self.commit()
 
-    def _release_pins(self) -> None:
-        for consumer, page_id in self._txn_pins:
+    def read_view(self, trees: Tuple[str, ...] = ("master",)):
+        """Shared tree locks for one consistent read (see ``TreeLockTable``).
+
+        Queries hold these for their whole execution: readers overlap
+        readers, writers to *other* trees proceed, and a writer to a viewed
+        tree queues — so every answer reflects one stable generation of
+        each viewed tree (snapshot-stable reads).
+        """
+        return self.tree_locks.read_view(trees)
+
+    def _release_pins(self, txn: _TxnLocal) -> None:
+        for consumer, page_id in txn.pins:
             try:
                 consumer.unpin(page_id)
             except CacheError:
                 # The page was freed (and invalidated) inside the transaction.
                 pass
-        self._txn_pins = set()
+        txn.pins = set()
 
     @property
     def in_transaction(self) -> bool:
-        return self._depth > 0
+        """Whether the *calling thread* has an open transaction."""
+        return self._txn.depth > 0
 
     # ------------------------------------------------------------ logging
 
@@ -321,26 +401,43 @@ class RecoveryManager:
 
         Inside a transaction the record joins it; outside, it forms a
         self-committing transaction that is immediately durable (the
-        uncached/write-through path).  The transaction lock is taken so a
-        record logged from one thread can never interleave with (or join)
-        another thread's open transaction.
+        uncached/write-through path).  Records from overlapping transactions
+        interleave in the journal — safely, because every record carries its
+        txid and replay groups by txid; what cannot happen is two
+        transactions on the *same* tree interleaving, which the per-tree
+        locks exclude.
         """
-        with self._txn_lock:
+        txn = self._txn
+        if txn.depth > 0:
             self._check_usable()
-            self._reserve_log_space(len(payload))
-            if self._depth > 0:
-                self._txn_records += 1
-                return self.journal.append(rtype, self._txid, block, payload)
+            txn.records += 1
+            return self.journal.append(rtype, txn.txid, block, payload)
+        self._check_usable()
+        self._reserve_log_space(len(payload))
+        # Autocommits register as micro-transactions in the checkpoint gate:
+        # a record appended between a checkpoint's sync and its truncate
+        # would otherwise be lost while its page is still only in the pool.
+        with self._gate:
+            while self._checkpoint_pending:
+                self._gate.wait()
+            self._active_txns += 1
+        try:
             txid = self.journal.allocate_txid()
             lsn = self.journal.append(rtype, txid, block, payload)
             self.journal.commit_txid(txid, sync=True)
+        finally:
+            with self._gate:
+                self._active_txns -= 1
+                self._gate.notify_all()
+        with self._stats_lock:
             self.stats.autocommits += 1
-            self.maybe_checkpoint()
-            return lsn
+        self.maybe_checkpoint()
+        return lsn
 
     def log_page(self, block: int, payload: bytes) -> int:
         """Log a physical page image; returns the record's LSN."""
-        self.stats.pages_logged += 1
+        with self._stats_lock:
+            self.stats.pages_logged += 1
         return self._log_record(TYPE_DATA, block, payload)
 
     def log_meta(self, updates: Dict[str, int]) -> int:
@@ -350,8 +447,10 @@ class RecoveryManager:
         re-applied from the log on mount-time replay.
         """
         payload = json.dumps(updates, sort_keys=True).encode("utf-8")
-        self.state.update(updates)
-        self.stats.meta_records_logged += 1
+        with self._state_lock:
+            self.state.update(updates)
+        with self._stats_lock:
+            self.stats.meta_records_logged += 1
         return self._log_record(TYPE_META, 0, payload)
 
     def log_revoke(self, block: int) -> int:
@@ -361,7 +460,8 @@ class RecoveryManager:
         *unlogged* object data would be clobbered by replaying the stale
         page image (the ext3 revoke-record problem).
         """
-        self.stats.revokes_logged += 1
+        with self._stats_lock:
+            self.stats.revokes_logged += 1
         return self._log_record(TYPE_REVOKE, block, b"")
 
     def _reserve_log_space(self, payload_len: int) -> None:
@@ -371,7 +471,7 @@ class RecoveryManager:
         between-transaction threshold checkpointing having kept headroom
         (``Journal`` still raises ``JournalError`` as the hard backstop).
         """
-        if self._depth > 0 or self.pool is None:
+        if self._txn.depth > 0 or self.pool is None:
             return
         # Headroom for this record's header plus its commit marker.
         needed = payload_len + 2 * RECORD_OVERHEAD
@@ -380,17 +480,18 @@ class RecoveryManager:
 
     def protect(self, consumer, page_id) -> None:
         """No-steal: pin a page dirtied by the open transaction until it ends."""
-        if self._depth == 0:
+        txn = self._txn
+        if txn.depth == 0:
             return
         key = (consumer, page_id)
-        if key in self._txn_pins:
+        if key in txn.pins:
             return
         consumer.pin(page_id)
-        self._txn_pins.add(key)
+        txn.pins.add(key)
 
     def forget_page(self, consumer, page_id) -> None:
         """Drop transaction bookkeeping for a page freed mid-transaction."""
-        self._txn_pins.discard((consumer, page_id))
+        self._txn.pins.discard((consumer, page_id))
 
     def on_durable(self, action) -> None:
         """Run ``action`` once the covering commit marker is *durable*.
@@ -403,23 +504,29 @@ class RecoveryManager:
         sync) unless group commit left a tail, in which case the action
         waits for the next sync.
         """
-        if self._depth > 0:
-            self._txn_on_commit.append(action)
+        if self._txn.depth > 0:
+            self._txn.on_commit.append(action)
             return
-        if self.journal.last_lsn <= self.journal.durable_lsn:
+        run_now = False
+        with self._commit_lock:
+            if self.journal.last_lsn <= self.journal.durable_lsn:
+                run_now = True
+            else:
+                self._deferred_until_durable.append(
+                    (self.journal.last_lsn, action))
+        if run_now:
             action()
-        else:
-            self._deferred_until_durable.append((self.journal.last_lsn, action))
 
     def _run_durable_actions(self) -> None:
         """Fire deferred actions whose covering marker has reached the device."""
-        if not self._deferred_until_durable:
-            return
-        durable = self.journal.durable_lsn
-        ready = [a for lsn, a in self._deferred_until_durable if lsn <= durable]
-        self._deferred_until_durable = [
-            (lsn, a) for lsn, a in self._deferred_until_durable if lsn > durable
-        ]
+        with self._commit_lock:
+            if not self._deferred_until_durable:
+                return
+            durable = self.journal.durable_lsn
+            ready = [a for lsn, a in self._deferred_until_durable if lsn <= durable]
+            self._deferred_until_durable = [
+                (lsn, a) for lsn, a in self._deferred_until_durable if lsn > durable
+            ]
         for action in ready:
             action()
 
@@ -452,30 +559,100 @@ class RecoveryManager:
         crash anywhere in between leaves superblock + journal tail still
         describing the same state — replay after a new superblock merely
         rewrites page images the flush already made home (idempotent).
+
+        Concurrency: a checkpoint *quiesces* the engine — it raises if the
+        calling thread has an open transaction, bars new transactions, and
+        waits for every other thread's transaction (and in-flight
+        autocommit) to resolve before flushing and truncating.  Read views
+        are not excluded: repairs and flushes rewrite committed state only.
         """
-        with self._txn_lock:
-            self._check_usable()
-            if self._depth > 0:
-                raise RecoveryError("cannot checkpoint inside an open transaction")
-            flushed = self.pool.flush() if self.pool is not None else 0
-            self.journal.sync()  # buffered group-commit markers become durable
-            self._run_durable_actions()
+        if self._txn.depth > 0:
+            raise RecoveryError("cannot checkpoint inside an open transaction")
+        with self._gate:
+            while self._checkpoint_pending:
+                self._gate.wait()
+            self._checkpoint_pending = True
+            while self._active_txns > 0:
+                self._gate.wait()
+        try:
+            return self._checkpoint_quiesced()
+        finally:
+            with self._gate:
+                self._checkpoint_pending = False
+                self._gate.notify_all()
+
+    def _checkpoint_quiesced(self) -> int:
+        """The checkpoint body; caller holds the quiescence gate."""
+        self._check_usable()
+        flushed = self.pool.flush() if self.pool is not None else 0
+        self.journal.sync()  # buffered group-commit markers become durable
+        self._run_durable_actions()
+        with self._state_lock:
             self.state["checkpoint_seq"] = self.state.get("checkpoint_seq", 0) + 1
-            self.write_superblock()
-            self.journal.checkpoint()
+        self.write_superblock()
+        self.journal.checkpoint()
+        with self._commit_lock:
             self._unsynced_commits = 0
+        with self._stats_lock:
             self.stats.checkpoints += 1
-            return flushed
+        return flushed
 
     def maybe_checkpoint(self) -> bool:
         """Checkpoint when the journal fill passes the threshold (and no
-        transaction is open)."""
-        if self._depth > 0 or self.poisoned:
+        transaction is open).
+
+        Opportunistic, never blocking: if any other thread is mid-
+        transaction (or a checkpoint is already pending) it simply returns
+        False — the journal keeps filling and a later commit triggers it.
+        The journal's hard capacity error remains the backstop.
+        """
+        if self._txn.depth > 0 or self.poisoned:
             return False
         if self.journal.bytes_used < self.checkpoint_threshold * self.journal.capacity_bytes:
             return False
-        self.checkpoint()
-        self.stats.auto_checkpoints += 1
+        with self._gate:
+            if self._checkpoint_pending or self._active_txns > 0:
+                return False
+            self._checkpoint_pending = True
+        try:
+            self._checkpoint_quiesced()
+        finally:
+            with self._gate:
+                self._checkpoint_pending = False
+                self._gate.notify_all()
+        with self._stats_lock:
+            self.stats.auto_checkpoints += 1
+        return True
+
+    def _checkpoint_if_needed(self) -> bool:
+        """Blocking threshold checkpoint for threads about to transact.
+
+        Unlike :meth:`maybe_checkpoint` this *waits* for quiescence — the
+        caller must hold no tree locks and not be inside a transaction.
+        Whoever arrives first pays; threads that waited out a concurrent
+        checkpoint re-check the fill and skip.
+        """
+        if self.poisoned or self._txn.depth > 0:
+            return False
+        threshold = self.checkpoint_threshold * self.journal.capacity_bytes
+        if self.journal.bytes_used < threshold:
+            return False
+        with self._gate:
+            while self._checkpoint_pending:
+                self._gate.wait()
+            if self.journal.bytes_used < threshold:
+                return False  # the checkpoint we waited out drained it
+            self._checkpoint_pending = True
+            while self._active_txns > 0:
+                self._gate.wait()
+        try:
+            self._checkpoint_quiesced()
+        finally:
+            with self._gate:
+                self._checkpoint_pending = False
+                self._gate.notify_all()
+        with self._stats_lock:
+            self.stats.auto_checkpoints += 1
         return True
 
     def write_superblock(self) -> None:

@@ -17,6 +17,8 @@ the property-based tests lean on this.
 
 from __future__ import annotations
 
+import threading
+
 from typing import Dict, List, Optional, Set, Tuple
 
 from repro.errors import AllocationError, OutOfSpaceError
@@ -73,6 +75,11 @@ class BuddyAllocator:
         self.frees = 0
         self.splits = 0
         self.coalesces = 0
+        # Overlapping WAL transactions (per-tree queueing) allocate and
+        # free concurrently; the free lists are one shared structure, so
+        # every mutation takes this leaf-level mutex (re-entrant: the
+        # extent path allocates inside its own locked scope).
+        self._mutex = threading.RLock()
 
     # -- queries -------------------------------------------------------------
 
@@ -127,53 +134,55 @@ class BuddyAllocator:
         :class:`OutOfSpaceError` if no chunk of sufficient size exists even
         after considering larger orders.
         """
-        order = self.order_for(nblocks)
-        if order > self.max_order:
-            raise OutOfSpaceError(
-                f"request of {nblocks} blocks exceeds region of {self.total_blocks}"
-            )
-        # Find the smallest order >= requested with a free chunk.
-        source = None
-        for candidate in range(order, self.max_order + 1):
-            if self._free_lists[candidate]:
-                source = candidate
-                break
-        if source is None:
-            raise OutOfSpaceError(
-                f"no free chunk of {1 << order} blocks available "
-                f"({self.free_blocks} blocks free but fragmented)"
-            )
-        offset = min(self._free_lists[source])
-        self._free_lists[source].remove(offset)
-        # Split down to the requested order, returning buddies to free lists.
-        while source > order:
-            source -= 1
-            buddy = offset + (1 << source)
-            self._free_lists[source].add(buddy)
-            self.splits += 1
-        self._allocated[offset] = order
-        self.allocations += 1
-        return self.base + offset
+        with self._mutex:
+            order = self.order_for(nblocks)
+            if order > self.max_order:
+                raise OutOfSpaceError(
+                    f"request of {nblocks} blocks exceeds region of {self.total_blocks}"
+                )
+            # Find the smallest order >= requested with a free chunk.
+            source = None
+            for candidate in range(order, self.max_order + 1):
+                if self._free_lists[candidate]:
+                    source = candidate
+                    break
+            if source is None:
+                raise OutOfSpaceError(
+                    f"no free chunk of {1 << order} blocks available "
+                    f"({self.free_blocks} blocks free but fragmented)"
+                )
+            offset = min(self._free_lists[source])
+            self._free_lists[source].remove(offset)
+            # Split down to the requested order, returning buddies to free lists.
+            while source > order:
+                source -= 1
+                buddy = offset + (1 << source)
+                self._free_lists[source].add(buddy)
+                self.splits += 1
+            self._allocated[offset] = order
+            self.allocations += 1
+            return self.base + offset
 
     def free(self, block: int) -> None:
         """Free the allocation starting at absolute address ``block``.
 
         Coalesces with free buddies as far as possible.
         """
-        offset = block - self.base
-        order = self._allocated.pop(offset, None)
-        if order is None:
-            raise AllocationError(f"block {block} is not the start of a live allocation")
-        self.frees += 1
-        while order < self.max_order:
-            buddy = offset ^ (1 << order)
-            if buddy not in self._free_lists[order]:
-                break
-            self._free_lists[order].remove(buddy)
-            offset = min(offset, buddy)
-            order += 1
-            self.coalesces += 1
-        self._free_lists[order].add(offset)
+        with self._mutex:
+            offset = block - self.base
+            order = self._allocated.pop(offset, None)
+            if order is None:
+                raise AllocationError(f"block {block} is not the start of a live allocation")
+            self.frees += 1
+            while order < self.max_order:
+                buddy = offset ^ (1 << order)
+                if buddy not in self._free_lists[order]:
+                    break
+                self._free_lists[order].remove(buddy)
+                offset = min(offset, buddy)
+                order += 1
+                self.coalesces += 1
+            self._free_lists[order].add(offset)
 
     def reserve(self, block: int, nblocks: int) -> None:
         """Claim a *specific* range as allocated (mount-time rebuild).
@@ -198,35 +207,36 @@ class BuddyAllocator:
             raise AllocationError(
                 f"reservation at block {block} misaligned for order {order}"
             )
-        existing = self._allocated.get(offset)
-        if existing is not None:
-            if existing == order:
-                return  # already reserved by an earlier walk step
+        with self._mutex:
+            existing = self._allocated.get(offset)
+            if existing is not None:
+                if existing == order:
+                    return  # already reserved by an earlier walk step
+                raise AllocationError(
+                    f"block {block} already allocated at order {existing}, "
+                    f"cannot re-reserve at order {order}"
+                )
+            # Find the free chunk containing the range and split down to it.
+            for source in range(order, self.max_order + 1):
+                candidate = offset & ~((1 << source) - 1)
+                if candidate in self._free_lists.get(source, ()):
+                    self._free_lists[source].remove(candidate)
+                    while source > order:
+                        source -= 1
+                        half = 1 << source
+                        if offset < candidate + half:
+                            self._free_lists[source].add(candidate + half)
+                        else:
+                            self._free_lists[source].add(candidate)
+                            candidate += half
+                        self.splits += 1
+                    self._allocated[offset] = order
+                    self.allocations += 1
+                    return
             raise AllocationError(
-                f"block {block} already allocated at order {existing}, "
-                f"cannot re-reserve at order {order}"
+                f"cannot reserve blocks [{block}, {block + (1 << order)}): "
+                "range overlaps an existing allocation"
             )
-        # Find the free chunk containing the range and split down to it.
-        for source in range(order, self.max_order + 1):
-            candidate = offset & ~((1 << source) - 1)
-            if candidate in self._free_lists.get(source, ()):
-                self._free_lists[source].remove(candidate)
-                while source > order:
-                    source -= 1
-                    half = 1 << source
-                    if offset < candidate + half:
-                        self._free_lists[source].add(candidate + half)
-                    else:
-                        self._free_lists[source].add(candidate)
-                        candidate += half
-                    self.splits += 1
-                self._allocated[offset] = order
-                self.allocations += 1
-                return
-        raise AllocationError(
-            f"cannot reserve blocks [{block}, {block + (1 << order)}): "
-            "range overlaps an existing allocation"
-        )
 
     def allocate_extent(self, nblocks: int) -> Tuple[int, int]:
         """Allocate and return ``(first_block, chunk_blocks)``.
@@ -235,9 +245,10 @@ class BuddyAllocator:
         rounding; the OSD records the chunk size so it can free correctly and
         reuse the slack when objects grow.
         """
-        order = self.order_for(nblocks)
-        block = self.allocate(nblocks)
-        return block, 1 << order
+        with self._mutex:
+            order = self.order_for(nblocks)
+            block = self.allocate(nblocks)
+            return block, 1 << order
 
     # -- invariant checking (used by property tests) --------------------------
 

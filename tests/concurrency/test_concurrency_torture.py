@@ -1,0 +1,170 @@
+"""Concurrency torture: crash injection composed with real threads.
+
+Writer threads, a query thread and the background indexer all hammer one
+WAL filesystem whose device is armed to crash after a sampled number of
+writes.  Whichever thread issues the fatal write sees ``CrashError``; the
+others fail shut behind the poisoned recovery manager.  The audit then
+re-mounts the surviving image and checks crash invariants:
+
+* the mount replays to a usable filesystem (no wedged locks, no partial
+  transaction visible),
+* a full scrub finds nothing torn or quarantined,
+* every surviving object is readable and its names resolve back to it,
+* operations that *returned* to a writer before the crash are durable
+  (commits sync — group_commit=1 — so a returned create is a promise).
+
+Seeds are pinned via ``CONCURRENCY_TORTURE_SEEDS``; each seed samples
+several crash points inside the threaded run's write window.  The threaded
+schedule is nondeterministic between runs — the point of the exercise is
+that the *invariants* hold on every interleaving the scheduler produces.
+"""
+
+import os
+import random
+import threading
+
+import pytest
+
+from repro.core import HFADFileSystem
+from repro.errors import RecoveryError
+from repro.recovery import CrashError, CrashingBlockDevice
+
+SEEDS = [int(s) for s in
+         os.environ.get("CONCURRENCY_TORTURE_SEEDS", "1,2").split(",")]
+POINTS_PER_SEED = int(os.environ.get("CONCURRENCY_TORTURE_POINTS", "4"))
+
+WRITERS = 3
+DOCS_PER_WRITER = 14
+
+WORDS = (
+    "arc bolt crest drift eddy flume gale heath isle knoll ledge moor "
+    "notch outcrop pass quarry rill scree tor vale wash yonder"
+).split()
+
+
+def build_fs(device):
+    return HFADFileSystem(
+        device=device, btree_on_device=True, durability="wal",
+        journal_blocks=511, cache_pages=48, query_cache_entries=0,
+    )
+
+
+def make_device():
+    return CrashingBlockDevice(num_blocks=1 << 14, block_size=512)
+
+
+def run_threads(fs, seed, completed):
+    """Writers + a querier; returns the errors each thread died with."""
+    barrier = threading.Barrier(WRITERS + 1)
+    done = threading.Event()
+    errors = []
+
+    def writer(writer_id):
+        rng = random.Random(seed * 433 + writer_id)
+        mine = completed[writer_id]
+        barrier.wait()
+        try:
+            for index in range(DOCS_PER_WRITER):
+                words = " ".join(rng.choice(WORDS)
+                                 for _ in range(rng.randint(3, 8)))
+                content = f"w{writer_id} doc {index} {words}"
+                oid = fs.create(
+                    content=content.encode(), owner=f"tw{writer_id}",
+                    path=f"/tw{writer_id}/doc{index}.txt",
+                )
+                # The create returned: from here on it must survive a crash.
+                mine.append((oid, content))
+                if rng.random() < 0.4:
+                    fs.tag(oid, "APP", f"topic-{rng.randrange(3)}")
+        except Exception as error:  # noqa: BLE001 — audited below
+            errors.append(error)
+
+    def querier():
+        rng = random.Random(seed * 977)
+        barrier.wait()
+        try:
+            while not done.is_set():
+                with fs.read_view():
+                    fs.find(("USER", f"tw{rng.randrange(WRITERS)}"))
+                    fs.search_text(rng.choice(WORDS))
+        except Exception as error:  # noqa: BLE001 — audited below
+            errors.append(error)
+
+    threads = [threading.Thread(target=writer, args=(w,))
+               for w in range(WRITERS)]
+    query_thread = threading.Thread(target=querier)
+    for thread in threads:
+        thread.start()
+    query_thread.start()
+    for thread in threads:
+        thread.join(timeout=60)
+    done.set()
+    query_thread.join(timeout=60)
+    hung = [t for t in threads + [query_thread] if t.is_alive()]
+    assert not hung, f"threads hung after crash: {hung}"
+    return errors
+
+
+def audit_recovery(device, completed):
+    mounted = HFADFileSystem.mount(device.surviving_image())
+    scrub = mounted.scrub()
+    assert scrub.complete, "post-crash scrub did not finish"
+    assert scrub.quarantined == 0, f"unrepairable pages: {scrub.errors}"
+    assert not scrub.errors, f"scrub errors: {scrub.errors}"
+    # Everything that survived is coherent: readable, and its names
+    # resolve back to the object.
+    for oid in mounted.list_objects():
+        content = mounted.read(oid)
+        for pair in mounted.names_for(oid):
+            if pair.tag == "USER":
+                assert oid in mounted.find((pair.tag, pair.value))
+        del content
+    # Returned operations are durable promises (group_commit=1).
+    for writer_id, docs in completed.items():
+        live = set(mounted.find(("USER", f"tw{writer_id}")))
+        for oid, content in docs:
+            assert oid in live, (
+                f"committed create of oid {oid} (writer {writer_id}) lost")
+            assert mounted.read(oid).decode() == content
+    mounted.close()
+
+
+def measure_writes(seed):
+    device = make_device()
+    fs = build_fs(device)
+    completed = {w: [] for w in range(WRITERS)}
+    before = device.stats.writes
+    errors = run_threads(fs, seed, completed)
+    assert not errors, errors
+    fs.close()
+    return device.stats.writes - before
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_threaded_crash_points(seed):
+    total_writes = measure_writes(seed)
+    assert total_writes > 20, "threaded workload too small to sample"
+    rng = random.Random(seed * 6007)
+    # Sample inside the middle of the write window: the threaded schedule
+    # varies run to run, so early/late points might fall outside it.
+    low, high = int(total_writes * 0.2), int(total_writes * 0.8)
+    points = sorted(rng.sample(range(low, high),
+                               min(POINTS_PER_SEED, high - low)))
+    crashed = 0
+    for point in points:
+        device = make_device()
+        fs = build_fs(device)
+        completed = {w: [] for w in range(WRITERS)}
+        device.plan_crash(point,
+                          torn_rng=random.Random(point * 31 + seed))
+        errors = run_threads(fs, seed, completed)
+        if not errors:
+            device.disarm()
+            continue  # schedule finished before the sampled point
+        # Every thread death must be the crash or the fail-shut manager —
+        # never a deadlock, never an internal invariant error.
+        for error in errors:
+            assert isinstance(error, (CrashError, RecoveryError)), error
+        crashed += 1
+        audit_recovery(device, completed)
+    assert crashed > 0, "no sampled point crashed a threaded run"

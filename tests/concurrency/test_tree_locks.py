@@ -1,0 +1,154 @@
+"""TreeLockTable: rank-ordered per-tree queues, re-entrancy, read views."""
+
+import threading
+
+import pytest
+
+from repro.concurrency.lock_manager import LockMode
+from repro.concurrency.tree_locks import TREE_RANKS, TreeLockTable, _rank
+from repro.errors import RecoveryError
+
+
+class TestRankOrder:
+    def test_known_trees_rank_in_declared_order(self):
+        assert _rank("master") < _rank("fulltext") < _rank("image")
+
+    def test_unknown_trees_rank_after_known_ones_by_name(self):
+        assert _rank("image") < _rank("aux")
+        assert _rank("aux") < _rank("zeta")
+
+    def test_acquiring_against_rank_order_raises(self):
+        table = TreeLockTable()
+        table.acquire_exclusive("fulltext")
+        with pytest.raises(RecoveryError, match="order violation"):
+            table.acquire_exclusive("master")
+        table.release_exclusive("fulltext")
+
+    def test_read_view_against_rank_order_raises(self):
+        table = TreeLockTable()
+        table.acquire_exclusive("image")
+        with pytest.raises(RecoveryError, match="order violation"):
+            with table.read_view(("master",)):
+                pass
+        # the failed view released nothing it did not take
+        assert table.held_trees() == ["image"]
+        table.release_exclusive("image")
+
+    def test_in_order_escalation_is_allowed(self):
+        table = TreeLockTable()
+        table.acquire_exclusive("master")
+        table.acquire_exclusive("fulltext")  # the synchronous-indexing path
+        assert set(table.held_trees()) == {"master", "fulltext"}
+        table.release_exclusive("fulltext")
+        table.release_exclusive("master")
+        assert table.held_trees() == []
+
+
+class TestReentrancy:
+    def test_exclusive_reentry_counts_and_releases_balance(self):
+        table = TreeLockTable()
+        assert table.acquire_exclusive("master") is True
+        assert table.acquire_exclusive("master") is False  # re-entry
+        table.release_exclusive("master")
+        assert table.held_mode("master") == LockMode.EXCLUSIVE
+        table.release_exclusive("master")
+        assert table.held_mode("master") is None
+        # another thread can now take it immediately
+        acquired = []
+        thread = threading.Thread(
+            target=lambda: acquired.append(table.manager.acquire(
+                "master", LockMode.EXCLUSIVE, timeout=1.0)))
+        thread.start()
+        thread.join()
+        assert acquired == [True]
+
+    def test_upgrade_from_shared_is_refused(self):
+        table = TreeLockTable()
+        with table.read_view(("master",)):
+            with pytest.raises(RecoveryError, match="upgrade"):
+                table.acquire_exclusive("master")
+        assert table.held_trees() == []
+
+    def test_release_without_hold_raises(self):
+        table = TreeLockTable()
+        with pytest.raises(RecoveryError, match="not held"):
+            table.release_exclusive("master")
+
+    def test_read_view_reenters_exclusive_hold(self):
+        # A writer may open a snapshot view over trees it already owns.
+        table = TreeLockTable()
+        table.acquire_exclusive("master")
+        with table.read_view(("master", "fulltext")):
+            assert table.held_mode("master") == LockMode.EXCLUSIVE
+            assert table.held_mode("fulltext") == LockMode.SHARED
+        assert table.held_mode("master") == LockMode.EXCLUSIVE
+        assert table.held_mode("fulltext") is None
+        table.release_exclusive("master")
+
+    def test_nested_read_views_share_the_hold(self):
+        table = TreeLockTable()
+        with table.read_view(("master",)):
+            with table.read_view(("master",)):
+                assert table.held_mode("master") == LockMode.SHARED
+            assert table.held_mode("master") == LockMode.SHARED
+        assert table.held_trees() == []
+
+
+class TestCrossThread:
+    def test_writers_on_disjoint_trees_overlap(self):
+        table = TreeLockTable()
+        table.acquire_exclusive("master")
+        acquired = threading.Event()
+
+        def indexer():
+            table.acquire_exclusive("fulltext")
+            acquired.set()
+            table.release_exclusive("fulltext")
+
+        thread = threading.Thread(target=indexer)
+        thread.start()
+        assert acquired.wait(2.0), "disjoint-tree writer blocked"
+        thread.join()
+        table.release_exclusive("master")
+
+    def test_readers_overlap_readers_and_block_writers(self):
+        table = TreeLockTable()
+        reader_in = threading.Event()
+        release_readers = threading.Event()
+        writer_done = threading.Event()
+
+        def reader():
+            with table.read_view(("master",)):
+                reader_in.set()
+                release_readers.wait(5.0)
+
+        def writer():
+            table.acquire_exclusive("master")
+            table.release_exclusive("master")
+            writer_done.set()
+
+        r1 = threading.Thread(target=reader)
+        r1.start()
+        assert reader_in.wait(2.0)
+        # a second reader gets in alongside the first
+        with table.read_view(("master",)):
+            pass
+        w = threading.Thread(target=writer)
+        w.start()
+        assert not writer_done.wait(0.05), "writer overlapped a read view"
+        release_readers.set()
+        assert writer_done.wait(2.0), "writer never got the tree"
+        r1.join()
+        w.join()
+
+    def test_snapshot_reports_manager_stats(self):
+        table = TreeLockTable()
+        with table.read_view(("master", "image")):
+            pass
+        snap = table.snapshot()
+        assert snap["acquisitions"] >= 2
+        assert set(snap) == {"acquisitions", "waits", "wait_time_us", "wait_trees"}
+
+
+def test_tree_ranks_cover_the_engine_trees():
+    assert TREE_RANKS == {"master": 0, "fulltext": 1, "image": 2}

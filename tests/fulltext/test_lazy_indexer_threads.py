@@ -1,0 +1,74 @@
+"""LazyIndexer counter integrity under many submitting threads.
+
+The stats counters are the flush() protocol: ``pending`` is derived from
+``enqueued`` minus the outcome counters, so one lost ``+=`` either hangs
+flush forever or lets it return early.  These tests drive the counters
+from many foreground threads at once and pin the balance.
+"""
+
+import threading
+
+from repro.fulltext.lazy_indexer import LazyIndexer
+
+
+def test_counters_balance_with_many_submitters():
+    indexer = LazyIndexer(workers=2)
+    submitters, docs_each = 6, 120
+    barrier = threading.Barrier(submitters)
+
+    def submitter(base):
+        barrier.wait()
+        for index in range(docs_each):
+            doc_id = base * docs_each + index
+            indexer.submit(doc_id, f"document {doc_id} lorem ipsum")
+            if index % 5 == 0:
+                indexer.submit_removal(doc_id)
+
+    threads = [threading.Thread(target=submitter, args=(n,))
+               for n in range(submitters)]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    assert indexer.flush(timeout=30), "flush never drained"
+    stats = indexer.stats
+    expected = submitters * (docs_each + docs_each // 5)
+    assert stats.enqueued == expected
+    assert stats.indexed + stats.removed + stats.failed == expected
+    assert stats.failed == 0
+    assert indexer.pending == 0
+    indexer.close()
+
+
+def test_flush_wakes_on_completion_not_by_polling():
+    # flush() must return promptly once the last outcome lands (it waits on
+    # the stats condition); generous ceiling, tight expectation.
+    indexer = LazyIndexer(workers=1)
+    for doc_id in range(50):
+        indexer.submit(doc_id, f"doc {doc_id} alpha beta gamma")
+    assert indexer.flush(timeout=10)
+    assert indexer.pending == 0
+    backlog = indexer.backlog()
+    assert backlog["queued"] == 0 and backlog["in_flight"] == 0
+    indexer.close()
+
+
+def test_synchronous_mode_counters_under_threads():
+    indexer = LazyIndexer(synchronous=True)
+    submitters, docs_each = 4, 100
+    barrier = threading.Barrier(submitters)
+
+    def submitter(base):
+        barrier.wait()
+        for index in range(docs_each):
+            indexer.submit(base * docs_each + index, "alpha beta")
+
+    threads = [threading.Thread(target=submitter, args=(n,))
+               for n in range(submitters)]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    assert indexer.stats.enqueued == submitters * docs_each
+    assert indexer.stats.indexed == submitters * docs_each
+    assert indexer.index.document_count == submitters * docs_each
