@@ -34,6 +34,7 @@ from repro.cache.policies import (
 from repro.cache.query_cache import (
     QueryCacheStats,
     QueryResultCache,
+    RankedResultCache,
     canonical_key,
     query_tags,
 )
@@ -50,6 +51,7 @@ __all__ = [
     "POLICIES",
     "make_policy",
     "QueryResultCache",
+    "RankedResultCache",
     "QueryCacheStats",
     "canonical_key",
     "query_tags",

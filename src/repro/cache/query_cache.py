@@ -255,3 +255,91 @@ class QueryResultCache:
             "entries": len(self._entries),
             **self.stats.snapshot(),
         }
+
+
+class RankedResultCache:
+    """Memoises ranked (WAND top-k) results against one tag's generation.
+
+    Boolean results ride :class:`QueryResultCache`; ranked results
+    deliberately bypassed it because scores depend on corpus-wide statistics
+    (document frequencies, lengths) that no per-tag oid set captures.  But
+    those statistics live entirely inside the FULLTEXT store, and every
+    mutation of that store bumps the FULLTEXT generation — so one generation
+    number *is* a precise validity token for a whole ranked answer.  A warm
+    repeat of ``rank("...")`` then costs a dict probe instead of a full
+    WAND evaluation, which is exactly the repeated-saved-search traffic the
+    serving layer multiplies.
+
+    Entries are keyed ``(text, limit)``: a top-10 answer is not a prefix
+    oracle for top-100, and ``limit=None`` (exhaustive) is its own key.
+    The stats object is shared with :class:`QueryCacheStats` — only the
+    hit/miss/staleness/racy counters are meaningful here.
+    """
+
+    def __init__(self, registry, tag: str, capacity: int = 128) -> None:
+        if capacity < 1:
+            raise CacheError("ranked cache capacity must be at least 1 entry")
+        self.registry = registry
+        self.tag = tag
+        self.capacity = capacity
+        self.stats = QueryCacheStats()
+        #: (text, limit) -> (hits tuple, generation at store time)
+        self._entries: "OrderedDict[Tuple[str, Optional[int]], Tuple[tuple, int]]" = OrderedDict()
+        self._lock = threading.Lock()
+
+    def generation(self) -> int:
+        """The live validity token; take *before* evaluating, pass to store."""
+        return self.registry.generation(self.tag)
+
+    def lookup(self, text: str, limit: Optional[int]) -> Optional[list]:
+        key = (text, limit)
+        live = self.registry.generation(self.tag)
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is None:
+                self.stats.misses += 1
+                return None
+            hits, generation = entry
+            if generation != live:
+                del self._entries[key]
+                self.stats.stale_drops += 1
+                self.stats.misses += 1
+                return None
+            self._entries.move_to_end(key)
+            self.stats.hits += 1
+            return list(hits)
+
+    def store(self, text: str, limit: Optional[int], hits: list,
+              generation: int) -> None:
+        """Admit ``hits`` unless a mutation raced the evaluation.
+
+        ``generation`` must be the :meth:`generation` snapshot taken before
+        the WAND run; if the store has since moved on, the answer may be
+        stale and is skipped (same racy-skip discipline as the boolean
+        cache).
+        """
+        if self.registry.generation(self.tag) != generation:
+            self.stats.racy_skips += 1
+            return
+        with self._lock:
+            self._entries[(text, limit)] = (tuple(hits), generation)
+            self._entries.move_to_end((text, limit))
+            self.stats.stores += 1
+            self.stats.admitted_full += 1
+            while len(self._entries) > self.capacity:
+                self._entries.popitem(last=False)
+                self.stats.evictions += 1
+
+    def clear(self) -> None:
+        with self._lock:
+            self._entries.clear()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def snapshot(self) -> Dict[str, object]:
+        return {
+            "capacity": self.capacity,
+            "entries": len(self._entries),
+            **self.stats.snapshot(),
+        }

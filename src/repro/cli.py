@@ -621,6 +621,13 @@ def build_shell(demo: bool = False, on_device: bool = False,
 
 
 def main(argv: Optional[List[str]] = None) -> int:
+    # `hfad serve` / `hfad client` dispatch to the network front end
+    # (repro.serve) before the shell's own argument parsing.
+    args = sys.argv[1:] if argv is None else argv
+    if args and args[0] in ("serve", "client"):
+        from repro.serve.cli import client_main, serve_main
+
+        return (serve_main if args[0] == "serve" else client_main)(args[1:])
     parser = argparse.ArgumentParser(prog="hfad", description="Interactive hFAD shell")
     parser.add_argument("--demo", action="store_true", help="pre-load the synthetic corpus")
     parser.add_argument(

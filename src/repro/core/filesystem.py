@@ -22,7 +22,7 @@ import time
 from contextlib import nullcontext
 from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple, Union
 
-from repro.cache import BufferPool, QueryResultCache
+from repro.cache import BufferPool, QueryResultCache, RankedResultCache
 from repro.core.access import AccessInterface, ObjectHandle
 from repro.core.naming import NamingInterface, PairLike, as_pair
 from repro.core.query import Query, QueryPlanner
@@ -125,6 +125,12 @@ class HFADFileSystem:
     :param group_commit: commits batched per journal sync (``1`` = sync
         every commit; larger values trade a bounded loss window for
         throughput — see ``repro.recovery``).
+    :param sync_interval_ms: upper bound on how long a group-committed
+        (buffered) commit marker may wait for its covering sync — the WAL
+        idle flusher.  ``None`` auto-enables a small default whenever
+        ``group_commit > 1`` so a lone writer's commit is durable within
+        the interval instead of stranded until the next writer; ``0``
+        disables the flusher (the pre-fix behaviour).
     :param checksum_pages: wrap every on-device btree page in a CRC32
         checksum frame (``repro.integrity``), verified on every page-in and
         stamped on write-back — bit rot is *detected* instead of silently
@@ -175,6 +181,7 @@ class HFADFileSystem:
         journal_blocks: int = 511,
         checkpoint_threshold: float = 0.5,
         group_commit: int = 1,
+        sync_interval_ms: Optional[float] = None,
         persistent_index: bool = True,
         checksum_pages: bool = True,
         telemetry: bool = True,
@@ -266,6 +273,7 @@ class HFADFileSystem:
                 journal_blocks=journal_blocks,
                 checkpoint_threshold=checkpoint_threshold,
                 group_commit=group_commit,
+                sync_interval_ms=sync_interval_ms,
             )
             self.recovery.attach_pool(self.buffer_pool)
             allocator = BuddyAllocator(total_blocks=device.num_blocks, base=0)
@@ -353,10 +361,20 @@ class HFADFileSystem:
             if query_cache_entries
             else None
         )
+        # Ranked answers get their own cache: one FULLTEXT generation is a
+        # precise validity token for a whole BM25 result (see
+        # RankedResultCache); shares the query-cache enable knob.
+        self.ranked_cache = (
+            RankedResultCache(self.registry, TAG_FULLTEXT,
+                              capacity=query_cache_entries)
+            if query_cache_entries
+            else None
+        )
         self.naming = NamingInterface(
             self.registry,
             planner=QueryPlanner(enabled=enable_planner),
             query_cache=self.query_cache,
+            ranked_cache=self.ranked_cache,
             telemetry=self.telemetry,
         )
         self.access = AccessInterface(self.objects)
@@ -408,6 +426,7 @@ class HFADFileSystem:
         index_workers: int = 1,
         checkpoint_threshold: float = 0.5,
         group_commit: int = 1,
+        sync_interval_ms: Optional[float] = None,
         telemetry: bool = True,
         slow_query_ms: Optional[float] = 100.0,
     ) -> "HFADFileSystem":
@@ -430,6 +449,7 @@ class HFADFileSystem:
             device, superblock,
             checkpoint_threshold=checkpoint_threshold,
             group_commit=group_commit,
+            sync_interval_ms=sync_interval_ms,
         )
         recovery.replay()
         return cls(
@@ -1304,6 +1324,7 @@ class HFADFileSystem:
         """
         self.fulltext_index.close()
         if self.recovery is not None:
+            self.recovery.stop_flusher()
             try:
                 self.checkpoint()
             except (DeviceError, RecoveryError):
@@ -1334,6 +1355,7 @@ class HFADFileSystem:
         "object_count",
         "buffer_pool",
         "query_cache",
+        "ranked_cache",
         "persistent_index",
         "recovery",
         "integrity",
@@ -1398,6 +1420,8 @@ class HFADFileSystem:
              lambda: self.buffer_pool.snapshot() if self.buffer_pool else None),
             ("query_cache",
              lambda: self.query_cache.snapshot() if self.query_cache else None),
+            ("ranked_cache",
+             lambda: self.ranked_cache.snapshot() if self.ranked_cache else None),
             ("persistent_index", self._persistent_index_snapshot),
             ("recovery",
              lambda: (self.recovery.snapshot() if self.recovery is not None

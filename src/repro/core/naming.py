@@ -73,11 +73,15 @@ class NamingInterface:
         registry: IndexStoreRegistry,
         planner: Optional[QueryPlanner] = None,
         query_cache=None,
+        ranked_cache=None,
         telemetry=None,
     ) -> None:
         self.registry = registry
         self.planner = planner if planner is not None else QueryPlanner()
         self.query_cache = query_cache
+        #: optional RankedResultCache: memoises rank() answers against the
+        #: FULLTEXT generation (boolean results use query_cache instead).
+        self.ranked_cache = ranked_cache
         self.stats = NamingStats()
         # ``telemetry`` is a repro.telemetry.Telemetry bundle (or None).  The
         # tracer doubles as the enabled/disabled switch for the timed paths:
@@ -247,17 +251,34 @@ class NamingInterface:
         naming operations above, and with a ``limit`` they stream through
         the WAND scored-cursor merge — documents that provably cannot reach
         the top k are skipped without being scored.  Results bypass the
-        query cache (scores depend on corpus-wide statistics, so per-tag
-        generations cannot invalidate them precisely).
+        *boolean* query cache (scores depend on corpus-wide statistics, so
+        per-tag oid sets cannot serve them), but a configured
+        :class:`~repro.cache.query_cache.RankedResultCache` memoises whole
+        answers against the FULLTEXT generation — every mutation of the
+        full-text store bumps it, so a cached answer is valid exactly until
+        the corpus statistics it priced in change.
         """
         store = self.registry.store_for(TAG_FULLTEXT)
         self.stats.ranked_queries += 1
+        cache = self.ranked_cache
+        generation = None
+        if cache is not None:
+            cached = cache.lookup(text, limit)
+            if cached is not None:
+                self.stats.cached_results += 1
+                return cached
+            generation = cache.generation()
         if self._tracer is None:
-            return store.rank(text, limit=limit)
+            results = store.rank(text, limit=limit)
+            if cache is not None:
+                cache.store(text, limit, results, generation)
+            return results
         span = Span("wand", detail=text)
         started = perf_counter()
         results = store.rank(text, limit=limit, span=span)
         elapsed = perf_counter() - started
         self._rank_latency.observe(elapsed * 1e6)
         self._tracer.record("ranked", text, elapsed, len(results), span=span)
+        if cache is not None:
+            cache.store(text, limit, results, generation)
         return results

@@ -156,6 +156,10 @@ class And(Query):
             # Rarest first: the first cursor drives the leapfrog merge, so the
             # big operands are only probed with galloping seeks.
             positive = planner.order_conjuncts(positive, registry)
+            # Or-under-And pushdown: distribute the rarest conjunct into a
+            # more expensive disjunction so the union's operands shrink to
+            # intersections before they are ever merged.
+            positive = planner.push_down_disjunction(positive, registry)
         cursors = [child.cursor(registry, planner, trace) for child in positive]
         merged = cursors[0] if len(cursors) == 1 else IntersectCursor(cursors)
         if trace is not None and len(cursors) > 1:
@@ -249,6 +253,8 @@ class QueryPlanner:
         #: memo effectiveness counters, surfaced via ``fs.stats()["planner"]``.
         self.memo_hits = 0
         self.memo_misses = 0
+        #: conjunctions rewritten by :meth:`push_down_disjunction`.
+        self.or_pushdowns = 0
 
     def estimate(self, term: Query, registry: IndexStoreRegistry) -> int:
         if isinstance(term, TagTerm):
@@ -301,6 +307,53 @@ class QueryPlanner:
         self.last_plan = [(str(term), estimate) for estimate, _index, term in scored]
         return [term for _estimate, _index, term in scored]
 
+    def push_down_disjunction(self, terms: Sequence[Query],
+                              registry: IndexStoreRegistry) -> List[Query]:
+        """Distribute the rarest conjunct into a costlier disjunction.
+
+        ``rare AND (a OR b)`` evaluated literally materializes the whole
+        ``a ∪ b`` union just to probe it with a handful of rare ids.  The
+        algebraic identity ``R ∧ (a ∨ b) = (R ∧ a) ∨ (R ∧ b)`` turns that
+        into a union of *tiny* intersections — each disjunct is now driven
+        by the rare term, so the big operands are only galloping-seeked.
+
+        ``terms`` must already be ordered rarest-first
+        (:meth:`order_conjuncts`).  The rewrite fires at most once per
+        conjunction — on the single most selective qualifying ``Or`` — but
+        composes recursively: each distributed ``And`` re-plans when it
+        compiles, so nested disjunctions keep collapsing.  Skipped when the
+        disjunction is itself the cheapest operand (it should stay the
+        driver), when the driver has no real estimate, or when the ``Or``
+        carries a ``Not`` child (which the original would reject).
+        Cache keys are computed on the *original* query, so caching is
+        unaffected by the rewritten shape.
+        """
+        if not self.enabled or len(terms) < 2:
+            return list(terms)
+        driver = terms[0]
+        if isinstance(driver, Or):
+            return list(terms)
+        driver_cost = self.estimate(driver, registry)
+        if driver_cost >= self.DEFAULT_CARDINALITY:
+            return list(terms)
+        for index, term in enumerate(terms):
+            if index == 0 or not isinstance(term, Or) or len(term.children) < 2:
+                continue
+            if any(isinstance(child, Not) for child in term.children):
+                continue
+            if self.estimate(term, registry) <= driver_cost:
+                continue
+            rewritten = Or([And([driver, child]) for child in term.children])
+            rest = [t for position, t in enumerate(terms)
+                    if position not in (0, index)]
+            result = [rewritten] + rest
+            self.or_pushdowns += 1
+            self.last_plan = [
+                (str(t), self.estimate(t, registry)) for t in result
+            ]
+            return result
+        return list(terms)
+
     def snapshot(self) -> Dict[str, object]:
         """Planner counters for ``fs.stats()`` / the benchmarks."""
         accesses = self.memo_hits + self.memo_misses
@@ -310,6 +363,7 @@ class QueryPlanner:
             "memo_misses": self.memo_misses,
             "memo_entries": len(self._estimates),
             "memo_hit_ratio": round(self.memo_hits / accesses, 4) if accesses else 0.0,
+            "or_pushdowns": self.or_pushdowns,
         }
 
 

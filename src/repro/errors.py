@@ -188,3 +188,22 @@ class PermissionDenied(PosixError, PermissionError):
 
 class InvalidArgument(PosixError, ValueError):
     errno_name = "EINVAL"
+
+
+# -- serving (repro.serve) ---------------------------------------------------
+
+
+class ServeError(ReproError):
+    """Base error of the serving layer."""
+
+
+class ProtocolError(ServeError):
+    """Malformed or oversized frame on a serving connection."""
+
+
+class RequestError(ServeError):
+    """A request the server rejected (unknown op, bad arguments, shed)."""
+
+    def __init__(self, message: str, code: str = "error") -> None:
+        super().__init__(message)
+        self.code = code

@@ -44,6 +44,7 @@ from __future__ import annotations
 import json
 import threading
 from contextlib import contextmanager
+from time import monotonic
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Set, Tuple
 
@@ -58,6 +59,11 @@ from repro.storage.journal import (
     Journal,
 )
 from repro.recovery.superblock import SUPERBLOCK_BLOCK, Superblock
+
+#: default idle-flush period when ``group_commit > 1`` and the caller did
+#: not pick one: short enough that a lone writer's commit window is
+#: imperceptible, long enough that a busy batch still fills before it fires.
+DEFAULT_SYNC_INTERVAL_MS = 10.0
 
 
 class _TxnLocal(threading.local):
@@ -92,6 +98,12 @@ class RecoveryStats:
     replayed_transactions: int = 0
     replayed_pages: int = 0
     wal_forced_syncs: int = 0
+    #: journal syncs issued by the interval flusher for a commit tail that
+    #: never filled its group-commit batch (the stranded-commit fix).
+    idle_flushes: int = 0
+    #: flusher iterations that hit a device/journal error (the thread keeps
+    #: running; the error surfaces on the next foreground operation).
+    flush_errors: int = 0
 
 
 class RecoveryManager:
@@ -107,6 +119,12 @@ class RecoveryManager:
         durable.  Larger values trade a bounded window of recent commits for
         fewer journal writes (the WAL rule is still enforced, so what *is*
         on the device is always consistent).
+    :param sync_interval_ms: upper bound on how long a buffered commit
+        marker may sit unsynced (the group-commit *idle flush*).  ``None``
+        picks :data:`DEFAULT_SYNC_INTERVAL_MS` when ``group_commit > 1``
+        and disables the flusher otherwise; ``0`` disables it explicitly
+        (a tail batch then waits for the next writer, ``ensure_durable``,
+        checkpoint or unmount — the pre-fix behaviour).
     :param superblock_block: device block holding the superblock.
     """
 
@@ -117,16 +135,22 @@ class RecoveryManager:
         journal_blocks: int = 255,
         checkpoint_threshold: float = 0.5,
         group_commit: int = 1,
+        sync_interval_ms: Optional[float] = None,
         superblock_block: int = SUPERBLOCK_BLOCK,
     ) -> None:
         if not 0.0 < checkpoint_threshold <= 1.0:
             raise ValueError("checkpoint_threshold must be in (0, 1]")
         if group_commit < 1:
             raise ValueError("group_commit must be at least 1")
+        if sync_interval_ms is None:
+            sync_interval_ms = DEFAULT_SYNC_INTERVAL_MS if group_commit > 1 else 0.0
+        if sync_interval_ms < 0:
+            raise ValueError("sync_interval_ms must be non-negative")
         self.device = device
         self.journal = Journal(device, journal_start, journal_blocks)
         self.checkpoint_threshold = checkpoint_threshold
         self.group_commit = group_commit
+        self.sync_interval_ms = float(sync_interval_ms)
         self.superblock_block = superblock_block
         #: logical superblock state; META records merge into this dict and a
         #: checkpoint persists it.
@@ -174,6 +198,17 @@ class RecoveryManager:
         # Superblock state dict + stats counters (cheap, leaf-level).
         self._state_lock = threading.Lock()
         self._stats_lock = threading.Lock()
+        # Durability notification: the journal's on_sync hook wakes
+        # wait_durable() callers and fires registered listeners whenever
+        # durable_lsn advances (commit sync, idle flush, eviction sync,
+        # checkpoint).  The serving layer's write batcher acks through this.
+        self._durable_cond = threading.Condition()
+        self._durable_listeners: List = []
+        self.journal.on_sync = self._durability_advanced
+        # The idle flusher: started lazily by the first commit that leaves
+        # an unsynced tail (never during mkfs/replay), stopped at unmount.
+        self._flusher: Optional[threading.Thread] = None
+        self._flusher_stop = threading.Event()
 
     # ------------------------------------------------------------ wiring
 
@@ -291,6 +326,9 @@ class RecoveryManager:
                         self._unsynced_commits = 0
                     else:
                         self._unsynced_commits += 1
+                        # The marker is buffered; arm the idle flusher so it
+                        # cannot sit stranded past sync_interval_ms.
+                        self._maybe_start_flusher()
             self._release_pins(txn)
             actions, txn.on_commit = txn.on_commit, []
             if actions:
@@ -545,6 +583,124 @@ class RecoveryManager:
         self.journal.sync()
         self.stats.wal_forced_syncs += 1
 
+    # ------------------------------------------------------------ durability
+
+    def _durability_advanced(self, durable: int) -> None:
+        """Journal ``on_sync`` hook: wake waiters, fire listeners.
+
+        Runs on whichever thread performed the sync, possibly while that
+        thread still holds the journal mutex (re-entrant sync from
+        ``commit_txid``) — so listeners must be non-blocking.
+        """
+        with self._durable_cond:
+            self._durable_cond.notify_all()
+            listeners = list(self._durable_listeners)
+        for listener in listeners:
+            try:
+                listener(durable)
+            except Exception:  # pragma: no cover - listener bugs stay local
+                pass
+
+    def add_durable_listener(self, listener) -> None:
+        """Register ``listener(durable_lsn)``, called on every durability
+        advance.  Must be non-blocking (see :meth:`_durability_advanced`)."""
+        with self._durable_cond:
+            self._durable_listeners.append(listener)
+
+    def remove_durable_listener(self, listener) -> None:
+        with self._durable_cond:
+            try:
+                self._durable_listeners.remove(listener)
+            except ValueError:
+                pass
+
+    def wait_durable(self, lsn: Optional[int], timeout: Optional[float] = None) -> bool:
+        """Block until ``durable_lsn >= lsn``; True on success.
+
+        Returns False on timeout or if the manager poisons while waiting.
+        With the idle flusher armed the wait is bounded by
+        ``sync_interval_ms``; callers that disabled it should pass a
+        timeout and force :meth:`flush_commits` themselves.
+        """
+        if lsn is None or lsn <= self.journal.durable_lsn:
+            return True
+        deadline = None if timeout is None else monotonic() + timeout
+        with self._durable_cond:
+            while self.journal.durable_lsn < lsn:
+                if self.poisoned:
+                    return False
+                if deadline is None:
+                    self._durable_cond.wait(0.5)
+                else:
+                    remaining = deadline - monotonic()
+                    if remaining <= 0:
+                        return False
+                    self._durable_cond.wait(min(remaining, 0.5))
+        return True
+
+    def flush_commits(self) -> bool:
+        """Sync a buffered commit tail now; True if a sync was issued.
+
+        The group-commit idle flush: covers commit markers waiting out a
+        partial batch and out-of-transaction deferred frees waiting on "the
+        next sync".  Safe from any thread — serialized with committing
+        threads by the commit lock, and syncing records of a still-open
+        transaction early is harmless (replay ignores unmarked records).
+        """
+        if self.poisoned:
+            return False
+        synced = False
+        with self._commit_lock:
+            if (self._unsynced_commits > 0 or self._deferred_until_durable) \
+                    and self.journal.bytes_unflushed > 0:
+                covered = self._unsynced_commits
+                self.journal.sync()
+                if covered and self.commit_batch_sizes is not None:
+                    self.commit_batch_sizes.observe(covered)
+                self._unsynced_commits = 0
+                synced = True
+        if synced:
+            self._run_durable_actions()
+        return synced
+
+    def _maybe_start_flusher(self) -> None:
+        """Start the idle-flush thread once; caller holds ``_commit_lock``."""
+        if self.sync_interval_ms <= 0:
+            return
+        if self._flusher is not None and self._flusher.is_alive():
+            return
+        self._flusher_stop = threading.Event()
+        self._flusher = threading.Thread(
+            target=self._flusher_loop,
+            args=(self._flusher_stop,),
+            name="hfad-wal-flusher",
+            daemon=True,
+        )
+        self._flusher.start()
+
+    def _flusher_loop(self, stop: threading.Event) -> None:
+        interval = self.sync_interval_ms / 1000.0
+        while not stop.wait(interval):
+            try:
+                if self.flush_commits():
+                    with self._stats_lock:
+                        self.stats.idle_flushes += 1
+            except Exception:
+                # Device faults (including injected crashes) surface on the
+                # next foreground operation; the flusher only keeps ticking.
+                with self._stats_lock:
+                    self.stats.flush_errors += 1
+
+    def stop_flusher(self, timeout: float = 2.0) -> None:
+        """Stop the idle-flush thread (unmount); idempotent."""
+        flusher = self._flusher
+        if flusher is None:
+            return
+        self._flusher_stop.set()
+        if flusher.is_alive():
+            flusher.join(timeout)
+        self._flusher = None
+
     # ------------------------------------------------------------ checkpoints
 
     def checkpoint(self) -> int:
@@ -692,7 +848,8 @@ class RecoveryManager:
     @classmethod
     def from_superblock(cls, device: BlockDevice, superblock: Superblock,
                         checkpoint_threshold: float = 0.5,
-                        group_commit: int = 1) -> "RecoveryManager":
+                        group_commit: int = 1,
+                        sync_interval_ms: Optional[float] = None) -> "RecoveryManager":
         """Build a manager over an existing format (mount path)."""
         manager = cls(
             device,
@@ -700,6 +857,7 @@ class RecoveryManager:
             journal_blocks=superblock.journal_blocks,
             checkpoint_threshold=checkpoint_threshold,
             group_commit=group_commit,
+            sync_interval_ms=sync_interval_ms,
         )
         manager.state.update(
             data_region_start=superblock.data_region_start,
@@ -741,6 +899,9 @@ class RecoveryManager:
             "mode": "wal",
             "poisoned": self.poisoned,
             "group_commit": self.group_commit,
+            "sync_interval_ms": self.sync_interval_ms,
+            "idle_flushes": self.stats.idle_flushes,
+            "flush_errors": self.stats.flush_errors,
             "last_lsn": journal.last_lsn,
             "durable_lsn": journal.durable_lsn,
             "min_dirty_lsn": self.pool.min_dirty_lsn() if self.pool is not None else None,

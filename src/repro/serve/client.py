@@ -1,0 +1,214 @@
+"""Clients for the serving protocol.
+
+:class:`Client` is the synchronous face (CLI, benchmarks, threads): one
+blocking socket, one request in flight at a time, convenience wrappers that
+raise :class:`~repro.errors.RequestError` on a non-``ok`` response.
+
+:class:`AsyncClient` is the coroutine face (torture tests): the low-level
+``send_request``/``read_response`` pair exposes pipelining — fire many
+requests down one connection and collect responses out of order — while
+``call`` gives the one-shot convenience path.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import base64
+import itertools
+import socket
+from typing import Dict, List, Optional
+
+from repro.errors import ProtocolError, RequestError
+from repro.serve.protocol import read_frame, recv_frame, send_frame, write_frame
+
+
+def _check(response: Optional[dict]) -> dict:
+    if response is None:
+        raise ProtocolError("server closed the connection")
+    if not response.get("ok"):
+        raise RequestError(str(response.get("error", "request failed")),
+                           code=str(response.get("code", "error")))
+    return response
+
+
+class Client:
+    """Blocking client: one request at a time over one connection."""
+
+    def __init__(self, address, timeout: Optional[float] = 30.0) -> None:
+        if isinstance(address, (list, tuple)) and address and address[0] == "unix":
+            self._sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+            self._sock.settimeout(timeout)
+            self._sock.connect(address[1])
+        else:
+            host, port = address
+            self._sock = socket.create_connection((host, int(port)),
+                                                  timeout=timeout)
+        self._ids = itertools.count(1)
+
+    def close(self) -> None:
+        try:
+            send_frame(self._sock, {"id": next(self._ids), "op": "close"})
+            recv_frame(self._sock)
+        except Exception:
+            pass
+        self._sock.close()
+
+    def __enter__(self) -> "Client":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # ------------------------------------------------------------ transport
+
+    def call(self, op: str, **fields) -> dict:
+        """One request/response round trip; raises on error responses."""
+        request = {"id": next(self._ids), "op": op, **fields}
+        send_frame(self._sock, request)
+        response = recv_frame(self._sock)
+        if response is not None and response.get("id") != request["id"]:
+            raise ProtocolError(
+                f"response id {response.get('id')} != request id {request['id']}")
+        return _check(response)
+
+    # ------------------------------------------------------------ convenience
+
+    def ping(self) -> dict:
+        return self.call("ping")
+
+    def create(self, content: bytes = b"", **fields) -> int:
+        fields["data_b64"] = base64.b64encode(content).decode("ascii")
+        return self.call("create", **fields)["oid"]
+
+    def read(self, oid: int, offset: int = 0,
+             length: Optional[int] = None) -> bytes:
+        fields = {"oid": oid, "offset": offset}
+        if length is not None:
+            fields["length"] = length
+        return base64.b64decode(self.call("read", **fields)["data_b64"])
+
+    def write(self, oid: int, offset: int, data: bytes) -> int:
+        return self.call(
+            "write", oid=oid, offset=offset,
+            data_b64=base64.b64encode(data).decode("ascii"))["written"]
+
+    def append(self, oid: int, data: bytes) -> int:
+        return self.call(
+            "append", oid=oid,
+            data_b64=base64.b64encode(data).decode("ascii"))["written"]
+
+    def delete(self, oid: int) -> None:
+        self.call("delete", oid=oid)
+
+    def tag(self, oid: int, tag: str, value: str) -> None:
+        self.call("tag", oid=oid, tag=tag, value=value)
+
+    def untag(self, oid: int, tag: str, value: str) -> bool:
+        return self.call("untag", oid=oid, tag=tag, value=value)["removed"]
+
+    def find(self, *pairs: str, limit: Optional[int] = None) -> List[int]:
+        fields: Dict[str, object] = {"pairs": list(pairs)}
+        if limit is not None:
+            fields["limit"] = limit
+        return self.call("find", **fields)["results"]
+
+    def query(self, q: str, limit: Optional[int] = None, **fields) -> dict:
+        if limit is not None:
+            fields["limit"] = limit
+        return self.call("query", q=q, **fields)
+
+    def search(self, text: str, limit: Optional[int] = None) -> List[int]:
+        fields: Dict[str, object] = {"text": text}
+        if limit is not None:
+            fields["limit"] = limit
+        return self.call("search", **fields)["results"]
+
+    def rank(self, text: str, limit: int = 10) -> List[dict]:
+        return self.call("rank", text=text, limit=limit)["hits"]
+
+    def fetch(self, rid: int, offset: int = 0,
+              count: Optional[int] = None) -> dict:
+        fields: Dict[str, object] = {"rid": rid, "offset": offset}
+        if count is not None:
+            fields["count"] = count
+        return self.call("fetch", **fields)
+
+    def cd(self, scope: str) -> List[str]:
+        return self.call("cd", scope=scope)["scope"]
+
+    def up(self) -> List[str]:
+        return self.call("up")["scope"]
+
+    def pwd(self) -> List[str]:
+        return self.call("pwd")["scope"]
+
+    def set(self, **fields) -> dict:
+        return self.call("set", **fields)
+
+    def stats(self, section: str = "server") -> dict:
+        return self.call("stats", section=section)["stats"]
+
+    def session_stats(self) -> dict:
+        return self.call("session_stats")["session"]
+
+    def health(self) -> dict:
+        return self.call("health")["health"]
+
+
+class AsyncClient:
+    """Coroutine client exposing pipelined request/response access."""
+
+    def __init__(self) -> None:
+        self._reader: Optional[asyncio.StreamReader] = None
+        self._writer: Optional[asyncio.StreamWriter] = None
+        self._ids = itertools.count(1)
+
+    @classmethod
+    async def connect(cls, address) -> "AsyncClient":
+        client = cls()
+        if isinstance(address, (list, tuple)) and address and address[0] == "unix":
+            client._reader, client._writer = await asyncio.open_unix_connection(
+                address[1])
+        else:
+            host, port = address
+            client._reader, client._writer = await asyncio.open_connection(
+                host, int(port))
+        return client
+
+    async def close(self) -> None:
+        if self._writer is not None:
+            self._writer.close()
+            try:
+                await self._writer.wait_closed()
+            except Exception:
+                pass
+
+    # -- pipelined access ------------------------------------------------------
+
+    async def send_request(self, op: str, **fields) -> int:
+        """Fire one request without waiting; returns its id."""
+        rid = next(self._ids)
+        await write_frame(self._writer, {"id": rid, "op": op, **fields})
+        return rid
+
+    async def read_response(self) -> Optional[dict]:
+        """Next response off the wire (any id); None on clean EOF."""
+        return await read_frame(self._reader)
+
+    # -- one-shot --------------------------------------------------------------
+
+    async def call(self, op: str, **fields) -> dict:
+        rid = await self.send_request(op, **fields)
+        response = await self.read_response()
+        if response is not None and response.get("id") != rid:
+            raise ProtocolError(
+                f"response id {response.get('id')} != request id {rid} "
+                "(pipelined responses must use read_response)")
+        return _check(response)
+
+    async def create(self, content: bytes = b"", **fields) -> dict:
+        fields["data_b64"] = base64.b64encode(content).decode("ascii")
+        return await self.call("create", **fields)
+
+    async def search(self, text: str, **fields) -> dict:
+        return await self.call("search", text=text, **fields)

@@ -1,0 +1,119 @@
+"""The serving wire protocol: length-prefixed JSON frames.
+
+One frame is a 4-byte big-endian payload length followed by a UTF-8 JSON
+object.  Requests carry ``{"id": n, "op": "...", ...}``; responses echo the
+``id`` and add ``{"ok": true, ...}`` or ``{"ok": false, "error": "...",
+"code": "..."}``.  Requests on one connection may be *pipelined* — the
+server answers each as its engine call completes, so responses can arrive
+out of order and the ``id`` is how a client re-associates them.
+
+Binary object content crosses the wire base64-encoded (``data_b64``): the
+engine stores arbitrary bytes, JSON does not.
+
+Both framing dialects live here: the asyncio streams side used by the
+server and :class:`~repro.serve.client.AsyncClient`, and the blocking
+socket side used by the synchronous :class:`~repro.serve.client.Client`
+(CLI, benchmarks).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import socket
+import struct
+from typing import Optional
+
+from repro.errors import ProtocolError
+
+#: frame length prefix: 4-byte big-endian unsigned payload size.
+_LEN = struct.Struct(">I")
+
+#: hard bound on one frame; a corrupt/hostile length prefix must not make
+#: the receiver allocate gigabytes.
+MAX_FRAME_BYTES = 8 << 20
+
+
+def encode_frame(message: dict) -> bytes:
+    """Render one message as a length-prefixed JSON frame."""
+    payload = json.dumps(message, separators=(",", ":")).encode("utf-8")
+    if len(payload) > MAX_FRAME_BYTES:
+        raise ProtocolError(
+            f"frame of {len(payload)} bytes exceeds the {MAX_FRAME_BYTES}-byte bound"
+        )
+    return _LEN.pack(len(payload)) + payload
+
+
+def decode_payload(payload: bytes) -> dict:
+    try:
+        message = json.loads(payload.decode("utf-8"))
+    except (ValueError, UnicodeDecodeError) as exc:
+        raise ProtocolError(f"undecodable frame payload: {exc}") from exc
+    if not isinstance(message, dict):
+        raise ProtocolError("frame payload must be a JSON object")
+    return message
+
+
+# -- asyncio streams (server side, async client) -----------------------------
+
+
+async def read_frame(reader: asyncio.StreamReader) -> Optional[dict]:
+    """Read one frame; None on clean EOF (peer closed between frames)."""
+    try:
+        prefix = await reader.readexactly(_LEN.size)
+    except asyncio.IncompleteReadError as exc:
+        if not exc.partial:
+            return None
+        raise ProtocolError("connection closed mid-prefix") from exc
+    (length,) = _LEN.unpack(prefix)
+    if length > MAX_FRAME_BYTES:
+        raise ProtocolError(
+            f"peer announced a {length}-byte frame (bound {MAX_FRAME_BYTES})"
+        )
+    try:
+        payload = await reader.readexactly(length)
+    except asyncio.IncompleteReadError as exc:
+        raise ProtocolError("connection closed mid-frame") from exc
+    return decode_payload(payload)
+
+
+async def write_frame(writer: asyncio.StreamWriter, message: dict) -> None:
+    writer.write(encode_frame(message))
+    await writer.drain()
+
+
+# -- blocking sockets (sync client) ------------------------------------------
+
+
+def send_frame(sock: socket.socket, message: dict) -> None:
+    sock.sendall(encode_frame(message))
+
+
+def _recv_exactly(sock: socket.socket, nbytes: int) -> Optional[bytes]:
+    chunks = []
+    remaining = nbytes
+    while remaining:
+        chunk = sock.recv(remaining)
+        if not chunk:
+            if remaining == nbytes and not chunks:
+                return None  # clean EOF between frames
+            raise ProtocolError("connection closed mid-frame")
+        chunks.append(chunk)
+        remaining -= len(chunk)
+    return b"".join(chunks)
+
+
+def recv_frame(sock: socket.socket) -> Optional[dict]:
+    """Read one frame from a blocking socket; None on clean EOF."""
+    prefix = _recv_exactly(sock, _LEN.size)
+    if prefix is None:
+        return None
+    (length,) = _LEN.unpack(prefix)
+    if length > MAX_FRAME_BYTES:
+        raise ProtocolError(
+            f"peer announced a {length}-byte frame (bound {MAX_FRAME_BYTES})"
+        )
+    payload = _recv_exactly(sock, length)
+    if payload is None:
+        raise ProtocolError("connection closed mid-frame")
+    return decode_payload(payload)

@@ -1,0 +1,137 @@
+"""Per-connection session state for the serving layer.
+
+Each accepted connection gets one :class:`Session` — the cwd-equivalent of
+the paper's world without directories.  Where a POSIX shell carries a
+working *directory*, an hFAD session carries a working *query scope*: a
+conjunction of tag/value pairs that is AND-ed onto every query/find/search
+the session issues.  ``cd USER/margo`` narrows the scope, ``up`` pops one
+conjunct, ``pwd`` prints it — navigation without hierarchy (Section 3.1.1's
+"naming operations can return multiple items" is the listing primitive).
+
+The session also carries:
+
+* a private slow-query threshold (``set slow_ms=...``) — per-client SLOs
+  without touching the global telemetry knob;
+* a bounded ring of *pending result sets*: a query that overflows the
+  requested page is stashed under a result id and paged out with ``fetch``
+  (the session-side cursor the protocol's JSON frames can't stream);
+* an in-flight request counter, the unit of admission control — the server
+  sheds work beyond ``max_inflight`` instead of queueing unboundedly.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.query import And, Query, TagTerm, parse_query
+
+#: pending result sets kept per session; oldest evicted beyond this.
+MAX_PENDING_RESULTS = 32
+
+
+class Session:
+    """Working state of one serving connection."""
+
+    def __init__(self, sid: int, peer: str = "",
+                 slow_ms: Optional[float] = None,
+                 max_inflight: int = 32) -> None:
+        self.sid = sid
+        self.peer = peer
+        #: the working query scope, innermost last ("cwd" conjuncts).
+        self.scope: List[TagTerm] = []
+        #: per-session slow threshold (ms); None inherits the server default.
+        self.slow_ms = slow_ms
+        self.max_inflight = max_inflight
+        #: requests admitted but not yet answered (admission control unit).
+        self.inflight = 0
+        self._next_rid = 1
+        #: rid -> (full result list, total); bounded, LRU-evicted.
+        self._pending: "OrderedDict[int, List]" = OrderedDict()
+        self._lock = threading.Lock()
+        # Counters surfaced through session_stats / server stats.
+        self.requests = 0
+        self.mutations = 0
+        self.shed = 0
+        self.errors = 0
+        self.slow_queries = 0
+
+    # ------------------------------------------------------------ scope
+
+    def enter_scope(self, pair: str) -> List[str]:
+        """``cd TAG/value`` — narrow the working scope by one conjunct."""
+        term = parse_query(pair)
+        if not isinstance(term, TagTerm):
+            # Allow `cd /` style resets through enter_scope("...")? No:
+            # resets go through reset_scope; a scope element is one pair.
+            raise ValueError(f"scope element must be one TAG/value pair, got {pair!r}")
+        self.scope.append(term)
+        return self.scope_strings()
+
+    def leave_scope(self) -> List[str]:
+        """``up`` — pop the innermost conjunct (no-op at the root)."""
+        if self.scope:
+            self.scope.pop()
+        return self.scope_strings()
+
+    def reset_scope(self) -> List[str]:
+        self.scope = []
+        return []
+
+    def scope_strings(self) -> List[str]:
+        return [str(term) for term in self.scope]
+
+    def apply_scope(self, query: Query) -> Query:
+        """AND the working scope onto ``query`` (identity at the root)."""
+        if not self.scope:
+            return query
+        return And([query, *self.scope])
+
+    def scope_pairs(self, pairs: List[str]) -> List[str]:
+        """Extend a find()'s pair vector with the scope conjuncts."""
+        return pairs + [str(term) for term in self.scope]
+
+    # ------------------------------------------------------------ paging
+
+    def stash_results(self, results: List) -> int:
+        """Park a full result set for later ``fetch`` pages; returns rid."""
+        with self._lock:
+            rid = self._next_rid
+            self._next_rid += 1
+            self._pending[rid] = results
+            while len(self._pending) > MAX_PENDING_RESULTS:
+                self._pending.popitem(last=False)
+            return rid
+
+    def fetch(self, rid: int, offset: int, count: Optional[int]) -> Tuple[List, int]:
+        """One page of a stashed result set: (page, total).  KeyError if
+        the rid was never stashed or has been evicted/consumed."""
+        with self._lock:
+            results = self._pending[rid]
+            self._pending.move_to_end(rid)
+        if count is None:
+            return results[offset:], len(results)
+        return results[offset:offset + count], len(results)
+
+    def release(self, rid: int) -> bool:
+        with self._lock:
+            return self._pending.pop(rid, None) is not None
+
+    # ------------------------------------------------------------ stats
+
+    def snapshot(self) -> Dict[str, object]:
+        return {
+            "sid": self.sid,
+            "peer": self.peer,
+            "scope": self.scope_strings(),
+            "slow_ms": self.slow_ms,
+            "max_inflight": self.max_inflight,
+            "inflight": self.inflight,
+            "pending_results": len(self._pending),
+            "requests": self.requests,
+            "mutations": self.mutations,
+            "shed": self.shed,
+            "errors": self.errors,
+            "slow_queries": self.slow_queries,
+        }

@@ -44,7 +44,7 @@ import struct
 import threading
 import zlib
 from dataclasses import dataclass
-from typing import List, Optional, Tuple
+from typing import Callable, List, Optional, Tuple
 
 from repro.errors import JournalError, TransactionError
 from repro.storage.block_device import BlockDevice
@@ -189,6 +189,11 @@ class Journal:
         # pool's eviction path may force a sync from any thread (the WAL
         # rule), and that sync must not race a concurrent append.
         self._mutex = threading.RLock()
+        #: optional callable ``(durable_lsn) -> None`` invoked — with the
+        #: mutex released — whenever ``durable_lsn`` advances (sync or
+        #: checkpoint).  The recovery manager uses it to wake durability
+        #: waiters; it must not call back into the journal.
+        self.on_sync: Optional[Callable[[int], None]] = None
 
     # -- transaction lifecycle ------------------------------------------------
 
@@ -272,18 +277,20 @@ class Journal:
         (``durable_lsn == last_lsn``).
         """
         with self._mutex:
+            before = self.durable_lsn
             pending = len(self._log) - self._flushed
-            if pending <= 0:
-                self.durable_lsn = self.last_lsn
-                return 0
-            self._write_log_region(self._flushed, bytes(self._log[self._flushed:]))
-            self._flushed = len(self._log)
+            if pending > 0:
+                self._write_log_region(self._flushed, bytes(self._log[self._flushed:]))
+                self._flushed = len(self._log)
+                self.syncs += 1
+                op = current_operation()
+                if op is not None:
+                    op.wal_syncs += 1
             self.durable_lsn = self.last_lsn
-            self.syncs += 1
-            op = current_operation()
-            if op is not None:
-                op.wal_syncs += 1
-            return pending
+            durable = self.durable_lsn
+        if durable != before:
+            self._notify_durable(durable)
+        return max(pending, 0)
 
     # -- block-level transaction commit ---------------------------------------
 
@@ -511,11 +518,25 @@ class Journal:
         checkpoint state *before* truncating; see RecoveryManager.)
         """
         with self._mutex:
+            before = self.durable_lsn
             self.device.write_blocks(self.journal_start, b"", nblocks=self.journal_blocks)
             self._log = bytearray()
             self._flushed = 0
             self.durable_lsn = self.last_lsn
+            durable = self.durable_lsn
             self.checkpoints += 1
+        if durable != before:
+            self._notify_durable(durable)
+
+    def _notify_durable(self, durable: int) -> None:
+        """Fire ``on_sync`` outside the mutex; listener failures stay local."""
+        hook = self.on_sync
+        if hook is None:
+            return
+        try:
+            hook(durable)
+        except Exception:  # pragma: no cover - listeners must not sink I/O
+            pass
 
     # -- introspection --------------------------------------------------------
 

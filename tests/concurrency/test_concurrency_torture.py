@@ -168,3 +168,138 @@ def test_threaded_crash_points(seed):
         crashed += 1
         audit_recovery(device, completed)
     assert crashed > 0, "no sampled point crashed a threaded run"
+
+
+# ---------------------------------------------------------------------------
+# Serving lane: a real asyncio server over a crashing device.
+#
+# M client coroutines hammer one served filesystem configured with
+# group_commit > 1 and the sync_interval_ms idle flush — the configuration
+# where an ack is only honest because the write batcher aligns it with WAL
+# durability.  The device is armed to crash mid-batch; afterwards the audit
+# re-mounts the surviving image and checks the serving-layer invariant:
+# every write the server ACKED (ok=true came back over the wire) is durable
+# with its exact content.  Errors and shed/unacked requests may be lost —
+# the client was told so — but an ack is a promise.
+# ---------------------------------------------------------------------------
+
+import asyncio
+
+from repro.errors import ProtocolError, RequestError
+from repro.serve import AsyncClient, ServeConfig, serve_in_thread
+
+SERVE_SEEDS = [int(s) for s in
+               os.environ.get("SERVING_TORTURE_SEEDS", "11,12").split(",")]
+SERVE_POINTS_PER_SEED = int(os.environ.get("SERVING_TORTURE_POINTS", "3"))
+
+SERVE_CLIENTS = 4
+DOCS_PER_CLIENT = 10
+
+
+def build_served_fs(device):
+    return HFADFileSystem(
+        device=device, btree_on_device=True, durability="wal",
+        journal_blocks=511, cache_pages=48, query_cache_entries=0,
+        group_commit=4, sync_interval_ms=15.0,
+    )
+
+
+def run_serving_clients(address, seed, acked):
+    """M pipeline-free client coroutines; records acked writes per client."""
+
+    async def one_client(cid):
+        rng = random.Random(seed * 733 + cid)
+        try:
+            client = await AsyncClient.connect(address)
+        except OSError:
+            return
+        try:
+            for index in range(DOCS_PER_CLIENT):
+                words = " ".join(rng.choice(WORDS)
+                                 for _ in range(rng.randint(3, 8)))
+                content = f"c{cid} doc {index} {words}"
+                try:
+                    response = await asyncio.wait_for(
+                        client.create(content.encode(), owner=f"sc{cid}"),
+                        timeout=30)
+                except (RequestError, ProtocolError, ConnectionError,
+                        OSError, asyncio.TimeoutError):
+                    return  # error/shed/dead server: not acked, stop client
+                # The server said ok — from here on this write must
+                # survive any crash.
+                acked[cid].append((response["oid"], content))
+                if rng.random() < 0.3:
+                    try:
+                        await asyncio.wait_for(
+                            client.search(rng.choice(WORDS)), timeout=30)
+                    except (RequestError, ProtocolError, ConnectionError,
+                            OSError, asyncio.TimeoutError):
+                        return
+        finally:
+            await client.close()
+
+    async def scenario():
+        await asyncio.gather(*(one_client(cid)
+                               for cid in range(SERVE_CLIENTS)))
+
+    asyncio.run(scenario())
+
+
+def run_served_workload(device, seed, sock_path):
+    fs = build_served_fs(device)
+    acked = {cid: [] for cid in range(SERVE_CLIENTS)}
+    handle = serve_in_thread(
+        fs, ServeConfig(unix_path=sock_path, max_workers=4,
+                        ack_timeout_s=2.0))
+    try:
+        run_serving_clients(handle.address, seed, acked)
+    finally:
+        handle.stop()
+        fs.recovery.stop_flusher()
+    return fs, acked
+
+
+def audit_served_recovery(device, acked):
+    mounted = HFADFileSystem.mount(device.surviving_image())
+    scrub = mounted.scrub()
+    assert scrub.complete, "post-crash scrub did not finish"
+    assert scrub.quarantined == 0, f"unrepairable pages: {scrub.errors}"
+    for cid, docs in acked.items():
+        live = set(mounted.find(("USER", f"sc{cid}")))
+        for oid, content in docs:
+            assert oid in live, (
+                f"ACKED create of oid {oid} (client {cid}) lost — the "
+                f"serving ack promised durability")
+            assert mounted.read(oid).decode() == content
+    mounted.close()
+
+
+@pytest.mark.parametrize("seed", SERVE_SEEDS)
+def test_served_crash_points(seed, tmp_path):
+    # Measure the uncrashed run's write window first.
+    device = make_device()
+    before = device.stats.writes
+    fs, acked = run_served_workload(device, seed, str(tmp_path / "m.sock"))
+    total_writes = device.stats.writes - before
+    fs.close()
+    assert total_writes > 20, "served workload too small to sample"
+    assert sum(len(docs) for docs in acked.values()) == \
+        SERVE_CLIENTS * DOCS_PER_CLIENT, "uncrashed run failed writes"
+
+    rng = random.Random(seed * 9103)
+    low, high = int(total_writes * 0.2), int(total_writes * 0.8)
+    points = sorted(rng.sample(range(low, high),
+                               min(SERVE_POINTS_PER_SEED, high - low)))
+    crashed = 0
+    for point in points:
+        device = make_device()
+        device.plan_crash(point, torn_rng=random.Random(point * 53 + seed))
+        fs, acked = run_served_workload(
+            device, seed, str(tmp_path / f"p{point}.sock"))
+        if not device.dead:
+            device.disarm()
+            fs.close()
+            continue  # schedule finished before the sampled point
+        crashed += 1
+        audit_served_recovery(device, acked)
+    assert crashed > 0, "no sampled point crashed a served run"

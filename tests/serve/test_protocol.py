@@ -1,0 +1,133 @@
+"""Wire-format tests for the length-prefixed JSON framing."""
+
+import asyncio
+import socket
+import struct
+import threading
+
+import pytest
+
+from repro.errors import ProtocolError
+from repro.serve.protocol import (
+    MAX_FRAME_BYTES,
+    decode_payload,
+    encode_frame,
+    read_frame,
+    recv_frame,
+    send_frame,
+)
+
+
+def test_encode_decode_roundtrip():
+    message = {"id": 7, "op": "search", "text": "beach vacation", "nested": {"a": [1, 2]}}
+    frame = encode_frame(message)
+    (length,) = struct.unpack(">I", frame[:4])
+    assert length == len(frame) - 4
+    assert decode_payload(frame[4:]) == message
+
+
+def test_encode_rejects_oversized_frame():
+    with pytest.raises(ProtocolError):
+        encode_frame({"blob": "x" * (MAX_FRAME_BYTES + 1)})
+
+
+def test_decode_rejects_non_object():
+    with pytest.raises(ProtocolError):
+        decode_payload(b"[1, 2, 3]")
+    with pytest.raises(ProtocolError):
+        decode_payload(b"not json at all")
+
+
+def _socket_pair():
+    return socket.socketpair()
+
+
+def test_blocking_roundtrip_and_clean_eof():
+    a, b = _socket_pair()
+    try:
+        send_frame(a, {"id": 1, "op": "ping"})
+        send_frame(a, {"id": 2, "op": "pwd"})
+        assert recv_frame(b) == {"id": 1, "op": "ping"}
+        assert recv_frame(b) == {"id": 2, "op": "pwd"}
+        a.close()
+        assert recv_frame(b) is None  # EOF between frames is clean
+    finally:
+        b.close()
+
+
+def test_blocking_eof_mid_frame_raises():
+    a, b = _socket_pair()
+    try:
+        frame = encode_frame({"id": 1, "op": "ping"})
+        a.sendall(frame[: len(frame) - 3])  # truncated payload
+        a.close()
+        with pytest.raises(ProtocolError):
+            recv_frame(b)
+    finally:
+        b.close()
+
+
+def test_blocking_announced_oversize_raises():
+    a, b = _socket_pair()
+    try:
+        a.sendall(struct.pack(">I", MAX_FRAME_BYTES + 1))
+        with pytest.raises(ProtocolError):
+            recv_frame(b)
+    finally:
+        a.close()
+        b.close()
+
+
+def test_async_reader_roundtrip_and_errors():
+    async def scenario():
+        # Clean frames, then EOF between frames.
+        reader = asyncio.StreamReader()
+        reader.feed_data(encode_frame({"id": 1}) + encode_frame({"id": 2}))
+        reader.feed_eof()
+        assert await read_frame(reader) == {"id": 1}
+        assert await read_frame(reader) == {"id": 2}
+        assert await read_frame(reader) is None
+
+        # EOF mid-prefix.
+        reader = asyncio.StreamReader()
+        reader.feed_data(b"\x00\x00")
+        reader.feed_eof()
+        with pytest.raises(ProtocolError):
+            await read_frame(reader)
+
+        # EOF mid-payload.
+        reader = asyncio.StreamReader()
+        frame = encode_frame({"id": 3, "op": "ping"})
+        reader.feed_data(frame[:-2])
+        reader.feed_eof()
+        with pytest.raises(ProtocolError):
+            await read_frame(reader)
+
+        # Hostile announced length.
+        reader = asyncio.StreamReader()
+        reader.feed_data(struct.pack(">I", MAX_FRAME_BYTES + 1))
+        with pytest.raises(ProtocolError):
+            await read_frame(reader)
+
+    asyncio.run(scenario())
+
+
+def test_threaded_producer_consumer():
+    a, b = _socket_pair()
+    count = 50
+
+    def produce():
+        for index in range(count):
+            send_frame(a, {"id": index, "payload": "x" * (index % 17)})
+        a.close()
+
+    thread = threading.Thread(target=produce)
+    thread.start()
+    try:
+        for index in range(count):
+            frame = recv_frame(b)
+            assert frame["id"] == index
+        assert recv_frame(b) is None
+    finally:
+        thread.join()
+        b.close()
